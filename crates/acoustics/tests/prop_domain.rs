@@ -1,0 +1,160 @@
+//! Property tests for the acoustics domain: geometry invariants, material
+//! coefficient identities, and simulation stability/passivity under random
+//! configurations.
+
+use proptest::prelude::*;
+use room_acoustics::materials::{BranchParams, FdCoeffs, Material};
+use room_acoustics::{
+    BoundaryModel, GridDims, MaterialAssignment, ReferenceSim, RoomModel, RoomShape, SimConfig,
+    SimSetup,
+};
+
+fn dims_strategy() -> impl Strategy<Value = GridDims> {
+    (6usize..16, 6usize..16, 6usize..14).prop_map(|(x, y, z)| GridDims::new(x, y, z))
+}
+
+fn shape_strategy() -> impl Strategy<Value = RoomShape> {
+    prop_oneof![Just(RoomShape::Box), Just(RoomShape::Dome), Just(RoomShape::LShape)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `nbrs` is consistent with the inside predicate: every inside point
+    /// counts exactly its inside 6-neighbours; outside points carry 0.
+    #[test]
+    fn nbrs_consistent_with_inside(dims in dims_strategy(), shape in shape_strategy()) {
+        let m = RoomModel::build(dims, shape, MaterialAssignment::Uniform);
+        let plane = dims.nx * dims.ny;
+        for idx in 0..dims.total() {
+            let (x, y, z) = dims.coords(idx);
+            let inside = shape.inside(&dims, x, y, z);
+            if !inside {
+                prop_assert_eq!(m.nbrs[idx], 0);
+                continue;
+            }
+            let neighbours = [
+                idx - 1, idx + 1, idx - dims.nx, idx + dims.nx, idx - plane, idx + plane,
+            ];
+            let count = neighbours
+                .iter()
+                .filter(|&&j| {
+                    let (a, b, c) = dims.coords(j);
+                    shape.inside(&dims, a, b, c)
+                })
+                .count() as i32;
+            prop_assert_eq!(m.nbrs[idx], count, "at ({}, {}, {})", x, y, z);
+        }
+    }
+
+    /// Boundary indices are exactly the inside points with `nbr < 6`,
+    /// sorted and unique.
+    #[test]
+    fn boundary_indices_characterised(dims in dims_strategy(), shape in shape_strategy()) {
+        let m = RoomModel::build(dims, shape, MaterialAssignment::Uniform);
+        prop_assert!(m.boundary_indices.windows(2).all(|w| w[0] < w[1]));
+        let expected: Vec<i32> = (0..dims.total())
+            .filter(|&i| m.nbrs[i] > 0 && m.nbrs[i] < 6)
+            .map(|i| i as i32)
+            .collect();
+        prop_assert_eq!(&m.boundary_indices, &expected);
+    }
+
+    /// Material assignment covers every boundary point with a valid id.
+    #[test]
+    fn materials_valid(
+        dims in dims_strategy(),
+        shape in shape_strategy(),
+        nm in 1usize..5,
+    ) {
+        let m = RoomModel::build(dims, shape, MaterialAssignment::Striped { num_materials: nm });
+        prop_assert_eq!(m.material.len(), m.boundary_indices.len());
+        prop_assert!(m.material.iter().all(|&x| (x as usize) < nm));
+    }
+
+    /// FD coefficient identities hold for arbitrary passive branches:
+    /// `DI + 1/BI = 2a = 4D` and `F = c/2`.
+    #[test]
+    fn fd_coefficient_identities(
+        branches in prop::collection::vec(
+            (0.5f64..100.0, 0.0f64..5.0, 0.0f64..5.0),
+            1..4
+        ),
+        beta0 in 0.0f64..0.5,
+    ) {
+        let mat = Material {
+            name: "random".into(),
+            beta0,
+            branches: branches.iter().map(|&(a, b, c)| BranchParams::new(a, b, c)).collect(),
+        };
+        let mb = branches.len();
+        let co = FdCoeffs::derive(&[mat], mb);
+        for b in 0..mb {
+            let i = co.at(0, b);
+            let (a, bb, cc) = branches[b];
+            prop_assert!((co.di[i] + 1.0 / co.bi[i] - 2.0 * a).abs() < 1e-9);
+            prop_assert!((4.0 * co.d[i] - 2.0 * a).abs() < 1e-9);
+            prop_assert!((co.f[i] - cc / 2.0).abs() < 1e-12);
+            prop_assert!(co.bi[i] > 0.0 && co.bi[i] <= 1.0 / a);
+            let _ = bb;
+        }
+        prop_assert!(co.beta[0] >= beta0);
+    }
+
+    /// FD-MM simulations with random passive materials never blow up and
+    /// dissipate energy over time (boundary passivity).
+    #[test]
+    fn random_fd_materials_are_passive(
+        seedbranches in prop::collection::vec(
+            (0.5f64..60.0, 0.05f64..3.0, 0.01f64..3.0),
+            3
+        ),
+        beta0 in 0.005f64..0.3,
+        shape in shape_strategy(),
+    ) {
+        let mat = Material {
+            name: "random".into(),
+            beta0,
+            branches: seedbranches
+                .iter()
+                .map(|&(a, b, c)| BranchParams::new(a, b, c))
+                .collect(),
+        };
+        let cfg = SimConfig {
+            dims: GridDims::cube(10),
+            shape,
+            assignment: MaterialAssignment::Uniform,
+            boundary: BoundaryModel::FdMm { materials: vec![mat], mb: 3 },
+        };
+        let mut sim = ReferenceSim::<f64>::new(SimSetup::new(&cfg));
+        // (3,3,4) lies inside the box, the dome and the L-shape at cube(10)
+        sim.impulse(3, 3, 4, 1.0);
+        sim.run(40);
+        let e1 = sim.energy();
+        sim.run(400);
+        let e2 = sim.energy();
+        prop_assert!(e2.is_finite(), "field blew up");
+        prop_assert!(e2 <= e1 * 1.05, "energy grew: {} -> {}", e1, e2);
+    }
+
+    /// The wave never escapes the room: points outside stay exactly zero
+    /// under any boundary model.
+    #[test]
+    fn no_leak_outside_room(shape in shape_strategy(), steps in 5usize..40) {
+        let dims = GridDims::new(14, 14, 10);
+        let cfg = SimConfig::fimm(dims, shape);
+        let mut sim = ReferenceSim::<f64>::new(SimSetup::new(&cfg));
+        // (4,4,4) lies inside all three shapes at 14×14×10
+        sim.impulse(4, 4, 4, 1.0);
+        sim.run(steps);
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                for x in 0..dims.nx {
+                    if !shape.inside(&dims, x, y, z) {
+                        prop_assert_eq!(sim.sample(x, y, z), 0.0, "leak at ({}, {}, {})", x, y, z);
+                    }
+                }
+            }
+        }
+    }
+}

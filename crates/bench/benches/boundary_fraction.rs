@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 2: volume kernel vs boundary kernel cost per
+//! simulation step (the ratio motivates the paper's focus on boundary
+//! handling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use room_acoustics::{
+    BoundaryKernel, GridDims, HandwrittenSim, Precision, RoomShape, SimConfig, SimSetup,
+};
+use vgpu::{Device, ExecMode};
+
+fn bench_fraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_phase");
+    group.sample_size(10);
+    let dims = GridDims::new(64, 48, 40);
+    for (algo, fd) in [("FI-MM", false), ("FD-MM", true)] {
+        let cfg = if fd {
+            SimConfig::fdmm(dims, RoomShape::Dome)
+        } else {
+            SimConfig::fimm(dims, RoomShape::Dome)
+        };
+        let setup = SimSetup::new(&cfg);
+        let kind = if fd {
+            BoundaryKernel::FdMm
+        } else {
+            BoundaryKernel::FiMm { beta_constant: true }
+        };
+        let mut sim = HandwrittenSim::new(setup, Precision::Double, kind, Device::gtx780());
+        sim.impulse(32, 24, 12, 1.0);
+        group.bench_with_input(BenchmarkId::new("full_step", algo), &algo, |b, _| {
+            b.iter(|| sim.step(ExecMode::Fast))
+        });
+        group.bench_with_input(BenchmarkId::new("boundary_only", algo), &algo, |b, _| {
+            b.iter(|| sim.boundary_step_only(ExecMode::Fast))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fraction);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the compiler itself: type checking + view
+//! construction + lowering + OpenCL emission for the paper's four kernels.
+//! (Not a paper figure; included because code-generation latency matters to
+//! any DSL built on top of LIFT.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lift::prelude::*;
+use lift_acoustics::programs;
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen");
+    for (name, build) in [
+        ("volume", programs::volume_program as fn() -> programs::Program),
+        ("fi_single", programs::fi_single_program),
+        ("fimm", programs::fimm_program),
+        ("fdmm", programs::fdmm_program),
+    ] {
+        group.bench_function(format!("lower/{name}"), |b| {
+            b.iter(|| {
+                let p = build();
+                p.lower(ScalarKind::F32).unwrap()
+            })
+        });
+        group.bench_function(format!("emit/{name}"), |b| {
+            let p = build();
+            let lk = p.lower(ScalarKind::F32).unwrap();
+            b.iter(|| opencl::emit_kernel(&lk.kernel))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 6 / Table VI: the FD-MM boundary kernel
+//! (`MB = 3`) in isolation, LIFT-generated vs hand-written, box and dome,
+//! both precisions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lift_acoustics::{LiftBoundary, LiftSim};
+use room_acoustics::{
+    BoundaryKernel, GridDims, HandwrittenSim, Precision, RoomShape, SimConfig, SimSetup,
+};
+use vgpu::{Device, ExecMode};
+
+fn bench_fdmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdmm_boundary_kernel");
+    group.sample_size(20);
+    let dims = GridDims::new(64, 48, 40);
+    for shape in [RoomShape::Box, RoomShape::Dome] {
+        for precision in [Precision::Single, Precision::Double] {
+            let label = format!("{}/{}", shape.label(), precision.label());
+            let setup = SimSetup::new(&SimConfig::fdmm(dims, shape));
+            let mut lift =
+                LiftSim::new(setup.clone(), precision, LiftBoundary::FdMm, Device::gtx780());
+            group.bench_with_input(BenchmarkId::new("LIFT", &label), &label, |b, _| {
+                b.iter(|| lift.boundary_step_only(ExecMode::Fast))
+            });
+            let mut hw =
+                HandwrittenSim::new(setup, precision, BoundaryKernel::FdMm, Device::gtx780());
+            group.bench_with_input(BenchmarkId::new("OpenCL", &label), &label, |b, _| {
+                b.iter(|| hw.boundary_step_only(ExecMode::Fast))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fdmm);
+criterion_main!(benches);

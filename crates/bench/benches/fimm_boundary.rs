@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 5 / Table V: the FI-MM boundary kernel in
+//! isolation, LIFT-generated vs hand-written, box and dome.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lift_acoustics::{LiftBoundary, LiftSim};
+use room_acoustics::{
+    BoundaryKernel, GridDims, HandwrittenSim, Precision, RoomShape, SimConfig, SimSetup,
+};
+use vgpu::{Device, ExecMode};
+
+fn bench_fimm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fimm_boundary_kernel");
+    group.sample_size(20);
+    let dims = GridDims::new(64, 48, 40);
+    for shape in [RoomShape::Box, RoomShape::Dome] {
+        let setup = SimSetup::new(&SimConfig::fimm(dims, shape));
+        let mut lift =
+            LiftSim::new(setup.clone(), Precision::Single, LiftBoundary::FiMm, Device::gtx780());
+        group.bench_with_input(BenchmarkId::new("LIFT", shape.label()), &shape, |b, _| {
+            b.iter(|| lift.boundary_step_only(ExecMode::Fast))
+        });
+        let mut hw = HandwrittenSim::new(
+            setup,
+            Precision::Single,
+            BoundaryKernel::FiMm { beta_constant: true },
+            Device::gtx780(),
+        );
+        group.bench_with_input(BenchmarkId::new("OpenCL", shape.label()), &shape, |b, _| {
+            b.iter(|| hw.boundary_step_only(ExecMode::Fast))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fimm);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion bench for the overlapped-tiling rewrite (the optimisation of
+//! the authors' companion TACO '20 stencil paper): plain `mapGlb` stencil
+//! vs `mapWrg`+`toLocal`+`mapLcl` at several tile sizes. Wall-clock on the
+//! interpreter; the DRAM-traffic comparison lives in
+//! `tests/workgroup_tiling.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lift::funs;
+use lift::ir::{self, ExprRef, ParamDef};
+use lift::lower::{lower_kernel, ArgSpec, LoweredKernel};
+use lift::prelude::*;
+use lift::rewrite::overlapped_tile_1d;
+use vgpu::{Arg, BufData, BufId, Device, ExecMode};
+
+const N: usize = 1 << 15;
+const K: i64 = 7;
+
+fn stencil_program() -> (std::rc::Rc<ParamDef>, ExprRef) {
+    let a = ParamDef::typed("a", Type::array(Type::real(), N));
+    let add = funs::add();
+    let prog = ir::map_glb(
+        ir::slide(K, 1, ir::pad((K - 1) / 2, (K - 1) / 2, PadKind::Clamp, a.to_expr())),
+        "w",
+        move |w| ir::reduce_seq(ir::lit(Lit::real(0.0)), w, |acc, x| ir::call(&add, vec![acc, x])),
+    );
+    (a, prog)
+}
+
+struct Runner {
+    dev: Device,
+    prep: vgpu::Prepared,
+    args: Vec<Arg>,
+    global: Vec<usize>,
+    local: Option<usize>,
+}
+
+fn runner(lk: &LoweredKernel) -> Runner {
+    let mut dev = Device::gtx780();
+    let prep = dev.compile(&lk.kernel).unwrap();
+    let input = dev.upload(BufData::from(vec![1.0f32; N]));
+    let out: BufId = dev.create_buffer(ScalarKind::F32, N);
+    let args: Vec<Arg> = lk
+        .args
+        .iter()
+        .map(|spec| match spec {
+            ArgSpec::Input(_, _) => Arg::Buf(input),
+            ArgSpec::Size(_) => unreachable!(),
+            ArgSpec::Output(_, _) => Arg::Buf(out),
+        })
+        .collect();
+    let global: Vec<usize> =
+        lk.global_size.iter().map(|g| g.eval(&|_| None).unwrap() as usize).collect();
+    let local = lk.local_size.as_ref().map(|l| l.eval(&|_| None).unwrap() as usize);
+    Runner { dev, prep, args, global, local }
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlapped_tiling");
+    group.sample_size(20);
+    let (a, plain) = stencil_program();
+    let plain_lk = lower_kernel("plain", &[a.clone()], &plain, ScalarKind::F32).unwrap();
+    let mut r = runner(&plain_lk);
+    group.bench_function("untiled", |b| {
+        b.iter(|| r.dev.launch(&r.prep, &r.args, &r.global, ExecMode::Fast).unwrap())
+    });
+    for tile in [32i64, 64, 128] {
+        let tiled = overlapped_tile_1d(&plain, tile).unwrap();
+        let lk = lower_kernel("tiled", &[a.clone()], &tiled, ScalarKind::F32).unwrap();
+        let mut r = runner(&lk);
+        group.bench_with_input(BenchmarkId::new("tiled", tile), &tile, |b, _| {
+            b.iter(|| {
+                r.dev
+                    .launch_wg(&r.prep, &r.args, &r.global, r.local, ExecMode::Fast)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiling);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regression tests for the evaluation's qualitative shapes at small scale
+//! (the full-size versions are checked by the `repro_*` binaries). These
+//! guard the transaction model against changes that would silently destroy
+//! a reproduced effect.
+
+use bench::measure::{measure_fdmm, measure_fimm, Impl};
+use room_acoustics::{GridDims, Precision, RoomShape};
+use vgpu::DeviceProfile;
+
+/// The paper's 336³ throughput dip: a uniform cube has proportionally fewer
+/// x-contiguous boundary runs than an elongated box of similar point count,
+/// so its boundary gathers coalesce worse and throughput per point drops
+/// (§VII-B1's explanation).
+#[test]
+fn cube_dip_reproduces_at_small_scale() {
+    let p = DeviceProfile::gtx780();
+    // elongated box vs near-cube with comparable boundary counts
+    let long = measure_fimm(GridDims::new(152, 102, 77), RoomShape::Box, Precision::Single, Impl::OpenCl);
+    let cube = measure_fimm(GridDims::cube(84), RoomShape::Box, Precision::Single, Impl::OpenCl);
+    assert!(
+        cube.gups(&p) < long.gups(&p),
+        "cube should be slower per update: cube {} vs long {}",
+        cube.gups(&p),
+        long.gups(&p)
+    );
+}
+
+/// Box rooms achieve higher boundary throughput than domes (contiguous
+/// boundary runs vs curved shells).
+#[test]
+fn box_beats_dome_throughput() {
+    let p = DeviceProfile::gtx780();
+    let dims = GridDims::new(96, 64, 48);
+    let boxm = measure_fimm(dims, RoomShape::Box, Precision::Single, Impl::Lift);
+    let dome = measure_fimm(dims, RoomShape::Dome, Precision::Single, Impl::Lift);
+    assert!(boxm.gups(&p) > dome.gups(&p));
+}
+
+/// FD-MM throughput is far below FI-MM (more state, more arithmetic).
+#[test]
+fn fdmm_much_slower_than_fimm() {
+    let p = DeviceProfile::gtx780();
+    let dims = GridDims::new(96, 64, 48);
+    let fi = measure_fimm(dims, RoomShape::Box, Precision::Single, Impl::OpenCl);
+    let fd = measure_fdmm(dims, RoomShape::Box, Precision::Single, Impl::OpenCl);
+    assert!(fd.gups(&p) < fi.gups(&p) * 0.7, "fd {} vs fi {}", fd.gups(&p), fi.gups(&p));
+}
+
+/// LIFT-generated and hand-written FD-MM kernels execute the same number of
+/// stores and comparable loads (the generated code is not doing extra
+/// passes).
+#[test]
+fn generated_fdmm_access_counts_match_handwritten() {
+    let dims = GridDims::new(64, 48, 40);
+    let a = measure_fdmm(dims, RoomShape::Box, Precision::Double, Impl::OpenCl);
+    let b = measure_fdmm(dims, RoomShape::Box, Precision::Double, Impl::Lift);
+    assert_eq!(a.counters.stores_global, b.counters.stores_global);
+    let ratio = b.counters.loads_global as f64 / a.counters.loads_global as f64;
+    assert!((0.8..=1.25).contains(&ratio), "load ratio {ratio}");
+    assert_eq!(a.counters.flops, b.counters.flops, "same arithmetic per update");
+}
+
+/// Double-precision kernels move more DRAM bytes than single precision.
+#[test]
+fn double_moves_more_bytes() {
+    let dims = GridDims::new(96, 64, 48);
+    let s = measure_fdmm(dims, RoomShape::Box, Precision::Single, Impl::OpenCl);
+    let d = measure_fdmm(dims, RoomShape::Box, Precision::Double, Impl::OpenCl);
+    assert!(d.txn_bytes > s.txn_bytes);
+}

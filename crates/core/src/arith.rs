@@ -1,0 +1,595 @@
+//! Symbolic integer arithmetic for array sizes and index expressions.
+//!
+//! LIFT tracks the length of every array and the index of every access as a
+//! symbolic expression over named variables (grid dimensions, loop counters,
+//! work-item ids). Views (see [`crate::view`]) collapse chains of data-layout
+//! patterns into a single [`ArithExpr`] per memory access; the code generator
+//! then prints that expression into the kernel, and the `vgpu` interpreter
+//! evaluates it per work-item.
+//!
+//! The representation is a small normalising term algebra: n-ary sums and
+//! products are flattened, constants folded, and identities removed by the
+//! smart constructors. This is deliberately *not* a full computer-algebra
+//! system — it only needs to keep index expressions compact and to prove the
+//! simple equalities the allocator relies on (e.g. `N * 1 == N`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A symbolic integer expression.
+///
+/// Construct via the smart constructors ([`ArithExpr::add`], [`ArithExpr::mul`],
+/// …) or the `std::ops` impls, which normalise as they build. `Cst`, `Var`
+/// and the composite nodes are immutable and cheaply clonable (`Rc` inside
+/// composite nodes).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum ArithExpr {
+    /// Integer constant.
+    Cst(i64),
+    /// Named symbolic variable (e.g. a grid dimension `Nx` or a loop index).
+    Var(Rc<str>),
+    /// Flattened n-ary sum. Invariant: ≥ 2 operands, at most one constant
+    /// (kept last), no nested `Sum`.
+    Sum(Rc<Vec<ArithExpr>>),
+    /// Flattened n-ary product. Same invariants as `Sum`.
+    Prod(Rc<Vec<ArithExpr>>),
+    /// Truncating integer division `a / b` (C semantics, non-negative use).
+    Div(Rc<ArithExpr>, Rc<ArithExpr>),
+    /// Remainder `a % b`.
+    Mod(Rc<ArithExpr>, Rc<ArithExpr>),
+    /// Minimum of two expressions.
+    Min(Rc<ArithExpr>, Rc<ArithExpr>),
+    /// Maximum of two expressions.
+    Max(Rc<ArithExpr>, Rc<ArithExpr>),
+}
+
+impl ArithExpr {
+    /// Constant zero.
+    pub fn zero() -> Self {
+        ArithExpr::Cst(0)
+    }
+
+    /// Constant one.
+    pub fn one() -> Self {
+        ArithExpr::Cst(1)
+    }
+
+    /// A named variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        ArithExpr::Var(Rc::from(name.into().as_str()))
+    }
+
+    /// Integer constant.
+    pub fn cst(v: i64) -> Self {
+        ArithExpr::Cst(v)
+    }
+
+    /// Returns the constant value if this expression is a constant.
+    pub fn as_cst(&self) -> Option<i64> {
+        match self {
+            ArithExpr::Cst(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Normalising sum of `terms`.
+    pub fn add(terms: Vec<ArithExpr>) -> Self {
+        let mut flat = Vec::with_capacity(terms.len());
+        let mut k = 0i64;
+        for t in terms {
+            match t {
+                ArithExpr::Cst(c) => k += c,
+                ArithExpr::Sum(ts) => {
+                    for t in ts.iter() {
+                        match t {
+                            ArithExpr::Cst(c) => k += c,
+                            other => flat.push(other.clone()),
+                        }
+                    }
+                }
+                other => flat.push(other),
+            }
+        }
+        Self::collect_like_terms(&mut flat);
+        if k != 0 {
+            flat.push(ArithExpr::Cst(k));
+        }
+        match flat.len() {
+            0 => ArithExpr::Cst(0),
+            1 => flat.pop().unwrap(),
+            _ => ArithExpr::Sum(Rc::new(flat)),
+        }
+    }
+
+    /// Collects `x + x` into `2*x` (and generally sums coefficients of
+    /// syntactically identical non-constant terms).
+    fn collect_like_terms(flat: &mut Vec<ArithExpr>) {
+        // Split each term into (coefficient, core) where `core` is the term
+        // with any leading constant factor removed.
+        fn split(t: &ArithExpr) -> (i64, ArithExpr) {
+            if let ArithExpr::Prod(fs) = t {
+                if let Some(ArithExpr::Cst(c)) = fs.last() {
+                    let rest: Vec<_> = fs[..fs.len() - 1].to_vec();
+                    let core = match rest.len() {
+                        0 => ArithExpr::Cst(1),
+                        1 => rest.into_iter().next().unwrap(),
+                        _ => ArithExpr::Prod(Rc::new(rest)),
+                    };
+                    return (*c, core);
+                }
+            }
+            (1, t.clone())
+        }
+        let mut groups: Vec<(ArithExpr, i64)> = Vec::new();
+        for t in flat.drain(..) {
+            let (c, core) = split(&t);
+            if let Some(g) = groups.iter_mut().find(|(k, _)| *k == core) {
+                g.1 += c;
+            } else {
+                groups.push((core, c));
+            }
+        }
+        for (core, c) in groups {
+            if c == 0 {
+                continue;
+            }
+            if c == 1 {
+                flat.push(core);
+            } else {
+                flat.push(ArithExpr::mul(vec![core, ArithExpr::Cst(c)]));
+            }
+        }
+    }
+
+    /// Normalising product of `factors`.
+    pub fn mul(factors: Vec<ArithExpr>) -> Self {
+        let mut flat = Vec::with_capacity(factors.len());
+        let mut k = 1i64;
+        for f in factors {
+            match f {
+                ArithExpr::Cst(c) => k *= c,
+                ArithExpr::Prod(fs) => {
+                    for f in fs.iter() {
+                        match f {
+                            ArithExpr::Cst(c) => k *= c,
+                            other => flat.push(other.clone()),
+                        }
+                    }
+                }
+                other => flat.push(other),
+            }
+        }
+        if k == 0 {
+            return ArithExpr::Cst(0);
+        }
+        // Distribute a constant factor over a single sum: `(a + b) * k`
+        // becomes `a*k + b*k`. This keeps subtraction cancellation exact
+        // (`x - x = 0` for sum-valued `x`), which the allocator and the view
+        // offset algebra rely on.
+        if flat.len() == 1 && k != 1 {
+            if let ArithExpr::Sum(ts) = &flat[0] {
+                return ArithExpr::add(
+                    ts.iter()
+                        .map(|t| ArithExpr::mul(vec![t.clone(), ArithExpr::Cst(k)]))
+                        .collect(),
+                );
+            }
+        }
+        if k != 1 {
+            flat.push(ArithExpr::Cst(k));
+        }
+        match flat.len() {
+            0 => ArithExpr::Cst(1),
+            1 => flat.pop().unwrap(),
+            _ => ArithExpr::Prod(Rc::new(flat)),
+        }
+    }
+
+    /// Truncating division, folding constants and `x / 1`.
+    pub fn div(a: ArithExpr, b: ArithExpr) -> Self {
+        match (&a, &b) {
+            (ArithExpr::Cst(x), ArithExpr::Cst(y)) if *y != 0 => ArithExpr::Cst(x / y),
+            (_, ArithExpr::Cst(1)) => a,
+            (x, y) if x == y => ArithExpr::Cst(1),
+            _ => ArithExpr::Div(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Remainder, folding constants, `x % 1` and `0 % x`.
+    pub fn rem(a: ArithExpr, b: ArithExpr) -> Self {
+        match (&a, &b) {
+            (ArithExpr::Cst(x), ArithExpr::Cst(y)) if *y != 0 => ArithExpr::Cst(x % y),
+            (_, ArithExpr::Cst(1)) => ArithExpr::Cst(0),
+            (ArithExpr::Cst(0), _) => ArithExpr::Cst(0),
+            (x, y) if x == y => ArithExpr::Cst(0),
+            _ => ArithExpr::Mod(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Minimum, folding constants and `min(x, x)`.
+    pub fn min(a: ArithExpr, b: ArithExpr) -> Self {
+        match (&a, &b) {
+            (ArithExpr::Cst(x), ArithExpr::Cst(y)) => ArithExpr::Cst((*x).min(*y)),
+            (x, y) if x == y => a,
+            _ => ArithExpr::Min(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Maximum, folding constants and `max(x, x)`.
+    pub fn max(a: ArithExpr, b: ArithExpr) -> Self {
+        match (&a, &b) {
+            (ArithExpr::Cst(x), ArithExpr::Cst(y)) => ArithExpr::Cst((*x).max(*y)),
+            (x, y) if x == y => a,
+            _ => ArithExpr::Max(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Substitutes `name := value` throughout, re-normalising.
+    pub fn subst(&self, name: &str, value: &ArithExpr) -> ArithExpr {
+        match self {
+            ArithExpr::Cst(_) => self.clone(),
+            ArithExpr::Var(n) => {
+                if &**n == name {
+                    value.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            ArithExpr::Sum(ts) => {
+                ArithExpr::add(ts.iter().map(|t| t.subst(name, value)).collect())
+            }
+            ArithExpr::Prod(fs) => {
+                ArithExpr::mul(fs.iter().map(|f| f.subst(name, value)).collect())
+            }
+            ArithExpr::Div(a, b) => ArithExpr::div(a.subst(name, value), b.subst(name, value)),
+            ArithExpr::Mod(a, b) => ArithExpr::rem(a.subst(name, value), b.subst(name, value)),
+            ArithExpr::Min(a, b) => ArithExpr::min(a.subst(name, value), b.subst(name, value)),
+            ArithExpr::Max(a, b) => ArithExpr::max(a.subst(name, value), b.subst(name, value)),
+        }
+    }
+
+    /// Applies all bindings in `env` (a parallel substitution done
+    /// sequentially; fine because bindings never reference each other here).
+    pub fn subst_all(&self, env: &BTreeMap<String, ArithExpr>) -> ArithExpr {
+        let mut e = self.clone();
+        for (k, v) in env {
+            e = e.subst(k, v);
+        }
+        e
+    }
+
+    /// Evaluates under `env`; errors on an unbound variable or division by
+    /// zero.
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<i64>) -> Result<i64, ArithError> {
+        match self {
+            ArithExpr::Cst(v) => Ok(*v),
+            ArithExpr::Var(n) => env(n).ok_or_else(|| ArithError::Unbound(n.to_string())),
+            ArithExpr::Sum(ts) => {
+                let mut acc = 0i64;
+                for t in ts.iter() {
+                    acc += t.eval(env)?;
+                }
+                Ok(acc)
+            }
+            ArithExpr::Prod(fs) => {
+                let mut acc = 1i64;
+                for f in fs.iter() {
+                    acc *= f.eval(env)?;
+                }
+                Ok(acc)
+            }
+            ArithExpr::Div(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return Err(ArithError::DivByZero);
+                }
+                Ok(a.eval(env)? / d)
+            }
+            ArithExpr::Mod(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return Err(ArithError::DivByZero);
+                }
+                Ok(a.eval(env)? % d)
+            }
+            ArithExpr::Min(a, b) => Ok(a.eval(env)?.min(b.eval(env)?)),
+            ArithExpr::Max(a, b) => Ok(a.eval(env)?.max(b.eval(env)?)),
+        }
+    }
+
+    /// Evaluates with a map environment.
+    pub fn eval_map(&self, env: &BTreeMap<String, i64>) -> Result<i64, ArithError> {
+        self.eval(&|n| env.get(n).copied())
+    }
+
+    /// Collects free variable names into `out` (deduplicated, sorted).
+    pub fn free_vars(&self) -> Vec<String> {
+        fn go(e: &ArithExpr, out: &mut Vec<String>) {
+            match e {
+                ArithExpr::Cst(_) => {}
+                ArithExpr::Var(n) => {
+                    if !out.iter().any(|x| x == &**n) {
+                        out.push(n.to_string());
+                    }
+                }
+                ArithExpr::Sum(ts) | ArithExpr::Prod(ts) => {
+                    for t in ts.iter() {
+                        go(t, out);
+                    }
+                }
+                ArithExpr::Div(a, b)
+                | ArithExpr::Mod(a, b)
+                | ArithExpr::Min(a, b)
+                | ArithExpr::Max(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out.sort();
+        out
+    }
+
+    /// True if the expression contains no variables.
+    pub fn is_const(&self) -> bool {
+        self.as_cst().is_some() || self.free_vars().is_empty()
+    }
+}
+
+/// Errors from [`ArithExpr::eval`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArithError {
+    /// A variable had no binding in the evaluation environment.
+    Unbound(String),
+    /// Division or remainder by zero.
+    DivByZero,
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::Unbound(n) => write!(f, "unbound arithmetic variable `{n}`"),
+            ArithError::DivByZero => write!(f, "division by zero in size/index expression"),
+        }
+    }
+}
+
+impl std::error::Error for ArithError {}
+
+impl fmt::Debug for ArithExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ArithExpr {
+    /// Prints as a C expression (parenthesised conservatively).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithExpr::Cst(v) => write!(f, "{v}"),
+            ArithExpr::Var(n) => write!(f, "{n}"),
+            ArithExpr::Sum(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            ArithExpr::Prod(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            ArithExpr::Div(a, b) => write!(f, "({a} / {b})"),
+            ArithExpr::Mod(a, b) => write!(f, "({a} % {b})"),
+            ArithExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            ArithExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+impl From<i64> for ArithExpr {
+    fn from(v: i64) -> Self {
+        ArithExpr::Cst(v)
+    }
+}
+
+impl From<usize> for ArithExpr {
+    fn from(v: usize) -> Self {
+        ArithExpr::Cst(v as i64)
+    }
+}
+
+impl From<&str> for ArithExpr {
+    fn from(v: &str) -> Self {
+        ArithExpr::var(v)
+    }
+}
+
+impl std::ops::Add for ArithExpr {
+    type Output = ArithExpr;
+    fn add(self, rhs: ArithExpr) -> ArithExpr {
+        ArithExpr::add(vec![self, rhs])
+    }
+}
+
+impl std::ops::Sub for ArithExpr {
+    type Output = ArithExpr;
+    fn sub(self, rhs: ArithExpr) -> ArithExpr {
+        ArithExpr::add(vec![self, ArithExpr::mul(vec![rhs, ArithExpr::Cst(-1)])])
+    }
+}
+
+impl std::ops::Mul for ArithExpr {
+    type Output = ArithExpr;
+    fn mul(self, rhs: ArithExpr) -> ArithExpr {
+        ArithExpr::mul(vec![self, rhs])
+    }
+}
+
+impl std::ops::Div for ArithExpr {
+    type Output = ArithExpr;
+    fn div(self, rhs: ArithExpr) -> ArithExpr {
+        ArithExpr::div(self, rhs)
+    }
+}
+
+impl std::ops::Rem for ArithExpr {
+    type Output = ArithExpr;
+    fn rem(self, rhs: ArithExpr) -> ArithExpr {
+        ArithExpr::rem(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> ArithExpr {
+        ArithExpr::var(n)
+    }
+
+    fn c(x: i64) -> ArithExpr {
+        ArithExpr::cst(x)
+    }
+
+    #[test]
+    fn constants_fold_in_sums() {
+        let e = c(1) + c(2) + v("N") + c(3);
+        assert_eq!(e, v("N") + c(6));
+    }
+
+    #[test]
+    fn constants_fold_in_products() {
+        let e = c(2) * v("N") * c(3);
+        match &e {
+            ArithExpr::Prod(fs) => {
+                assert_eq!(fs.len(), 2);
+                assert!(fs.contains(&c(6)));
+            }
+            other => panic!("expected product, got {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_annihilates_product() {
+        assert_eq!(v("N") * c(0), c(0));
+    }
+
+    #[test]
+    fn one_is_product_identity() {
+        assert_eq!(v("N") * c(1), v("N"));
+    }
+
+    #[test]
+    fn zero_is_sum_identity() {
+        assert_eq!(v("N") + c(0), v("N"));
+    }
+
+    #[test]
+    fn like_terms_collect() {
+        let e = v("x") + v("x");
+        assert_eq!(e, v("x") * c(2));
+    }
+
+    #[test]
+    fn subtraction_cancels() {
+        let e = v("x") + v("y") - v("x");
+        assert_eq!(e, v("y"));
+    }
+
+    #[test]
+    fn nested_sums_flatten() {
+        let e = (v("a") + v("b")) + (v("c") + c(1));
+        match &e {
+            ArithExpr::Sum(ts) => assert_eq!(ts.len(), 4),
+            other => panic!("expected sum, got {other}"),
+        }
+    }
+
+    #[test]
+    fn div_identities() {
+        assert_eq!(ArithExpr::div(v("N"), c(1)), v("N"));
+        assert_eq!(ArithExpr::div(v("N"), v("N")), c(1));
+        assert_eq!(ArithExpr::div(c(7), c(2)), c(3));
+    }
+
+    #[test]
+    fn mod_identities() {
+        assert_eq!(ArithExpr::rem(v("N"), c(1)), c(0));
+        assert_eq!(ArithExpr::rem(v("N"), v("N")), c(0));
+        assert_eq!(ArithExpr::rem(c(7), c(2)), c(1));
+    }
+
+    #[test]
+    fn eval_basic() {
+        let e = (v("x") + c(2)) * v("y");
+        let mut env = BTreeMap::new();
+        env.insert("x".to_string(), 3);
+        env.insert("y".to_string(), 5);
+        assert_eq!(e.eval_map(&env), Ok(25));
+    }
+
+    #[test]
+    fn eval_unbound_errors() {
+        let e = v("zz");
+        assert_eq!(
+            e.eval_map(&BTreeMap::new()),
+            Err(ArithError::Unbound("zz".into()))
+        );
+    }
+
+    #[test]
+    fn eval_div_by_zero_errors() {
+        let e = ArithExpr::Div(Rc::new(c(1)), Rc::new(c(0)));
+        assert_eq!(e.eval_map(&BTreeMap::new()), Err(ArithError::DivByZero));
+    }
+
+    #[test]
+    fn subst_renormalises() {
+        let e = v("x") * v("y");
+        assert_eq!(e.subst("x", &c(0)), c(0));
+        assert_eq!(e.subst("y", &c(1)), v("x"));
+    }
+
+    #[test]
+    fn subst_all_applies_every_binding() {
+        let e = v("x") + v("y");
+        let mut env = BTreeMap::new();
+        env.insert("x".into(), c(1));
+        env.insert("y".into(), c(2));
+        assert_eq!(e.subst_all(&env), c(3));
+    }
+
+    #[test]
+    fn free_vars_sorted_dedup() {
+        let e = v("b") + v("a") * v("b");
+        assert_eq!(e.free_vars(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn min_max_fold() {
+        assert_eq!(ArithExpr::min(c(2), c(5)), c(2));
+        assert_eq!(ArithExpr::max(c(2), c(5)), c(5));
+        assert_eq!(ArithExpr::min(v("n"), v("n")), v("n"));
+    }
+
+    #[test]
+    fn display_is_c_like() {
+        let e = (v("z") * v("Nx") * v("Ny")) + v("x");
+        let s = format!("{e}");
+        assert!(s.contains("Nx"), "{s}");
+        assert!(s.contains('+'), "{s}");
+    }
+}

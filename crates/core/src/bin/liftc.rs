@@ -1,0 +1,88 @@
+//! `liftc` — compile a kernel written in the textual front-end to OpenCL C.
+//!
+//! ```sh
+//! liftc kernel.lisp               # single precision
+//! liftc --double kernel.lisp     # double precision
+//! liftc -                        # read from stdin
+//! ```
+//!
+//! Prints the generated OpenCL kernel plus a launch summary (parameter
+//! order, NDRange expression, workgroup size if fixed) to stdout.
+
+use lift::dsl::parse_kernel;
+use lift::lower::ArgSpec;
+use lift::opencl;
+use lift::types::ScalarKind;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: liftc [--double] <kernel.lisp | ->");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut double = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--double" => double = true,
+            "--single" => double = false,
+            "-h" | "--help" => return usage(),
+            other => {
+                if path.is_some() {
+                    return usage();
+                }
+                path = Some(other.to_string());
+            }
+        }
+    }
+    let Some(path) = path else { return usage() };
+    let src = if path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("liftc: could not read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("liftc: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let kernel = match parse_kernel(&src) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("liftc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let real = if double { ScalarKind::F64 } else { ScalarKind::F32 };
+    let lowered = match kernel.lower(real) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("liftc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", opencl::emit_kernel(&lowered.kernel));
+    println!("\n// ---- launch info ----");
+    for (i, spec) in lowered.args.iter().enumerate() {
+        match spec {
+            ArgSpec::Input(_, n) => println!("// arg {i}: input  `{n}`"),
+            ArgSpec::Size(n) => println!("// arg {i}: size   `{n}` (int)"),
+            ArgSpec::Output(n, ty) => println!("// arg {i}: output `{n}` : {ty}"),
+        }
+    }
+    let gs: Vec<String> = lowered.global_size.iter().map(|g| g.to_string()).collect();
+    println!("// global size: [{}]", gs.join(", "));
+    match &lowered.local_size {
+        Some(l) => println!("// workgroup size (required): {l}"),
+        None => println!("// workgroup size: runtime choice"),
+    }
+    ExitCode::SUCCESS
+}

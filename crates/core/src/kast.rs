@@ -1,0 +1,456 @@
+//! The low-level kernel AST ("k-ast").
+//!
+//! This is the target of [`crate::lower`]: a C-like representation of one
+//! OpenCL kernel — loops, guards, indexed loads/stores, local declarations.
+//! It plays the role OpenCL C source plays in real LIFT, but as a structured
+//! AST so that it can be both pretty-printed as OpenCL C ([`crate::opencl`])
+//! and *executed* by the `vgpu` virtual device. Hand-written baseline kernels
+//! (the paper's tuned OpenCL comparators) are authored directly in this AST,
+//! which makes generated-vs-hand-written comparisons apples-to-apples.
+//!
+//! Kernels may be precision-generic: scalar kinds may be
+//! [`ScalarKind::Real`], resolved against a concrete precision when the
+//! kernel is printed or executed.
+
+use crate::scalar::{BinOp, Intrinsic, Lit, UnOp};
+use crate::types::ScalarKind;
+use std::fmt;
+
+/// Where a kernel parameter's memory lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemSpace {
+    /// `__global` device memory.
+    Global,
+    /// `__constant` memory — cached/broadcast; the performance model treats
+    /// loads from here as register-cost (used by the hand-tuned FI-MM kernel
+    /// that hard-codes its β table, per §VII-B1 of the paper).
+    Constant,
+    /// Private (register) memory.
+    Private,
+}
+
+/// One kernel parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelParam {
+    /// Name in the generated source.
+    pub name: String,
+    /// Element kind (buffers) or value kind (scalars). May be `Real`.
+    pub kind: ScalarKind,
+    /// True for pointer (buffer) parameters, false for scalars such as grid
+    /// dimensions or precomputed coefficients.
+    pub is_buffer: bool,
+    /// Address space of buffer parameters; ignored for scalars.
+    pub space: MemSpace,
+}
+
+impl KernelParam {
+    /// A `__global` buffer parameter.
+    pub fn global_buf(name: impl Into<String>, kind: ScalarKind) -> Self {
+        KernelParam { name: name.into(), kind, is_buffer: true, space: MemSpace::Global }
+    }
+
+    /// A `__constant` buffer parameter.
+    pub fn constant_buf(name: impl Into<String>, kind: ScalarKind) -> Self {
+        KernelParam { name: name.into(), kind, is_buffer: true, space: MemSpace::Constant }
+    }
+
+    /// A scalar (by-value) parameter.
+    pub fn scalar(name: impl Into<String>, kind: ScalarKind) -> Self {
+        KernelParam { name: name.into(), kind, is_buffer: false, space: MemSpace::Private }
+    }
+}
+
+/// A reference to memory readable/writable from kernel code.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MemRef {
+    /// The i-th kernel parameter (must be a buffer).
+    Param(usize),
+    /// A private array declared with [`KStmt::DeclPrivArray`].
+    Priv(String),
+    /// A workgroup-shared array declared with [`KStmt::DeclLocalArray`].
+    Local(String),
+}
+
+/// Kernel expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KExpr {
+    /// Literal (possibly precision-generic).
+    Lit(Lit),
+    /// A scalar variable: a kernel scalar parameter, a declared local, or a
+    /// loop variable.
+    Var(String),
+    /// `get_global_id(dim)`.
+    GlobalId(u8),
+    /// `get_global_size(dim)`.
+    GlobalSize(u8),
+    /// `get_local_id(dim)`.
+    LocalId(u8),
+    /// `get_local_size(dim)`.
+    LocalSize(u8),
+    /// `get_group_id(dim)`.
+    GroupId(u8),
+    /// Indexed load.
+    Load {
+        /// Source memory.
+        mem: MemRef,
+        /// Element index.
+        idx: Box<KExpr>,
+    },
+    /// Binary operation.
+    Bin(BinOp, Box<KExpr>, Box<KExpr>),
+    /// Unary operation.
+    Un(UnOp, Box<KExpr>),
+    /// `cond ? a : b`.
+    Select(Box<KExpr>, Box<KExpr>, Box<KExpr>),
+    /// Math intrinsic call.
+    Call(Intrinsic, Vec<KExpr>),
+    /// C cast.
+    Cast(ScalarKind, Box<KExpr>),
+}
+
+impl KExpr {
+    /// i32 literal.
+    pub fn int(v: i32) -> KExpr {
+        KExpr::Lit(Lit::i32(v))
+    }
+
+    /// Precision-generic float literal.
+    pub fn real(v: f64) -> KExpr {
+        KExpr::Lit(Lit::real(v))
+    }
+
+    /// Variable reference.
+    pub fn var(name: impl Into<String>) -> KExpr {
+        KExpr::Var(name.into())
+    }
+
+    /// Indexed load.
+    pub fn load(mem: MemRef, idx: KExpr) -> KExpr {
+        KExpr::Load { mem, idx: Box::new(idx) }
+    }
+
+    /// Binary op helper.
+    pub fn bin(op: BinOp, a: KExpr, b: KExpr) -> KExpr {
+        KExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Ternary select helper.
+    pub fn select(c: KExpr, t: KExpr, f: KExpr) -> KExpr {
+        KExpr::Select(Box::new(c), Box::new(t), Box::new(f))
+    }
+
+    /// Cast helper.
+    pub fn cast(kind: ScalarKind, e: KExpr) -> KExpr {
+        KExpr::Cast(kind, Box::new(e))
+    }
+
+    /// Converts a symbolic size/index expression into kernel code. Variables
+    /// become [`KExpr::Var`]s, which must be bound as scalar kernel
+    /// parameters or loop variables.
+    pub fn from_arith(a: &crate::arith::ArithExpr) -> KExpr {
+        use crate::arith::ArithExpr as A;
+        match a {
+            A::Cst(v) => KExpr::int(*v as i32),
+            A::Var(n) => KExpr::var(&**n),
+            A::Sum(ts) => {
+                let mut it = ts.iter();
+                let first = KExpr::from_arith(it.next().expect("non-empty sum"));
+                it.fold(first, |acc, t| KExpr::bin(BinOp::Add, acc, KExpr::from_arith(t)))
+            }
+            A::Prod(fs) => {
+                let mut it = fs.iter();
+                let first = KExpr::from_arith(it.next().expect("non-empty product"));
+                it.fold(first, |acc, t| KExpr::bin(BinOp::Mul, acc, KExpr::from_arith(t)))
+            }
+            A::Div(x, y) => KExpr::bin(BinOp::Div, KExpr::from_arith(x), KExpr::from_arith(y)),
+            A::Mod(x, y) => KExpr::bin(BinOp::Rem, KExpr::from_arith(x), KExpr::from_arith(y)),
+            A::Min(x, y) => KExpr::Call(Intrinsic::Min, vec![KExpr::from_arith(x), KExpr::from_arith(y)]),
+            A::Max(x, y) => KExpr::Call(Intrinsic::Max, vec![KExpr::from_arith(x), KExpr::from_arith(y)]),
+        }
+    }
+}
+
+// Operator sugar for building hand-written kernels compactly.
+impl std::ops::Add for KExpr {
+    type Output = KExpr;
+    fn add(self, rhs: KExpr) -> KExpr {
+        KExpr::bin(BinOp::Add, self, rhs)
+    }
+}
+impl std::ops::Sub for KExpr {
+    type Output = KExpr;
+    fn sub(self, rhs: KExpr) -> KExpr {
+        KExpr::bin(BinOp::Sub, self, rhs)
+    }
+}
+impl std::ops::Mul for KExpr {
+    type Output = KExpr;
+    fn mul(self, rhs: KExpr) -> KExpr {
+        KExpr::bin(BinOp::Mul, self, rhs)
+    }
+}
+impl std::ops::Div for KExpr {
+    type Output = KExpr;
+    fn div(self, rhs: KExpr) -> KExpr {
+        KExpr::bin(BinOp::Div, self, rhs)
+    }
+}
+impl std::ops::Neg for KExpr {
+    type Output = KExpr;
+    fn neg(self) -> KExpr {
+        KExpr::Un(UnOp::Neg, Box::new(self))
+    }
+}
+
+/// Kernel statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KStmt {
+    /// `kind name = init;`
+    DeclScalar {
+        /// Variable name.
+        name: String,
+        /// Kind (may be `Real`).
+        kind: ScalarKind,
+        /// Optional initialiser.
+        init: Option<KExpr>,
+    },
+    /// `kind name[len];` in private memory.
+    DeclPrivArray {
+        /// Array name.
+        name: String,
+        /// Element kind.
+        kind: ScalarKind,
+        /// Length (must evaluate to a launch-time constant).
+        len: KExpr,
+    },
+    /// `__local kind name[len];` — one allocation shared by the workgroup.
+    DeclLocalArray {
+        /// Array name.
+        name: String,
+        /// Element kind.
+        kind: ScalarKind,
+        /// Length (launch-time constant per group).
+        len: KExpr,
+    },
+    /// `barrier(CLK_LOCAL_MEM_FENCE);` — all work-items of the group reach
+    /// this point before any proceeds. Only valid at the top statement
+    /// level of a kernel (the interpreter executes groups in barrier-split
+    /// phases).
+    Barrier,
+    /// `name = value;` for a declared scalar.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// New value.
+        value: KExpr,
+    },
+    /// `mem[idx] = value;`
+    Store {
+        /// Destination memory.
+        mem: MemRef,
+        /// Element index.
+        idx: KExpr,
+        /// Stored value.
+        value: KExpr,
+    },
+    /// `for (int var = begin; var < end; var += step) { body }`
+    For {
+        /// Loop variable (i32).
+        var: String,
+        /// Inclusive start.
+        begin: KExpr,
+        /// Exclusive end.
+        end: KExpr,
+        /// Increment.
+        step: KExpr,
+        /// Body.
+        body: Vec<KStmt>,
+    },
+    /// `if (cond) { then_ } else { else_ }`
+    If {
+        /// Condition.
+        cond: KExpr,
+        /// Then branch.
+        then_: Vec<KStmt>,
+        /// Else branch (may be empty).
+        else_: Vec<KStmt>,
+    },
+    /// Early exit from this work-item.
+    Return,
+    /// Source comment (also shown by the emitter; no-op at run time).
+    Comment(String),
+}
+
+impl KStmt {
+    /// Guard idiom: `if (cond) return;`
+    pub fn return_if(cond: KExpr) -> KStmt {
+        KStmt::If { cond, then_: vec![KStmt::Return], else_: vec![] }
+    }
+}
+
+/// A complete kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Kernel {
+    /// Kernel (function) name.
+    pub name: String,
+    /// Parameters, in call order.
+    pub params: Vec<KernelParam>,
+    /// Body statements.
+    pub body: Vec<KStmt>,
+    /// NDRange dimensionality (1–3).
+    pub work_dim: u8,
+}
+
+impl Kernel {
+    /// Index of the parameter with the given name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Returns a copy with all `Real` scalar kinds resolved to `real`.
+    pub fn resolve_real(&self, real: ScalarKind) -> Kernel {
+        fn rx(e: &KExpr, real: ScalarKind) -> KExpr {
+            match e {
+                KExpr::Lit(l) => KExpr::Lit(Lit { value: l.value, kind: l.kind.resolve_real(real) }),
+                KExpr::Var(_)
+                | KExpr::GlobalId(_)
+                | KExpr::GlobalSize(_)
+                | KExpr::LocalId(_)
+                | KExpr::LocalSize(_)
+                | KExpr::GroupId(_) => e.clone(),
+                KExpr::Load { mem, idx } => KExpr::Load { mem: mem.clone(), idx: Box::new(rx(idx, real)) },
+                KExpr::Bin(op, a, b) => KExpr::bin(*op, rx(a, real), rx(b, real)),
+                KExpr::Un(op, a) => KExpr::Un(*op, Box::new(rx(a, real))),
+                KExpr::Select(c, t, f) => KExpr::select(rx(c, real), rx(t, real), rx(f, real)),
+                KExpr::Call(i, args) => KExpr::Call(*i, args.iter().map(|a| rx(a, real)).collect()),
+                KExpr::Cast(k, a) => KExpr::Cast(k.resolve_real(real), Box::new(rx(a, real))),
+            }
+        }
+        fn rs(s: &KStmt, real: ScalarKind) -> KStmt {
+            match s {
+                KStmt::DeclScalar { name, kind, init } => KStmt::DeclScalar {
+                    name: name.clone(),
+                    kind: kind.resolve_real(real),
+                    init: init.as_ref().map(|e| rx(e, real)),
+                },
+                KStmt::DeclPrivArray { name, kind, len } => KStmt::DeclPrivArray {
+                    name: name.clone(),
+                    kind: kind.resolve_real(real),
+                    len: rx(len, real),
+                },
+                KStmt::DeclLocalArray { name, kind, len } => KStmt::DeclLocalArray {
+                    name: name.clone(),
+                    kind: kind.resolve_real(real),
+                    len: rx(len, real),
+                },
+                KStmt::Barrier => KStmt::Barrier,
+                KStmt::Assign { name, value } => {
+                    KStmt::Assign { name: name.clone(), value: rx(value, real) }
+                }
+                KStmt::Store { mem, idx, value } => KStmt::Store {
+                    mem: mem.clone(),
+                    idx: rx(idx, real),
+                    value: rx(value, real),
+                },
+                KStmt::For { var, begin, end, step, body } => KStmt::For {
+                    var: var.clone(),
+                    begin: rx(begin, real),
+                    end: rx(end, real),
+                    step: rx(step, real),
+                    body: body.iter().map(|s| rs(s, real)).collect(),
+                },
+                KStmt::If { cond, then_, else_ } => KStmt::If {
+                    cond: rx(cond, real),
+                    then_: then_.iter().map(|s| rs(s, real)).collect(),
+                    else_: else_.iter().map(|s| rs(s, real)).collect(),
+                },
+                KStmt::Return => KStmt::Return,
+                KStmt::Comment(c) => KStmt::Comment(c.clone()),
+            }
+        }
+        Kernel {
+            name: self.name.clone(),
+            params: self
+                .params
+                .iter()
+                .map(|p| KernelParam { kind: p.kind.resolve_real(real), ..p.clone() })
+                .collect(),
+            body: self.body.iter().map(|s| rs(s, real)).collect(),
+            work_dim: self.work_dim,
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    /// Debug display: name, arity and work dimension. Full source comes from
+    /// [`crate::opencl::emit_kernel`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel {}({} params, {}D)", self.name, self.params.len(), self.work_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::ArithExpr;
+
+    #[test]
+    fn from_arith_builds_equivalent_tree() {
+        let a = (ArithExpr::var("z") * ArithExpr::var("Nx")) + ArithExpr::var("x");
+        let k = KExpr::from_arith(&a);
+        match k {
+            KExpr::Bin(BinOp::Add, _, _) => {}
+            other => panic!("expected add at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_real_rewrites_decls_and_lits() {
+        let k = Kernel {
+            name: "t".into(),
+            params: vec![KernelParam::global_buf("a", ScalarKind::Real)],
+            body: vec![KStmt::DeclScalar {
+                name: "x".into(),
+                kind: ScalarKind::Real,
+                init: Some(KExpr::real(1.0)),
+            }],
+            work_dim: 1,
+        };
+        let r = k.resolve_real(ScalarKind::F64);
+        assert_eq!(r.params[0].kind, ScalarKind::F64);
+        match &r.body[0] {
+            KStmt::DeclScalar { kind, init: Some(KExpr::Lit(l)), .. } => {
+                assert_eq!(*kind, ScalarKind::F64);
+                assert_eq!(l.kind, ScalarKind::F64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_index_finds_by_name() {
+        let k = Kernel {
+            name: "t".into(),
+            params: vec![
+                KernelParam::global_buf("a", ScalarKind::F32),
+                KernelParam::scalar("n", ScalarKind::I32),
+            ],
+            body: vec![],
+            work_dim: 1,
+        };
+        assert_eq!(k.param_index("n"), Some(1));
+        assert_eq!(k.param_index("zz"), None);
+    }
+
+    #[test]
+    fn return_if_shape() {
+        let s = KStmt::return_if(KExpr::int(1));
+        match s {
+            KStmt::If { then_, else_, .. } => {
+                assert_eq!(then_, vec![KStmt::Return]);
+                assert!(else_.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

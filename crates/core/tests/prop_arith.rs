@@ -1,0 +1,126 @@
+//! Property tests for the symbolic arithmetic layer: normalisation must
+//! never change the value of an expression, and algebraic identities must
+//! hold under every variable assignment.
+
+use lift::arith::ArithExpr;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// A random expression together with a direct (non-normalising) evaluator
+/// so the normalised form can be checked against ground truth.
+#[derive(Debug, Clone)]
+enum Raw {
+    Cst(i64),
+    Var(usize),
+    Add(Box<Raw>, Box<Raw>),
+    Sub(Box<Raw>, Box<Raw>),
+    Mul(Box<Raw>, Box<Raw>),
+    Min(Box<Raw>, Box<Raw>),
+    Max(Box<Raw>, Box<Raw>),
+}
+
+impl Raw {
+    fn build(&self) -> ArithExpr {
+        match self {
+            Raw::Cst(v) => ArithExpr::cst(*v),
+            Raw::Var(i) => ArithExpr::var(VARS[*i]),
+            Raw::Add(a, b) => a.build() + b.build(),
+            Raw::Sub(a, b) => a.build() - b.build(),
+            Raw::Mul(a, b) => a.build() * b.build(),
+            Raw::Min(a, b) => ArithExpr::min(a.build(), b.build()),
+            Raw::Max(a, b) => ArithExpr::max(a.build(), b.build()),
+        }
+    }
+
+    fn eval(&self, env: &[i64; 4]) -> i64 {
+        match self {
+            Raw::Cst(v) => *v,
+            Raw::Var(i) => env[*i],
+            Raw::Add(a, b) => a.eval(env).wrapping_add(b.eval(env)),
+            Raw::Sub(a, b) => a.eval(env).wrapping_sub(b.eval(env)),
+            Raw::Mul(a, b) => a.eval(env).wrapping_mul(b.eval(env)),
+            Raw::Min(a, b) => a.eval(env).min(b.eval(env)),
+            Raw::Max(a, b) => a.eval(env).max(b.eval(env)),
+        }
+    }
+}
+
+fn raw_strategy() -> impl Strategy<Value = Raw> {
+    let leaf = prop_oneof![(-20i64..20).prop_map(Raw::Cst), (0usize..4).prop_map(Raw::Var)];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Min(a.into(), b.into())),
+            (inner.clone(), inner).prop_map(|(a, b)| Raw::Max(a.into(), b.into())),
+        ]
+    })
+}
+
+fn env_map(env: &[i64; 4]) -> BTreeMap<String, i64> {
+    VARS.iter().zip(env).map(|(v, x)| (v.to_string(), *x)).collect()
+}
+
+proptest! {
+    /// Normalisation preserves value.
+    #[test]
+    fn normalisation_preserves_value(raw in raw_strategy(), env in prop::array::uniform4(-50i64..50)) {
+        let e = raw.build();
+        let expected = raw.eval(&env);
+        prop_assert_eq!(e.eval_map(&env_map(&env)), Ok(expected));
+    }
+
+    /// Substituting a constant then evaluating equals evaluating directly.
+    #[test]
+    fn subst_commutes_with_eval(raw in raw_strategy(), env in prop::array::uniform4(-50i64..50)) {
+        let e = raw.build();
+        let mut partial = e.clone();
+        for (i, v) in VARS.iter().enumerate() {
+            partial = partial.subst(v, &ArithExpr::cst(env[i]));
+        }
+        prop_assert!(partial.is_const(), "all vars substituted: {partial}");
+        prop_assert_eq!(partial.eval_map(&BTreeMap::new()), Ok(raw.eval(&env)));
+    }
+
+    /// `x - x` always normalises to zero (the allocator relies on length
+    /// differences cancelling).
+    #[test]
+    fn self_subtraction_is_zero(raw in raw_strategy()) {
+        let e = raw.build();
+        prop_assert_eq!(e.clone() - e, ArithExpr::cst(0));
+    }
+
+    /// Addition of expressions is commutative after normalisation *in
+    /// value* (structural equality is not guaranteed, evaluation is).
+    #[test]
+    fn addition_commutes(a in raw_strategy(), b in raw_strategy(), env in prop::array::uniform4(-50i64..50)) {
+        let ab = a.build() + b.build();
+        let ba = b.build() + a.build();
+        let m = env_map(&env);
+        prop_assert_eq!(ab.eval_map(&m).unwrap(), ba.eval_map(&m).unwrap());
+    }
+
+    /// Free variables are exactly the variables whose value can affect the
+    /// result… conservatively: evaluation succeeds iff all free vars bound.
+    #[test]
+    fn free_vars_are_sufficient(raw in raw_strategy(), env in prop::array::uniform4(-50i64..50)) {
+        let e = raw.build();
+        let mut m = BTreeMap::new();
+        for v in e.free_vars() {
+            let i = VARS.iter().position(|x| *x == v).unwrap();
+            m.insert(v, env[i]);
+        }
+        prop_assert!(e.eval_map(&m).is_ok());
+    }
+
+    /// Multiplying by a positive constant scales min/max monotonically —
+    /// guards the Display/simplifier against sign errors.
+    #[test]
+    fn scaling_preserves_order(a in -30i64..30, b in -30i64..30, k in 1i64..5) {
+        let min = ArithExpr::min(ArithExpr::cst(a), ArithExpr::cst(b)) * ArithExpr::cst(k);
+        prop_assert_eq!(min.as_cst(), Some(a.min(b) * k));
+    }
+}

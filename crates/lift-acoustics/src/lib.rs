@@ -1,0 +1,24 @@
+//! # lift-acoustics — the paper's Listings 5–8 in the LIFT IR
+//!
+//! Room-acoustics simulations with complex boundary conditions expressed in
+//! the extended LIFT language (crate `lift`), lowered to kernels, and driven
+//! on the virtual GPU (crate `vgpu`):
+//!
+//! * [`programs`] — the LIFT programs: FI volume stencil, the naive
+//!   one-kernel FI simulation, FI-MM boundary handling (the
+//!   `Concat(Skip, ArrayCons, Skip)` in-place idiom of §IV-B), and FD-MM
+//!   boundary handling (tuple-of-`WriteTo` multi-output of §V-D);
+//! * [`hostprog`] — the Listing 5 host orchestration built from `ToGPU` /
+//!   `OclKernel` / `WriteTo` / `ToHost`;
+//! * [`runner`] — simulation drivers ([`runner::LiftSim`],
+//!   [`runner::FiSingleLift`]) that step the generated kernels with rotated
+//!   device buffers.
+
+#![warn(missing_docs)]
+
+pub mod hostprog;
+pub mod programs;
+pub mod runner;
+
+pub use programs::Program;
+pub use runner::{FiSingleLift, LiftBoundary, LiftSim};

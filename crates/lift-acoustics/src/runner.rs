@@ -1,0 +1,428 @@
+//! Driving LIFT-generated kernels on the virtual GPU.
+//!
+//! [`LiftSim`] is the generated-code counterpart of
+//! [`room_acoustics::HandwrittenSim`]: the same leap-frog loop, but the
+//! volume and boundary kernels come out of the LIFT code generator
+//! ([`crate::programs`]). A [`lift::lower::LoweredKernel`]'s argument specs
+//! are bound to device buffers by program-parameter name, so the driver is
+//! robust to the generator adding or reordering size parameters.
+
+use crate::programs::{self, Program};
+use lift::lower::{ArgSpec, LoweredKernel};
+use lift::prelude::Value;
+use room_acoustics::sim::SimSetup;
+use room_acoustics::vgpu_sim::Precision;
+use room_acoustics::reference::FdArrays;
+use std::collections::HashMap;
+use vgpu::{Arg, BufId, Device, ExecMode, LaunchStats, Prepared};
+
+/// Which boundary model a LIFT run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiftBoundary {
+    /// Listing 7 (FI-MM).
+    FiMm,
+    /// Listing 8 (FD-MM).
+    FdMm,
+}
+
+/// A lowered+compiled kernel with its launch recipe.
+pub struct CompiledKernel {
+    /// Generator output (args, global size).
+    pub lowered: LoweredKernel,
+    /// Prepared for the interpreter.
+    pub prepared: Prepared,
+}
+
+/// Binds a lowered kernel's arguments by name.
+///
+/// `bufs` maps program-parameter names to device buffers, `scalars` maps
+/// scalar parameter names to values, `sizes` maps size variables to values.
+pub fn bind_args(
+    lowered: &LoweredKernel,
+    bufs: &HashMap<&str, BufId>,
+    scalars: &HashMap<&str, Value>,
+    sizes: &HashMap<&str, i64>,
+    output: Option<BufId>,
+) -> Vec<Arg> {
+    lowered
+        .args
+        .iter()
+        .map(|spec| match spec {
+            ArgSpec::Input(_, name) => {
+                if let Some(b) = bufs.get(name.as_str()) {
+                    Arg::Buf(*b)
+                } else if let Some(v) = scalars.get(name.as_str()) {
+                    Arg::Val(*v)
+                } else {
+                    panic!("no binding for kernel input `{name}`")
+                }
+            }
+            ArgSpec::Size(name) => Arg::Val(Value::I32(
+                *sizes.get(name.as_str()).unwrap_or_else(|| panic!("unbound size `{name}`")) as i32,
+            )),
+            ArgSpec::Output(_, _) => {
+                Arg::Buf(output.expect("kernel allocates an output; pass one"))
+            }
+        })
+        .collect()
+}
+
+/// Evaluates a lowered kernel's global size against a size environment.
+pub fn global_size(lowered: &LoweredKernel, sizes: &HashMap<&str, i64>) -> Vec<usize> {
+    lowered
+        .global_size
+        .iter()
+        .map(|g| {
+            g.eval(&|n| sizes.get(n).copied()).expect("global size evaluates") as usize
+        })
+        .collect()
+}
+
+/// LIFT-generated kernels running on the virtual GPU.
+pub struct LiftSim {
+    /// The device (exposed for profiling inspection).
+    pub device: Device,
+    setup: SimSetup,
+    precision: Precision,
+    volume: CompiledKernel,
+    boundary: CompiledKernel,
+    boundary_kind: LiftBoundary,
+    prev: BufId,
+    curr: BufId,
+    next: BufId,
+    nbrs: BufId,
+    bidx: BufId,
+    bnbrs: BufId,
+    material: BufId,
+    beta: BufId,
+    fd: Option<FdState>,
+    steps_done: usize,
+}
+
+struct FdState {
+    bi: BufId,
+    d: BufId,
+    di: BufId,
+    f: BufId,
+    g1: BufId,
+    v1: BufId,
+    v2: BufId,
+}
+
+impl LiftSim {
+    /// Lowers, compiles and uploads everything for a run.
+    pub fn new(
+        setup: SimSetup,
+        precision: Precision,
+        boundary_kind: LiftBoundary,
+        mut device: Device,
+    ) -> Self {
+        let real = precision.kind();
+        let n = setup.dims().total();
+        let nb = setup.num_b();
+        let compile = |device: &Device, p: &Program| -> CompiledKernel {
+            let lowered = p.lower(real).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let prepared = device.compile(&lowered.kernel).expect("kernel prepares");
+            CompiledKernel { lowered, prepared }
+        };
+        let volume = compile(&device, &programs::volume_program());
+        let boundary = match boundary_kind {
+            LiftBoundary::FiMm => compile(&device, &programs::fimm_program()),
+            LiftBoundary::FdMm => compile(&device, &programs::fdmm_program()),
+        };
+        let prev = device.create_buffer(real, n);
+        let curr = device.create_buffer(real, n);
+        let next = device.create_buffer(real, n);
+        let nbrs = device.upload(vgpu::BufData::from(setup.room.nbrs.clone()));
+        let bidx = device.upload(vgpu::BufData::from(setup.room.boundary_indices.clone()));
+        let bnbrs = device.upload(vgpu::BufData::from(setup.room.boundary_nbrs()));
+        let material = device.upload(vgpu::BufData::from(setup.room.material.clone()));
+        let beta = device.upload(precision.buf(&setup.betas));
+        let fd = match boundary_kind {
+            LiftBoundary::FdMm => {
+                let c = setup.fd.as_ref().expect("FD setup");
+                let fa: FdArrays<f64> = FdArrays::from_coeffs(c);
+                let state = setup.mb * nb;
+                Some(FdState {
+                    bi: device.upload(precision.buf(&fa.bi)),
+                    d: device.upload(precision.buf(&fa.d)),
+                    di: device.upload(precision.buf(&fa.di)),
+                    f: device.upload(precision.buf(&fa.f)),
+                    g1: device.create_buffer(real, state),
+                    v1: device.create_buffer(real, state),
+                    v2: device.create_buffer(real, state),
+                })
+            }
+            LiftBoundary::FiMm => None,
+        };
+        LiftSim {
+            device,
+            setup,
+            precision,
+            volume,
+            boundary,
+            boundary_kind,
+            prev,
+            curr,
+            next,
+            nbrs,
+            bidx,
+            bnbrs,
+            material,
+            beta,
+            fd,
+            steps_done: 0,
+        }
+    }
+
+    /// The shared setup.
+    pub fn setup(&self) -> &SimSetup {
+        &self.setup
+    }
+
+    /// Which boundary model this run uses.
+    pub fn boundary_kind(&self) -> LiftBoundary {
+        self.boundary_kind
+    }
+
+    /// OpenCL C source of the generated kernels (volume, boundary).
+    pub fn generated_sources(&self) -> (String, String) {
+        (
+            lift::opencl::emit_kernel(&self.volume.lowered.kernel),
+            lift::opencl::emit_kernel(&self.boundary.lowered.kernel),
+        )
+    }
+
+    fn size_env(&self) -> HashMap<&'static str, i64> {
+        let dims = self.setup.dims();
+        let mut m = HashMap::new();
+        m.insert("Nx", dims.nx as i64);
+        m.insert("Ny", dims.ny as i64);
+        m.insert("Nz", dims.nz as i64);
+        m.insert("N", dims.total() as i64);
+        m.insert("numB", self.setup.num_b() as i64);
+        m.insert("NM", self.setup.betas.len() as i64);
+        m.insert("MB", self.setup.mb.max(1) as i64);
+        m.insert("MBM", (self.setup.betas.len() * self.setup.mb.max(1)) as i64);
+        m.insert("S", (self.setup.mb.max(1) * self.setup.num_b()) as i64);
+        m
+    }
+
+    /// Injects an impulse as a released initial displacement.
+    pub fn impulse(&mut self, x: usize, y: usize, z: usize, amp: f64) {
+        let idx = self.setup.dims().idx(x, y, z);
+        for buf in [self.curr, self.prev] {
+            let mut data = self.device.read(buf);
+            data.set(idx, self.precision.val(amp));
+            self.device.write(buf, data);
+        }
+    }
+
+    /// Advances one step; returns (volume, boundary) launch stats.
+    pub fn step(&mut self, mode: ExecMode) -> (LaunchStats, LaunchStats) {
+        let sizes = self.size_env();
+        let l = self.precision.val(self.setup.l);
+        let l2 = self.precision.val(self.setup.l2);
+
+        // volume kernel: allocated output bound to our `next` buffer
+        let vbufs: HashMap<&str, BufId> =
+            [("curr", self.curr), ("prev", self.prev), ("nbrs", self.nbrs)].into();
+        let vscalars: HashMap<&str, Value> = [("l2", l2)].into();
+        let vargs = bind_args(&self.volume.lowered, &vbufs, &vscalars, &sizes, Some(self.next));
+        let vglobal = global_size(&self.volume.lowered, &sizes);
+        let vstats = self
+            .device
+            .launch(&self.volume.prepared, &vargs, &vglobal, mode)
+            .expect("volume launch");
+
+        // boundary kernel (in-place)
+        let mut bbufs: HashMap<&str, BufId> = [
+            ("boundaryIndices", self.bidx),
+            ("bnbrs", self.bnbrs),
+            ("material", self.material),
+            ("beta", self.beta),
+            ("next", self.next),
+            ("prev", self.prev),
+        ]
+        .into();
+        if let Some(fd) = &self.fd {
+            bbufs.insert("BI", fd.bi);
+            bbufs.insert("D", fd.d);
+            bbufs.insert("DI", fd.di);
+            bbufs.insert("F", fd.f);
+            bbufs.insert("g1", fd.g1);
+            bbufs.insert("v1", fd.v1);
+            bbufs.insert("v2", fd.v2);
+        }
+        let bscalars: HashMap<&str, Value> = [("l", l)].into();
+        let bargs = bind_args(&self.boundary.lowered, &bbufs, &bscalars, &sizes, None);
+        let bglobal = global_size(&self.boundary.lowered, &sizes);
+        let bstats = self
+            .device
+            .launch(&self.boundary.prepared, &bargs, &bglobal, mode)
+            .expect("boundary launch");
+
+        if let Some(fd) = &mut self.fd {
+            std::mem::swap(&mut fd.v1, &mut fd.v2);
+        }
+        let old_prev = self.prev;
+        self.prev = self.curr;
+        self.curr = self.next;
+        self.next = old_prev;
+        self.steps_done += 1;
+        (vstats, bstats)
+    }
+
+    /// Launches only the boundary kernel (no volume pass, no rotation) —
+    /// the generated-code counterpart of
+    /// [`room_acoustics::HandwrittenSim::boundary_step_only`].
+    pub fn boundary_step_only(&mut self, mode: ExecMode) -> LaunchStats {
+        let sizes = self.size_env();
+        let l = self.precision.val(self.setup.l);
+        let mut bbufs: HashMap<&str, BufId> = [
+            ("boundaryIndices", self.bidx),
+            ("bnbrs", self.bnbrs),
+            ("material", self.material),
+            ("beta", self.beta),
+            ("next", self.next),
+            ("prev", self.prev),
+        ]
+        .into();
+        if let Some(fd) = &self.fd {
+            bbufs.insert("BI", fd.bi);
+            bbufs.insert("D", fd.d);
+            bbufs.insert("DI", fd.di);
+            bbufs.insert("F", fd.f);
+            bbufs.insert("g1", fd.g1);
+            bbufs.insert("v1", fd.v1);
+            bbufs.insert("v2", fd.v2);
+        }
+        let bscalars: HashMap<&str, Value> = [("l", l)].into();
+        let bargs = bind_args(&self.boundary.lowered, &bbufs, &bscalars, &sizes, None);
+        let bglobal = global_size(&self.boundary.lowered, &sizes);
+        self.device
+            .launch(&self.boundary.prepared, &bargs, &bglobal, mode)
+            .expect("boundary launch")
+    }
+
+    /// Runs `n` fast steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step(ExecMode::Fast);
+        }
+    }
+
+    /// Current pressure field as f64.
+    pub fn read_curr(&self) -> Vec<f64> {
+        self.device.read(self.curr).to_f64_vec()
+    }
+
+    /// Pressure at a point.
+    pub fn sample(&self, x: usize, y: usize, z: usize) -> f64 {
+        let idx = self.setup.dims().idx(x, y, z);
+        self.device.read(self.curr).get(idx).as_f64()
+    }
+
+    /// Steps executed.
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+}
+
+/// Lowers and compiles the one-kernel FI program (Listing 6) — used by the
+/// Figure 4 benchmark, which measures the naive FI simulation.
+pub struct FiSingleLift {
+    /// The device.
+    pub device: Device,
+    setup: SimSetup,
+    precision: Precision,
+    kernel: CompiledKernel,
+    prev: BufId,
+    curr: BufId,
+    next: BufId,
+    nbrs: BufId,
+    beta: f64,
+}
+
+impl FiSingleLift {
+    /// Builds the FI run (box rooms, uniform β).
+    pub fn new(setup: SimSetup, precision: Precision, beta: f64, mut device: Device) -> Self {
+        let real = precision.kind();
+        let n = setup.dims().total();
+        let p = programs::fi_single_program();
+        let lowered = p.lower(real).expect("fi program lowers");
+        let prepared = device.compile(&lowered.kernel).expect("fi kernel prepares");
+        let prev = device.create_buffer(real, n);
+        let curr = device.create_buffer(real, n);
+        let next = device.create_buffer(real, n);
+        let nbrs = device.upload(vgpu::BufData::from(setup.room.nbrs.clone()));
+        FiSingleLift {
+            device,
+            setup,
+            precision,
+            kernel: CompiledKernel { lowered, prepared },
+            prev,
+            curr,
+            next,
+            nbrs,
+            beta,
+        }
+    }
+
+    /// The shared setup.
+    pub fn setup(&self) -> &SimSetup {
+        &self.setup
+    }
+
+    /// Injects an impulse (displacement release).
+    pub fn impulse(&mut self, x: usize, y: usize, z: usize, amp: f64) {
+        let idx = self.setup.dims().idx(x, y, z);
+        for buf in [self.curr, self.prev] {
+            let mut data = self.device.read(buf);
+            data.set(idx, self.precision.val(amp));
+            self.device.write(buf, data);
+        }
+    }
+
+    /// One step; returns the kernel's launch stats.
+    pub fn step(&mut self, mode: ExecMode) -> LaunchStats {
+        let dims = self.setup.dims();
+        let sizes: HashMap<&str, i64> = [
+            ("Nx", dims.nx as i64),
+            ("Ny", dims.ny as i64),
+            ("Nz", dims.nz as i64),
+        ]
+        .into();
+        let bufs: HashMap<&str, BufId> =
+            [("curr", self.curr), ("prev", self.prev), ("nbrs", self.nbrs)].into();
+        let scalars: HashMap<&str, Value> = [
+            ("l", self.precision.val(self.setup.l)),
+            ("l2", self.precision.val(self.setup.l2)),
+            ("beta", self.precision.val(self.beta)),
+        ]
+        .into();
+        let args = bind_args(&self.kernel.lowered, &bufs, &scalars, &sizes, Some(self.next));
+        let global = global_size(&self.kernel.lowered, &sizes);
+        let stats = self
+            .device
+            .launch(&self.kernel.prepared, &args, &global, mode)
+            .expect("fi launch");
+        let old_prev = self.prev;
+        self.prev = self.curr;
+        self.curr = self.next;
+        self.next = old_prev;
+        stats
+    }
+
+    /// Runs `n` fast steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step(ExecMode::Fast);
+        }
+    }
+
+    /// Current field as f64.
+    pub fn read_curr(&self) -> Vec<f64> {
+        self.device.read(self.curr).to_f64_vec()
+    }
+}

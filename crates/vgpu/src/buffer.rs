@@ -1,0 +1,236 @@
+//! Device buffers.
+//!
+//! A [`BufData`] buffer is a flat, typed allocation in "device memory". Kernel
+//! execution requires concurrent writes from many work-items into the same
+//! buffer (the whole point of the paper's in-place primitives), so the
+//! storage uses interior mutability behind [`SharedBuf`].
+//!
+//! # Safety model
+//!
+//! Work-items of one launch write **disjoint** locations — this is the
+//! correctness condition of any OpenCL kernel without atomics, and the
+//! acoustics kernels satisfy it because boundary indices are unique.
+//! `SharedBuf` exposes `unsafe` element accessors whose contract is exactly
+//! that disjointness; the safe wrapper in [`crate::device`] upholds it by
+//! construction, and [`crate::device::Device::set_race_check`] turns on a
+//! dynamic detector that records per-work-item write sets and fails the
+//! launch if two work-items ever wrote the same element.
+
+use lift::prelude::{ScalarKind, Value};
+use std::cell::UnsafeCell;
+
+/// Typed flat storage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufData {
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit ints.
+    I32(Vec<i32>),
+}
+
+impl BufData {
+    /// Zero-filled buffer of `len` elements of `kind`.
+    pub fn zeros(kind: ScalarKind, len: usize) -> BufData {
+        match kind {
+            ScalarKind::F32 => BufData::F32(vec![0.0; len]),
+            ScalarKind::F64 => BufData::F64(vec![0.0; len]),
+            ScalarKind::I32 | ScalarKind::Bool => BufData::I32(vec![0; len]),
+            ScalarKind::Real => panic!("buffers require a resolved precision"),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            BufData::F32(v) => v.len(),
+            BufData::F64(v) => v.len(),
+            BufData::I32(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element kind.
+    pub fn kind(&self) -> ScalarKind {
+        match self {
+            BufData::F32(_) => ScalarKind::F32,
+            BufData::F64(_) => ScalarKind::F64,
+            BufData::I32(_) => ScalarKind::I32,
+        }
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> usize {
+        match self {
+            BufData::F64(_) => 8,
+            _ => 4,
+        }
+    }
+
+    /// Reads element `i` (bounds-checked).
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            BufData::F32(v) => Value::F32(v[i]),
+            BufData::F64(v) => Value::F64(v[i]),
+            BufData::I32(v) => Value::I32(v[i]),
+        }
+    }
+
+    /// Writes element `i` (bounds-checked), casting `val` to the buffer's
+    /// kind with C semantics.
+    pub fn set(&mut self, i: usize, val: Value) {
+        match self {
+            BufData::F32(v) => v[i] = val.cast(ScalarKind::F32).as_f64() as f32,
+            BufData::F64(v) => v[i] = val.as_f64(),
+            BufData::I32(v) => v[i] = val.as_i64() as i32,
+        }
+    }
+
+    /// Copies out as f64 (lossless for f32/i32 payloads).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            BufData::F32(v) => v.iter().map(|&x| x as f64).collect(),
+            BufData::F64(v) => v.clone(),
+            BufData::I32(v) => v.iter().map(|&x| x as f64).collect(),
+        }
+    }
+}
+
+impl From<Vec<f32>> for BufData {
+    fn from(v: Vec<f32>) -> Self {
+        BufData::F32(v)
+    }
+}
+impl From<Vec<f64>> for BufData {
+    fn from(v: Vec<f64>) -> Self {
+        BufData::F64(v)
+    }
+}
+impl From<Vec<i32>> for BufData {
+    fn from(v: Vec<i32>) -> Self {
+        BufData::I32(v)
+    }
+}
+
+/// Shared-storage wrapper enabling concurrent disjoint writes during a
+/// launch. See the module docs for the safety contract.
+pub struct SharedBuf {
+    data: UnsafeCell<BufData>,
+}
+
+// SAFETY: concurrent access is restricted by the launch contract — work-items
+// write disjoint elements and never read an element another work-item writes
+// in the same launch. The race-check mode verifies write disjointness.
+unsafe impl Sync for SharedBuf {}
+unsafe impl Send for SharedBuf {}
+
+impl SharedBuf {
+    /// Wraps buffer data.
+    pub fn new(data: BufData) -> Self {
+        SharedBuf { data: UnsafeCell::new(data) }
+    }
+
+    /// Element count (safe: the length never changes during a launch).
+    pub fn len(&self) -> usize {
+        unsafe { (*self.data.get()).len() }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element kind.
+    pub fn kind(&self) -> ScalarKind {
+        unsafe { (*self.data.get()).kind() }
+    }
+
+    /// Element bytes.
+    pub fn elem_bytes(&self) -> usize {
+        unsafe { (*self.data.get()).elem_bytes() }
+    }
+
+    /// Reads one element.
+    ///
+    /// # Safety
+    /// No other thread may be writing element `i` concurrently.
+    pub unsafe fn get(&self, i: usize) -> Value {
+        (*self.data.get()).get(i)
+    }
+
+    /// Writes one element.
+    ///
+    /// # Safety
+    /// No other thread may be reading or writing element `i` concurrently.
+    pub unsafe fn set(&self, i: usize, val: Value) {
+        (*self.data.get()).set(i, val)
+    }
+
+    /// Exclusive access (requires `&mut`, hence no concurrent kernels).
+    pub fn data_mut(&mut self) -> &mut BufData {
+        self.data.get_mut()
+    }
+
+    /// Shared snapshot access. Only sound outside a launch.
+    pub(crate) fn data(&self) -> &BufData {
+        unsafe { &*self.data.get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_kinds() {
+        let b = BufData::zeros(ScalarKind::F64, 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.kind(), ScalarKind::F64);
+        assert_eq!(b.elem_bytes(), 8);
+        assert_eq!(b.get(2), Value::F64(0.0));
+    }
+
+    #[test]
+    fn set_casts_to_buffer_kind() {
+        let mut b = BufData::zeros(ScalarKind::I32, 2);
+        b.set(0, Value::F64(3.7));
+        assert_eq!(b.get(0), Value::I32(3));
+        let mut f = BufData::zeros(ScalarKind::F32, 2);
+        f.set(1, Value::F64(0.1));
+        assert_eq!(f.get(1), Value::F32(0.1f64 as f32));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        BufData::zeros(ScalarKind::F32, 2).get(5);
+    }
+
+    #[test]
+    fn shared_buf_single_thread_roundtrip() {
+        let s = SharedBuf::new(BufData::from(vec![1.0f32, 2.0]));
+        unsafe {
+            s.set(0, Value::F32(9.0));
+            assert_eq!(s.get(0), Value::F32(9.0));
+            assert_eq!(s.get(1), Value::F32(2.0));
+        }
+    }
+
+    #[test]
+    fn shared_buf_parallel_disjoint_writes() {
+        use rayon::prelude::*;
+        let s = SharedBuf::new(BufData::zeros(ScalarKind::I32, 1000));
+        (0..1000usize).into_par_iter().for_each(|i| unsafe {
+            s.set(i, Value::I32(i as i32));
+        });
+        let data = s.data();
+        for i in (0..1000).step_by(97) {
+            assert_eq!(data.get(i), Value::I32(i as i32));
+        }
+    }
+}

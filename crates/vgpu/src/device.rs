@@ -1,0 +1,226 @@
+//! The virtual device: buffers + an in-order command queue.
+//!
+//! Mirrors the slice of the OpenCL host API the paper's host primitives
+//! generate calls to: buffer creation, `enqueueWriteBuffer` /
+//! `enqueueReadBuffer`, kernel launch with profiling. Launches run
+//! synchronously (an in-order queue with an implicit `finish` after every
+//! command), which matches how the paper measures kernels via the OpenCL
+//! profiling API.
+
+use crate::buffer::{BufData, SharedBuf};
+use crate::exec::{self, ArgBind, ExecError, ExecMode, LaunchStats, Prepared};
+use crate::perfmodel::{modeled_time_s, ModelInput};
+use crate::profile::DeviceProfile;
+use lift::kast::Kernel;
+use lift::prelude::{ScalarKind, Value};
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(pub usize);
+
+/// A kernel launch argument.
+#[derive(Debug, Clone, Copy)]
+pub enum Arg {
+    /// Device buffer.
+    Buf(BufId),
+    /// Scalar value.
+    Val(Value),
+}
+
+/// Profiling record of one launch (the OpenCL event of the paper's §VI).
+#[derive(Debug, Clone)]
+pub struct KernelEvent {
+    /// Kernel name.
+    pub name: String,
+    /// Raw execution statistics.
+    pub stats: LaunchStats,
+    /// Modeled device time in seconds (only when the launch ran in
+    /// [`ExecMode::Model`]), per this device's profile and the precision of
+    /// the kernel's float traffic.
+    pub modeled_s: Option<f64>,
+}
+
+/// The virtual GPU.
+pub struct Device {
+    profile: DeviceProfile,
+    buffers: Vec<SharedBuf>,
+    race_check: bool,
+    events: Vec<KernelEvent>,
+}
+
+impl Device {
+    /// A device with the given performance profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Device { profile, buffers: Vec::new(), race_check: false, events: Vec::new() }
+    }
+
+    /// A device profiled as the paper's GTX 780 (the platform of Figure 2).
+    pub fn gtx780() -> Self {
+        Self::new(DeviceProfile::gtx780())
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Enables/disables the dynamic write-race detector (see
+    /// [`crate::buffer`]). Expensive; intended for tests.
+    pub fn set_race_check(&mut self, on: bool) {
+        self.race_check = on;
+    }
+
+    /// Creates a zero-filled buffer.
+    pub fn create_buffer(&mut self, kind: ScalarKind, len: usize) -> BufId {
+        self.buffers.push(SharedBuf::new(BufData::zeros(kind, len)));
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// Creates a buffer from host data (`enqueueWriteBuffer` at creation).
+    pub fn upload(&mut self, data: BufData) -> BufId {
+        self.buffers.push(SharedBuf::new(data));
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// Overwrites a buffer from host data.
+    pub fn write(&mut self, id: BufId, data: BufData) {
+        assert_eq!(data.len(), self.buffers[id.0].len(), "buffer size mismatch");
+        *self.buffers[id.0].data_mut() = data;
+    }
+
+    /// Reads a buffer back to the host (`enqueueReadBuffer`).
+    pub fn read(&self, id: BufId) -> BufData {
+        self.buffers[id.0].data().clone()
+    }
+
+    /// Buffer length in elements.
+    pub fn len(&self, id: BufId) -> usize {
+        self.buffers[id.0].len()
+    }
+
+    /// Compiles a kernel for this device.
+    pub fn compile(&self, kernel: &Kernel) -> Result<Prepared, ExecError> {
+        exec::prepare(kernel)
+    }
+
+    /// Launches a prepared kernel and records a profiling event.
+    pub fn launch(
+        &mut self,
+        prep: &Prepared,
+        args: &[Arg],
+        global: &[usize],
+        mode: ExecMode,
+    ) -> Result<LaunchStats, ExecError> {
+        self.launch_wg(prep, args, global, None, mode)
+    }
+
+    /// Launches with an explicit workgroup size — required for kernels that
+    /// use barriers, local memory, or local/group ids.
+    pub fn launch_wg(
+        &mut self,
+        prep: &Prepared,
+        args: &[Arg],
+        global: &[usize],
+        local: Option<usize>,
+        mode: ExecMode,
+    ) -> Result<LaunchStats, ExecError> {
+        let binds: Vec<ArgBind<'_>> = args
+            .iter()
+            .map(|a| match a {
+                Arg::Buf(id) => ArgBind::Buf(&self.buffers[id.0]),
+                Arg::Val(v) => ArgBind::Val(*v),
+            })
+            .collect();
+        let stats = exec::launch_wg(
+            prep,
+            &binds,
+            global,
+            local,
+            mode,
+            self.race_check,
+            self.profile.transaction_bytes,
+        )?;
+        let double = prep
+            .params
+            .iter()
+            .any(|p| p.is_buffer && p.kind == ScalarKind::F64);
+        let modeled_s = stats.transaction_bytes.map(|tb| {
+            modeled_time_s(
+                &ModelInput {
+                    transaction_bytes: tb,
+                    flops: stats.counters.flops,
+                    double_precision: double,
+                },
+                &self.profile,
+            )
+        });
+        self.events.push(KernelEvent { name: prep.name.clone(), stats: stats.clone(), modeled_s });
+        Ok(stats)
+    }
+
+    /// The profiling event log, oldest first.
+    pub fn events(&self) -> &[KernelEvent] {
+        &self.events
+    }
+
+    /// Clears the profiling event log.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift::kast::{KExpr, KStmt, KernelParam, MemRef};
+    use lift::prelude::BinOp;
+
+    fn double_kernel(kind: ScalarKind) -> Kernel {
+        Kernel {
+            name: "dbl".into(),
+            params: vec![
+                KernelParam::global_buf("x", kind),
+                KernelParam::scalar("N", ScalarKind::I32),
+            ],
+            body: vec![
+                KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(0), KExpr::var("N"))),
+                KStmt::Store {
+                    mem: MemRef::Param(0),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)) * KExpr::real(2.0),
+                },
+            ],
+            work_dim: 1,
+        }
+        .resolve_real(if kind == ScalarKind::F64 { ScalarKind::F64 } else { ScalarKind::F32 })
+    }
+
+    #[test]
+    fn buffer_roundtrip_and_launch() {
+        let mut dev = Device::gtx780();
+        let x = dev.upload(BufData::from(vec![1.0f32, 2.0, 3.0]));
+        let prep = dev.compile(&double_kernel(ScalarKind::F32)).unwrap();
+        dev.launch(&prep, &[Arg::Buf(x), Arg::Val(Value::I32(3))], &[32], ExecMode::Fast)
+            .unwrap();
+        assert_eq!(dev.read(x), BufData::from(vec![2.0f32, 4.0, 6.0]));
+        assert_eq!(dev.events().len(), 1);
+        assert!(dev.events()[0].modeled_s.is_none());
+    }
+
+    #[test]
+    fn modeled_launch_records_time() {
+        let mut dev = Device::gtx780();
+        let x = dev.create_buffer(ScalarKind::F64, 1024);
+        let prep = dev.compile(&double_kernel(ScalarKind::F64)).unwrap();
+        dev.launch(
+            &prep,
+            &[Arg::Buf(x), Arg::Val(Value::I32(1024))],
+            &[1024],
+            ExecMode::Model { sample_stride: 1 },
+        )
+        .unwrap();
+        let ev = &dev.events()[0];
+        assert!(ev.modeled_s.unwrap() > 0.0);
+        assert!(ev.stats.transaction_bytes.unwrap() >= 1024 * 8 * 2);
+    }
+}

@@ -1,0 +1,1355 @@
+//! Kernel preparation and the parallel NDRange interpreter.
+//!
+//! [`prepare`] resolves a kernel AST's variable names to dense slots and
+//! literals to runtime values, producing a [`Prepared`] kernel that the
+//! interpreter executes one work-item at a time, parallelised over warps
+//! with rayon (the guides' canonical data-parallel substrate).
+//!
+//! The interpreter doubles as the measurement apparatus of the evaluation:
+//!
+//! * **Counters** — every global load/store and floating-point operation is
+//!   counted (the paper quotes "45 memory accesses and 98 flops per update"
+//!   for FD-MM; we measure the same quantities).
+//! * **Memory-transaction model** — in [`ExecMode::Model`] the interpreter
+//!   groups work-items into 32-wide warps and counts distinct 128-byte
+//!   segments touched per load/store site per warp, i.e. the coalescing rule
+//!   of the GPUs in Table III. Scattered boundary gathers therefore cost
+//!   more transactions than streaming volume reads — reproducing the paper's
+//!   box-vs-dome and room-size effects from first principles.
+//! * **Race detection** — optionally records write sets per work-item and
+//!   fails if two work-items wrote the same element, validating the safety
+//!   contract of the in-place primitives.
+
+use crate::buffer::SharedBuf;
+use lift::kast::{KExpr, KStmt, Kernel, KernelParam, MemRef, MemSpace};
+use lift::prelude::{BinOp, Intrinsic, ScalarKind, UnOp, Value};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Warp width used by the transaction model (all Table III GPUs execute
+/// 32-wide warps or 64-wide wavefronts; 32 is the finer, NVIDIA-accurate
+/// granularity).
+pub const WARP: usize = 32;
+
+/// Execution error.
+#[derive(Debug, Clone)]
+pub struct ExecError(pub String);
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vgpu execution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ExecError> {
+    Err(ExecError(msg.into()))
+}
+
+/// Prepared memory reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PMem {
+    /// Kernel buffer parameter (index into the launch's buffer bindings).
+    Param(usize),
+    /// Private array (index into per-work-item private storage).
+    Priv(usize),
+    /// Workgroup-shared local array (index into per-group storage).
+    Local(usize),
+}
+
+/// Prepared expression.
+#[derive(Debug, Clone)]
+pub enum PExpr {
+    /// Resolved literal.
+    Lit(Value),
+    /// Scalar slot.
+    Var(usize),
+    /// `get_global_id(d)`.
+    GlobalId(u8),
+    /// `get_global_size(d)`.
+    GlobalSize(u8),
+    /// `get_local_id(d)`.
+    LocalId(u8),
+    /// `get_local_size(d)`.
+    LocalSize(u8),
+    /// `get_group_id(d)`.
+    GroupId(u8),
+    /// Indexed load; `site` identifies the static instruction for the
+    /// transaction model, `space` drives the counters.
+    Load {
+        /// Memory operand.
+        mem: PMem,
+        /// Index expression.
+        idx: Box<PExpr>,
+        /// Static site id.
+        site: u32,
+        /// Address space of the operand.
+        space: MemSpace,
+    },
+    /// Binary operation.
+    Bin(BinOp, Box<PExpr>, Box<PExpr>),
+    /// Unary operation.
+    Un(UnOp, Box<PExpr>),
+    /// Lazy ternary.
+    Select(Box<PExpr>, Box<PExpr>, Box<PExpr>),
+    /// Intrinsic call.
+    Call(Intrinsic, Vec<PExpr>),
+    /// Cast.
+    Cast(ScalarKind, Box<PExpr>),
+}
+
+/// Prepared statement.
+#[derive(Debug, Clone)]
+pub enum PStmt {
+    /// Scalar declaration/initialisation.
+    DeclScalar {
+        /// Slot.
+        slot: usize,
+        /// Declared kind (assignments cast to it).
+        kind: ScalarKind,
+        /// Optional initialiser.
+        init: Option<PExpr>,
+    },
+    /// Private array declaration.
+    DeclPriv {
+        /// Private array index.
+        arr: usize,
+        /// Element kind.
+        kind: ScalarKind,
+        /// Length expression.
+        len: PExpr,
+    },
+    /// Scalar assignment.
+    Assign {
+        /// Slot.
+        slot: usize,
+        /// Declared kind.
+        kind: ScalarKind,
+        /// Value.
+        value: PExpr,
+    },
+    /// Indexed store.
+    Store {
+        /// Memory operand.
+        mem: PMem,
+        /// Index.
+        idx: PExpr,
+        /// Value.
+        value: PExpr,
+        /// Static site id.
+        site: u32,
+        /// Address space.
+        space: MemSpace,
+    },
+    /// Counted loop.
+    For {
+        /// Loop-variable slot.
+        slot: usize,
+        /// Start.
+        begin: PExpr,
+        /// Exclusive end.
+        end: PExpr,
+        /// Step.
+        step: PExpr,
+        /// Body.
+        body: Vec<PStmt>,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: PExpr,
+        /// Then branch.
+        then_: Vec<PStmt>,
+        /// Else branch.
+        else_: Vec<PStmt>,
+    },
+    /// Local (workgroup-shared) array declaration; allocated once per
+    /// group, a no-op for subsequent work-items.
+    DeclLocal {
+        /// Local array index.
+        arr: usize,
+        /// Element kind.
+        kind: ScalarKind,
+        /// Length expression (uniform across the group).
+        len: PExpr,
+    },
+    /// Group synchronisation point (top level only; splits phases).
+    Barrier,
+    /// Work-item early exit.
+    Return,
+}
+
+/// A kernel ready for execution.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Kernel name.
+    pub name: String,
+    /// Parameter declarations (buffer/scalar, spaces, kinds).
+    pub params: Vec<KernelParam>,
+    /// Body.
+    pub body: Vec<PStmt>,
+    /// Number of scalar slots.
+    pub nslots: usize,
+    /// Number of private arrays.
+    pub npriv: usize,
+    /// NDRange dimensionality.
+    pub work_dim: u8,
+    /// Slot assigned to each scalar parameter (parallel to `params`,
+    /// `None` for buffers).
+    pub scalar_slots: Vec<Option<usize>>,
+    /// Element kind of each private array.
+    pub priv_kinds: Vec<ScalarKind>,
+    /// Element kind of each workgroup-local array.
+    pub local_kinds: Vec<ScalarKind>,
+    /// True when the kernel uses barriers, local memory, or local/group
+    /// ids — launching then requires an explicit workgroup size.
+    pub uses_groups: bool,
+    /// Body split at top-level barriers (one entry when barrier-free).
+    pub phases: Vec<Vec<PStmt>>,
+}
+
+struct PrepCtx {
+    slots: HashMap<String, usize>,
+    privs: HashMap<String, usize>,
+    priv_kinds: Vec<ScalarKind>,
+    locals: HashMap<String, usize>,
+    local_kinds: Vec<ScalarKind>,
+    uses_groups: bool,
+    sites: u32,
+}
+
+impl PrepCtx {
+    fn slot(&mut self, name: &str) -> usize {
+        let next = self.slots.len();
+        *self.slots.entry(name.to_string()).or_insert(next)
+    }
+
+    fn site(&mut self) -> u32 {
+        let s = self.sites;
+        self.sites += 1;
+        s
+    }
+}
+
+/// Prepares a kernel for execution. The kernel must have its `Real` scalars
+/// resolved.
+pub fn prepare(kernel: &Kernel) -> Result<Prepared, ExecError> {
+    let mut ctx = PrepCtx {
+        slots: HashMap::new(),
+        privs: HashMap::new(),
+        priv_kinds: Vec::new(),
+        locals: HashMap::new(),
+        local_kinds: Vec::new(),
+        uses_groups: false,
+        sites: 0,
+    };
+    let mut scalar_slots = Vec::with_capacity(kernel.params.len());
+    for p in &kernel.params {
+        if p.kind == ScalarKind::Real {
+            return err(format!(
+                "kernel `{}` parameter `{}` has unresolved Real precision",
+                kernel.name, p.name
+            ));
+        }
+        if p.is_buffer {
+            scalar_slots.push(None);
+        } else {
+            scalar_slots.push(Some(ctx.slot(&p.name)));
+        }
+    }
+    let body = prep_stmts(&kernel.body, kernel, &mut ctx)?;
+    // split at top-level barriers
+    let mut phases: Vec<Vec<PStmt>> = vec![Vec::new()];
+    for st in &body {
+        if matches!(st, PStmt::Barrier) {
+            phases.push(Vec::new());
+        } else {
+            phases.last_mut().unwrap().push(st.clone());
+        }
+    }
+    Ok(Prepared {
+        name: kernel.name.clone(),
+        params: kernel.params.clone(),
+        body,
+        nslots: ctx.slots.len(),
+        npriv: ctx.priv_kinds.len(),
+        work_dim: kernel.work_dim,
+        scalar_slots,
+        priv_kinds: ctx.priv_kinds,
+        local_kinds: ctx.local_kinds,
+        uses_groups: ctx.uses_groups,
+        phases,
+    })
+}
+
+fn prep_stmts(stmts: &[KStmt], k: &Kernel, ctx: &mut PrepCtx) -> Result<Vec<PStmt>, ExecError> {
+    stmts.iter().map(|s| prep_stmt(s, k, ctx, false)).collect()
+}
+
+fn prep_stmts_nested(
+    stmts: &[KStmt],
+    k: &Kernel,
+    ctx: &mut PrepCtx,
+) -> Result<Vec<PStmt>, ExecError> {
+    stmts.iter().map(|s| prep_stmt(s, k, ctx, true)).collect()
+}
+
+fn scalar_kind_of_var(_name: &str) -> ScalarKind {
+    ScalarKind::I32 // only used for loop variables
+}
+
+fn prep_stmt(s: &KStmt, k: &Kernel, ctx: &mut PrepCtx, nested: bool) -> Result<PStmt, ExecError> {
+    Ok(match s {
+        KStmt::DeclScalar { name, kind, init } => {
+            let init = match init {
+                Some(e) => Some(prep_expr(e, k, ctx)?),
+                None => None,
+            };
+            let slot = ctx.slot(name);
+            PStmt::DeclScalar { slot, kind: *kind, init }
+        }
+        KStmt::DeclPrivArray { name, kind, len } => {
+            let len = prep_expr(len, k, ctx)?;
+            let arr = ctx.priv_kinds.len();
+            ctx.privs.insert(name.clone(), arr);
+            ctx.priv_kinds.push(*kind);
+            PStmt::DeclPriv { arr, kind: *kind, len }
+        }
+        KStmt::DeclLocalArray { name, kind, len } => {
+            let len = prep_expr(len, k, ctx)?;
+            let arr = ctx.local_kinds.len();
+            ctx.locals.insert(name.clone(), arr);
+            ctx.local_kinds.push(*kind);
+            ctx.uses_groups = true;
+            PStmt::DeclLocal { arr, kind: *kind, len }
+        }
+        KStmt::Barrier => {
+            if nested {
+                return err(
+                    "barrier inside a loop or branch is not supported by this device \
+                     (kernels generated here only place barriers at the top level)",
+                );
+            }
+            ctx.uses_groups = true;
+            PStmt::Barrier
+        }
+        KStmt::Assign { name, value } => {
+            let value = prep_expr(value, k, ctx)?;
+            if !ctx.slots.contains_key(name) {
+                return err(format!("assignment to undeclared variable `{name}`"));
+            }
+            PStmt::Assign { slot: ctx.slot(name), kind: ScalarKind::Bool, value }
+        }
+        KStmt::Store { mem, idx, value } => {
+            let (pm, space) = prep_mem(mem, k, ctx)?;
+            PStmt::Store {
+                mem: pm,
+                idx: prep_expr(idx, k, ctx)?,
+                value: prep_expr(value, k, ctx)?,
+                site: ctx.site(),
+                space,
+            }
+        }
+        KStmt::For { var, begin, end, step, body } => {
+            let begin = prep_expr(begin, k, ctx)?;
+            let end = prep_expr(end, k, ctx)?;
+            let step = prep_expr(step, k, ctx)?;
+            let slot = ctx.slot(var);
+            let _ = scalar_kind_of_var(var);
+            let body = prep_stmts_nested(body, k, ctx)?;
+            PStmt::For { slot, begin, end, step, body }
+        }
+        KStmt::If { cond, then_, else_ } => PStmt::If {
+            cond: prep_expr(cond, k, ctx)?,
+            then_: prep_stmts_nested(then_, k, ctx)?,
+            else_: prep_stmts_nested(else_, k, ctx)?,
+        },
+        KStmt::Return => PStmt::Return,
+        KStmt::Comment(_) => PStmt::If { cond: PExpr::Lit(Value::Bool(false)), then_: vec![], else_: vec![] },
+    })
+}
+
+fn prep_mem(m: &MemRef, k: &Kernel, ctx: &mut PrepCtx) -> Result<(PMem, MemSpace), ExecError> {
+    match m {
+        MemRef::Param(i) => {
+            let p = k
+                .params
+                .get(*i)
+                .ok_or_else(|| ExecError(format!("parameter index {i} out of range")))?;
+            if !p.is_buffer {
+                return err(format!("memory access through scalar parameter `{}`", p.name));
+            }
+            Ok((PMem::Param(*i), p.space))
+        }
+        MemRef::Priv(name) => {
+            let arr = ctx
+                .privs
+                .get(name)
+                .copied()
+                .ok_or_else(|| ExecError(format!("unknown private array `{name}`")))?;
+            Ok((PMem::Priv(arr), MemSpace::Private))
+        }
+        MemRef::Local(name) => {
+            let arr = ctx
+                .locals
+                .get(name)
+                .copied()
+                .ok_or_else(|| ExecError(format!("unknown local array `{name}`")))?;
+            ctx.uses_groups = true;
+            Ok((PMem::Local(arr), MemSpace::Private))
+        }
+    }
+}
+
+fn prep_expr(e: &KExpr, k: &Kernel, ctx: &mut PrepCtx) -> Result<PExpr, ExecError> {
+    Ok(match e {
+        KExpr::Lit(l) => {
+            if l.kind == ScalarKind::Real {
+                return err("unresolved Real literal".to_string());
+            }
+            PExpr::Lit(l.to_value(ScalarKind::F64))
+        }
+        KExpr::Var(n) => {
+            if !ctx.slots.contains_key(n.as_str()) {
+                return err(format!("use of unbound variable `{n}` (not a declared scalar, parameter or loop variable)"));
+            }
+            PExpr::Var(ctx.slot(n))
+        }
+        KExpr::GlobalId(d) => PExpr::GlobalId(*d),
+        KExpr::GlobalSize(d) => PExpr::GlobalSize(*d),
+        KExpr::LocalId(d) => {
+            ctx.uses_groups = true;
+            PExpr::LocalId(*d)
+        }
+        KExpr::LocalSize(d) => {
+            ctx.uses_groups = true;
+            PExpr::LocalSize(*d)
+        }
+        KExpr::GroupId(d) => {
+            ctx.uses_groups = true;
+            PExpr::GroupId(*d)
+        }
+        KExpr::Load { mem, idx } => {
+            let (pm, space) = prep_mem(mem, k, ctx)?;
+            PExpr::Load { mem: pm, idx: Box::new(prep_expr(idx, k, ctx)?), site: ctx.site(), space }
+        }
+        KExpr::Bin(op, a, b) => PExpr::Bin(
+            *op,
+            Box::new(prep_expr(a, k, ctx)?),
+            Box::new(prep_expr(b, k, ctx)?),
+        ),
+        KExpr::Un(op, a) => PExpr::Un(*op, Box::new(prep_expr(a, k, ctx)?)),
+        KExpr::Select(c, t, f) => PExpr::Select(
+            Box::new(prep_expr(c, k, ctx)?),
+            Box::new(prep_expr(t, k, ctx)?),
+            Box::new(prep_expr(f, k, ctx)?),
+        ),
+        KExpr::Call(i, args) => {
+            let args: Result<Vec<PExpr>, ExecError> =
+                args.iter().map(|a| prep_expr(a, k, ctx)).collect();
+            PExpr::Call(*i, args?)
+        }
+        KExpr::Cast(kind, a) => PExpr::Cast(*kind, Box::new(prep_expr(a, k, ctx)?)),
+    })
+}
+
+/// Per-launch performance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct Counters {
+    /// Global-memory loads executed.
+    pub loads_global: u64,
+    /// Global-memory stores executed.
+    pub stores_global: u64,
+    /// `__constant`-space loads (modeled as cached/broadcast, no DRAM
+    /// traffic).
+    pub loads_constant: u64,
+    /// Bytes read from global memory (request size, before coalescing).
+    pub bytes_loaded: u64,
+    /// Bytes written to global memory.
+    pub bytes_stored: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Work-items executed.
+    pub work_items: u64,
+}
+
+impl Counters {
+    fn add(&mut self, o: &Counters) {
+        self.loads_global += o.loads_global;
+        self.stores_global += o.stores_global;
+        self.loads_constant += o.loads_constant;
+        self.bytes_loaded += o.bytes_loaded;
+        self.bytes_stored += o.bytes_stored;
+        self.flops += o.flops;
+        self.work_items += o.work_items;
+    }
+
+    /// Scales all counts (used when the model samples a subset of warps).
+    pub fn scaled(&self, f: f64) -> Counters {
+        let s = |x: u64| (x as f64 * f).round() as u64;
+        Counters {
+            loads_global: s(self.loads_global),
+            stores_global: s(self.stores_global),
+            loads_constant: s(self.loads_constant),
+            bytes_loaded: s(self.bytes_loaded),
+            bytes_stored: s(self.bytes_stored),
+            flops: s(self.flops),
+            work_items: s(self.work_items),
+        }
+    }
+}
+
+/// How a launch executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// Run every work-item; count operations but no transaction model.
+    Fast,
+    /// Warp-accurate transaction counting. `sample_stride` > 1 executes only
+    /// every k-th warp and scales the counts (valid for translation-
+    /// invariant kernels such as stencils; boundary kernels use stride 1).
+    Model {
+        /// Execute every k-th warp.
+        sample_stride: usize,
+    },
+}
+
+/// Result of a launch.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// Operation counters (scaled to the full NDRange when sampled).
+    pub counters: Counters,
+    /// DRAM bytes actually moved per the 128-byte transaction model; `None`
+    /// in [`ExecMode::Fast`].
+    pub transaction_bytes: Option<u64>,
+    /// Wall-clock execution time of the interpreter (host-side).
+    pub wall: std::time::Duration,
+    /// Total work-items in the NDRange.
+    pub global_work_items: u64,
+}
+
+/// One buffer binding or scalar argument.
+pub enum ArgBind<'a> {
+    /// A device buffer.
+    Buf(&'a SharedBuf),
+    /// A scalar value.
+    Val(Value),
+}
+
+struct ItemState {
+    slots: Vec<Value>,
+    privs: Vec<Vec<Value>>,
+    counters: Counters,
+    trace: Vec<(u32, u32, u64)>, // (site, occurrence, byte address) — loads+stores
+    writes: Vec<(u32, u64, u64)>, // (param index, element index, work-item) for race check
+    trace_on: bool,
+    race_on: bool,
+    item: u64,
+}
+
+/// Per-item execution coordinates.
+#[derive(Clone, Copy)]
+struct ItemCtx {
+    gid: [usize; 3],
+    lid: usize,
+    group: usize,
+    lsize: usize,
+}
+
+enum Flow {
+    Next,
+    Return,
+}
+
+struct Exec<'a> {
+    prep: &'a Prepared,
+    bufs: Vec<Option<&'a SharedBuf>>,
+    gsize: [usize; 3],
+}
+
+impl<'a> Exec<'a> {
+    fn eval(&self, e: &PExpr, st: &mut ItemState, locals: &mut Vec<Vec<Value>>, ic: ItemCtx) -> Value {
+        match e {
+            PExpr::Lit(v) => *v,
+            PExpr::Var(s) => st.slots[*s],
+            PExpr::GlobalId(d) => Value::I32(ic.gid[*d as usize] as i32),
+            PExpr::GlobalSize(d) => Value::I32(self.gsize[*d as usize] as i32),
+            PExpr::LocalId(d) => Value::I32(if *d == 0 { ic.lid as i32 } else { 0 }),
+            PExpr::LocalSize(d) => Value::I32(if *d == 0 { ic.lsize as i32 } else { 1 }),
+            PExpr::GroupId(d) => Value::I32(if *d == 0 { ic.group as i32 } else { 0 }),
+            PExpr::Load { mem, idx, site, space } => {
+                let i = self.eval(idx, st, locals, ic).as_i64();
+                match mem {
+                    PMem::Param(p) => {
+                        let buf = self.bufs[*p].expect("buffer bound");
+                        debug_assert!(i >= 0 && (i as usize) < buf.len(),
+                            "load out of bounds: {}[{i}] (len {})", self.prep.params[*p].name, buf.len());
+                        let eb = buf.elem_bytes() as u64;
+                        match space {
+                            MemSpace::Constant => st.counters.loads_constant += 1,
+                            _ => {
+                                st.counters.loads_global += 1;
+                                st.counters.bytes_loaded += eb;
+                                if st.trace_on {
+                                    st.trace.push((*site, 0, (*p as u64) << 40 | (i as u64) * eb));
+                                }
+                            }
+                        }
+                        // SAFETY: launch contract — no concurrent writer of
+                        // this element.
+                        unsafe { buf.get(i as usize) }
+                    }
+                    PMem::Priv(a) => st.privs[*a][i as usize],
+                    PMem::Local(a) => locals[*a][i as usize],
+                }
+            }
+            PExpr::Bin(op, a, b) => {
+                let va = self.eval(a, st, locals, ic);
+                let vb = self.eval(b, st, locals, ic);
+                if op.is_flop() && (va.kind().is_float() || vb.kind().is_float()) {
+                    st.counters.flops += 1;
+                }
+                lift::scalar::eval_bin(*op, va, vb)
+            }
+            PExpr::Un(op, a) => {
+                let v = self.eval(a, st, locals, ic);
+                match op {
+                    UnOp::Neg => match v {
+                        Value::F32(x) => Value::F32(-x),
+                        Value::F64(x) => Value::F64(-x),
+                        Value::I32(x) => Value::I32(-x),
+                        Value::Bool(b) => Value::I32(-(b as i32)),
+                    },
+                    UnOp::Not => Value::Bool(!v.truthy()),
+                }
+            }
+            PExpr::Select(c, t, f) => {
+                if self.eval(c, st, locals, ic).truthy() {
+                    self.eval(t, st, locals, ic)
+                } else {
+                    self.eval(f, st, locals, ic)
+                }
+            }
+            PExpr::Call(intr, args) => {
+                let vals: Vec<Value> =
+                    args.iter().map(|a| self.eval(a, st, locals, ic)).collect();
+                st.counters.flops += match intr {
+                    Intrinsic::Sqrt | Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos => 4,
+                    Intrinsic::Fma => 2,
+                    Intrinsic::Min | Intrinsic::Max => {
+                        if vals[0].kind().is_float() { 1 } else { 0 }
+                    }
+                    Intrinsic::Fabs => 0,
+                };
+                call_intrinsic(*intr, &vals)
+            }
+            PExpr::Cast(kind, a) => self.eval(a, st, locals, ic).cast(*kind),
+        }
+    }
+
+    fn exec_block(&self, stmts: &[PStmt], st: &mut ItemState, locals: &mut Vec<Vec<Value>>, ic: ItemCtx) -> Flow {
+        for s in stmts {
+            match s {
+                PStmt::DeclScalar { slot, kind, init } => {
+                    let v = match init {
+                        Some(e) => self.eval(e, st, locals, ic).cast(*kind),
+                        None => Value::zero(*kind),
+                    };
+                    st.slots[*slot] = v;
+                }
+                PStmt::DeclPriv { arr, kind, len } => {
+                    let n = self.eval(len, st, locals, ic).as_i64() as usize;
+                    st.privs[*arr].clear();
+                    st.privs[*arr].resize(n, Value::zero(*kind));
+                }
+                PStmt::DeclLocal { arr, kind, len } => {
+                    // allocated once per group (first item to execute it)
+                    let n = self.eval(len, st, locals, ic).as_i64() as usize;
+                    if locals[*arr].len() != n {
+                        locals[*arr].clear();
+                        locals[*arr].resize(n, Value::zero(*kind));
+                    }
+                }
+                PStmt::Barrier => {
+                    unreachable!("barriers are phase boundaries, never executed directly")
+                }
+                PStmt::Assign { slot, value, .. } => {
+                    let kind = st.slots[*slot].kind();
+                    let v = self.eval(value, st, locals, ic).cast(kind);
+                    st.slots[*slot] = v;
+                }
+                PStmt::Store { mem, idx, value, site, space } => {
+                    let i = self.eval(idx, st, locals, ic).as_i64();
+                    let v = self.eval(value, st, locals, ic);
+                    match mem {
+                        PMem::Param(p) => {
+                            let buf = self.bufs[*p].expect("buffer bound");
+                            debug_assert!(i >= 0 && (i as usize) < buf.len(),
+                                "store out of bounds: {}[{i}] (len {})", self.prep.params[*p].name, buf.len());
+                            let eb = buf.elem_bytes() as u64;
+                            if !matches!(space, MemSpace::Private) {
+                                st.counters.stores_global += 1;
+                                st.counters.bytes_stored += eb;
+                                if st.trace_on {
+                                    st.trace.push((*site, 0, (*p as u64) << 40 | (i as u64) * eb));
+                                }
+                                if st.race_on {
+                                    st.writes.push((*p as u32, i as u64, st.item));
+                                }
+                            }
+                            // SAFETY: launch contract — element disjointness
+                            // across work-items (verified by race-check mode).
+                            unsafe { buf.set(i as usize, v) };
+                        }
+                        PMem::Priv(a) => {
+                            let kind = self.prep.priv_kinds[*a];
+                            st.privs[*a][i as usize] = v.cast(kind);
+                        }
+                        PMem::Local(a) => {
+                            let kind = self.prep.local_kinds[*a];
+                            locals[*a][i as usize] = v.cast(kind);
+                        }
+                    }
+                }
+                PStmt::For { slot, begin, end, step, body } => {
+                    let b = self.eval(begin, st, locals, ic).as_i64();
+                    let e = self.eval(end, st, locals, ic).as_i64();
+                    let stp = self.eval(step, st, locals, ic).as_i64().max(1);
+                    let mut i = b;
+                    while i < e {
+                        st.slots[*slot] = Value::I32(i as i32);
+                        if let Flow::Return = self.exec_block(body, st, locals, ic) {
+                            return Flow::Return;
+                        }
+                        i += stp;
+                    }
+                }
+                PStmt::If { cond, then_, else_ } => {
+                    let flow = if self.eval(cond, st, locals, ic).truthy() {
+                        self.exec_block(then_, st, locals, ic)
+                    } else {
+                        self.exec_block(else_, st, locals, ic)
+                    };
+                    if let Flow::Return = flow {
+                        return Flow::Return;
+                    }
+                }
+                PStmt::Return => return Flow::Return,
+            }
+        }
+        Flow::Next
+    }
+
+    fn run_item(&self, linear: u64, st: &mut ItemState, locals: &mut Vec<Vec<Value>>) {
+        let gx = self.gsize[0] as u64;
+        let gy = self.gsize[1] as u64;
+        let gid = [
+            (linear % gx) as usize,
+            ((linear / gx) % gy) as usize,
+            (linear / (gx * gy)) as usize,
+        ];
+        let ic = ItemCtx { gid, lid: 0, group: (linear / WARP as u64) as usize, lsize: 1 };
+        st.item = linear;
+        st.counters.work_items += 1;
+        let _ = self.exec_block(&self.prep.body, st, locals, ic);
+    }
+}
+
+fn call_intrinsic(i: Intrinsic, vals: &[Value]) -> Value {
+    lift::scalar::eval_intrinsic(i, vals)
+}
+
+/// Counts distinct transaction segments per (site, occurrence) across one
+/// warp's traces and returns total DRAM bytes moved.
+fn warp_transaction_bytes(
+    traces: &mut [Vec<(u32, u32, u64)>],
+    txn: u64,
+) -> u64 {
+    // Assign occurrence numbers per site within each item, then group.
+    let mut groups: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+    for t in traces.iter_mut() {
+        let mut occ: HashMap<u32, u32> = HashMap::new();
+        for (site, o, addr) in t.iter_mut() {
+            let e = occ.entry(*site).or_insert(0);
+            *o = *e;
+            *e += 1;
+            groups.entry((*site, *o)).or_default().push(*addr);
+        }
+    }
+    let mut bytes = 0u64;
+    let mut segs: Vec<u64> = Vec::with_capacity(WARP);
+    for (_, addrs) in groups {
+        segs.clear();
+        segs.extend(addrs.iter().map(|a| a / txn));
+        segs.sort_unstable();
+        segs.dedup();
+        bytes += segs.len() as u64 * txn;
+    }
+    bytes
+}
+
+/// Executes a prepared kernel over the given NDRange.
+///
+/// `bindings` must match `prep.params` in order: buffers for buffer
+/// parameters, values for scalars. `race_check` additionally verifies write
+/// disjointness across work-items.
+pub fn launch(
+    prep: &Prepared,
+    bindings: &[ArgBind<'_>],
+    global: &[usize],
+    mode: ExecMode,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    launch_wg(prep, bindings, global, None, mode, race_check, transaction_size)
+}
+
+/// Executes a prepared kernel with an explicit workgroup size. Kernels that
+/// use barriers, local memory or local/group ids *require* `local`; the
+/// global size must be a multiple of it. Barrier-free kernels ignore it.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_wg(
+    prep: &Prepared,
+    bindings: &[ArgBind<'_>],
+    global: &[usize],
+    local: Option<usize>,
+    mode: ExecMode,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    if bindings.len() != prep.params.len() {
+        return err(format!(
+            "kernel `{}` expects {} arguments, got {}",
+            prep.name,
+            prep.params.len(),
+            bindings.len()
+        ));
+    }
+    let mut bufs: Vec<Option<&SharedBuf>> = Vec::with_capacity(bindings.len());
+    let mut init_slots: Vec<(usize, Value)> = Vec::new();
+    for (i, (b, p)) in bindings.iter().zip(&prep.params).enumerate() {
+        match (b, p.is_buffer) {
+            (ArgBind::Buf(buf), true) => bufs.push(Some(buf)),
+            (ArgBind::Val(v), false) => {
+                bufs.push(None);
+                let slot = prep.scalar_slots[i].expect("scalar param has a slot");
+                init_slots.push((slot, v.cast(p.kind)));
+            }
+            _ => {
+                return err(format!(
+                    "argument {i} of kernel `{}` does not match parameter `{}`",
+                    prep.name, p.name
+                ))
+            }
+        }
+    }
+    let mut gsize = [1usize; 3];
+    for (d, g) in global.iter().enumerate() {
+        gsize[d] = *g;
+    }
+    let total: u64 = (gsize[0] as u64) * (gsize[1] as u64) * (gsize[2] as u64);
+    let exec = Exec { prep, bufs, gsize };
+
+    let trace_on = matches!(mode, ExecMode::Model { .. });
+    let stride = match mode {
+        ExecMode::Fast => 1usize,
+        ExecMode::Model { sample_stride } => sample_stride.max(1),
+    };
+
+    if prep.uses_groups {
+        let lsize = match local {
+            Some(l) if l > 0 => l,
+            _ => {
+                return err(format!(
+                    "kernel `{}` uses workgroup features; launch it with an explicit local size",
+                    prep.name
+                ))
+            }
+        };
+        if prep.work_dim != 1 || gsize[1] != 1 || gsize[2] != 1 {
+            return err("workgroup kernels are supported for 1-D NDRanges only");
+        }
+        if total % lsize as u64 != 0 {
+            return err(format!(
+                "global size {total} is not a multiple of the workgroup size {lsize}"
+            ));
+        }
+        return run_grouped(
+            &exec, prep, &init_slots, total, lsize, stride, trace_on, race_check, transaction_size,
+        );
+    }
+
+    let warps_total = total.div_ceil(WARP as u64);
+    let warp_ids: Vec<u64> = (0..warps_total).step_by(stride).collect();
+
+    let start = std::time::Instant::now();
+    let results: Vec<(Counters, u64, Vec<(u32, u64, u64)>)> = warp_ids
+        .par_iter()
+        .map(|&w| {
+            let mut st = ItemState {
+                slots: vec![Value::I32(0); prep.nslots],
+                privs: vec![Vec::new(); prep.npriv],
+                counters: Counters::default(),
+                trace: Vec::new(),
+                writes: Vec::new(),
+                trace_on,
+                race_on: race_check,
+                item: 0,
+            };
+            for (slot, v) in &init_slots {
+                st.slots[*slot] = *v;
+            }
+            let begin = w * WARP as u64;
+            let end = (begin + WARP as u64).min(total);
+            let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
+            let mut writes: Vec<(u32, u64, u64)> = Vec::new();
+            for item in begin..end {
+                for (slot, v) in &init_slots {
+                    st.slots[*slot] = *v;
+                }
+                st.trace.clear();
+                let mut no_locals: Vec<Vec<Value>> = Vec::new();
+                exec.run_item(item, &mut st, &mut no_locals);
+                if trace_on {
+                    warp_traces.push(std::mem::take(&mut st.trace));
+                }
+                if race_check {
+                    writes.append(&mut st.writes);
+                }
+            }
+            let tbytes = if trace_on {
+                warp_transaction_bytes(&mut warp_traces, transaction_size)
+            } else {
+                0
+            };
+            (st.counters, tbytes, writes)
+        })
+        .collect();
+    let wall = start.elapsed();
+
+    let mut counters = Counters::default();
+    let mut tbytes = 0u64;
+    let mut all_writes: Vec<(u32, u64, u64)> = Vec::new();
+    for (c, t, mut w) in results {
+        counters.add(&c);
+        tbytes += t;
+        all_writes.append(&mut w);
+    }
+    if race_check {
+        // A work-item may rewrite its own element; two *different* items
+        // writing the same element is a data race under the launch contract.
+        all_writes.sort_unstable();
+        let mut races = 0u64;
+        let mut first: Option<(u32, u64)> = None;
+        for w in all_writes.windows(2) {
+            let (b0, e0, i0) = w[0];
+            let (b1, e1, i1) = w[1];
+            if b0 == b1 && e0 == e1 && i0 != i1 {
+                races += 1;
+                if first.is_none() {
+                    first = Some((b0, e0));
+                }
+            }
+        }
+        if let Some((b, e)) = first {
+            return err(format!(
+                "race check failed for kernel `{}`: {races} conflicting write pair(s), first: buffer {b} element {e}",
+                prep.name
+            ));
+        }
+    }
+    let scale = if stride > 1 {
+        warps_total as f64 / warp_ids.len() as f64
+    } else {
+        1.0
+    };
+    Ok(LaunchStats {
+        counters: counters.scaled(scale),
+        transaction_bytes: trace_on.then(|| (tbytes as f64 * scale).round() as u64),
+        wall,
+        global_work_items: total,
+    })
+}
+
+/// Group-mode execution: groups run independently (parallel via rayon);
+/// within one group, work-items execute each barrier-delimited phase in
+/// turn, sharing local memory. This is the standard sequential-consistency
+/// model for barrier-synchronised OpenCL kernels.
+#[allow(clippy::too_many_arguments)]
+fn run_grouped(
+    exec: &Exec<'_>,
+    prep: &Prepared,
+    init_slots: &[(usize, Value)],
+    total: u64,
+    lsize: usize,
+    stride: usize,
+    trace_on: bool,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    let groups_total = (total / lsize as u64) as usize;
+    let group_ids: Vec<usize> = (0..groups_total).step_by(stride).collect();
+    let start = std::time::Instant::now();
+    let results: Vec<(Counters, u64, Vec<(u32, u64, u64)>)> = group_ids
+        .par_iter()
+        .map(|&g| {
+            let mut locals: Vec<Vec<Value>> = vec![Vec::new(); prep.local_kinds.len()];
+            let mut states: Vec<ItemState> = (0..lsize)
+                .map(|lid| {
+                    let mut st = ItemState {
+                        slots: vec![Value::I32(0); prep.nslots],
+                        privs: vec![Vec::new(); prep.npriv],
+                        counters: Counters::default(),
+                        trace: Vec::new(),
+                        writes: Vec::new(),
+                        trace_on,
+                        race_on: race_check,
+                        item: (g * lsize + lid) as u64,
+                    };
+                    for (slot, v) in init_slots {
+                        st.slots[*slot] = *v;
+                    }
+                    st
+                })
+                .collect();
+            let mut active = vec![true; lsize];
+            for phase in &prep.phases {
+                for lid in 0..lsize {
+                    if !active[lid] {
+                        continue;
+                    }
+                    let linear = (g * lsize + lid) as u64;
+                    let ic = ItemCtx {
+                        gid: [linear as usize, 0, 0],
+                        lid,
+                        group: g,
+                        lsize,
+                    };
+                    states[lid].counters.work_items += 1;
+                    if let Flow::Return =
+                        exec.exec_block(phase, &mut states[lid], &mut locals, ic)
+                    {
+                        active[lid] = false;
+                    }
+                }
+            }
+            // aggregate group results; warp-granular transaction counting
+            let mut counters = Counters::default();
+            let mut writes = Vec::new();
+            let mut tbytes = 0u64;
+            let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
+            for (lid, st) in states.iter_mut().enumerate() {
+                // work_items was incremented once per phase; normalise
+                st.counters.work_items = 1;
+                counters.add(&st.counters);
+                writes.append(&mut st.writes);
+                if trace_on {
+                    warp_traces.push(std::mem::take(&mut st.trace));
+                    if warp_traces.len() == WARP || lid == lsize - 1 {
+                        tbytes += warp_transaction_bytes(&mut warp_traces, transaction_size);
+                        warp_traces.clear();
+                    }
+                }
+            }
+            (counters, tbytes, writes)
+        })
+        .collect();
+    let wall = start.elapsed();
+    let mut counters = Counters::default();
+    let mut tbytes = 0u64;
+    let mut all_writes: Vec<(u32, u64, u64)> = Vec::new();
+    for (c, t, mut w) in results {
+        counters.add(&c);
+        tbytes += t;
+        all_writes.append(&mut w);
+    }
+    if race_check {
+        all_writes.sort_unstable();
+        for w in all_writes.windows(2) {
+            let (b0, e0, i0) = w[0];
+            let (b1, e1, i1) = w[1];
+            if b0 == b1 && e0 == e1 && i0 != i1 {
+                return err(format!(
+                    "race check failed for kernel `{}`: buffer {b0} element {e0} written by items {i0} and {i1}",
+                    prep.name
+                ));
+            }
+        }
+    }
+    let scale = if stride > 1 { groups_total as f64 / group_ids.len() as f64 } else { 1.0 };
+    Ok(LaunchStats {
+        counters: counters.scaled(scale),
+        transaction_bytes: trace_on.then(|| (tbytes as f64 * scale).round() as u64),
+        wall,
+        global_work_items: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufData;
+    use lift::kast::{Kernel, KernelParam};
+    use lift::prelude::*;
+
+    fn saxpy_kernel() -> Kernel {
+        Kernel {
+            name: "saxpy".into(),
+            params: vec![
+                KernelParam::global_buf("x", ScalarKind::F32),
+                KernelParam::global_buf("y", ScalarKind::F32),
+                KernelParam::scalar("a", ScalarKind::F32),
+                KernelParam::scalar("N", ScalarKind::I32),
+            ],
+            body: vec![
+                KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(0), KExpr::var("N"))),
+                KStmt::Store {
+                    mem: MemRef::Param(1),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::var("a") * KExpr::load(MemRef::Param(0), KExpr::GlobalId(0))
+                        + KExpr::load(MemRef::Param(1), KExpr::GlobalId(0)),
+                },
+            ],
+            work_dim: 1,
+        }
+    }
+
+    #[test]
+    fn saxpy_executes_correctly() {
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        let x = SharedBuf::new(BufData::from((0..100).map(|i| i as f32).collect::<Vec<_>>()));
+        let y = SharedBuf::new(BufData::from(vec![1.0f32; 100]));
+        let stats = launch(
+            &prep,
+            &[
+                ArgBind::Buf(&x),
+                ArgBind::Buf(&y),
+                ArgBind::Val(Value::F32(2.0)),
+                ArgBind::Val(Value::I32(100)),
+            ],
+            &[128],
+            ExecMode::Fast,
+            true,
+            128,
+        )
+        .unwrap();
+        let out = y.data().to_f64_vec();
+        assert_eq!(out[3], 2.0 * 3.0 + 1.0);
+        assert_eq!(out[99], 2.0 * 99.0 + 1.0);
+        // 100 active items × 2 loads, 1 store
+        assert_eq!(stats.counters.loads_global, 200);
+        assert_eq!(stats.counters.stores_global, 100);
+        // 2 flops per item
+        assert_eq!(stats.counters.flops, 200);
+        assert_eq!(stats.counters.work_items, 128);
+    }
+
+    #[test]
+    fn transaction_model_counts_coalesced_segments() {
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        let n = 128usize;
+        let x = SharedBuf::new(BufData::from(vec![0.0f32; n]));
+        let y = SharedBuf::new(BufData::from(vec![0.0f32; n]));
+        let stats = launch(
+            &prep,
+            &[
+                ArgBind::Buf(&x),
+                ArgBind::Buf(&y),
+                ArgBind::Val(Value::F32(1.0)),
+                ArgBind::Val(Value::I32(n as i32)),
+            ],
+            &[n],
+            ExecMode::Model { sample_stride: 1 },
+            false,
+            128,
+        )
+        .unwrap();
+        // Perfectly coalesced: each warp of 32 f32 accesses = 128 bytes = 1
+        // transaction per site. 4 warps × 3 sites × 128 B = 1536 B.
+        assert_eq!(stats.transaction_bytes, Some(4 * 3 * 128));
+    }
+
+    #[test]
+    fn race_check_detects_conflicting_writes() {
+        // Every work-item stores to element 0.
+        let k = Kernel {
+            name: "clash".into(),
+            params: vec![KernelParam::global_buf("y", ScalarKind::F32)],
+            body: vec![KStmt::Store {
+                mem: MemRef::Param(0),
+                idx: KExpr::int(0),
+                value: KExpr::Lit(Lit::f32(1.0)),
+            }],
+            work_dim: 1,
+        };
+        let prep = prepare(&k).unwrap();
+        let y = SharedBuf::new(BufData::from(vec![0.0f32; 4]));
+        let r = launch(&prep, &[ArgBind::Buf(&y)], &[8], ExecMode::Fast, true, 128);
+        assert!(r.is_err(), "expected race detection");
+    }
+
+    #[test]
+    fn for_loop_and_private_arrays() {
+        // out[gid] = sum of p[0..4] where p[j] = gid + j
+        let k = Kernel {
+            name: "privsum".into(),
+            params: vec![
+                KernelParam::global_buf("out", ScalarKind::F32),
+                KernelParam::scalar("N", ScalarKind::I32),
+            ],
+            body: vec![
+                KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(0), KExpr::var("N"))),
+                KStmt::DeclPrivArray { name: "p".into(), kind: ScalarKind::F32, len: KExpr::int(4) },
+                KStmt::For {
+                    var: "j".into(),
+                    begin: KExpr::int(0),
+                    end: KExpr::int(4),
+                    step: KExpr::int(1),
+                    body: vec![KStmt::Store {
+                        mem: MemRef::Priv("p".into()),
+                        idx: KExpr::var("j"),
+                        value: KExpr::Cast(
+                            ScalarKind::F32,
+                            Box::new(KExpr::GlobalId(0) + KExpr::var("j")),
+                        ),
+                    }],
+                },
+                KStmt::DeclScalar { name: "s".into(), kind: ScalarKind::F32, init: Some(KExpr::real(0.0)) },
+                KStmt::For {
+                    var: "j2".into(),
+                    begin: KExpr::int(0),
+                    end: KExpr::int(4),
+                    step: KExpr::int(1),
+                    body: vec![KStmt::Assign {
+                        name: "s".into(),
+                        value: KExpr::var("s") + KExpr::load(MemRef::Priv("p".into()), KExpr::var("j2")),
+                    }],
+                },
+                KStmt::Store { mem: MemRef::Param(0), idx: KExpr::GlobalId(0), value: KExpr::var("s") },
+            ],
+            work_dim: 1,
+        }
+        .resolve_real(ScalarKind::F32);
+        let prep = prepare(&k).unwrap();
+        let out = SharedBuf::new(BufData::from(vec![0.0f32; 16]));
+        launch(
+            &prep,
+            &[ArgBind::Buf(&out), ArgBind::Val(Value::I32(16))],
+            &[16],
+            ExecMode::Fast,
+            true,
+            128,
+        )
+        .unwrap();
+        let o = out.data().to_f64_vec();
+        assert_eq!(o[0], 0.0 + 1.0 + 2.0 + 3.0);
+        assert_eq!(o[5], 5.0 * 4.0 + 6.0);
+    }
+
+    #[test]
+    fn scattered_access_costs_more_transactions() {
+        // y[gid] = x[gid * 33]: each access in its own 128-B segment.
+        let k = Kernel {
+            name: "scatter".into(),
+            params: vec![
+                KernelParam::global_buf("x", ScalarKind::F32),
+                KernelParam::global_buf("y", ScalarKind::F32),
+            ],
+            body: vec![KStmt::Store {
+                mem: MemRef::Param(1),
+                idx: KExpr::GlobalId(0),
+                value: KExpr::load(MemRef::Param(0), KExpr::GlobalId(0) * KExpr::int(33)),
+            }],
+            work_dim: 1,
+        };
+        let prep = prepare(&k).unwrap();
+        let x = SharedBuf::new(BufData::from(vec![0.0f32; 33 * 32]));
+        let y = SharedBuf::new(BufData::from(vec![0.0f32; 32]));
+        let stats = launch(
+            &prep,
+            &[ArgBind::Buf(&x), ArgBind::Buf(&y)],
+            &[32],
+            ExecMode::Model { sample_stride: 1 },
+            false,
+            128,
+        )
+        .unwrap();
+        // loads: 32 distinct segments; stores: 1 segment.
+        assert_eq!(stats.transaction_bytes, Some(32 * 128 + 128));
+    }
+
+    #[test]
+    fn constant_space_loads_tracked_separately() {
+        let k = Kernel {
+            name: "cst".into(),
+            params: vec![
+                KernelParam::constant_buf("beta", ScalarKind::F32),
+                KernelParam::global_buf("y", ScalarKind::F32),
+            ],
+            body: vec![KStmt::Store {
+                mem: MemRef::Param(1),
+                idx: KExpr::GlobalId(0),
+                value: KExpr::load(MemRef::Param(0), KExpr::int(0)),
+            }],
+            work_dim: 1,
+        };
+        let prep = prepare(&k).unwrap();
+        let beta = SharedBuf::new(BufData::from(vec![0.5f32; 4]));
+        let y = SharedBuf::new(BufData::from(vec![0.0f32; 64]));
+        let stats = launch(
+            &prep,
+            &[ArgBind::Buf(&beta), ArgBind::Buf(&y)],
+            &[64],
+            ExecMode::Fast,
+            false,
+            128,
+        )
+        .unwrap();
+        assert_eq!(stats.counters.loads_constant, 64);
+        assert_eq!(stats.counters.loads_global, 0);
+    }
+
+    #[test]
+    fn sampling_scales_counters() {
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        let n = 32 * 64;
+        let x = SharedBuf::new(BufData::from(vec![0.0f32; n]));
+        let y = SharedBuf::new(BufData::from(vec![0.0f32; n]));
+        let args = [
+            ArgBind::Buf(&x),
+            ArgBind::Buf(&y),
+            ArgBind::Val(Value::F32(1.0)),
+            ArgBind::Val(Value::I32(n as i32)),
+        ];
+        let full = launch(&prep, &args, &[n], ExecMode::Model { sample_stride: 1 }, false, 128).unwrap();
+        let sampled = launch(&prep, &args, &[n], ExecMode::Model { sample_stride: 4 }, false, 128).unwrap();
+        let f = full.transaction_bytes.unwrap() as f64;
+        let s = sampled.transaction_bytes.unwrap() as f64;
+        assert!((f - s).abs() / f < 0.05, "full {f}, sampled {s}");
+    }
+
+    #[test]
+    fn three_dimensional_ids() {
+        // out[z*4*4 + y*4 + x] = x + 10*y + 100*z
+        let k = Kernel {
+            name: "grid3".into(),
+            params: vec![KernelParam::global_buf("out", ScalarKind::I32)],
+            body: vec![KStmt::Store {
+                mem: MemRef::Param(0),
+                idx: (KExpr::GlobalId(2) * KExpr::int(16))
+                    + (KExpr::GlobalId(1) * KExpr::int(4))
+                    + KExpr::GlobalId(0),
+                value: KExpr::GlobalId(0)
+                    + KExpr::GlobalId(1) * KExpr::int(10)
+                    + KExpr::GlobalId(2) * KExpr::int(100),
+            }],
+            work_dim: 3,
+        };
+        let prep = prepare(&k).unwrap();
+        let out = SharedBuf::new(BufData::from(vec![0i32; 64]));
+        launch(&prep, &[ArgBind::Buf(&out)], &[4, 4, 4], ExecMode::Fast, true, 128).unwrap();
+        let o = out.data().to_f64_vec();
+        assert_eq!(o[1 + 2 * 4 + 3 * 16], 1.0 + 20.0 + 300.0);
+    }
+}

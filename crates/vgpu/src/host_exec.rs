@@ -1,0 +1,231 @@
+//! Executes LIFT host programs (§IV-A) on the virtual device.
+//!
+//! A [`lift::host::HostProgram`] is the compiled form of the paper's host
+//! primitives (`ToGPU`, `OclKernel`, `WriteTo`, `ToHost`). This module plays
+//! the OpenCL runtime: it allocates buffers, performs the transfers, and
+//! launches each kernel in order, returning the host-side outputs.
+
+use crate::buffer::BufData;
+use crate::device::{Arg, BufId, Device};
+use crate::exec::{ExecError, ExecMode};
+use lift::arith::ArithExpr;
+use lift::host::{HostCmd, HostProgram, LaunchArg};
+use lift::prelude::{ScalarKind, Value};
+use lift::types::Type;
+use std::collections::HashMap;
+
+/// Inputs to a host-program run.
+#[derive(Default)]
+pub struct HostEnv {
+    /// Host arrays by program input name.
+    pub arrays: HashMap<String, BufData>,
+    /// Host scalars by program input name.
+    pub scalars: HashMap<String, Value>,
+    /// Bindings for symbolic sizes (`N`, `Nx`, `numB`, …).
+    pub sizes: HashMap<String, i64>,
+}
+
+impl HostEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a host array.
+    pub fn array(mut self, name: &str, data: impl Into<BufData>) -> Self {
+        self.arrays.insert(name.into(), data.into());
+        self
+    }
+
+    /// Adds a host scalar.
+    pub fn scalar(mut self, name: &str, v: Value) -> Self {
+        self.scalars.insert(name.into(), v);
+        self
+    }
+
+    /// Binds a symbolic size.
+    pub fn size(mut self, name: &str, v: i64) -> Self {
+        self.sizes.insert(name.into(), v);
+        self
+    }
+}
+
+/// Result of a host-program run.
+pub struct HostRun {
+    /// Host outputs produced by `ToHost`, by name.
+    pub outputs: HashMap<String, BufData>,
+    /// Name of the program's final result within `outputs` (or a device slot
+    /// if the program never copied back).
+    pub result: String,
+    /// Final state of every device slot (for inspection/in-place results).
+    pub device_slots: HashMap<String, BufData>,
+}
+
+fn eval_len(ty: &Type, sizes: &HashMap<String, i64>) -> Result<usize, ExecError> {
+    let count: ArithExpr = ty.scalar_count();
+    count
+        .eval(&|n| sizes.get(n).copied())
+        .map(|v| v as usize)
+        .map_err(|e| ExecError(format!("cannot size buffer of type {ty}: {e}")))
+}
+
+/// Runs a host program. `real` must match the precision the program was
+/// compiled with; `mode` selects fast or modeled kernel execution.
+pub fn run_host_program(
+    prog: &HostProgram,
+    env: &HostEnv,
+    device: &mut Device,
+    real: ScalarKind,
+    mode: ExecMode,
+) -> Result<HostRun, ExecError> {
+    let mut slots: HashMap<String, BufId> = HashMap::new();
+    let mut outputs: HashMap<String, BufData> = HashMap::new();
+    let mut prepared = Vec::with_capacity(prog.kernels.len());
+    for lk in &prog.kernels {
+        prepared.push(device.compile(&lk.kernel)?);
+    }
+    for cmd in &prog.cmds {
+        match cmd {
+            HostCmd::CopyIn { host, dev, ty } => {
+                let data = env
+                    .arrays
+                    .get(host)
+                    .ok_or_else(|| ExecError(format!("missing host input array `{host}`")))?;
+                let want = eval_len(&ty.resolve_real(real), &env.sizes)?;
+                if data.len() != want {
+                    return Err(ExecError(format!(
+                        "host array `{host}` has {} elements, expected {want}",
+                        data.len()
+                    )));
+                }
+                let id = device.upload(data.clone());
+                slots.insert(dev.clone(), id);
+            }
+            HostCmd::Alloc { dev, ty } => {
+                let rty = ty.resolve_real(real);
+                let kind = rty
+                    .scalar_kind()
+                    .ok_or_else(|| ExecError(format!("cannot allocate non-uniform type {ty}")))?;
+                let len = eval_len(&rty, &env.sizes)?;
+                let id = device.create_buffer(kind, len);
+                slots.insert(dev.clone(), id);
+            }
+            HostCmd::Launch { kernel, args, global_size } => {
+                let mut largs = Vec::with_capacity(args.len());
+                for a in args {
+                    match a {
+                        LaunchArg::Buf(slot) => {
+                            let id = slots
+                                .get(slot)
+                                .ok_or_else(|| ExecError(format!("unknown device slot `{slot}`")))?;
+                            largs.push(Arg::Buf(*id));
+                        }
+                        LaunchArg::ScalarInput(name) => {
+                            let v = env
+                                .scalars
+                                .get(name)
+                                .ok_or_else(|| ExecError(format!("missing host scalar `{name}`")))?;
+                            largs.push(Arg::Val(*v));
+                        }
+                        LaunchArg::SizeVar(name) => {
+                            let v = env
+                                .sizes
+                                .get(name)
+                                .ok_or_else(|| ExecError(format!("unbound size `{name}`")))?;
+                            largs.push(Arg::Val(Value::I32(*v as i32)));
+                        }
+                    }
+                }
+                let global: Result<Vec<usize>, ExecError> = global_size
+                    .iter()
+                    .map(|g| {
+                        g.eval(&|n| env.sizes.get(n).copied())
+                            .map(|v| v as usize)
+                            .map_err(|e| ExecError(format!("cannot evaluate global size: {e}")))
+                    })
+                    .collect();
+                device.launch(&prepared[*kernel], &largs, &global?, mode)?;
+            }
+            HostCmd::CopyOut { dev, host, .. } => {
+                let id = slots
+                    .get(dev)
+                    .ok_or_else(|| ExecError(format!("unknown device slot `{dev}`")))?;
+                outputs.insert(host.clone(), device.read(*id));
+            }
+        }
+    }
+    let device_slots = slots
+        .iter()
+        .map(|(name, id)| (name.clone(), device.read(*id)))
+        .collect();
+    Ok(HostRun { outputs, result: prog.result.clone(), device_slots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift::funs;
+    use lift::host::{self, KernelDef};
+    use lift::ir::{self, ParamDef};
+    use lift::prelude::*;
+
+    #[test]
+    fn two_kernel_pipeline_with_in_place_second_stage() {
+        // k1: out[i] = a[i] + 2    (allocated output)
+        // k2: for idx in indices: out[idx] = out[idx] * 3  (in-place)
+        let a = ParamDef::typed("a", Type::array(Type::real(), "N"));
+        let k1body = ir::map_glb(a.to_expr(), "x", |x| {
+            ir::call(&funs::add(), vec![x, ir::lit(Lit::real(2.0))])
+        });
+        let k1 = KernelDef::new("add2k", vec![a], k1body);
+
+        let idxs = ParamDef::typed("indices", Type::array(Type::i32(), "numB"));
+        let data = ParamDef::typed("data", Type::array(Type::real(), "N"));
+        let d2 = data.clone();
+        let k2body = ir::map_glb(idxs.to_expr(), "idx", move |idx| {
+            let v = ir::call(&funs::mult(), vec![ir::at(d2.to_expr(), idx.clone()), ir::lit(Lit::real(3.0))]);
+            ir::write_to(ir::at(d2.to_expr(), idx), v)
+        });
+        let k2 = KernelDef::new("scale3", vec![idxs, data], k2body);
+
+        let a_h = ParamDef::typed("a_h", Type::array(Type::real(), "N"));
+        let idx_h = ParamDef::typed("idx_h", Type::array(Type::i32(), "numB"));
+        let prog_expr = host::host_let(
+            "mid",
+            host::ocl_kernel(&k1, vec![host::to_gpu(host::input(&a_h))]),
+            |mid| {
+                host::to_host(host::host_write_to(
+                    mid.clone(),
+                    host::ocl_kernel(&k2, vec![host::to_gpu(host::input(&idx_h)), mid]),
+                ))
+            },
+        );
+        let prog = host::compile_host(&prog_expr, ScalarKind::F32).unwrap();
+
+        let env = HostEnv::new()
+            .array("a_h", vec![1.0f32, 2.0, 3.0, 4.0])
+            .array("idx_h", vec![1i32, 3])
+            .size("N", 4)
+            .size("numB", 2);
+        let mut dev = Device::gtx780();
+        dev.set_race_check(true);
+        let run = run_host_program(&prog, &env, &mut dev, ScalarKind::F32, ExecMode::Fast).unwrap();
+        let out = run.outputs.get(&run.result).expect("result on host");
+        // a+2 = [3,4,5,6]; ×3 at idx 1 and 3 → [3,12,5,18]
+        assert_eq!(*out, BufData::from(vec![3.0f32, 12.0, 5.0, 18.0]));
+    }
+
+    #[test]
+    fn missing_size_binding_is_reported() {
+        let a = ParamDef::typed("a", Type::array(Type::real(), "N"));
+        let body = ir::map_glb(a.to_expr(), "x", |x| x);
+        let k = KernelDef::new("idk", vec![a], body);
+        let a_h = ParamDef::typed("a_h", Type::array(Type::real(), "N"));
+        let prog_expr = host::to_host(host::ocl_kernel(&k, vec![host::to_gpu(host::input(&a_h))]));
+        let prog = host::compile_host(&prog_expr, ScalarKind::F32).unwrap();
+        let env = HostEnv::new().array("a_h", vec![0.0f32; 4]);
+        let mut dev = Device::gtx780();
+        let r = run_host_program(&prog, &env, &mut dev, ScalarKind::F32, ExecMode::Fast);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! # vgpu — a virtual OpenCL-like GPU substrate
+//!
+//! The paper evaluates on four physical GPUs driven through OpenCL. This
+//! crate substitutes that testbed (per DESIGN.md §3): it executes the same
+//! generated kernel ASTs with a rayon-parallel NDRange interpreter, counts
+//! memory traffic with a warp-accurate 128-byte-transaction model, and
+//! converts counts into modeled kernel times through per-device roofline
+//! profiles built from the paper's Table III.
+//!
+//! * [`device::Device`] — buffers + in-order queue with profiling events;
+//! * [`exec`] — kernel preparation and the interpreter (counters, traces,
+//!   race detection);
+//! * [`profile::DeviceProfile`] — the four Table III GPUs;
+//! * [`perfmodel`] — transactions/flops → modeled seconds;
+//! * [`host_exec`] — runs LIFT host programs (`ToGPU`/`OclKernel`/`ToHost`).
+//!
+//! ## Example: run a generated kernel
+//!
+//! ```
+//! use lift::prelude::*;
+//! use lift::{funs, ir};
+//! use vgpu::{Arg, BufData, Device, ExecMode};
+//!
+//! // generate a kernel: out[i] = a[i] + 2
+//! let a = ParamDef::typed("a", Type::array(Type::real(), "N"));
+//! let prog = ir::map_glb(a.to_expr(), "x", |x| {
+//!     ir::call(&funs::add(), vec![x, ir::lit(Lit::real(2.0))])
+//! });
+//! let lowered = lower_kernel("add2", &[a], &prog, ScalarKind::F32).unwrap();
+//!
+//! // run it on the virtual GPU
+//! let mut dev = Device::gtx780();
+//! let prep = dev.compile(&lowered.kernel).unwrap();
+//! let input = dev.upload(BufData::from(vec![1.0f32, 2.0, 3.0]));
+//! let out = dev.create_buffer(ScalarKind::F32, 3);
+//! // kernel params: a, N (size), out
+//! dev.launch(
+//!     &prep,
+//!     &[Arg::Buf(input), Arg::Val(Value::I32(3)), Arg::Buf(out)],
+//!     &[3],
+//!     ExecMode::Fast,
+//! )
+//! .unwrap();
+//! assert_eq!(dev.read(out), BufData::from(vec![3.0f32, 4.0, 5.0]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod device;
+pub mod exec;
+pub mod host_exec;
+pub mod perfmodel;
+pub mod profile;
+
+pub use buffer::BufData;
+pub use device::{Arg, BufId, Device, KernelEvent};
+pub use exec::{Counters, ExecError, ExecMode, LaunchStats, Prepared};
+pub use host_exec::{run_host_program, HostEnv, HostRun};
+pub use perfmodel::{modeled_time_s, updates_per_second, ModelInput};
+pub use profile::DeviceProfile;

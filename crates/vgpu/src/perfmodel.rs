@@ -1,0 +1,82 @@
+//! The roofline performance model: counted traffic → modeled kernel time.
+//!
+//! The paper measures kernel times on four physical GPUs (Table III). This
+//! substrate replaces those measurements with a first-order model:
+//!
+//! ```text
+//! t = max( DRAM bytes / (BW · η) ,  flops / peak(precision) ) + launch overhead
+//! ```
+//!
+//! where *DRAM bytes* is the 128-byte-transaction traffic counted by the
+//! warp-accurate tracer in [`crate::exec`] (so coalescing quality — the
+//! paper's box-vs-dome and room-size effects — is captured in the traffic
+//! itself, not in fudge factors), and *peak(precision)* folds each chip's
+//! DP:SP ratio. Absolute times are first-order estimates; the evaluation
+//! compares *shapes* (who wins, by what factor), per DESIGN.md §3.
+
+use crate::profile::DeviceProfile;
+
+/// Inputs to the model.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelInput {
+    /// DRAM bytes moved (post-coalescing transactions).
+    pub transaction_bytes: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// True when the kernel's float traffic is double precision.
+    pub double_precision: bool,
+}
+
+/// Modeled kernel time in seconds.
+pub fn modeled_time_s(input: &ModelInput, profile: &DeviceProfile) -> f64 {
+    let bw = profile.mem_bw_gbs * 1e9 * profile.bw_efficiency;
+    let mem_s = input.transaction_bytes as f64 / bw;
+    let peak = profile.gflops(input.double_precision) * 1e9;
+    let comp_s = input.flops as f64 / peak;
+    mem_s.max(comp_s) + profile.launch_overhead_us * 1e-6
+}
+
+/// Throughput in the paper's metric: million updates (elements) per second.
+pub fn updates_per_second(updates: u64, time_s: f64) -> f64 {
+    updates as f64 / time_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_kernel_uses_bandwidth() {
+        let p = DeviceProfile::gtx780();
+        let t = modeled_time_s(
+            &ModelInput { transaction_bytes: 288_000_000, flops: 1, double_precision: false },
+            &p,
+        );
+        // 288 MB at 288 GB/s × 0.75 ≈ 1.33 ms (plus overhead)
+        assert!((t - (288e6 / (288e9 * 0.75) + 6e-6)).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_uses_flops() {
+        let p = DeviceProfile::gtx780();
+        let sp = modeled_time_s(
+            &ModelInput { transaction_bytes: 1, flops: 3_977_000_000, double_precision: false },
+            &p,
+        );
+        let dp = modeled_time_s(
+            &ModelInput { transaction_bytes: 1, flops: 3_977_000_000, double_precision: true },
+            &p,
+        );
+        assert!(dp > sp * 20.0, "Kepler consumer DP should be ~24x slower: sp={sp}, dp={dp}");
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_kernels() {
+        let p = DeviceProfile::gtx780();
+        let t = modeled_time_s(
+            &ModelInput { transaction_bytes: 128, flops: 10, double_precision: false },
+            &p,
+        );
+        assert!(t >= 6e-6);
+    }
+}

@@ -1,0 +1,84 @@
+//! Domain example: reverberation of a dome-shaped hall under different wall
+//! treatments — the workload the paper's introduction motivates (Figure 1).
+//!
+//! Runs the FD-MM simulation in a voxelised dome three times (reflective,
+//! mixed, and heavily damped material sets), measures the energy-decay
+//! curve, and reports a T20-style reverberation estimate for each
+//! treatment.
+//!
+//! ```sh
+//! cargo run --release --example dome_concert
+//! ```
+
+use room_acoustics::materials::{BranchParams, Material};
+use room_acoustics::{
+    BoundaryModel, GridDims, MaterialAssignment, ReferenceSim, RoomShape, SimConfig, SimSetup,
+};
+
+/// Steps until the energy proxy decays by `db` decibels, with a cap.
+fn decay_steps(sim: &mut ReferenceSim<f64>, db: f64, cap: usize) -> Option<usize> {
+    let e0 = sim.energy();
+    let target = e0 * 10f64.powf(-db / 10.0);
+    for t in 0..cap {
+        sim.run(1);
+        if sim.energy() <= target {
+            return Some(t + 1);
+        }
+    }
+    None
+}
+
+fn treatment(name: &str, materials: Vec<Material>) {
+    let dims = GridDims::new(42, 42, 24);
+    let cfg = SimConfig {
+        dims,
+        shape: RoomShape::Dome,
+        assignment: MaterialAssignment::FloorWallsCeiling,
+        boundary: BoundaryModel::FdMm { materials, mb: 3 },
+    };
+    let mut sim = ReferenceSim::<f64>::new(SimSetup::new(&cfg));
+    sim.impulse(21, 21, 8, 1.0);
+    sim.run(30); // let the direct field spread before measuring decay
+    match decay_steps(&mut sim, 20.0, 6000) {
+        Some(steps) => {
+            // With a 5 cm grid at the Courant limit, one step ≈ 85 µs; a
+            // T20 extrapolates ×3 to a T60-style figure.
+            let dt_us = 0.05 / 343.0 / 3f64.sqrt() * 1e6;
+            println!(
+                "{name:<22} −20 dB in {steps:5} steps  (≈ T60 {:.2} s at 5 cm resolution)",
+                3.0 * steps as f64 * dt_us * 1e-6
+            );
+        }
+        None => println!("{name:<22} did not decay 20 dB within the step budget"),
+    }
+}
+
+fn main() {
+    println!("dome hall, FD-MM boundaries, three wall treatments:\n");
+    treatment(
+        "stone (reflective)",
+        vec![
+            Material::fi("stone floor", 0.004),
+            Material::plaster(),
+            Material::fi("stone wall", 0.006),
+        ],
+    );
+    treatment("default (mixed)", Material::default_set());
+    treatment(
+        "treated (damped)",
+        vec![
+            Material::carpet(),
+            Material {
+                name: "absorber panels".into(),
+                beta0: 0.35,
+                branches: vec![
+                    BranchParams::new(2.0, 2.5, 0.05),
+                    BranchParams::new(5.0, 1.5, 0.30),
+                    BranchParams::new(12.0, 1.0, 0.90),
+                ],
+            },
+            Material::carpet(),
+        ],
+    );
+    println!("\nlonger decay for reflective surfaces, shorter for damped — as built.");
+}

@@ -1,0 +1,314 @@
+//! §VIII "Beyond room acoustics": a ground-penetrating-radar-style
+//! electromagnetic FDTD expressed with the same extended-LIFT primitives.
+//!
+//! A 2-D TMz Yee scheme updates three field arrays (`Ez`, `Hx`, `Hy`)
+//! **in place** every step — the multi-array in-place pattern the paper
+//! says geophysical codes need even for their *volume* kernels. A lossy
+//! subsurface half-space (per-cell conductivity → per-cell update
+//! coefficients) plays the role of "multiple materials".
+//!
+//! The two kernels are built from scratch here with the public `lift` API —
+//! no acoustics code involved — demonstrating that the §IV primitives
+//! (`WriteTo`, `At`, tuples of writes) generalise beyond the paper's
+//! domain. Results are verified against a plain Rust reference.
+//!
+//! ```sh
+//! cargo run --release --example gpr_wave
+//! ```
+
+use room_acoustics_lift::lift::funs;
+use room_acoustics_lift::lift::ir::{self, ParamDef};
+use room_acoustics_lift::lift::lower::lower_kernel;
+use room_acoustics_lift::lift::prelude::*;
+use room_acoustics_lift::vgpu::{Arg, BufData, Device, ExecMode};
+use std::collections::HashMap;
+
+const NX: usize = 96;
+const NY: usize = 72;
+const C: f64 = 0.5; // Courant number (≤ 1/√2 in 2-D)
+
+/// `x(i, nx) = i % nx`, `y(i, nx) = i / nx`.
+fn xy_funs() -> (std::rc::Rc<UserFun>, std::rc::Rc<UserFun>) {
+    let x = UserFun::new(
+        "xof",
+        vec![("i", ScalarKind::I32), ("nx", ScalarKind::I32)],
+        ScalarKind::I32,
+        SExpr::Bin(BinOp::Rem, SExpr::p(0).into(), SExpr::p(1).into()),
+    );
+    let y = UserFun::new(
+        "yof",
+        vec![("i", ScalarKind::I32), ("nx", ScalarKind::I32)],
+        ScalarKind::I32,
+        SExpr::Bin(BinOp::Div, SExpr::p(0).into(), SExpr::p(1).into()),
+    );
+    (x, y)
+}
+
+/// H-field kernel: updates `Hx` and `Hy` in place (two `WriteTo`s per
+/// element — the multi-output pattern of §V-D applied to a volume kernel).
+fn h_kernel(real: ScalarKind) -> lift::lower::LoweredKernel {
+    let ez = ParamDef::typed("Ez", Type::array(Type::real(), "N"));
+    let hx = ParamDef::typed("Hx", Type::array(Type::real(), "N"));
+    let hy = ParamDef::typed("Hy", Type::array(Type::real(), "N"));
+    let ch = ParamDef::typed("ch", Type::real());
+    let (xof, yof) = xy_funs();
+    // Clamped neighbour index: min(i+d, n−1). User-function arguments are
+    // evaluated eagerly, so out-of-range neighbour loads must be clamped
+    // (the select below then discards the clamped value at edges) — the
+    // same trick `pad(Clamp)` uses.
+    let addc = UserFun::new(
+        "addClamped",
+        vec![("i", ScalarKind::I32), ("d", ScalarKind::I32), ("n", ScalarKind::I32)],
+        ScalarKind::I32,
+        SExpr::Call(
+            Intrinsic::Min,
+            vec![SExpr::p(0) + SExpr::p(1), SExpr::p(2) - SExpr::int(1)],
+        ),
+    );
+    // guarded update: u(old, a, b, ch, edge) = edge ? old : old − ch·(a−b)
+    let upd = UserFun::new(
+        "hupd",
+        vec![
+            ("old", ScalarKind::Real),
+            ("a", ScalarKind::Real),
+            ("b", ScalarKind::Real),
+            ("ch", ScalarKind::Real),
+            ("edge", ScalarKind::Bool),
+        ],
+        ScalarKind::Real,
+        SExpr::select(
+            SExpr::p(4),
+            SExpr::p(0),
+            SExpr::p(0) - SExpr::p(3) * (SExpr::p(1) - SExpr::p(2)),
+        ),
+    );
+    let (ez2, hx2, hy2, ch2) = (ez.clone(), hx.clone(), hy.clone(), ch.clone());
+    let body = ir::map_glb(ir::iota("N"), "i", move |i| {
+        ir::let_in("x", ir::call(&xof, vec![i.clone(), ir::size_val("Nx")]), move |x| {
+            ir::let_in("y", ir::call(&yof, vec![i.clone(), ir::size_val("Nx")]), move |y| {
+                let at_edge_y = edge_pred(y.clone(), "Ny");
+                let at_edge_x = edge_pred(x, "Nx");
+                // Hx[i] −= ch·(Ez[i+Nx] − Ez[i]) ; frozen at y = Ny−1 (the
+                // clamped load's value is discarded by the select).
+                let i_up = ir::call(&addc, vec![i.clone(), ir::size_val("Nx"), ir::size_val("N")]);
+                let hx_new = ir::call(
+                    &upd,
+                    vec![
+                        ir::at(hx2.to_expr(), i.clone()),
+                        ir::at(ez2.to_expr(), i_up),
+                        ir::at(ez2.to_expr(), i.clone()),
+                        ch2.to_expr(),
+                        at_edge_y,
+                    ],
+                );
+                // Hy[i] += ch·(Ez[i+1] − Ez[i]) — use upd(old, b, a, …) to
+                // flip the subtraction's sign.
+                let i_right =
+                    ir::call(&addc, vec![i.clone(), ir::lit(Lit::i32(1)), ir::size_val("N")]);
+                let hy_new = ir::call(
+                    &upd,
+                    vec![
+                        ir::at(hy2.to_expr(), i.clone()),
+                        ir::at(ez2.to_expr(), i.clone()),
+                        ir::at(ez2.to_expr(), i_right),
+                        ch2.to_expr(),
+                        at_edge_x,
+                    ],
+                );
+                ir::tuple(vec![
+                    ir::write_to(ir::at(hx2.to_expr(), i.clone()), hx_new),
+                    ir::write_to(ir::at(hy2.to_expr(), i), hy_new),
+                ])
+            })
+        })
+    });
+    lower_kernel("gpr_h_update", &[ez, hx, hy, ch], &body, real).expect("H kernel lowers")
+}
+
+/// `edge(v, limit) = v == limit − 1` as an IR expression.
+fn edge_pred(v: ExprRef, limit: &str) -> ExprRef {
+    let eq = UserFun::new(
+        "isLast",
+        vec![("v", ScalarKind::I32), ("n", ScalarKind::I32)],
+        ScalarKind::Bool,
+        SExpr::cmp(BinOp::Eq, SExpr::p(0), SExpr::p(1) - SExpr::int(1)),
+    );
+    ir::call(&eq, vec![v, ir::size_val(limit)])
+}
+
+/// E-field kernel: `Ez[i] = ca[i]·Ez[i] + cb[i]·((Hy[i]−Hy[i−1]) −
+/// (Hx[i]−Hx[i−Nx]))`, in place, with per-cell material coefficients.
+fn e_kernel(real: ScalarKind) -> lift::lower::LoweredKernel {
+    let ez = ParamDef::typed("Ez", Type::array(Type::real(), "N"));
+    let hx = ParamDef::typed("Hx", Type::array(Type::real(), "N"));
+    let hy = ParamDef::typed("Hy", Type::array(Type::real(), "N"));
+    let ca = ParamDef::typed("ca", Type::array(Type::real(), "N"));
+    let cb = ParamDef::typed("cb", Type::array(Type::real(), "N"));
+    let (xof, yof) = xy_funs();
+    // Clamped backwards index: max(a − b, 0).
+    let subc = UserFun::new(
+        "subClamped",
+        vec![("a", ScalarKind::I32), ("b", ScalarKind::I32)],
+        ScalarKind::I32,
+        SExpr::Call(Intrinsic::Max, vec![SExpr::p(0) - SExpr::p(1), SExpr::int(0)]),
+    );
+    // e(old, hyr, hyl, hxu, hxd, ca, cb, interior) =
+    //   interior ? ca·old + cb·((hyr−hyl) − (hxu−hxd)) : old
+    let upd = UserFun::new(
+        "eupd",
+        vec![
+            ("old", ScalarKind::Real),
+            ("hyr", ScalarKind::Real),
+            ("hyl", ScalarKind::Real),
+            ("hxu", ScalarKind::Real),
+            ("hxd", ScalarKind::Real),
+            ("ca", ScalarKind::Real),
+            ("cb", ScalarKind::Real),
+            ("interior", ScalarKind::Bool),
+        ],
+        ScalarKind::Real,
+        SExpr::select(
+            SExpr::p(7),
+            SExpr::p(5) * SExpr::p(0)
+                + SExpr::p(6) * ((SExpr::p(1) - SExpr::p(2)) - (SExpr::p(3) - SExpr::p(4))),
+            SExpr::p(0),
+        ),
+    );
+    let interior = UserFun::new(
+        "interior",
+        vec![("x", ScalarKind::I32), ("y", ScalarKind::I32)],
+        ScalarKind::Bool,
+        SExpr::cmp(
+            BinOp::And,
+            SExpr::cmp(BinOp::Gt, SExpr::p(0), SExpr::int(0)),
+            SExpr::cmp(BinOp::Gt, SExpr::p(1), SExpr::int(0)),
+        ),
+    );
+    let (ez2, hx2, hy2, ca2, cb2) = (ez.clone(), hx.clone(), hy.clone(), ca.clone(), cb.clone());
+    let body = ir::map_glb(ir::iota("N"), "i", move |i| {
+        ir::let_in("x", ir::call(&xof, vec![i.clone(), ir::size_val("Nx")]), move |x| {
+            ir::let_in("y", ir::call(&yof, vec![i.clone(), ir::size_val("Nx")]), move |y| {
+                let inside = ir::call(&interior, vec![x, y]);
+                let i_left = ir::call(&subc, vec![i.clone(), ir::lit(Lit::i32(1))]);
+                let i_down = ir::call(&subc, vec![i.clone(), ir::size_val("Nx")]);
+                let val = ir::call(
+                    &upd,
+                    vec![
+                        ir::at(ez2.to_expr(), i.clone()),
+                        ir::at(hy2.to_expr(), i.clone()),
+                        ir::at(hy2.to_expr(), i_left),
+                        ir::at(hx2.to_expr(), i.clone()),
+                        ir::at(hx2.to_expr(), i_down),
+                        ir::at(ca2.to_expr(), i.clone()),
+                        ir::at(cb2.to_expr(), i.clone()),
+                        inside,
+                    ],
+                );
+                ir::write_to(ir::at(ez2.to_expr(), i), val)
+            })
+        })
+    });
+    lower_kernel("gpr_e_update", &[ez, hx, hy, ca, cb], &body, real).expect("E kernel lowers")
+}
+
+/// Plain Rust reference for verification.
+#[allow(clippy::too_many_arguments)]
+fn reference_step(ez: &mut [f64], hx: &mut [f64], hy: &mut [f64], ca: &[f64], cb: &[f64], ch: f64) {
+    for y in 0..NY {
+        for x in 0..NX {
+            let i = y * NX + x;
+            if y < NY - 1 {
+                hx[i] -= ch * (ez[i + NX] - ez[i]);
+            }
+            if x < NX - 1 {
+                hy[i] -= ch * (ez[i] - ez[i + 1]);
+            }
+        }
+    }
+    for y in 1..NY {
+        for x in 1..NX {
+            let i = y * NX + x;
+            ez[i] = ca[i] * ez[i] + cb[i] * ((hy[i] - hy[i - 1]) - (hx[i] - hx[i - NX]));
+        }
+    }
+}
+
+fn main() {
+    let real = ScalarKind::F64;
+    let n = NX * NY;
+    // materials: free space above y = NY/2, lossy soil below (GPR's
+    // subsurface), a very lossy "bedrock" stripe at the bottom as a crude
+    // absorbing layer.
+    let mut ca = vec![1.0f64; n];
+    let mut cb = vec![C; n];
+    for y in 0..NY {
+        for x in 0..NX {
+            let i = y * NX + x;
+            let sigma = if y < NY / 8 {
+                0.30 // bedrock / absorber
+            } else if y < NY / 2 {
+                0.02 // soil
+            } else {
+                0.0 // air
+            };
+            ca[i] = (1.0 - sigma) / (1.0 + sigma);
+            cb[i] = C / (1.0 + sigma);
+        }
+    }
+
+    let mut device = Device::gtx780();
+    let hk = h_kernel(real);
+    let ek = e_kernel(real);
+    let hprep = device.compile(&hk.kernel).unwrap();
+    let eprep = device.compile(&ek.kernel).unwrap();
+    println!("generated H kernel:\n{}", lift::opencl::emit_kernel(&hk.kernel));
+
+    let mut ez0 = vec![0.0f64; n];
+    ez0[(3 * NY / 4) * NX + NX / 2] = 1.0; // antenna above the surface
+    let ez = device.upload(BufData::from(ez0.clone()));
+    let hx = device.upload(BufData::from(vec![0.0f64; n]));
+    let hy = device.upload(BufData::from(vec![0.0f64; n]));
+    let cab = device.upload(BufData::from(ca.clone()));
+    let cbb = device.upload(BufData::from(cb.clone()));
+
+    // reference state
+    let (mut rez, mut rhx, mut rhy) = (ez0, vec![0.0f64; n], vec![0.0f64; n]);
+
+    let sizes: HashMap<&str, i64> =
+        [("N", n as i64), ("Nx", NX as i64), ("Ny", NY as i64)].into();
+    let bind = |lk: &lift::lower::LoweredKernel, bufs: &HashMap<&str, vgpu::BufId>| -> Vec<Arg> {
+        lk.args
+            .iter()
+            .map(|spec| match spec {
+                lift::lower::ArgSpec::Input(_, name) => match name.as_str() {
+                    "ch" => Arg::Val(Value::F64(C)),
+                    other => Arg::Buf(*bufs.get(other).expect(other)),
+                },
+                lift::lower::ArgSpec::Size(s) => Arg::Val(Value::I32(sizes[s.as_str()] as i32)),
+                lift::lower::ArgSpec::Output(_, _) => unreachable!("in-place kernels"),
+            })
+            .collect()
+    };
+    let bufs: HashMap<&str, vgpu::BufId> =
+        [("Ez", ez), ("Hx", hx), ("Hy", hy), ("ca", cab), ("cb", cbb)].into();
+    let hargs = bind(&hk, &bufs);
+    let eargs = bind(&ek, &bufs);
+
+    for step in 0..80 {
+        device.launch(&hprep, &hargs, &[n], ExecMode::Fast).unwrap();
+        device.launch(&eprep, &eargs, &[n], ExecMode::Fast).unwrap();
+        reference_step(&mut rez, &mut rhx, &mut rhy, &ca, &cb, C);
+        if step % 20 == 19 {
+            let g = device.read(ez).to_f64_vec();
+            let err = g
+                .iter()
+                .zip(&rez)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            let energy: f64 = g.iter().map(|v| v * v).sum();
+            println!("step {:3}: max|LIFT − reference| = {err:.3e}, field energy {energy:.5}", step + 1);
+            assert!(err < 1e-12, "generated kernels must match the reference");
+        }
+    }
+    println!("\nLIFT-generated GPR kernels match the reference — §VIII pattern works ✓");
+}

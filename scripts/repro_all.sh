@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+# REPRO_QUICK=1 runs reduced sizes (minutes instead of tens of minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p bench
+for bin in repro_table2 repro_fig2 repro_fig4 repro_fig5 repro_fig6 repro_ablations; do
+  echo "==================== $bin ===================="
+  ./target/release/$bin
+done
+echo "results written to results/*.json"

@@ -1,0 +1,9 @@
+//! Facade crate for the room-acoustics-LIFT reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See `README.md` and `DESIGN.md` at the repository root.
+
+pub use lift;
+pub use lift_acoustics;
+pub use room_acoustics;
+pub use vgpu;

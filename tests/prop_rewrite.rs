@@ -1,0 +1,141 @@
+//! Property test: the rewrite rules are semantics-preserving and *enable
+//! lowering* — exactly their role in LIFT.
+//!
+//! Random pattern chains of layout ops (split/join, nested pads, aliasing
+//! lets) composed with chains of element-wise maps are not directly
+//! lowerable (a map feeding a map must be fused first). After
+//! [`lift::rewrite::optimize`] the program must lower, execute, and agree
+//! with a host-side oracle of the same pattern semantics.
+
+use lift::funs;
+use lift::ir::{self, ExprRef, ParamDef};
+use lift::lower::lower_kernel;
+use lift::prelude::*;
+use lift::rewrite::optimize;
+use proptest::prelude::*;
+use vgpu::{Arg, BufData, Device, ExecMode};
+
+#[derive(Debug, Clone)]
+enum Layout {
+    SplitJoin { chunk: usize },
+    PadPair { l1: usize, l2: usize },
+    LetTrivial,
+}
+
+fn layout_strategy() -> impl Strategy<Value = Layout> {
+    prop_oneof![
+        prop_oneof![Just(2usize), Just(3), Just(4)].prop_map(|chunk| Layout::SplitJoin { chunk }),
+        (1usize..3, 1usize..3).prop_map(|(l1, l2)| Layout::PadPair { l1, l2 }),
+        Just(Layout::LetTrivial),
+    ]
+}
+
+fn apply_layout(w: &Layout, e: ExprRef, data: Vec<f32>) -> (ExprRef, Vec<f32>) {
+    match w {
+        Layout::SplitJoin { chunk } => {
+            if data.len() % chunk == 0 && !data.is_empty() {
+                (ir::join(ir::split(*chunk, e)), data)
+            } else {
+                (e, data)
+            }
+        }
+        Layout::PadPair { l1, l2 } => {
+            let e = ir::pad(
+                *l1 as i64,
+                *l1 as i64,
+                PadKind::Clamp,
+                ir::pad(*l2 as i64, *l2 as i64, PadKind::Clamp, e),
+            );
+            // oracle: clamp-pad twice == clamp-pad by l1+l2 on each side
+            let l = l1 + l2;
+            let mut out = Vec::with_capacity(data.len() + 2 * l);
+            for _ in 0..l {
+                out.push(*data.first().unwrap());
+            }
+            out.extend_from_slice(&data);
+            for _ in 0..l {
+                out.push(*data.last().unwrap());
+            }
+            (e, out)
+        }
+        Layout::LetTrivial => (ir::let_in("alias", e, |v| v), data),
+    }
+}
+
+fn run(params: &[std::rc::Rc<ParamDef>], prog: &ExprRef, data: &[f32], out_len: usize) -> Vec<f32> {
+    let lk = lower_kernel("rw", params, prog, ScalarKind::F32).expect("optimised program lowers");
+    let mut dev = Device::gtx780();
+    let prep = dev.compile(&lk.kernel).expect("prepares");
+    let input = dev.upload(BufData::from(data.to_vec()));
+    let out = dev.create_buffer(ScalarKind::F32, out_len);
+    let args: Vec<Arg> = lk
+        .args
+        .iter()
+        .map(|spec| match spec {
+            lift::lower::ArgSpec::Input(_, _) => Arg::Buf(input),
+            lift::lower::ArgSpec::Size(_) => unreachable!(),
+            lift::lower::ArgSpec::Output(_, _) => Arg::Buf(out),
+        })
+        .collect();
+    let global: Vec<usize> = lk
+        .global_size
+        .iter()
+        .map(|g| g.eval(&|_| None).expect("concrete") as usize)
+        .collect();
+    dev.launch(&prep, &args, &global, ExecMode::Fast).expect("runs");
+    match dev.read(out) {
+        BufData::F32(v) => v,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn optimize_enables_lowering_and_preserves_semantics(
+        layouts in prop::collection::vec(layout_strategy(), 0..4),
+        adds in prop::collection::vec(-5i32..6, 1..4),
+        data in prop::collection::vec(-8i32..8, 6..16),
+    ) {
+        let data: Vec<f32> = data.into_iter().map(|v| v as f32).collect();
+        let a = ParamDef::typed("a", Type::array(Type::real(), data.len()));
+        let mut e = a.to_expr();
+        let mut oracle = data.clone();
+        for w in &layouts {
+            let (ne, no) = apply_layout(w, e, oracle);
+            e = ne;
+            oracle = no;
+        }
+        // element-wise maps stacked on top (innermost applies first)
+        let add = funs::add();
+        for (j, k) in adds.iter().enumerate() {
+            let kk = *k as f64;
+            let addf = add.clone();
+            let mk = |input: ExprRef| {
+                ir::map_seq(input, "x", move |x| ir::call(&addf, vec![x, ir::lit(Lit::real(kk))]))
+            };
+            e = mk(e);
+            for v in oracle.iter_mut() {
+                *v += *k as f32;
+            }
+            let _ = j;
+        }
+        // the outermost map is the parallel one
+        let id = funs::id_real();
+        let prog = ir::map_glb(e, "x", move |x| ir::call(&id, vec![x]));
+
+        // the raw program generally does NOT lower (maps feeding maps):
+        // after optimisation it must.
+        let opt = optimize(&prog);
+        let opt = match &opt.kind {
+            lift::ir::ExprKind::Param(_) => {
+                let id = funs::id_real();
+                ir::map_glb(opt, "x", move |x| ir::call(&id, vec![x]))
+            }
+            _ => opt,
+        };
+        let got = run(&[a], &opt, &data, oracle.len());
+        prop_assert_eq!(got, oracle, "layouts {:?}, adds {:?}", layouts, adds);
+    }
+}

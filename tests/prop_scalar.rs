@@ -1,0 +1,119 @@
+//! Property test: scalar semantics survive code generation.
+//!
+//! A random scalar user function evaluated directly (`UserFun::eval`) must
+//! equal the same function inlined by the code generator and executed by
+//! the `vgpu` interpreter — i.e. `SExpr::eval`, `sexpr_to_kexpr` and the
+//! interpreter's expression evaluator implement one semantics.
+
+use lift::ir::{self, ParamDef};
+use lift::lower::lower_kernel;
+use lift::prelude::*;
+use proptest::prelude::*;
+use vgpu::{Arg, BufData, Device, ExecMode};
+
+/// Random scalar expression over two Real parameters. Division avoided
+/// (denominator could be zero); select/compare/min/max/neg included.
+#[derive(Debug, Clone)]
+enum RS {
+    P0,
+    P1,
+    K(i32),
+    Add(Box<RS>, Box<RS>),
+    Sub(Box<RS>, Box<RS>),
+    Mul(Box<RS>, Box<RS>),
+    Neg(Box<RS>),
+    Min(Box<RS>, Box<RS>),
+    Max(Box<RS>, Box<RS>),
+    Sel(Box<RS>, Box<RS>, Box<RS>),
+}
+
+impl RS {
+    fn sexpr(&self) -> SExpr {
+        match self {
+            RS::P0 => SExpr::p(0),
+            RS::P1 => SExpr::p(1),
+            RS::K(k) => SExpr::real(*k as f64),
+            RS::Add(a, b) => a.sexpr() + b.sexpr(),
+            RS::Sub(a, b) => a.sexpr() - b.sexpr(),
+            RS::Mul(a, b) => a.sexpr() * b.sexpr(),
+            RS::Neg(a) => -a.sexpr(),
+            RS::Min(a, b) => SExpr::Call(Intrinsic::Min, vec![a.sexpr(), b.sexpr()]),
+            RS::Max(a, b) => SExpr::Call(Intrinsic::Max, vec![a.sexpr(), b.sexpr()]),
+            RS::Sel(c, t, f) => SExpr::select(
+                SExpr::cmp(BinOp::Gt, c.sexpr(), SExpr::real(0.0)),
+                t.sexpr(),
+                f.sexpr(),
+            ),
+        }
+    }
+}
+
+fn rs_strategy() -> impl Strategy<Value = RS> {
+    let leaf = prop_oneof![Just(RS::P0), Just(RS::P1), (-4i32..5).prop_map(RS::K)];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RS::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RS::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RS::Mul(a.into(), b.into())),
+            inner.clone().prop_map(|a| RS::Neg(a.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RS::Min(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RS::Max(a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| RS::Sel(c.into(), t.into(), f.into())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scalar_semantics_survive_codegen(
+        rs in rs_strategy(),
+        xs in prop::collection::vec((-6i32..7, -6i32..7), 1..12),
+    ) {
+        let f = UserFun::new(
+            "randf",
+            vec![("a", ScalarKind::Real), ("b", ScalarKind::Real)],
+            ScalarKind::Real,
+            rs.sexpr(),
+        );
+        // direct evaluation (f32 semantics)
+        let expected: Vec<f32> = xs
+            .iter()
+            .map(|&(a, b)| {
+                match f.eval(&[Value::F32(a as f32), Value::F32(b as f32)], ScalarKind::F32) {
+                    Value::F32(v) => v,
+                    other => panic!("unexpected {other:?}"),
+                }
+            })
+            .collect();
+        // through the code generator + interpreter
+        let n = xs.len();
+        let pa = ParamDef::typed("A", Type::array(Type::real(), n));
+        let pb = ParamDef::typed("B", Type::array(Type::real(), n));
+        let f2 = f.clone();
+        let prog = ir::map_glb(ir::zip(vec![pa.to_expr(), pb.to_expr()]), "t", move |t| {
+            ir::call(&f2, vec![ir::get(t.clone(), 0), ir::get(t, 1)])
+        });
+        let lk = lower_kernel("randk", &[pa, pb], &prog, ScalarKind::F32).expect("lowers");
+        let mut dev = Device::gtx780();
+        let prep = dev.compile(&lk.kernel).expect("prepares");
+        let abuf = dev.upload(BufData::from(xs.iter().map(|&(a, _)| a as f32).collect::<Vec<_>>()));
+        let bbuf = dev.upload(BufData::from(xs.iter().map(|&(_, b)| b as f32).collect::<Vec<_>>()));
+        let out = dev.create_buffer(ScalarKind::F32, n);
+        let args: Vec<Arg> = lk.args.iter().map(|spec| match spec {
+            lift::lower::ArgSpec::Input(_, name) if name == "A" => Arg::Buf(abuf),
+            lift::lower::ArgSpec::Input(_, _) => Arg::Buf(bbuf),
+            lift::lower::ArgSpec::Size(_) => unreachable!(),
+            lift::lower::ArgSpec::Output(_, _) => Arg::Buf(out),
+        }).collect();
+        dev.launch(&prep, &args, &[n], ExecMode::Fast).expect("runs");
+        let got = match dev.read(out) {
+            BufData::F32(v) => v,
+            other => panic!("unexpected {other:?}"),
+        };
+        // bit-exact: same f32 operations in the same order
+        prop_assert_eq!(got, expected, "fun {:?}", rs);
+    }
+}
