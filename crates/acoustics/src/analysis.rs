@@ -11,14 +11,20 @@
 /// entries.
 pub fn schroeder_edc_db(ir: &[f64]) -> Vec<f64> {
     let mut acc = 0.0;
-    let mut tail: Vec<f64> = ir.iter().rev().map(|p| {
-        acc += p * p;
-        acc
-    }).collect();
+    let mut tail: Vec<f64> = ir
+        .iter()
+        .rev()
+        .map(|p| {
+            acc += p * p;
+            acc
+        })
+        .collect();
     tail.reverse();
     let total = tail.first().copied().unwrap_or(0.0);
     tail.into_iter()
-        .map(|e| if e > 0.0 && total > 0.0 { 10.0 * (e / total).log10() } else { f64::NEG_INFINITY })
+        .map(
+            |e| if e > 0.0 && total > 0.0 { 10.0 * (e / total).log10() } else { f64::NEG_INFINITY },
+        )
         .collect()
 }
 

@@ -81,12 +81,9 @@ impl RoomModel {
                 n
             })
             .collect();
-        let boundary_indices: Vec<i32> = (0..total)
-            .filter(|&idx| inside[idx] && nbrs[idx] < 6)
-            .map(|idx| idx as i32)
-            .collect();
-        let (material, num_materials) =
-            assign_materials(&dims, &boundary_indices, materials);
+        let boundary_indices: Vec<i32> =
+            (0..total).filter(|&idx| inside[idx] && nbrs[idx] < 6).map(|idx| idx as i32).collect();
+        let (material, num_materials) = assign_materials(&dims, &boundary_indices, materials);
         RoomModel { dims, shape, nbrs, boundary_indices, material, num_materials }
     }
 
@@ -117,11 +114,7 @@ fn assign_materials(
         MaterialAssignment::Striped { num_materials } => {
             assert!(num_materials >= 1);
             (
-                boundary
-                    .iter()
-                    .enumerate()
-                    .map(|(i, _)| (i % num_materials) as i32)
-                    .collect(),
+                boundary.iter().enumerate().map(|(i, _)| (i % num_materials) as i32).collect(),
                 num_materials,
             )
         }
@@ -205,7 +198,11 @@ mod tests {
     #[test]
     fn striped_materials_cycle() {
         let dims = GridDims::cube(8);
-        let m = RoomModel::build(dims, RoomShape::Box, MaterialAssignment::Striped { num_materials: 4 });
+        let m = RoomModel::build(
+            dims,
+            RoomShape::Box,
+            MaterialAssignment::Striped { num_materials: 4 },
+        );
         assert_eq!(m.num_materials, 4);
         assert_eq!(m.material[0], 0);
         assert_eq!(m.material[5], 1);

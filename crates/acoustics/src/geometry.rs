@@ -98,8 +98,8 @@ impl RoomShape {
             RoomShape::Box => true,
             RoomShape::LShape => {
                 // remove the quadrant x ≥ mid_x && y ≥ mid_y
-                let mid_x = (dims.nx + 1) / 2;
-                let mid_y = (dims.ny + 1) / 2;
+                let mid_x = dims.nx.div_ceil(2);
+                let mid_y = dims.ny.div_ceil(2);
                 !(x >= mid_x && y >= mid_y)
             }
             RoomShape::Dome => {

@@ -222,9 +222,21 @@ pub fn fimm_kernel(beta_in_constant_memory: bool) -> Kernel {
     let (bidx, nbrs, material, beta, next, prev) = (0usize, 1, 2, 3, 4, 5);
     let body = vec![
         KStmt::return_if(KExpr::bin(BinOp::Ge, gid(0), v("numB"))),
-        KStmt::DeclScalar { name: "idx".into(), kind: ScalarKind::I32, init: Some(ld(bidx, gid(0))) },
-        KStmt::DeclScalar { name: "nbr".into(), kind: ScalarKind::I32, init: Some(ld(nbrs, v("idx"))) },
-        KStmt::DeclScalar { name: "mi".into(), kind: ScalarKind::I32, init: Some(ld(material, gid(0))) },
+        KStmt::DeclScalar {
+            name: "idx".into(),
+            kind: ScalarKind::I32,
+            init: Some(ld(bidx, gid(0))),
+        },
+        KStmt::DeclScalar {
+            name: "nbr".into(),
+            kind: ScalarKind::I32,
+            init: Some(ld(nbrs, v("idx"))),
+        },
+        KStmt::DeclScalar {
+            name: "mi".into(),
+            kind: ScalarKind::I32,
+            init: Some(ld(material, gid(0))),
+        },
         KStmt::DeclScalar {
             name: "cf".into(),
             kind: ScalarKind::Real,
@@ -275,9 +287,21 @@ pub fn fdmm_kernel() -> Kernel {
         KStmt::return_if(KExpr::bin(BinOp::Ge, gid(0), v("numB"))),
         KStmt::DeclPrivArray { name: "_g1".into(), kind: ScalarKind::Real, len: v("MB") },
         KStmt::DeclPrivArray { name: "_v2".into(), kind: ScalarKind::Real, len: v("MB") },
-        KStmt::DeclScalar { name: "idx".into(), kind: ScalarKind::I32, init: Some(ld(bidx, gid(0))) },
-        KStmt::DeclScalar { name: "nbr".into(), kind: ScalarKind::I32, init: Some(ld(nbrs, v("idx"))) },
-        KStmt::DeclScalar { name: "mi".into(), kind: ScalarKind::I32, init: Some(ld(material, gid(0))) },
+        KStmt::DeclScalar {
+            name: "idx".into(),
+            kind: ScalarKind::I32,
+            init: Some(ld(bidx, gid(0))),
+        },
+        KStmt::DeclScalar {
+            name: "nbr".into(),
+            kind: ScalarKind::I32,
+            init: Some(ld(nbrs, v("idx"))),
+        },
+        KStmt::DeclScalar {
+            name: "mi".into(),
+            kind: ScalarKind::I32,
+            init: Some(ld(material, gid(0))),
+        },
         KStmt::DeclScalar {
             name: "cf1".into(),
             kind: ScalarKind::Real,
@@ -288,8 +312,16 @@ pub fn fdmm_kernel() -> Kernel {
             kind: ScalarKind::Real,
             init: Some(KExpr::real(0.5) * v("cf1") * ld(beta, v("mi"))),
         },
-        KStmt::DeclScalar { name: "_next".into(), kind: ScalarKind::Real, init: Some(ld(next, v("idx"))) },
-        KStmt::DeclScalar { name: "_prev".into(), kind: ScalarKind::Real, init: Some(ld(prev, v("idx"))) },
+        KStmt::DeclScalar {
+            name: "_next".into(),
+            kind: ScalarKind::Real,
+            init: Some(ld(next, v("idx"))),
+        },
+        KStmt::DeclScalar {
+            name: "_prev".into(),
+            kind: ScalarKind::Real,
+            init: Some(ld(prev, v("idx"))),
+        },
         // for each ODE branch: gather state and subtract the branch flux
         KStmt::For {
             var: "b".into(),
@@ -304,7 +336,8 @@ pub fn fdmm_kernel() -> Kernel {
                     value: v("_next")
                         - v("cf1")
                             * ld(bi, mc())
-                            * (KExpr::real(2.0) * ld(dd, mc())
+                            * (KExpr::real(2.0)
+                                * ld(dd, mc())
                                 * KExpr::load(MemRef::Priv("_v2".into()), v("b"))
                                 - ld(ff, mc()) * KExpr::load(MemRef::Priv("_g1".into()), v("b"))),
                 },
@@ -389,7 +422,10 @@ mod tests {
     fn emitted_source_matches_listing_structure() {
         let src = opencl::emit_kernel(&fimm_kernel(false).resolve_real(ScalarKind::F64));
         assert!(src.contains("int idx = boundaryIndices[get_global_id(0)];"), "{src}");
-        assert!(src.contains("next[idx] = ((next[idx] + (cf * prev[idx])) / (1.0 + cf));"), "{src}");
+        assert!(
+            src.contains("next[idx] = ((next[idx] + (cf * prev[idx])) / (1.0 + cf));"),
+            "{src}"
+        );
     }
 
     #[test]

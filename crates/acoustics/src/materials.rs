@@ -143,8 +143,12 @@ impl FdCoeffs {
         assert!(mb >= 1);
         let nm = materials.len();
         let mut beta = Vec::with_capacity(nm);
-        let (mut bi, mut d, mut di, mut f) =
-            (Vec::with_capacity(nm * mb), Vec::with_capacity(nm * mb), Vec::with_capacity(nm * mb), Vec::with_capacity(nm * mb));
+        let (mut bi, mut d, mut di, mut f) = (
+            Vec::with_capacity(nm * mb),
+            Vec::with_capacity(nm * mb),
+            Vec::with_capacity(nm * mb),
+            Vec::with_capacity(nm * mb),
+        );
         // An inert filler branch: enormous inertia → BI ≈ 0 → no effect.
         let filler = BranchParams::new(1e12, 0.0, 0.0);
         for m in materials {

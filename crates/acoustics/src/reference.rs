@@ -89,7 +89,13 @@ pub fn fi_single_kernel_step<T: Real>(
                     + (x != dims.nx - 2) as i32
                     + (y != dims.ny - 2) as i32
                     + (z != dims.nz - 2) as i32;
-                if x == 0 || y == 0 || z == 0 || x == dims.nx - 1 || y == dims.ny - 1 || z == dims.nz - 1 {
+                if x == 0
+                    || y == 0
+                    || z == 0
+                    || x == dims.nx - 1
+                    || y == dims.ny - 1
+                    || z == dims.nz - 1
+                {
                     nbr = 0;
                 }
                 if nbr > 0 {
@@ -102,12 +108,11 @@ pub fn fi_single_kernel_step<T: Real>(
                     let nbr_f = T::of_i32(nbr);
                     if nbr < 6 {
                         let cf = half * l * T::of_i32(6 - nbr) * beta;
-                        slab[y * nx + x] = ((two - l2 * nbr_f) * curr[idx] + l2 * s
-                            + (cf - one) * prev[idx])
-                            / (one + cf);
-                    } else {
                         slab[y * nx + x] =
-                            (two - l2 * nbr_f) * curr[idx] + l2 * s - prev[idx];
+                            ((two - l2 * nbr_f) * curr[idx] + l2 * s + (cf - one) * prev[idx])
+                                / (one + cf);
+                    } else {
+                        slab[y * nx + x] = (two - l2 * nbr_f) * curr[idx] + l2 * s - prev[idx];
                     }
                 }
             }
@@ -130,7 +135,7 @@ pub fn volume_step<T: Real>(
     let two = T::of(2.0);
     next.par_chunks_mut(plane).enumerate().for_each(|(z, slab)| {
         let base = z * plane;
-        for i in 0..plane {
+        for (i, out) in slab.iter_mut().enumerate() {
             let idx = base + i;
             let nbr = nbrs[idx];
             if nbr > 0 {
@@ -140,7 +145,7 @@ pub fn volume_step<T: Real>(
                     + curr[idx + nx]
                     + curr[idx - plane]
                     + curr[idx + plane];
-                slab[i] = (two - l2 * T::of_i32(nbr)) * curr[idx] + l2 * s - prev[idx];
+                *out = (two - l2 * T::of_i32(nbr)) * curr[idx] + l2 * s - prev[idx];
             }
         }
     });
@@ -258,7 +263,9 @@ pub fn fdmm_boundary_step<T: Real>(
             v2_priv[b] = v2[ci];
             let mc = mi * mb + b;
             nx = nx
-                - cf1 * coeffs.bi[mc] * (two * coeffs.d[mc] * v2_priv[b] - coeffs.f[mc] * g1_priv[b]);
+                - cf1
+                    * coeffs.bi[mc]
+                    * (two * coeffs.d[mc] * v2_priv[b] - coeffs.f[mc] * g1_priv[b]);
         }
         nx = (nx + cf * pv) / (one + cf);
         next[idx] = nx;

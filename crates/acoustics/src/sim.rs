@@ -96,8 +96,12 @@ impl SimSetup {
         let (betas, fd, mb) = match &cfg.boundary {
             BoundaryModel::Fi { beta } => (vec![*beta], None, 0),
             BoundaryModel::FiMm { materials } => {
-                assert!(room.num_materials <= materials.len(),
-                    "room assigns {} materials but only {} defined", room.num_materials, materials.len());
+                assert!(
+                    room.num_materials <= materials.len(),
+                    "room assigns {} materials but only {} defined",
+                    room.num_materials,
+                    materials.len()
+                );
                 (fi_betas(materials), None, 0)
             }
             BoundaryModel::FdMm { materials, mb } => {
@@ -341,8 +345,10 @@ mod tests {
         // The resonant branches change the response versus plain FI-MM with
         // the same β₀.
         let dims = GridDims::cube(12);
-        let mut fd = ReferenceSim::<f64>::new(SimSetup::new(&SimConfig::fdmm(dims, RoomShape::Box)));
-        let mut fi = ReferenceSim::<f64>::new(SimSetup::new(&SimConfig::fimm(dims, RoomShape::Box)));
+        let mut fd =
+            ReferenceSim::<f64>::new(SimSetup::new(&SimConfig::fdmm(dims, RoomShape::Box)));
+        let mut fi =
+            ReferenceSim::<f64>::new(SimSetup::new(&SimConfig::fimm(dims, RoomShape::Box)));
         fd.impulse(6, 6, 6, 1.0);
         fi.impulse(6, 6, 6, 1.0);
         let a = fd.impulse_response((3, 3, 3), 60);

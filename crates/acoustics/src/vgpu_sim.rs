@@ -432,7 +432,8 @@ mod tests {
         let s = setup(GridDims::cube(12), RoomShape::Box, true);
         let nb = s.num_b() as u64;
         let mb = s.mb as u64;
-        let mut hw = HandwrittenSim::new(s, Precision::Double, BoundaryKernel::FdMm, Device::gtx780());
+        let mut hw =
+            HandwrittenSim::new(s, Precision::Double, BoundaryKernel::FdMm, Device::gtx780());
         hw.impulse(6, 6, 6, 1.0);
         let (_, bstats) = hw.step(ExecMode::Fast);
         // Listing 4 global traffic per boundary point: loads = idx, nbr, mi,

@@ -89,9 +89,8 @@ proptest! {
         };
         let mb = branches.len();
         let co = FdCoeffs::derive(&[mat], mb);
-        for b in 0..mb {
+        for (b, &(a, bb, cc)) in branches.iter().enumerate() {
             let i = co.at(0, b);
-            let (a, bb, cc) = branches[b];
             prop_assert!((co.di[i] + 1.0 / co.bi[i] - 2.0 * a).abs() < 1e-9);
             prop_assert!((4.0 * co.d[i] - 2.0 * a).abs() < 1e-9);
             prop_assert!((co.f[i] - cc / 2.0).abs() < 1e-12);

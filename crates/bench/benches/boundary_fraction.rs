@@ -19,11 +19,8 @@ fn bench_fraction(c: &mut Criterion) {
             SimConfig::fimm(dims, RoomShape::Dome)
         };
         let setup = SimSetup::new(&cfg);
-        let kind = if fd {
-            BoundaryKernel::FdMm
-        } else {
-            BoundaryKernel::FiMm { beta_constant: true }
-        };
+        let kind =
+            if fd { BoundaryKernel::FdMm } else { BoundaryKernel::FiMm { beta_constant: true } };
         let mut sim = HandwrittenSim::new(setup, Precision::Double, kind, Device::gtx780());
         sim.impulse(32, 24, 12, 1.0);
         group.bench_with_input(BenchmarkId::new("full_step", algo), &algo, |b, _| {

@@ -56,14 +56,49 @@ fn bench_fi(c: &mut Criterion) {
         ];
         group.bench_with_input(BenchmarkId::new("OpenCL", n), &n, |b, _| {
             b.iter(|| {
-                device
-                    .launch(&prep, &args, &[dims.nx, dims.ny, dims.nz], ExecMode::Fast)
-                    .unwrap()
+                device.launch(&prep, &args, &[dims.nx, dims.ny, dims.nz], ExecMode::Fast).unwrap()
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fi);
+/// Bytecode tape vs reference tree-walker on the same hand-written FI
+/// kernel — the speedup the compile stage buys on the interpreter substrate.
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fi_stencil_engine");
+    group.sample_size(10);
+    let dims = GridDims::cube(40);
+    let setup = fi_setup(dims);
+    for (label, engine) in [("tape", vgpu::Engine::Tape), ("tree", vgpu::Engine::Tree)] {
+        let mut device = Device::gtx780();
+        device.set_engine(engine);
+        let kernel = room_acoustics::handwritten::fi_single_kernel()
+            .resolve_real(lift::types::ScalarKind::F32);
+        let prep = device.compile(&kernel).unwrap();
+        let total = dims.total();
+        let prev = device.create_buffer(lift::types::ScalarKind::F32, total);
+        let curr = device.create_buffer(lift::types::ScalarKind::F32, total);
+        let next = device.create_buffer(lift::types::ScalarKind::F32, total);
+        let args = [
+            vgpu::Arg::Buf(next),
+            vgpu::Arg::Buf(curr),
+            vgpu::Arg::Buf(prev),
+            vgpu::Arg::Val(lift::scalar::Value::F32(setup.l as f32)),
+            vgpu::Arg::Val(lift::scalar::Value::F32(setup.l2 as f32)),
+            vgpu::Arg::Val(lift::scalar::Value::F32(0.1)),
+            vgpu::Arg::Val(lift::scalar::Value::I32(dims.nx as i32)),
+            vgpu::Arg::Val(lift::scalar::Value::I32(dims.ny as i32)),
+            vgpu::Arg::Val(lift::scalar::Value::I32(dims.nz as i32)),
+        ];
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                device.launch(&prep, &args, &[dims.nx, dims.ny, dims.nz], ExecMode::Fast).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fi, bench_engines);
 criterion_main!(benches);

@@ -58,20 +58,19 @@ fn bench_tiling(c: &mut Criterion) {
     let mut group = c.benchmark_group("overlapped_tiling");
     group.sample_size(20);
     let (a, plain) = stencil_program();
-    let plain_lk = lower_kernel("plain", &[a.clone()], &plain, ScalarKind::F32).unwrap();
+    let plain_lk =
+        lower_kernel("plain", std::slice::from_ref(&a), &plain, ScalarKind::F32).unwrap();
     let mut r = runner(&plain_lk);
     group.bench_function("untiled", |b| {
         b.iter(|| r.dev.launch(&r.prep, &r.args, &r.global, ExecMode::Fast).unwrap())
     });
     for tile in [32i64, 64, 128] {
         let tiled = overlapped_tile_1d(&plain, tile).unwrap();
-        let lk = lower_kernel("tiled", &[a.clone()], &tiled, ScalarKind::F32).unwrap();
+        let lk = lower_kernel("tiled", std::slice::from_ref(&a), &tiled, ScalarKind::F32).unwrap();
         let mut r = runner(&lk);
         group.bench_with_input(BenchmarkId::new("tiled", tile), &tile, |b, _| {
             b.iter(|| {
-                r.dev
-                    .launch_wg(&r.prep, &r.args, &r.global, r.local, ExecMode::Fast)
-                    .unwrap()
+                r.dev.launch_wg(&r.prep, &r.args, &r.global, r.local, ExecMode::Fast).unwrap()
             })
         });
     }

@@ -17,7 +17,7 @@ use bench::table;
 use lift::kast::{KExpr, KStmt, Kernel, KernelParam, MemRef};
 use lift::prelude::{BinOp, ScalarKind, Value};
 use room_acoustics::{
-    BoundaryKernel, BoundaryModel, GridDims, HandwrittenSim, MaterialAssignment, Material,
+    BoundaryKernel, BoundaryModel, GridDims, HandwrittenSim, Material, MaterialAssignment,
     Precision, RoomShape, SimConfig, SimSetup,
 };
 use serde::Serialize;
@@ -134,7 +134,12 @@ fn main() {
             Arg::Val(Value::I32(dims.nz as i32)),
         ];
         let fused = device
-            .launch(&prep, &args, &[dims.nx, dims.ny, dims.nz], ExecMode::Model { sample_stride: stride })
+            .launch(
+                &prep,
+                &args,
+                &[dims.nx, dims.ny, dims.nz],
+                ExecMode::Model { sample_stride: stride },
+            )
             .unwrap();
         let fused_ms = modeled_ms(fused.transaction_bytes.unwrap(), fused.counters.flops, false);
         // split (Listing 2): volume + gathered boundary
@@ -148,9 +153,16 @@ fn main() {
         let b = sim.boundary_step_only(ExecMode::Model { sample_stride: 1 });
         let split_ms = modeled_ms(v.transaction_bytes.unwrap(), v.counters.flops, false)
             + modeled_ms(b.transaction_bytes.unwrap(), b.counters.flops, false);
-        for (variant, ms) in [("fused one-kernel (Listing 1)", fused_ms), ("two-kernel split (Listing 2)", split_ms)] {
+        for (variant, ms) in
+            [("fused one-kernel (Listing 1)", fused_ms), ("two-kernel split (Listing 2)", split_ms)]
+        {
             trows.push(vec!["kernel split".into(), variant.into(), format!("{ms:.3} ms/step")]);
-            out.push(AblationRow { study: "kernel_split", variant: variant.into(), metric: "ms_per_step".into(), value: ms });
+            out.push(AblationRow {
+                study: "kernel_split",
+                variant: variant.into(),
+                metric: "ms_per_step".into(),
+                value: ms,
+            });
         }
     }
 
@@ -186,15 +198,29 @@ fn main() {
             Arg::Val(Value::I32(dims.nz as i32)),
         ];
         let f = device
-            .launch(&prep, &args, &[dims.nx, dims.ny, dims.nz], ExecMode::Model { sample_stride: stride })
+            .launch(
+                &prep,
+                &args,
+                &[dims.nx, dims.ny, dims.nz],
+                ExecMode::Model { sample_stride: stride },
+            )
             .unwrap();
         let f_ms = modeled_ms(f.transaction_bytes.unwrap(), f.counters.flops, false);
         for (variant, ms) in [("gathered boundaryIndices", g_ms), ("full-grid scan + mask", f_ms)] {
             trows.push(vec!["boundary iteration".into(), variant.into(), format!("{ms:.3} ms")]);
-            out.push(AblationRow { study: "boundary_iteration", variant: variant.into(), metric: "ms_per_step".into(), value: ms });
+            out.push(AblationRow {
+                study: "boundary_iteration",
+                variant: variant.into(),
+                metric: "ms_per_step".into(),
+                value: ms,
+            });
         }
         let speedup = f_ms / g_ms;
-        trows.push(vec!["boundary iteration".into(), "gather speedup".into(), format!("{speedup:.1}×")]);
+        trows.push(vec![
+            "boundary iteration".into(),
+            "gather speedup".into(),
+            format!("{speedup:.1}×"),
+        ]);
     }
 
     // ---------------- 3. FD-MM branch count sweep ------------------------
@@ -210,18 +236,26 @@ fn main() {
             };
             let setup = SimSetup::new(&cfg);
             let nb = setup.num_b() as f64;
-            let mut sim =
-                HandwrittenSim::new(setup, Precision::Double, BoundaryKernel::FdMm, Device::gtx780());
+            let mut sim = HandwrittenSim::new(
+                setup,
+                Precision::Double,
+                BoundaryKernel::FdMm,
+                Device::gtx780(),
+            );
             let s = sim.boundary_step_only(ExecMode::Model { sample_stride: 1 });
-            let per_update =
-                (s.counters.loads_global + s.counters.stores_global) as f64 / nb;
+            let per_update = (s.counters.loads_global + s.counters.stores_global) as f64 / nb;
             let ms = modeled_ms(s.transaction_bytes.unwrap(), s.counters.flops, true);
             trows.push(vec![
                 "FD-MM branches".into(),
                 format!("MB = {mb}"),
                 format!("{per_update:.0} accesses/update, {ms:.3} ms"),
             ]);
-            out.push(AblationRow { study: "mb_sweep", variant: format!("MB{mb}"), metric: "ms".into(), value: ms });
+            out.push(AblationRow {
+                study: "mb_sweep",
+                variant: format!("MB{mb}"),
+                metric: "ms".into(),
+                value: ms,
+            });
         }
     }
 
@@ -230,8 +264,12 @@ fn main() {
         eprintln!("ablation 4: race-check overhead…");
         let small = GridDims::new(64, 48, 40);
         let setup = SimSetup::new(&SimConfig::fdmm(small, RoomShape::Box));
-        let mut sim =
-            HandwrittenSim::new(setup.clone(), Precision::Double, BoundaryKernel::FdMm, Device::gtx780());
+        let mut sim = HandwrittenSim::new(
+            setup.clone(),
+            Precision::Double,
+            BoundaryKernel::FdMm,
+            Device::gtx780(),
+        );
         let t0 = std::time::Instant::now();
         for _ in 0..5 {
             sim.boundary_step_only(ExecMode::Fast);
@@ -250,7 +288,12 @@ fn main() {
             "overhead".into(),
             format!("{:.2}× ({:.1} ms → {:.1} ms interpreter wall)", on / off, off * 1e3, on * 1e3),
         ]);
-        out.push(AblationRow { study: "race_check", variant: "ratio".into(), metric: "x".into(), value: on / off });
+        out.push(AblationRow {
+            study: "race_check",
+            variant: "ratio".into(),
+            metric: "x".into(),
+            value: on / off,
+        });
     }
 
     println!("== Ablations ==\n");

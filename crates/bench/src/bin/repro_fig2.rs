@@ -22,10 +22,8 @@ struct Row {
 }
 
 fn modeled_ms(txn: u64, flops: u64, double: bool, p: &DeviceProfile) -> f64 {
-    vgpu::modeled_time_s(
-        &ModelInput { transaction_bytes: txn, flops, double_precision: double },
-        p,
-    ) * 1e3
+    vgpu::modeled_time_s(&ModelInput { transaction_bytes: txn, flops, double_precision: double }, p)
+        * 1e3
 }
 
 fn main() {
@@ -94,7 +92,8 @@ fn main() {
         let fd = rows.iter().find(|r| r.algo == "FD-MM" && r.shape == shape).unwrap();
         let ordering_thresh = if quick { 1.25 } else { 1.5 };
         let ordering_ok = fd.boundary_pct > fi.boundary_pct * ordering_thresh;
-        let magnitude_ok = quick || ((5.0..=25.0).contains(&fd.boundary_pct) && fi.boundary_pct < 10.0);
+        let magnitude_ok =
+            quick || ((5.0..=25.0).contains(&fd.boundary_pct) && fi.boundary_pct < 10.0);
         let ok = ordering_ok && magnitude_ok;
         println!(
             "[{}] {shape}: FI-MM {:.1} % vs FD-MM {:.1} % (tables-implied ≈3 %/6 %; Figure 2 bars ~4–8 %/15–25 %{})",

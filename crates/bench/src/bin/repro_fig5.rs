@@ -46,9 +46,7 @@ fn main() {
     // from a DRAM-transaction model, which values both near zero. Our
     // substrate instead slightly favours LIFT (its compacted `bnbrs` read
     // is coalesced where the hand-written `nbrs[idx]` gather is not).
-    println!(
-        "[note] NVIDIA f64 private-β effect is not modeled; see EXPERIMENTS.md §Fig5"
-    );
+    println!("[note] NVIDIA f64 private-β effect is not modeled; see EXPERIMENTS.md §Fig5");
 
     match bench::table::write_json("fig5_table5", &rows) {
         Ok(p) => eprintln!("wrote {p}"),

@@ -55,9 +55,8 @@ fn measure(lk: &lift::lower::LoweredKernel, profile: &DeviceProfile) -> Row {
     let global: Vec<usize> =
         lk.global_size.iter().map(|g| g.eval(&|_| None).unwrap() as usize).collect();
     let local = lk.local_size.as_ref().map(|l| l.eval(&|_| None).unwrap() as usize);
-    let stats = dev
-        .launch_wg(&prep, &args, &global, local, ExecMode::Model { sample_stride: 4 })
-        .unwrap();
+    let stats =
+        dev.launch_wg(&prep, &args, &global, local, ExecMode::Model { sample_stride: 4 }).unwrap();
     let t = vgpu::modeled_time_s(
         &ModelInput {
             transaction_bytes: stats.transaction_bytes.unwrap(),
@@ -78,12 +77,18 @@ fn main() {
     let profile = DeviceProfile::gtx780();
     let (a, plain) = stencil_program();
     let mut rows = Vec::new();
-    let plain_lk = lower_kernel("untiled", &[a.clone()], &plain, ScalarKind::F32).unwrap();
+    let plain_lk =
+        lower_kernel("untiled", std::slice::from_ref(&a), &plain, ScalarKind::F32).unwrap();
     rows.push(measure(&plain_lk, &profile));
     for tile in [16i64, 32, 64, 128, 256] {
         let tiled = overlapped_tile_1d(&plain, tile).expect("stencil shape");
-        let lk =
-            lower_kernel(&format!("tiled_T{tile}"), &[a.clone()], &tiled, ScalarKind::F32).unwrap();
+        let lk = lower_kernel(
+            &format!("tiled_T{tile}"),
+            std::slice::from_ref(&a),
+            &tiled,
+            ScalarKind::F32,
+        )
+        .unwrap();
         rows.push(measure(&lk, &profile));
     }
     println!("== Workgroup-size tuning (1-D {K}-point stencil, N = {N}, GTX780 model) ==\n");

@@ -241,11 +241,7 @@ pub fn measure_fi_single(
 /// scale) for fast smoke runs.
 pub fn bench_sizes() -> Vec<GridDims> {
     if std::env::var("REPRO_QUICK").as_deref() == Ok("1") {
-        vec![
-            GridDims::new(152, 102, 77),
-            GridDims::cube(84),
-            GridDims::new(77, 52, 40),
-        ]
+        vec![GridDims::new(152, 102, 77), GridDims::cube(84), GridDims::new(77, 52, 40)]
     } else {
         GridDims::paper_sizes().to_vec()
     }

@@ -39,14 +39,8 @@ pub fn expand_platforms(m: &Measurement, paper_table: &[TimeRow]) -> Vec<ReportR
     DeviceProfile::paper_platforms()
         .into_iter()
         .map(|p| {
-            let paper_ms = paper::lookup(
-                paper_table,
-                &p.name,
-                m.impl_name,
-                &m.size,
-                m.shape,
-                m.double,
-            );
+            let paper_ms =
+                paper::lookup(paper_table, &p.name, m.impl_name, &m.size, m.shape, m.double);
             ReportRow {
                 platform: p.name.clone(),
                 version: m.impl_name,
@@ -137,7 +131,11 @@ pub fn shape_checks(rows: &[ReportRow]) -> usize {
     };
     let find = |ver: &str, size: &str, shape: &str, prec: &str, plat: &str| {
         rows.iter().find(|r| {
-            r.version == ver && r.size == size && r.shape == shape && r.precision == prec && r.platform == plat
+            r.version == ver
+                && r.size == size
+                && r.shape == shape
+                && r.precision == prec
+                && r.platform == plat
         })
     };
     // (1) LIFT on par with OpenCL: geometric-mean ratio within 25 %.
@@ -155,13 +153,12 @@ pub fn shape_checks(rows: &[ReportRow]) -> usize {
         (0.75..=1.25).contains(&gmean),
     );
     // (2) double precision is never faster than single for same config.
-    let ok = rows
-        .iter()
-        .filter(|r| r.precision == "Double")
-        .all(|d| match find(d.version, &d.size, d.shape, "Single", &d.platform) {
+    let ok = rows.iter().filter(|r| r.precision == "Double").all(|d| {
+        match find(d.version, &d.size, d.shape, "Single", &d.platform) {
             Some(s) => d.modeled_ms >= s.modeled_ms * 0.99,
             None => true,
-        });
+        }
+    });
     check("double ≥ single kernel time", ok);
     // (3) larger rooms take longer on the same platform/impl/precision.
     let ok = rows.iter().filter(|r| r.size == "602").all(|big| {

@@ -15,7 +15,8 @@ use vgpu::DeviceProfile;
 fn cube_dip_reproduces_at_small_scale() {
     let p = DeviceProfile::gtx780();
     // elongated box vs near-cube with comparable boundary counts
-    let long = measure_fimm(GridDims::new(152, 102, 77), RoomShape::Box, Precision::Single, Impl::OpenCl);
+    let long =
+        measure_fimm(GridDims::new(152, 102, 77), RoomShape::Box, Precision::Single, Impl::OpenCl);
     let cube = measure_fimm(GridDims::cube(84), RoomShape::Box, Precision::Single, Impl::OpenCl);
     assert!(
         cube.gups(&p) < long.gups(&p),

@@ -170,9 +170,7 @@ impl ArithExpr {
         if flat.len() == 1 && k != 1 {
             if let ArithExpr::Sum(ts) = &flat[0] {
                 return ArithExpr::add(
-                    ts.iter()
-                        .map(|t| ArithExpr::mul(vec![t.clone(), ArithExpr::Cst(k)]))
-                        .collect(),
+                    ts.iter().map(|t| ArithExpr::mul(vec![t.clone(), ArithExpr::Cst(k)])).collect(),
                 );
             }
         }
@@ -187,6 +185,8 @@ impl ArithExpr {
     }
 
     /// Truncating division, folding constants and `x / 1`.
+    /// (A static constructor, not a candidate for `std::ops::Div`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn div(a: ArithExpr, b: ArithExpr) -> Self {
         match (&a, &b) {
             (ArithExpr::Cst(x), ArithExpr::Cst(y)) if *y != 0 => ArithExpr::Cst(x / y),
@@ -197,6 +197,8 @@ impl ArithExpr {
     }
 
     /// Remainder, folding constants, `x % 1` and `0 % x`.
+    /// (A static constructor, not a candidate for `std::ops::Rem`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(a: ArithExpr, b: ArithExpr) -> Self {
         match (&a, &b) {
             (ArithExpr::Cst(x), ArithExpr::Cst(y)) if *y != 0 => ArithExpr::Cst(x % y),
@@ -236,9 +238,7 @@ impl ArithExpr {
                     self.clone()
                 }
             }
-            ArithExpr::Sum(ts) => {
-                ArithExpr::add(ts.iter().map(|t| t.subst(name, value)).collect())
-            }
+            ArithExpr::Sum(ts) => ArithExpr::add(ts.iter().map(|t| t.subst(name, value)).collect()),
             ArithExpr::Prod(fs) => {
                 ArithExpr::mul(fs.iter().map(|f| f.subst(name, value)).collect())
             }
@@ -544,10 +544,7 @@ mod tests {
     #[test]
     fn eval_unbound_errors() {
         let e = v("zz");
-        assert_eq!(
-            e.eval_map(&BTreeMap::new()),
-            Err(ArithError::Unbound("zz".into()))
-        );
+        assert_eq!(e.eval_map(&BTreeMap::new()), Err(ArithError::Unbound("zz".into())));
     }
 
     #[test]

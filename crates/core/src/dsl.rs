@@ -155,10 +155,8 @@ fn parse_one(b: &[u8], pos: &mut usize) -> Result<Sexp, ParseError> {
                 *pos += 1;
             }
             let tok = &b[tok_start..*pos];
-            let s = std::str::from_utf8(tok).map_err(|_| ParseError {
-                at: tok_start,
-                msg: "invalid UTF-8 token".into(),
-            })?;
+            let s = std::str::from_utf8(tok)
+                .map_err(|_| ParseError { at: tok_start, msg: "invalid UTF-8 token".into() })?;
             if let Ok(v) = s.parse::<i64>() {
                 Ok(Sexp::Int(v, tok_start))
             } else if s.contains('.') || s.contains('e') || s.contains('E') {
@@ -260,7 +258,10 @@ pub fn parse_kernel(src: &str) -> Result<DslKernel, ParseError> {
     }
     let name = items[1]
         .sym()
-        .ok_or_else(|| ParseError { at: items[1].at(), msg: "kernel name must be a symbol".into() })?
+        .ok_or_else(|| ParseError {
+            at: items[1].at(),
+            msg: "kernel name must be a symbol".into(),
+        })?
         .to_string();
     let Sexp::List(pitems, pp) = &items[2] else {
         return perr(items[2].at(), "expected (params …)");
@@ -277,9 +278,10 @@ pub fn parse_kernel(src: &str) -> Result<DslKernel, ParseError> {
         if d.len() != 2 {
             return perr(*dp, "expected (name TYPE)");
         }
-        let pname = d[0]
-            .sym()
-            .ok_or_else(|| ParseError { at: d[0].at(), msg: "parameter name must be a symbol".into() })?;
+        let pname = d[0].sym().ok_or_else(|| ParseError {
+            at: d[0].at(),
+            msg: "parameter name must be a symbol".into(),
+        })?;
         let ty = parse_type(&d[1])?;
         let pd = ParamDef::typed(pname, ty);
         scope.names.insert(pname.to_string(), pd.to_expr());
@@ -296,11 +298,7 @@ fn expect_args(items: &[Sexp], n: usize, form: &str, p: usize) -> Result<(), Par
     Ok(())
 }
 
-fn parse_lambda1(
-    binder: &Sexp,
-    body: &Sexp,
-    scope: &mut Scope,
-) -> Result<Lambda, ParseError> {
+fn parse_lambda1(binder: &Sexp, body: &Sexp, scope: &mut Scope) -> Result<Lambda, ParseError> {
     let Sexp::List(vars, vp) = binder else {
         return perr(binder.at(), "expected a binder list like (x)");
     };
@@ -362,14 +360,18 @@ fn parse_expr(s: &Sexp, scope: &mut Scope) -> Result<ExprRef, ParseError> {
                     let input = parse_expr(a(1), scope)?;
                     let lam = parse_lambda1(a(2), a(3), scope)?;
                     let kind = match head {
-                                "map-glb" | "map2-glb" | "map3-glb" => MapKind::Glb,
+                        "map-glb" | "map2-glb" | "map3-glb" => MapKind::Glb,
                         "map-seq" => MapKind::Seq,
                         "map-wrg" => MapKind::Wrg,
                         _ => MapKind::Lcl,
                     };
                     match head {
-                        "map3-glb" => Ok(crate::ir::Expr::new(ExprKind::Map3 { kind, f: lam, input })),
-                        "map2-glb" => Ok(crate::ir::Expr::new(ExprKind::Map2 { kind, f: lam, input })),
+                        "map3-glb" => {
+                            Ok(crate::ir::Expr::new(ExprKind::Map3 { kind, f: lam, input }))
+                        }
+                        "map2-glb" => {
+                            Ok(crate::ir::Expr::new(ExprKind::Map2 { kind, f: lam, input }))
+                        }
                         _ => Ok(crate::ir::Expr::new(ExprKind::Map { kind, f: lam, input })),
                     }
                 }
@@ -381,8 +383,12 @@ fn parse_expr(s: &Sexp, scope: &mut Scope) -> Result<ExprRef, ParseError> {
                     if vars.len() != 2 {
                         return perr(*vp, "reduce binds (acc x)");
                     }
-                    let an = vars[0].sym().ok_or_else(|| ParseError { at: vars[0].at(), msg: "binder".into() })?;
-                    let xn = vars[1].sym().ok_or_else(|| ParseError { at: vars[1].at(), msg: "binder".into() })?;
+                    let an = vars[0]
+                        .sym()
+                        .ok_or_else(|| ParseError { at: vars[0].at(), msg: "binder".into() })?;
+                    let xn = vars[1]
+                        .sym()
+                        .ok_or_else(|| ParseError { at: vars[1].at(), msg: "binder".into() })?;
                     let pa = ParamDef::untyped(an);
                     let px = ParamDef::untyped(xn);
                     let sa = scope.names.insert(an.to_string(), pa.to_expr());
@@ -746,9 +752,7 @@ mod tests {
 
     #[test]
     fn unbound_name_is_reported() {
-        let e = parse_kernel(
-            "(kernel bad (params (a (array real N))) (map-glb zz (x) x))",
-        );
+        let e = parse_kernel("(kernel bad (params (a (array real N))) (map-glb zz (x) x))");
         assert!(e.is_err());
         assert!(e.unwrap_err().msg.contains("unbound name `zz`"));
     }

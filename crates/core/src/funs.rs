@@ -113,10 +113,7 @@ mod tests {
         assert_eq!(sub().eval(&[two, three], ScalarKind::F64), Value::F64(-1.0));
         assert_eq!(mult().eval(&[two, three], ScalarKind::F64), Value::F64(6.0));
         assert_eq!(divide().eval(&[three, two], ScalarKind::F64), Value::F64(1.5));
-        assert_eq!(
-            mad().eval(&[two, three, Value::F64(1.0)], ScalarKind::F64),
-            Value::F64(7.0)
-        );
+        assert_eq!(mad().eval(&[two, three, Value::F64(1.0)], ScalarKind::F64), Value::F64(7.0));
     }
 
     #[test]

@@ -103,11 +103,7 @@ pub fn host_write_to(dest: HostExpr, value: HostExpr) -> HostExpr {
 }
 
 /// `val name = value; body(name)`.
-pub fn host_let(
-    name: &str,
-    value: HostExpr,
-    body: impl FnOnce(HostExpr) -> HostExpr,
-) -> HostExpr {
+pub fn host_let(name: &str, value: HostExpr, body: impl FnOnce(HostExpr) -> HostExpr) -> HostExpr {
     let p = ParamDef::untyped(name);
     let b = body(HostExpr::Ref(p.clone()));
     HostExpr::Let { param: p, value: Box::new(value), body: Box::new(b) }
@@ -279,11 +275,10 @@ impl HostCtx {
                 for spec in &lowered.args {
                     match spec {
                         ArgSpec::Input(pid, pname) => {
-                            let pos = kernel
-                                .params
-                                .iter()
-                                .position(|p| p.id == *pid)
-                                .ok_or_else(|| LowerError(format!("lost parameter `{pname}`")))?;
+                            let pos =
+                                kernel.params.iter().position(|p| p.id == *pid).ok_or_else(
+                                    || LowerError(format!("lost parameter `{pname}`")),
+                                )?;
                             match &vals[pos] {
                                 HVal::Dev { slot, .. } => launch_args.push(LaunchArg::Buf(slot.clone())),
                                 HVal::Host { name, ty: Some(Type::Scalar(_)) } => {
@@ -388,16 +383,16 @@ pub fn emit_host_c(p: &HostProgram) -> String {
                 for (i, a) in args.iter().enumerate() {
                     match a {
                         LaunchArg::Buf(b) => {
-                            let _ = writeln!(
-                                out,
-                                "clSetKernelArg({name}, {i}, sizeof(cl_mem), &{b});"
-                            );
+                            let _ =
+                                writeln!(out, "clSetKernelArg({name}, {i}, sizeof(cl_mem), &{b});");
                         }
                         LaunchArg::ScalarInput(s) => {
-                            let _ = writeln!(out, "clSetKernelArg({name}, {i}, sizeof({s}), &{s});");
+                            let _ =
+                                writeln!(out, "clSetKernelArg({name}, {i}, sizeof({s}), &{s});");
                         }
                         LaunchArg::SizeVar(s) => {
-                            let _ = writeln!(out, "clSetKernelArg({name}, {i}, sizeof(int), &{s});");
+                            let _ =
+                                writeln!(out, "clSetKernelArg({name}, {i}, sizeof(int), &{s});");
                         }
                     }
                 }
@@ -454,11 +449,9 @@ mod tests {
     fn togpu_is_deduplicated() {
         let k = add2_kernel();
         let input = ParamDef::typed("a_h", Type::array(Type::real(), "N"));
-        let prog = host_let(
-            "x",
-            to_gpu(HostExpr::Input(input.clone())),
-            |_x| to_host(ocl_kernel(&k, vec![to_gpu(HostExpr::Input(input))])),
-        );
+        let prog = host_let("x", to_gpu(HostExpr::Input(input.clone())), |_x| {
+            to_host(ocl_kernel(&k, vec![to_gpu(HostExpr::Input(input))]))
+        });
         let hp = compile_host(&prog, ScalarKind::F32).unwrap();
         let copies = hp.cmds.iter().filter(|c| matches!(c, HostCmd::CopyIn { .. })).count();
         assert_eq!(copies, 1);

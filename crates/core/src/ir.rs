@@ -382,7 +382,12 @@ pub fn at(array: ExprRef, index: ExprRef) -> ExprRef {
 }
 
 /// Strided window into `array`.
-pub fn slice(array: ExprRef, start: ExprRef, stride: impl Into<ArithExpr>, len: impl Into<ArithExpr>) -> ExprRef {
+pub fn slice(
+    array: ExprRef,
+    start: ExprRef,
+    stride: impl Into<ArithExpr>,
+    len: impl Into<ArithExpr>,
+) -> ExprRef {
     Expr::new(ExprKind::Slice { array, start, stride: stride.into(), len: len.into() })
 }
 

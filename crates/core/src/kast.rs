@@ -164,8 +164,12 @@ impl KExpr {
             }
             A::Div(x, y) => KExpr::bin(BinOp::Div, KExpr::from_arith(x), KExpr::from_arith(y)),
             A::Mod(x, y) => KExpr::bin(BinOp::Rem, KExpr::from_arith(x), KExpr::from_arith(y)),
-            A::Min(x, y) => KExpr::Call(Intrinsic::Min, vec![KExpr::from_arith(x), KExpr::from_arith(y)]),
-            A::Max(x, y) => KExpr::Call(Intrinsic::Max, vec![KExpr::from_arith(x), KExpr::from_arith(y)]),
+            A::Min(x, y) => {
+                KExpr::Call(Intrinsic::Min, vec![KExpr::from_arith(x), KExpr::from_arith(y)])
+            }
+            A::Max(x, y) => {
+                KExpr::Call(Intrinsic::Max, vec![KExpr::from_arith(x), KExpr::from_arith(y)])
+            }
         }
     }
 }
@@ -311,14 +315,18 @@ impl Kernel {
     pub fn resolve_real(&self, real: ScalarKind) -> Kernel {
         fn rx(e: &KExpr, real: ScalarKind) -> KExpr {
             match e {
-                KExpr::Lit(l) => KExpr::Lit(Lit { value: l.value, kind: l.kind.resolve_real(real) }),
+                KExpr::Lit(l) => {
+                    KExpr::Lit(Lit { value: l.value, kind: l.kind.resolve_real(real) })
+                }
                 KExpr::Var(_)
                 | KExpr::GlobalId(_)
                 | KExpr::GlobalSize(_)
                 | KExpr::LocalId(_)
                 | KExpr::LocalSize(_)
                 | KExpr::GroupId(_) => e.clone(),
-                KExpr::Load { mem, idx } => KExpr::Load { mem: mem.clone(), idx: Box::new(rx(idx, real)) },
+                KExpr::Load { mem, idx } => {
+                    KExpr::Load { mem: mem.clone(), idx: Box::new(rx(idx, real)) }
+                }
                 KExpr::Bin(op, a, b) => KExpr::bin(*op, rx(a, real), rx(b, real)),
                 KExpr::Un(op, a) => KExpr::Un(*op, Box::new(rx(a, real))),
                 KExpr::Select(c, t, f) => KExpr::select(rx(c, real), rx(t, real), rx(f, real)),
@@ -347,11 +355,9 @@ impl Kernel {
                 KStmt::Assign { name, value } => {
                     KStmt::Assign { name: name.clone(), value: rx(value, real) }
                 }
-                KStmt::Store { mem, idx, value } => KStmt::Store {
-                    mem: mem.clone(),
-                    idx: rx(idx, real),
-                    value: rx(value, real),
-                },
+                KStmt::Store { mem, idx, value } => {
+                    KStmt::Store { mem: mem.clone(), idx: rx(idx, real), value: rx(value, real) }
+                }
                 KStmt::For { var, begin, end, step, body } => KStmt::For {
                     var: var.clone(),
                     begin: rx(begin, real),

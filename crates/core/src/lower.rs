@@ -121,12 +121,7 @@ impl<'a> Ctx<'a> {
 
     /// Inlines a user function: each argument is bound to a fresh temporary
     /// (so loads are not duplicated), then the body is substituted.
-    fn inline_userfun(
-        &mut self,
-        f: &UserFun,
-        args: Vec<KExpr>,
-        out: &mut Vec<KStmt>,
-    ) -> KExpr {
+    fn inline_userfun(&mut self, f: &UserFun, args: Vec<KExpr>, out: &mut Vec<KStmt>) -> KExpr {
         let bound: Vec<KExpr> = args
             .into_iter()
             .zip(&f.params)
@@ -184,8 +179,7 @@ impl<'a> Ctx<'a> {
         let mut body = Vec::new();
         let elem_view = iv.access(KExpr::var(&var))?;
         assert_eq!(f.params.len(), 2);
-        self.bindings
-            .insert(f.params[0].id, View::Expr(KExpr::var(&acc), acc_kind));
+        self.bindings.insert(f.params[0].id, View::Expr(KExpr::var(&acc), acc_kind));
         self.bindings.insert(f.params[1].id, elem_view);
         let new_acc = self.gen_scalar(&f.body, &mut body)?;
         body.push(KStmt::Assign { name: acc.clone(), value: new_acc });
@@ -246,11 +240,7 @@ impl<'a> Ctx<'a> {
             other => return err(format!("toPrivate supports scalar elements, got {other}")),
         };
         let name = self.names.fresh("priv");
-        out.push(KStmt::DeclPrivArray {
-            name: name.clone(),
-            kind,
-            len: KExpr::from_arith(&n),
-        });
+        out.push(KStmt::DeclPrivArray { name: name.clone(), kind, len: KExpr::from_arith(&n) });
         let view = View::mem(MemRef::Priv(name), ty);
         self.emit_into(inner, Some(view.clone()), out)?;
         Ok(view)
@@ -274,17 +264,12 @@ impl<'a> Ctx<'a> {
             other => return err(format!("toLocal supports scalar elements, got {other}")),
         };
         let name = self.names.fresh("tile");
-        out.push(KStmt::DeclLocalArray {
-            name: name.clone(),
-            kind,
-            len: KExpr::from_arith(&n),
-        });
+        out.push(KStmt::DeclLocalArray { name: name.clone(), kind, len: KExpr::from_arith(&n) });
         // cooperative load: each local item copies a strided share
         let src_view = self.view_of(inner, out)?;
         let var = self.names.fresh("co");
         let src = src_view.access(KExpr::var(&var))?;
-        let dst = View::mem(MemRef::Local(name.clone()), ty.clone())
-            .access(KExpr::var(&var))?;
+        let dst = View::mem(MemRef::Local(name.clone()), ty.clone()).access(KExpr::var(&var))?;
         let body = vec![dst.store(src.as_scalar()?)?];
         out.push(KStmt::For {
             var,
@@ -317,11 +302,7 @@ impl<'a> Ctx<'a> {
             ExprKind::Slice { array, start, stride, .. } => {
                 let base = self.view_of(array, out)?;
                 let start = self.gen_scalar(start, out)?;
-                Ok(View::Gather {
-                    base: Box::new(base),
-                    start,
-                    stride: KExpr::from_arith(stride),
-                })
+                Ok(View::Gather { base: Box::new(base), start, stride: KExpr::from_arith(stride) })
             }
             ExprKind::Iota { .. } => Ok(View::IotaV),
             ExprKind::Zip(parts) => {
@@ -406,10 +387,9 @@ impl<'a> Ctx<'a> {
                 margin: *margin,
                 remaining: 3,
             }),
-            ExprKind::Split { chunk, input } => Ok(View::SplitV {
-                base: Box::new(self.view_of(input, out)?),
-                chunk: chunk.clone(),
-            }),
+            ExprKind::Split { chunk, input } => {
+                Ok(View::SplitV { base: Box::new(self.view_of(input, out)?), chunk: chunk.clone() })
+            }
             ExprKind::Join { input } => {
                 let inner = match self.typed.of(input) {
                     Type::Array(elem, _) => match elem.as_ref() {
@@ -448,10 +428,10 @@ impl<'a> Ctx<'a> {
                 let v = self.gen_scalar(e, out)?;
                 Ok(View::Expr(v, kind))
             }
-            ExprKind::Map { .. } | ExprKind::Map2 { .. } | ExprKind::Map3 { .. } => err(
-                "a map used as an input must be materialised with to_private \
-                 (LIFT would fuse it; this generator requires explicit materialisation)",
-            ),
+            ExprKind::Map { .. } | ExprKind::Map2 { .. } | ExprKind::Map3 { .. } => {
+                err("a map used as an input must be materialised with to_private \
+                 (LIFT would fuse it; this generator requires explicit materialisation)")
+            }
             ExprKind::WriteTo { .. } | ExprKind::Concat(_) | ExprKind::Skip { .. } => {
                 err("WriteTo/Concat/Skip cannot appear in input (view) position")
             }
@@ -652,11 +632,9 @@ fn sexpr_to_kexpr(e: &SExpr, args: &[KExpr]) -> KExpr {
         SExpr::Lit(l) => KExpr::Lit(*l),
         SExpr::Bin(op, a, b) => KExpr::bin(*op, sexpr_to_kexpr(a, args), sexpr_to_kexpr(b, args)),
         SExpr::Un(op, a) => KExpr::Un(*op, Box::new(sexpr_to_kexpr(a, args))),
-        SExpr::Select(c, t, f) => KExpr::select(
-            sexpr_to_kexpr(c, args),
-            sexpr_to_kexpr(t, args),
-            sexpr_to_kexpr(f, args),
-        ),
+        SExpr::Select(c, t, f) => {
+            KExpr::select(sexpr_to_kexpr(c, args), sexpr_to_kexpr(t, args), sexpr_to_kexpr(f, args))
+        }
         SExpr::Call(i, call_args) => {
             KExpr::Call(*i, call_args.iter().map(|a| sexpr_to_kexpr(a, args)).collect())
         }
@@ -711,9 +689,7 @@ fn size_vars_of_expr(e: &ExprRef, out: &mut Vec<String>) {
         | ExprKind::Zip(parts)
         | ExprKind::Zip2(parts)
         | ExprKind::Zip3(parts)
-        | ExprKind::Concat(parts) => {
-            parts.iter().for_each(|p| size_vars_of_expr(p, out))
-        }
+        | ExprKind::Concat(parts) => parts.iter().for_each(|p| size_vars_of_expr(p, out)),
         ExprKind::Get { tuple: x, .. }
         | ExprKind::ToPrivate(x)
         | ExprKind::ToLocal(x)
@@ -782,29 +758,24 @@ pub fn lower_kernel(
     let typed = check(body)?;
     let mut kparams: Vec<KernelParam> = Vec::new();
     let mut args: Vec<ArgSpec> = Vec::new();
-    let mut ctx = Ctx {
-        typed: &typed,
-        bindings: HashMap::new(),
-        names: NameGen::new(),
-        lcl_size: None,
-    };
+    let mut ctx =
+        Ctx { typed: &typed, bindings: HashMap::new(), names: NameGen::new(), lcl_size: None };
 
     // 1. user parameters
     let mut size_vars: Vec<String> = Vec::new();
     for p in params {
-        let ty = p
-            .ty
-            .clone()
-            .ok_or_else(|| LowerError(format!("kernel input `{}` must be typed", p.name)))?;
+        let ty =
+            p.ty.clone()
+                .ok_or_else(|| LowerError(format!("kernel input `{}` must be typed", p.name)))?;
         size_vars_of_type(&ty, &mut size_vars);
         match &ty {
             Type::Scalar(k) => {
                 kparams.push(KernelParam::scalar(sanitize(&p.name), *k));
             }
             _ => {
-                let kind = ty
-                    .scalar_kind()
-                    .ok_or_else(|| LowerError(format!("buffer `{}` must have a uniform scalar kind", p.name)))?;
+                let kind = ty.scalar_kind().ok_or_else(|| {
+                    LowerError(format!("buffer `{}` must have a uniform scalar kind", p.name))
+                })?;
                 kparams.push(KernelParam::global_buf(sanitize(&p.name), kind));
             }
         }
@@ -847,11 +818,9 @@ pub fn lower_kernel(
         ExprKind::Map2 { kind: MapKind::Glb, f, input } => (f, input, 2u8),
         ExprKind::Map3 { kind: MapKind::Glb, f, input } => (f, input, 3u8),
         ExprKind::Map { kind: MapKind::Wrg, f, input } => (f, input, 0u8),
-        _ => {
-            return err(
-                "kernel body must be a top-level parallel map/map3/mapWrg (optionally in a WriteTo)",
-            )
-        }
+        _ => return err(
+            "kernel body must be a top-level parallel map/map3/mapWrg (optionally in a WriteTo)",
+        ),
     };
     let map_ty = typed.of(&map_expr).clone();
     let plan = memory::plan_output(&f.body, &map_ty, &typed)?;
@@ -861,9 +830,9 @@ pub fn lower_kernel(
         match &plan {
             OutputPlan::InPlace => None,
             OutputPlan::Alloc(ty) => {
-                let kind = ty
-                    .scalar_kind()
-                    .ok_or_else(|| LowerError("output type must have a uniform scalar kind".into()))?;
+                let kind = ty.scalar_kind().ok_or_else(|| {
+                    LowerError("output type must have a uniform scalar kind".into())
+                })?;
                 kparams.push(KernelParam::global_buf("out", kind));
                 args.push(ArgSpec::Output("out".into(), ty.clone()));
                 Some(View::mem(MemRef::Param(kparams.len() - 1), ty.clone()))
@@ -970,8 +939,8 @@ pub fn lower_kernel(
         local_size = Some(t);
     }
     let work_dim = if dims == 0 { 1 } else { dims };
-    let kernel = Kernel { name: name.into(), params: kparams, body: stmts, work_dim }
-        .resolve_real(real);
+    let kernel =
+        Kernel { name: name.into(), params: kparams, body: stmts, work_dim }.resolve_real(real);
     Ok(LoweredKernel { kernel, args, global_size, local_size })
 }
 
@@ -993,11 +962,8 @@ mod tests {
         assert_eq!(lk.kernel.params.len(), 3);
         assert!(matches!(lk.args[2], ArgSpec::Output(_, _)));
         // must contain a store to the out buffer
-        let has_store = lk
-            .kernel
-            .body
-            .iter()
-            .any(|s| matches!(s, KStmt::Store { mem: MemRef::Param(2), .. }));
+        let has_store =
+            lk.kernel.body.iter().any(|s| matches!(s, KStmt::Store { mem: MemRef::Param(2), .. }));
         assert!(has_store, "body: {:?}", lk.kernel.body);
     }
 
@@ -1079,11 +1045,9 @@ mod tests {
     #[test]
     fn reduce_seq_generates_loop() {
         let a = ParamDef::typed("a", Type::array(Type::real(), 8usize));
-        let prog = map_glb(
-            slide(3, 1, a.to_expr()),
-            "w",
-            |w| reduce_seq(lit(Lit::real(0.0)), w, |acc, x| call(&funs::add(), vec![acc, x])),
-        );
+        let prog = map_glb(slide(3, 1, a.to_expr()), "w", |w| {
+            reduce_seq(lit(Lit::real(0.0)), w, |acc, x| call(&funs::add(), vec![acc, x]))
+        });
         let lk = lower_kernel("red", &[a], &prog, ScalarKind::F32).unwrap();
         let has_for = lk.kernel.body.iter().any(|s| matches!(s, KStmt::For { .. }));
         assert!(has_for);

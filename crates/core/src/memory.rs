@@ -92,6 +92,7 @@ pub fn plan_output(
 
 /// Recursive invariant check: `under_writeto` tracks whether the current
 /// expression's output has been re-routed.
+#[allow(clippy::only_used_in_recursion)]
 fn validate(e: &ExprRef, typed: &Typed, under_writeto: bool) -> Result<(), MemError> {
     match &e.kind {
         ExprKind::WriteTo { value, dest } => {
@@ -175,7 +176,10 @@ fn validate(e: &ExprRef, typed: &Typed, under_writeto: bool) -> Result<(), MemEr
         | ExprKind::Pad3 { input, .. }
         | ExprKind::Crop3 { input, .. }
         | ExprKind::Split { input, .. } => validate(input, typed, false),
-        ExprKind::Param(_) | ExprKind::Literal(_) | ExprKind::Iota { .. } | ExprKind::SizeVal(_) => Ok(()),
+        ExprKind::Param(_)
+        | ExprKind::Literal(_)
+        | ExprKind::Iota { .. }
+        | ExprKind::SizeVal(_) => Ok(()),
     }
 }
 

@@ -66,12 +66,9 @@ pub fn expr_c(kernel: &Kernel, e: &KExpr) -> String {
             };
             format!("({}{})", s, expr_c(kernel, a))
         }
-        KExpr::Select(c, t, f) => format!(
-            "({} ? {} : {})",
-            expr_c(kernel, c),
-            expr_c(kernel, t),
-            expr_c(kernel, f)
-        ),
+        KExpr::Select(c, t, f) => {
+            format!("({} ? {} : {})", expr_c(kernel, c), expr_c(kernel, t), expr_c(kernel, f))
+        }
         KExpr::Call(i, args) => {
             let args: Vec<String> = args.iter().map(|a| expr_c(kernel, a)).collect();
             format!("{}({})", i.c_name(), args.join(", "))
@@ -252,7 +249,12 @@ mod tests {
     #[test]
     fn signature_and_body_print() {
         let src = emit_kernel(&sample());
-        assert!(src.contains("__kernel void saxpy(__global float* x, __global float* y, float a, int N)"), "{src}");
+        assert!(
+            src.contains(
+                "__kernel void saxpy(__global float* x, __global float* y, float a, int N)"
+            ),
+            "{src}"
+        );
         assert!(src.contains("y[get_global_id(0)] ="), "{src}");
         assert!(src.contains("return;"), "{src}");
     }

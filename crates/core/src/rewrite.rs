@@ -23,7 +23,6 @@
 
 use crate::ir::{Expr, ExprKind, ExprRef, Lambda, ParamId};
 
-
 /// Substitutes every reference to parameter `pid` in `e` with `rep`
 /// (capture is impossible: parameter ids are globally unique).
 pub fn subst_param(e: &ExprRef, pid: ParamId, rep: &ExprRef) -> ExprRef {
@@ -38,10 +37,9 @@ pub fn subst_param(e: &ExprRef, pid: ParamId, rep: &ExprRef) -> ExprRef {
         ExprKind::Literal(l) => ExprKind::Literal(*l),
         ExprKind::SizeVal(a) => ExprKind::SizeVal(a.clone()),
         ExprKind::Iota { n } => ExprKind::Iota { n: n.clone() },
-        ExprKind::Call { f, args } => ExprKind::Call {
-            f: f.clone(),
-            args: args.iter().map(rebuild).collect(),
-        },
+        ExprKind::Call { f, args } => {
+            ExprKind::Call { f: f.clone(), args: args.iter().map(rebuild).collect() }
+        }
         ExprKind::Tuple(parts) => ExprKind::Tuple(parts.iter().map(rebuild).collect()),
         ExprKind::Get { tuple, index } => ExprKind::Get { tuple: rebuild(tuple), index: *index },
         ExprKind::At { array, index } => {
@@ -53,11 +51,9 @@ pub fn subst_param(e: &ExprRef, pid: ParamId, rep: &ExprRef) -> ExprRef {
             stride: stride.clone(),
             len: len.clone(),
         },
-        ExprKind::Let { param, value, body } => ExprKind::Let {
-            param: param.clone(),
-            value: rebuild(value),
-            body: rebuild(body),
-        },
+        ExprKind::Let { param, value, body } => {
+            ExprKind::Let { param: param.clone(), value: rebuild(value), body: rebuild(body) }
+        }
         ExprKind::Map { kind, f, input } => ExprKind::Map {
             kind: *kind,
             f: Lambda { params: f.params.clone(), body: rebuild(&f.body) },
@@ -85,12 +81,9 @@ pub fn subst_param(e: &ExprRef, pid: ParamId, rep: &ExprRef) -> ExprRef {
         ExprKind::Slide3 { size, step, input } => {
             ExprKind::Slide3 { size: *size, step: *step, input: rebuild(input) }
         }
-        ExprKind::Pad { left, right, kind, input } => ExprKind::Pad {
-            left: *left,
-            right: *right,
-            kind: *kind,
-            input: rebuild(input),
-        },
+        ExprKind::Pad { left, right, kind, input } => {
+            ExprKind::Pad { left: *left, right: *right, kind: *kind, input: rebuild(input) }
+        }
         ExprKind::Pad2 { amount, kind, input } => {
             ExprKind::Pad2 { amount: *amount, kind: *kind, input: rebuild(input) }
         }
@@ -112,9 +105,7 @@ pub fn subst_param(e: &ExprRef, pid: ParamId, rep: &ExprRef) -> ExprRef {
         ExprKind::ToPrivate(x) => ExprKind::ToPrivate(rebuild(x)),
         ExprKind::ToLocal(x) => ExprKind::ToLocal(rebuild(x)),
         ExprKind::Concat(parts) => ExprKind::Concat(parts.iter().map(rebuild).collect()),
-        ExprKind::Skip { len, elem } => {
-            ExprKind::Skip { len: rebuild(len), elem: elem.clone() }
-        }
+        ExprKind::Skip { len, elem } => ExprKind::Skip { len: rebuild(len), elem: elem.clone() },
         ExprKind::ArrayCons { elem, n } => {
             ExprKind::ArrayCons { elem: rebuild(elem), n: n.clone() }
         }
@@ -139,7 +130,8 @@ fn pass(e: &ExprRef) -> (ExprRef, bool) {
     let rewritten = match &e.kind {
         // map id x → x
         ExprKind::Map { f, input, .. } | ExprKind::Map3 { f, input, .. } => {
-            let body_is_param = matches!(&f.body.kind, ExprKind::Param(p) if p.id == f.params[0].id);
+            let body_is_param =
+                matches!(&f.body.kind, ExprKind::Param(p) if p.id == f.params[0].id);
             if body_is_param {
                 Some(input.clone())
             } else if let ExprKind::Map { kind: inner_kind, f: g, input: y } = &input.kind {
@@ -231,9 +223,10 @@ fn rebuild_children(e: &ExprRef) -> (ExprRef, bool) {
         r
     };
     let kind = match &e.kind {
-        ExprKind::Param(_) | ExprKind::Literal(_) | ExprKind::SizeVal(_) | ExprKind::Iota { .. } => {
-            return (e.clone(), false)
-        }
+        ExprKind::Param(_)
+        | ExprKind::Literal(_)
+        | ExprKind::SizeVal(_)
+        | ExprKind::Iota { .. } => return (e.clone(), false),
         ExprKind::Call { f, args } => {
             ExprKind::Call { f: f.clone(), args: args.iter().map(&mut go).collect() }
         }
@@ -285,9 +278,7 @@ fn rebuild_children(e: &ExprRef) -> (ExprRef, bool) {
         ExprKind::Pad3 { amount, kind, input } => {
             ExprKind::Pad3 { amount: *amount, kind: *kind, input: go(input) }
         }
-        ExprKind::Crop3 { margin, input } => {
-            ExprKind::Crop3 { margin: *margin, input: go(input) }
-        }
+        ExprKind::Crop3 { margin, input } => ExprKind::Crop3 { margin: *margin, input: go(input) },
         ExprKind::Split { chunk, input } => {
             ExprKind::Split { chunk: chunk.clone(), input: go(input) }
         }
@@ -301,12 +292,8 @@ fn rebuild_children(e: &ExprRef) -> (ExprRef, bool) {
         ExprKind::ToLocal(x) => ExprKind::ToLocal(go(x)),
         ExprKind::Concat(parts) => ExprKind::Concat(parts.iter().map(&mut go).collect()),
         ExprKind::Skip { len, elem } => ExprKind::Skip { len: go(len), elem: elem.clone() },
-        ExprKind::ArrayCons { elem, n } => {
-            ExprKind::ArrayCons { elem: go(elem), n: n.clone() }
-        }
-        ExprKind::WriteTo { dest, value } => {
-            ExprKind::WriteTo { dest: go(dest), value: go(value) }
-        }
+        ExprKind::ArrayCons { elem, n } => ExprKind::ArrayCons { elem: go(elem), n: n.clone() },
+        ExprKind::WriteTo { dest, value } => ExprKind::WriteTo { dest: go(dest), value: go(value) },
     };
     if changed {
         (Expr::new(kind), true)
@@ -342,11 +329,8 @@ pub fn overlapped_tile_1d(e: &ExprRef, tile: i64) -> Option<ExprRef> {
         return None;
     };
     let k = *size;
-    let outer = Expr::new(ExprKind::Slide {
-        size: tile + k - 1,
-        step: tile,
-        input: source.clone(),
-    });
+    let outer =
+        Expr::new(ExprKind::Slide { size: tile + k - 1, step: tile, input: source.clone() });
     let tile_param = crate::ir::ParamDef::untyped("tileWin");
     let staged = Expr::new(ExprKind::ToLocal(tile_param.to_expr()));
     let windows = Expr::new(ExprKind::Slide { size: k, step: 1, input: staged });
@@ -399,9 +383,8 @@ mod tests {
         let a = ParamDef::typed("a", Type::array(Type::real(), "N"));
         let add = funs::add();
         let add2 = add.clone();
-        let inner = ir::map_seq(a.to_expr(), "x", |x| {
-            ir::call(&add, vec![x, ir::lit(Lit::real(1.0))])
-        });
+        let inner =
+            ir::map_seq(a.to_expr(), "x", |x| ir::call(&add, vec![x, ir::lit(Lit::real(1.0))]));
         let e = ir::map_seq(inner, "y", |y| ir::call(&add2, vec![y, ir::lit(Lit::real(2.0))]));
         let o = optimize(&e);
         // one map, body contains both additions
@@ -409,7 +392,7 @@ mod tests {
             ExprKind::Map { input, f, .. } => {
                 assert!(matches!(input.kind, ExprKind::Param(_)));
                 let dbg = format!("{:?}", f.body.kind);
-                assert_eq!(dbg.matches("Call").count() >= 2, true, "{dbg}");
+                assert!(dbg.matches("Call").count() >= 2, "{dbg}");
             }
             other => panic!("expected fused map, got {other:?}"),
         }
@@ -422,9 +405,7 @@ mod tests {
         // map_glb over map_seq fuses keeping Glb.
         let a = ParamDef::typed("a", Type::array(Type::real(), "N"));
         let add = funs::add();
-        let inner = ir::map_seq(a.to_expr(), "x", |x| {
-            ir::call(&add, vec![x.clone(), x])
-        });
+        let inner = ir::map_seq(a.to_expr(), "x", |x| ir::call(&add, vec![x.clone(), x]));
         let e = ir::map_glb(inner, "y", |y| y.clone());
         let o = optimize(&e);
         // map-id also fires on the outer, leaving the fused/simplified map.
@@ -460,12 +441,7 @@ mod tests {
     #[test]
     fn pads_merge() {
         let a = ParamDef::typed("a", Type::array(Type::real(), "N"));
-        let e = ir::pad(
-            1,
-            2,
-            PadKind::Clamp,
-            ir::pad(3, 4, PadKind::Clamp, a.to_expr()),
-        );
+        let e = ir::pad(1, 2, PadKind::Clamp, ir::pad(3, 4, PadKind::Clamp, a.to_expr()));
         let o = optimize(&e);
         match &o.kind {
             ExprKind::Pad { left: 4, right: 6, .. } => {}

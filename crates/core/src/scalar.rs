@@ -188,7 +188,14 @@ impl BinOp {
     pub fn is_predicate(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
@@ -327,7 +334,11 @@ impl SExpr {
                 let inner: u64 = args.iter().map(SExpr::flop_count).sum();
                 // Transcendental intrinsics modelled as a handful of flops.
                 let own = match i {
-                    Intrinsic::Sqrt | Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos => 4,
+                    Intrinsic::Sqrt
+                    | Intrinsic::Exp
+                    | Intrinsic::Log
+                    | Intrinsic::Sin
+                    | Intrinsic::Cos => 4,
                     Intrinsic::Fma => 2,
                     Intrinsic::Min | Intrinsic::Max => 1,
                     Intrinsic::Fabs => 0,
@@ -633,12 +644,7 @@ mod tests {
 
     #[test]
     fn userfun_casts_result() {
-        let f = UserFun::new(
-            "trunc",
-            vec![("x", ScalarKind::F64)],
-            ScalarKind::I32,
-            SExpr::p(0),
-        );
+        let f = UserFun::new("trunc", vec![("x", ScalarKind::F64)], ScalarKind::I32, SExpr::p(0));
         assert_eq!(f.eval(&[Value::F64(3.9)], ScalarKind::F64), Value::I32(3));
     }
 

@@ -23,9 +23,7 @@ impl Typed {
     /// Type of an expression (panics if the expression was not checked —
     /// that would be a bug in a pass, not a user error).
     pub fn of(&self, e: &Expr) -> &Type {
-        self.expr
-            .get(&e.id)
-            .unwrap_or_else(|| panic!("expression {:?} has no inferred type", e.id))
+        self.expr.get(&e.id).unwrap_or_else(|| panic!("expression {:?} has no inferred type", e.id))
     }
 }
 
@@ -58,7 +56,11 @@ pub fn check(root: &ExprRef) -> Result<Typed, TypeError> {
     Ok(t)
 }
 
-fn expect_array<'t>(e: &Expr, t: &'t Type, what: &str) -> Result<(&'t Type, &'t ArithExpr), TypeError> {
+fn expect_array<'t>(
+    e: &Expr,
+    t: &'t Type,
+    what: &str,
+) -> Result<(&'t Type, &'t ArithExpr), TypeError> {
     match t {
         Type::Array(elem, n) => Ok((elem, n)),
         other => err(e, format!("{what} expects an array, got {other}")),
@@ -113,13 +115,24 @@ fn infer(e: &ExprRef, t: &mut Typed) -> Result<Type, TypeError> {
                     t.params.insert(p.id, ty.clone());
                     ty.clone()
                 }
-                None => return err(e, format!("parameter `{}` has no type and is not bound by an enclosing pattern", p.name)),
+                None => {
+                    return err(
+                        e,
+                        format!(
+                            "parameter `{}` has no type and is not bound by an enclosing pattern",
+                            p.name
+                        ),
+                    )
+                }
             },
         },
         ExprKind::Literal(l) => Type::Scalar(l.kind),
         ExprKind::Call { f, args } => {
             if f.params.len() != args.len() {
-                return err(e, format!("`{}` expects {} args, got {}", f.name, f.params.len(), args.len()));
+                return err(
+                    e,
+                    format!("`{}` expects {} args, got {}", f.name, f.params.len(), args.len()),
+                );
             }
             for a in args {
                 let at = infer(a, t)?;
@@ -139,7 +152,10 @@ fn infer(e: &ExprRef, t: &mut Typed) -> Result<Type, TypeError> {
             match tt {
                 Type::Tuple(parts) if *index < parts.len() => parts[*index].clone(),
                 Type::Tuple(parts) => {
-                    return err(e, format!("tuple has {} components, index {index} out of range", parts.len()))
+                    return err(
+                        e,
+                        format!("tuple has {} components, index {index} out of range", parts.len()),
+                    )
                 }
                 other => return err(e, format!("get expects a tuple, got {other}")),
             }
@@ -239,20 +255,16 @@ fn infer(e: &ExprRef, t: &mut Typed) -> Result<Type, TypeError> {
         ExprKind::Slide { size, step, input } => {
             let it = infer(input, t)?;
             let (elem, n) = expect_array(e, &it, "slide")?;
-            let windows = ArithExpr::div(
-                n.clone() - ArithExpr::cst(*size),
-                ArithExpr::cst(*step),
-            ) + ArithExpr::one();
-            Type::Array(
-                Box::new(Type::array(elem.clone(), *size)),
-                windows,
-            )
+            let windows = ArithExpr::div(n.clone() - ArithExpr::cst(*size), ArithExpr::cst(*step))
+                + ArithExpr::one();
+            Type::Array(Box::new(Type::array(elem.clone(), *size)), windows)
         }
         ExprKind::Slide2 { size, step, input } => {
             let it = infer(input, t)?;
             let (elem, nx, ny) = expect_array2(e, &it, "slide2")?;
             let w = |n: &ArithExpr| {
-                ArithExpr::div(n.clone() - ArithExpr::cst(*size), ArithExpr::cst(*step)) + ArithExpr::one()
+                ArithExpr::div(n.clone() - ArithExpr::cst(*size), ArithExpr::cst(*step))
+                    + ArithExpr::one()
             };
             let window = Type::array2(elem.clone(), *size, *size);
             Type::array2(window, w(nx), w(ny))
@@ -261,7 +273,8 @@ fn infer(e: &ExprRef, t: &mut Typed) -> Result<Type, TypeError> {
             let it = infer(input, t)?;
             let (elem, nx, ny, nz) = expect_array3(e, &it, "slide3")?;
             let w = |n: &ArithExpr| {
-                ArithExpr::div(n.clone() - ArithExpr::cst(*size), ArithExpr::cst(*step)) + ArithExpr::one()
+                ArithExpr::div(n.clone() - ArithExpr::cst(*size), ArithExpr::cst(*step))
+                    + ArithExpr::one()
             };
             let window = Type::array3(elem.clone(), *size, *size, *size);
             Type::array3(window, w(nx), w(ny), w(nz))
@@ -272,10 +285,7 @@ fn infer(e: &ExprRef, t: &mut Typed) -> Result<Type, TypeError> {
             if matches!(kind, crate::ir::PadKind::Constant(_)) {
                 expect_scalar(e, elem, "constant pad element")?;
             }
-            Type::Array(
-                Box::new(elem.clone()),
-                n.clone() + ArithExpr::cst(*left + *right),
-            )
+            Type::Array(Box::new(elem.clone()), n.clone() + ArithExpr::cst(*left + *right))
         }
         ExprKind::Pad2 { amount, kind, input } => {
             let it = infer(input, t)?;
@@ -418,10 +428,7 @@ mod tests {
         let b = ParamDef::typed("b", Type::array(Type::i32(), "N"));
         let e = zip(vec![a.to_expr(), b.to_expr()]);
         let t = check(&e).unwrap();
-        assert_eq!(
-            *t.of(&e),
-            Type::array(Type::tuple(vec![Type::f32(), Type::i32()]), "N")
-        );
+        assert_eq!(*t.of(&e), Type::array(Type::tuple(vec![Type::f32(), Type::i32()]), "N"));
     }
 
     #[test]
@@ -482,9 +489,7 @@ mod tests {
             ScalarKind::Real,
             SExpr::p(0) + SExpr::p(1),
         );
-        let e = reduce_seq(lit(Lit::real(0.0)), a.to_expr(), |acc, x| {
-            call(&addf, vec![acc, x])
-        });
+        let e = reduce_seq(lit(Lit::real(0.0)), a.to_expr(), |acc, x| call(&addf, vec![acc, x]));
         let t = check(&e).unwrap();
         assert_eq!(*t.of(&e), Type::real());
     }

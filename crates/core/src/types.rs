@@ -100,11 +100,7 @@ impl Type {
     }
 
     /// A 2-level nested array: `[[T; nx]; ny]` (row-major, x contiguous).
-    pub fn array2(
-        elem: Type,
-        nx: impl Into<ArithExpr>,
-        ny: impl Into<ArithExpr>,
-    ) -> Type {
+    pub fn array2(elem: Type, nx: impl Into<ArithExpr>, ny: impl Into<ArithExpr>) -> Type {
         Type::array(Type::array(elem, nx), ny)
     }
 
@@ -166,9 +162,7 @@ impl Type {
     pub fn scalar_count(&self) -> ArithExpr {
         match self {
             Type::Scalar(_) => ArithExpr::one(),
-            Type::Tuple(parts) => {
-                ArithExpr::add(parts.iter().map(|p| p.scalar_count()).collect())
-            }
+            Type::Tuple(parts) => ArithExpr::add(parts.iter().map(|p| p.scalar_count()).collect()),
             Type::Array(e, n) => e.scalar_count() * n.clone(),
         }
     }
@@ -177,9 +171,7 @@ impl Type {
     pub fn resolve_real(&self, real: ScalarKind) -> Type {
         match self {
             Type::Scalar(k) => Type::Scalar(k.resolve_real(real)),
-            Type::Tuple(parts) => {
-                Type::Tuple(parts.iter().map(|p| p.resolve_real(real)).collect())
-            }
+            Type::Tuple(parts) => Type::Tuple(parts.iter().map(|p| p.resolve_real(real)).collect()),
             Type::Array(e, n) => Type::Array(Box::new(e.resolve_real(real)), n.clone()),
         }
     }

@@ -36,7 +36,9 @@ impl std::error::Error for ViewError {}
 /// Folds `a + b` over kernel expressions, simplifying literal zeros.
 pub fn kadd(a: KExpr, b: KExpr) -> KExpr {
     match (&a, &b) {
-        (KExpr::Lit(x), KExpr::Lit(y)) if x.kind == ScalarKind::I32 && y.kind == ScalarKind::I32 => {
+        (KExpr::Lit(x), KExpr::Lit(y))
+            if x.kind == ScalarKind::I32 && y.kind == ScalarKind::I32 =>
+        {
             KExpr::int((x.value as i32) + (y.value as i32))
         }
         (KExpr::Lit(x), _) if x.value == 0.0 && x.kind == ScalarKind::I32 => b,
@@ -48,7 +50,9 @@ pub fn kadd(a: KExpr, b: KExpr) -> KExpr {
 /// Folds `a - b` over kernel expressions.
 pub fn ksub(a: KExpr, b: KExpr) -> KExpr {
     match (&a, &b) {
-        (KExpr::Lit(x), KExpr::Lit(y)) if x.kind == ScalarKind::I32 && y.kind == ScalarKind::I32 => {
+        (KExpr::Lit(x), KExpr::Lit(y))
+            if x.kind == ScalarKind::I32 && y.kind == ScalarKind::I32 =>
+        {
             KExpr::int((x.value as i32) - (y.value as i32))
         }
         (_, KExpr::Lit(y)) if y.value == 0.0 && y.kind == ScalarKind::I32 => a,
@@ -59,7 +63,9 @@ pub fn ksub(a: KExpr, b: KExpr) -> KExpr {
 /// Folds `a * b` over kernel expressions, simplifying literal zero/one.
 pub fn kmul(a: KExpr, b: KExpr) -> KExpr {
     match (&a, &b) {
-        (KExpr::Lit(x), KExpr::Lit(y)) if x.kind == ScalarKind::I32 && y.kind == ScalarKind::I32 => {
+        (KExpr::Lit(x), KExpr::Lit(y))
+            if x.kind == ScalarKind::I32 && y.kind == ScalarKind::I32 =>
+        {
             KExpr::int((x.value as i32) * (y.value as i32))
         }
         (KExpr::Lit(x), _) if x.kind == ScalarKind::I32 => match x.value as i32 {
@@ -229,7 +235,9 @@ impl View {
                     let offset = kadd(offset, kmul(i, stride));
                     Ok(View::Mem { mem, ty: *elem, offset })
                 }
-                other => Err(ViewError(format!("cannot index non-array memory view of type {other}"))),
+                other => {
+                    Err(ViewError(format!("cannot index non-array memory view of type {other}")))
+                }
             },
             View::ConstLit(l) => Ok(View::ConstLit(l)),
             View::Expr(_, _) => Err(ViewError("cannot index a scalar expression view".into())),
@@ -292,11 +300,7 @@ impl View {
                         for (k, idx) in idxs.iter().enumerate() {
                             let n = KExpr::from_arith(&lens[k]);
                             let below = KExpr::bin(BinOp::Lt, idx.clone(), l.clone());
-                            let above = KExpr::bin(
-                                BinOp::Ge,
-                                idx.clone(),
-                                kadd(l.clone(), n),
-                            );
+                            let above = KExpr::bin(BinOp::Ge, idx.clone(), kadd(l.clone(), n));
                             let outside = KExpr::bin(BinOp::Or, below, above);
                             cond = Some(match cond {
                                 None => outside,
@@ -321,9 +325,7 @@ impl View {
                     Ok(View::CropV { base: Box::new(b2), margin, remaining: remaining - 1 })
                 }
             }
-            View::Gather { base, start, stride } => {
-                base.access(kadd(start, kmul(i, stride)))
-            }
+            View::Gather { base, start, stride } => base.access(kadd(start, kmul(i, stride))),
             View::JoinV { base, inner } => {
                 let m = KExpr::from_arith(&inner);
                 let outer = kdiv(i.clone(), m.clone());
@@ -373,11 +375,9 @@ impl View {
             },
             View::ConstLit(l) => Ok(KExpr::Lit(*l)),
             View::Expr(e, _) => Ok(e.clone()),
-            View::Guard { cond, fallback, inside } => Ok(KExpr::select(
-                cond.clone(),
-                fallback.as_scalar()?,
-                inside.as_scalar()?,
-            )),
+            View::Guard { cond, fallback, inside } => {
+                Ok(KExpr::select(cond.clone(), fallback.as_scalar()?, inside.as_scalar()?))
+            }
             other => Err(ViewError(format!("cannot read {other:?} as a scalar"))),
         }
     }
@@ -386,7 +386,9 @@ impl View {
     pub fn store(&self, value: KExpr) -> Result<KStmt, ViewError> {
         match self {
             View::Mem { mem, ty, offset } => match ty {
-                Type::Scalar(_) => Ok(KStmt::Store { mem: mem.clone(), idx: offset.clone(), value }),
+                Type::Scalar(_) => {
+                    Ok(KStmt::Store { mem: mem.clone(), idx: offset.clone(), value })
+                }
                 other => Err(ViewError(format!("store through non-scalar view of type {other}"))),
             },
             other => Err(ViewError(format!("cannot store through view {other:?}"))),
@@ -512,11 +514,8 @@ mod tests {
     #[test]
     fn gather_applies_affine_map() {
         let base = mem1d(0, 100);
-        let g = View::Gather {
-            base: Box::new(base),
-            start: KExpr::var("i"),
-            stride: KExpr::int(25),
-        };
+        let g =
+            View::Gather { base: Box::new(base), start: KExpr::var("i"), stride: KExpr::int(25) };
         let v = g.access(KExpr::int(2)).unwrap();
         // i + 2*25 = i + 50
         match v.as_scalar().unwrap() {

@@ -27,10 +27,8 @@ fn writeto_row() {
         ScalarKind::Real,
         SExpr::p(0) + SExpr::real(2.0),
     );
-    let body = ir::write_to(
-        a2.to_expr(),
-        ir::map_glb(a2.to_expr(), "x", |x| ir::call(&add2, vec![x])),
-    );
+    let body =
+        ir::write_to(a2.to_expr(), ir::map_glb(a2.to_expr(), "x", |x| ir::call(&add2, vec![x])));
     let src = emit("wt", vec![a], body);
     // in-place: a single buffer parameter, stores back into `in`
     assert!(src.contains("__global float* in"), "{src}");
@@ -69,8 +67,11 @@ fn concat_row() {
         )
     });
     let _ = body; // the canonical form below is clearer:
-    // Sequential maps inside one work-item write both halves.
-    let out = ParamDef::typed("out", Type::array(Type::real(), ArithExpr::var("N1") + ArithExpr::var("N2")));
+                  // Sequential maps inside one work-item write both halves.
+    let out = ParamDef::typed(
+        "out",
+        Type::array(Type::real(), ArithExpr::var("N1") + ArithExpr::var("N2")),
+    );
     let o2 = out.clone();
     let body = ir::map_glb(ir::iota(1usize), "t", move |_| {
         ir::write_to(
@@ -184,8 +185,7 @@ fn section4b_canonical_listing() {
     });
     let src = emit("canon", vec![indices, input], body);
     // one read of input at the gathered index, one write back
-    assert!(src.contains("input[indices[get_global_id(0)]]")
-        || src.contains("input[idx"), "{src}");
+    assert!(src.contains("input[indices[get_global_id(0)]]") || src.contains("input[idx"), "{src}");
     let stores = src.lines().filter(|l| l.trim_start().starts_with("input[")).count();
     assert_eq!(stores, 1, "exactly one in-place store:\n{src}");
 }

@@ -47,14 +47,22 @@ pub fn fimm_step_host_expr() -> HostExpr {
         lift::types::Type::array3(lift::types::Type::i32(), "Nx", "Ny", "Nz"),
     );
     let l2_h = lift::ir::ParamDef::typed("l2", lift::types::Type::real());
-    let boundaries_h =
-        lift::ir::ParamDef::typed("boundaries_h", lift::types::Type::array(lift::types::Type::i32(), "numB"));
-    let bnbrs_h =
-        lift::ir::ParamDef::typed("bnbrs_h", lift::types::Type::array(lift::types::Type::i32(), "numB"));
-    let material_h =
-        lift::ir::ParamDef::typed("material_h", lift::types::Type::array(lift::types::Type::i32(), "numB"));
-    let beta_h =
-        lift::ir::ParamDef::typed("beta_h", lift::types::Type::array(lift::types::Type::real(), "NM"));
+    let boundaries_h = lift::ir::ParamDef::typed(
+        "boundaries_h",
+        lift::types::Type::array(lift::types::Type::i32(), "numB"),
+    );
+    let bnbrs_h = lift::ir::ParamDef::typed(
+        "bnbrs_h",
+        lift::types::Type::array(lift::types::Type::i32(), "numB"),
+    );
+    let material_h = lift::ir::ParamDef::typed(
+        "material_h",
+        lift::types::Type::array(lift::types::Type::i32(), "numB"),
+    );
+    let beta_h = lift::ir::ParamDef::typed(
+        "beta_h",
+        lift::types::Type::array(lift::types::Type::real(), "NM"),
+    );
     let l_h = lift::ir::ParamDef::typed("l", lift::types::Type::real());
 
     // NOTE on types: the volume kernel's output has the 3-D grid type; the
@@ -62,41 +70,37 @@ pub fn fimm_step_host_expr() -> HostExpr {
     // host layer identifies buffers by slot, not by type, exactly as OpenCL
     // `cl_mem`s are untyped — so passing `next_g` to the flat-typed
     // parameter is the paper's own reinterpretation.
-    host::host_let(
-        "prev2_g",
-        host::to_gpu(host::input(&prev_h)),
-        move |prev2_g| {
-            host::host_let(
-                "next_g",
-                host::ocl_kernel(
-                    &volume_kernel,
-                    vec![
-                        host::to_gpu(host::input(&curr_h)),
-                        prev2_g.clone(),
-                        host::to_gpu(host::input(&nbrs_h)),
-                        host::input(&l2_h),
-                    ],
-                ),
-                move |next_g| {
-                    host::to_host(host::host_write_to(
-                        next_g.clone(),
-                        host::ocl_kernel(
-                            &boundary_kernel,
-                            vec![
-                                host::to_gpu(host::input(&boundaries_h)),
-                                host::to_gpu(host::input(&bnbrs_h)),
-                                host::to_gpu(host::input(&material_h)),
-                                host::to_gpu(host::input(&beta_h)),
-                                next_g,
-                                prev2_g,
-                                host::input(&l_h),
-                            ],
-                        ),
-                    ))
-                },
-            )
-        },
-    )
+    host::host_let("prev2_g", host::to_gpu(host::input(&prev_h)), move |prev2_g| {
+        host::host_let(
+            "next_g",
+            host::ocl_kernel(
+                &volume_kernel,
+                vec![
+                    host::to_gpu(host::input(&curr_h)),
+                    prev2_g.clone(),
+                    host::to_gpu(host::input(&nbrs_h)),
+                    host::input(&l2_h),
+                ],
+            ),
+            move |next_g| {
+                host::to_host(host::host_write_to(
+                    next_g.clone(),
+                    host::ocl_kernel(
+                        &boundary_kernel,
+                        vec![
+                            host::to_gpu(host::input(&boundaries_h)),
+                            host::to_gpu(host::input(&bnbrs_h)),
+                            host::to_gpu(host::input(&material_h)),
+                            host::to_gpu(host::input(&beta_h)),
+                            next_g,
+                            prev2_g,
+                            host::input(&l_h),
+                        ],
+                    ),
+                ))
+            },
+        )
+    })
 }
 
 /// Compiles the Listing 5 host program at the given precision.

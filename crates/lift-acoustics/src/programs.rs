@@ -44,11 +44,7 @@ pub fn vol_update_fun() -> Rc<UserFun> {
             ("l2", ScalarKind::Real),
         ],
         ScalarKind::Real,
-        SExpr::select(
-            SExpr::cmp(BinOp::Gt, p0(nbr), SExpr::int(0)),
-            interior,
-            real(0.0),
-        ),
+        SExpr::select(SExpr::cmp(BinOp::Gt, p0(nbr), SExpr::int(0)), interior, real(0.0)),
     )
 }
 
@@ -384,9 +380,7 @@ pub fn fdmm_program() -> Program {
             // coefficient index mc = mi*MB + b
             let mc = {
                 let madi = madi.clone();
-                move |mi: ExprRef, b: ExprRef| {
-                    ir::call(&madi, vec![mi, ir::size_val("MB"), b])
-                }
+                move |mi: ExprRef, b: ExprRef| ir::call(&madi, vec![mi, ir::size_val("MB"), b])
             };
             ir::let_in("i", ir::get(tup.clone(), 0), move |i| {
                 ir::let_in("idx", ir::get(tup.clone(), 1), move |idx| {
@@ -396,10 +390,8 @@ pub fn fdmm_program() -> Program {
                             let prev_val = ir::at(prev.to_expr(), idx.clone());
                             ir::let_in("_next0", next_val, move |n0| {
                                 ir::let_in("_prev", prev_val, move |pv| {
-                                    let gs_src =
-                                        ir::slice(g1_p.to_expr(), i.clone(), "numB", "MB");
-                                    let vs_src =
-                                        ir::slice(v2_p.to_expr(), i.clone(), "numB", "MB");
+                                    let gs_src = ir::slice(g1_p.to_expr(), i.clone(), "numB", "MB");
+                                    let vs_src = ir::slice(v2_p.to_expr(), i.clone(), "numB", "MB");
                                     ir::let_in("gs", ir::to_private(gs_src), move |gs| {
                                         ir::let_in("vs", ir::to_private(vs_src), move |vs| {
                                             let cf1 =
@@ -442,11 +434,20 @@ pub fn fdmm_program() -> Program {
                                                                         vec![
                                                                             acc,
                                                                             cf1,
-                                                                            ir::at(bi_p.to_expr(), mce.clone()),
-                                                                            ir::at(d_p.to_expr(), mce.clone()),
+                                                                            ir::at(
+                                                                                bi_p.to_expr(),
+                                                                                mce.clone(),
+                                                                            ),
+                                                                            ir::at(
+                                                                                d_p.to_expr(),
+                                                                                mce.clone(),
+                                                                            ),
                                                                             g,
                                                                             v,
-                                                                            ir::at(f_p.to_expr(), mce),
+                                                                            ir::at(
+                                                                                f_p.to_expr(),
+                                                                                mce,
+                                                                            ),
                                                                         ],
                                                                     )
                                                                 })
@@ -467,7 +468,16 @@ pub fn fdmm_program() -> Program {
                                                             ]),
                                                             "t2",
                                                             {
-                                                                let (v1_f, bi_p, di_p, f_p, mi, nn, pv, mc) = (
+                                                                let (
+                                                                    v1_f,
+                                                                    bi_p,
+                                                                    di_p,
+                                                                    f_p,
+                                                                    mi,
+                                                                    nn,
+                                                                    pv,
+                                                                    mc,
+                                                                ) = (
                                                                     v1_f.clone(),
                                                                     bi_p.clone(),
                                                                     di_p.clone(),
@@ -482,8 +492,11 @@ pub fn fdmm_program() -> Program {
                                                                     let g = ir::get(t2.clone(), 1);
                                                                     let v = ir::get(t2, 2);
                                                                     let mce = mc(mi, b);
-                                                                    ir::let_in("mc2", mce, move |mce| {
-                                                                        ir::call(
+                                                                    ir::let_in(
+                                                                        "mc2",
+                                                                        mce,
+                                                                        move |mce| {
+                                                                            ir::call(
                                                                             &v1_f,
                                                                             vec![
                                                                                 ir::at(bi_p.to_expr(), mce.clone()),
@@ -495,7 +508,8 @@ pub fn fdmm_program() -> Program {
                                                                                 g,
                                                                             ],
                                                                         )
-                                                                    })
+                                                                        },
+                                                                    )
                                                                 }
                                                             },
                                                         );
@@ -516,22 +530,27 @@ pub fn fdmm_program() -> Program {
                                                                             ir::call(
                                                                                 &g1_f,
                                                                                 vec![
-                                                                                    ir::get(t3.clone(), 0),
-                                                                                    ir::get(t3.clone(), 1),
+                                                                                    ir::get(
+                                                                                        t3.clone(),
+                                                                                        0,
+                                                                                    ),
+                                                                                    ir::get(
+                                                                                        t3.clone(),
+                                                                                        1,
+                                                                                    ),
                                                                                     ir::get(t3, 2),
                                                                                 ],
                                                                             )
                                                                         }
                                                                     },
                                                                 );
-                                                                let v1_out = ir::map_seq(
-                                                                    vs_new,
-                                                                    "x",
-                                                                    {
+                                                                let v1_out =
+                                                                    ir::map_seq(vs_new, "x", {
                                                                         let id_f = id_f.clone();
-                                                                        move |x| ir::call(&id_f, vec![x])
-                                                                    },
-                                                                );
+                                                                        move |x| {
+                                                                            ir::call(&id_f, vec![x])
+                                                                        }
+                                                                    });
                                                                 ir::tuple(vec![
                                                                     ir::write_to(
                                                                         ir::at(next.to_expr(), idx),
@@ -603,20 +622,14 @@ mod tests {
     #[test]
     fn volume_program_allocates_output() {
         let lk = volume_program().lower(ScalarKind::F32).unwrap();
-        assert!(lk
-            .args
-            .iter()
-            .any(|a| matches!(a, lift::lower::ArgSpec::Output(_, _))));
+        assert!(lk.args.iter().any(|a| matches!(a, lift::lower::ArgSpec::Output(_, _))));
         assert_eq!(lk.kernel.work_dim, 3);
     }
 
     #[test]
     fn fimm_program_is_in_place() {
         let lk = fimm_program().lower(ScalarKind::F64).unwrap();
-        assert!(lk
-            .args
-            .iter()
-            .all(|a| !matches!(a, lift::lower::ArgSpec::Output(_, _))));
+        assert!(lk.args.iter().all(|a| !matches!(a, lift::lower::ArgSpec::Output(_, _))));
         assert_eq!(lk.kernel.work_dim, 1);
     }
 
@@ -635,7 +648,6 @@ mod tests {
         let lk = fimm_program().lower(ScalarKind::F32).unwrap();
         let src = lift::opencl::emit_kernel(&lk.kernel);
         // exactly one store into the in-place buffer
-        assert_eq!(src.matches("next[").count() - src.matches("= next[").count(),
-                   1, "{src}");
+        assert_eq!(src.matches("next[").count() - src.matches("= next[").count(), 1, "{src}");
     }
 }

@@ -10,9 +10,9 @@
 use crate::programs::{self, Program};
 use lift::lower::{ArgSpec, LoweredKernel};
 use lift::prelude::Value;
+use room_acoustics::reference::FdArrays;
 use room_acoustics::sim::SimSetup;
 use room_acoustics::vgpu_sim::Precision;
-use room_acoustics::reference::FdArrays;
 use std::collections::HashMap;
 use vgpu::{Arg, BufId, Device, ExecMode, LaunchStats, Prepared};
 
@@ -72,9 +72,7 @@ pub fn global_size(lowered: &LoweredKernel, sizes: &HashMap<&str, i64>) -> Vec<u
     lowered
         .global_size
         .iter()
-        .map(|g| {
-            g.eval(&|n| sizes.get(n).copied()).expect("global size evaluates") as usize
-        })
+        .map(|g| g.eval(&|n| sizes.get(n).copied()).expect("global size evaluates") as usize)
         .collect()
 }
 
@@ -387,12 +385,8 @@ impl FiSingleLift {
     /// One step; returns the kernel's launch stats.
     pub fn step(&mut self, mode: ExecMode) -> LaunchStats {
         let dims = self.setup.dims();
-        let sizes: HashMap<&str, i64> = [
-            ("Nx", dims.nx as i64),
-            ("Ny", dims.ny as i64),
-            ("Nz", dims.nz as i64),
-        ]
-        .into();
+        let sizes: HashMap<&str, i64> =
+            [("Nx", dims.nx as i64), ("Ny", dims.ny as i64), ("Nz", dims.nz as i64)].into();
         let bufs: HashMap<&str, BufId> =
             [("curr", self.curr), ("prev", self.prev), ("nbrs", self.nbrs)].into();
         let scalars: HashMap<&str, Value> = [
@@ -403,10 +397,8 @@ impl FiSingleLift {
         .into();
         let args = bind_args(&self.kernel.lowered, &bufs, &scalars, &sizes, Some(self.next));
         let global = global_size(&self.kernel.lowered, &sizes);
-        let stats = self
-            .device
-            .launch(&self.kernel.prepared, &args, &global, mode)
-            .expect("fi launch");
+        let stats =
+            self.device.launch(&self.kernel.prepared, &args, &global, mode).expect("fi launch");
         let old_prev = self.prev;
         self.prev = self.curr;
         self.curr = self.next;

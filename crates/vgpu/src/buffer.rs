@@ -180,6 +180,12 @@ impl SharedBuf {
     pub(crate) fn data(&self) -> &BufData {
         unsafe { &*self.data.get() }
     }
+
+    /// Replaces the contents (differential-mode rollback). Only sound
+    /// outside a launch.
+    pub(crate) fn restore(&self, data: BufData) {
+        unsafe { *self.data.get() = data }
+    }
 }
 
 #[cfg(test)]

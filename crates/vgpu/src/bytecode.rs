@@ -1,0 +1,990 @@
+//! Flat bytecode compilation of prepared kernels.
+//!
+//! The tree-walking interpreter in [`crate::exec`] dispatches on boxed
+//! [`PExpr`] nodes and `Value` enums for every operation of every work-item.
+//! This module flattens a [`Prepared`] kernel once, at compile time, into a
+//! linear tape of register-register [`Op`]s:
+//!
+//! * **Dense registers** — scalar slots map to the first `nslots` registers;
+//!   expression temporaries extend the file. Registers hold raw 64-bit
+//!   patterns whose interpretation ([`K`]) is fixed statically, so the inner
+//!   loop never unwraps a `Value`.
+//! * **Monomorphised arithmetic** — C-style promotion (`f64 > f32 > i32`,
+//!   bool → i32) is resolved during compilation; every `Bin` op carries its
+//!   promoted kind and operands are pre-cast by explicit `Cast` ops. The
+//!   arithmetic therefore reproduces the tree-walker (and a native OpenCL
+//!   kernel) bit for bit.
+//! * **Static load/store sites** — `LdG`/`StG` ops carry the same site ids
+//!   the tree-walker assigns, feeding the identical warp transaction model,
+//!   counters, and race-check bookkeeping.
+//! * **Static flop accounting** — flop counts are summed per basic block and
+//!   materialised as single `Flops` ops, preserving the tree-walker's
+//!   data-dependent totals (branches carry their own counts).
+//!
+//! Compilation is best-effort: kernels whose scalar kinds cannot be inferred
+//! statically (e.g. a variable re-declared with a different kind on one
+//! branch only) are rejected with an error and the launch falls back to the
+//! tree-walker, which remains the reference oracle (see
+//! [`crate::exec::Engine`]).
+
+use crate::buffer::SharedBuf;
+use crate::exec::{Counters, PExpr, PMem, PStmt, Prepared, WriteRec};
+use lift::kast::MemSpace;
+use lift::prelude::{BinOp, Intrinsic, ScalarKind, UnOp, Value};
+
+/// Register index.
+type R = u32;
+
+/// Statically-known register kind (the bit-pattern interpretation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum K {
+    /// f32 bits in the low 32.
+    F32,
+    /// f64 bits.
+    F64,
+    /// i32 bits in the low 32 (zero-extended).
+    I32,
+    /// 0 or 1.
+    Bool,
+}
+
+impl K {
+    fn is_float(self) -> bool {
+        matches!(self, K::F32 | K::F64)
+    }
+}
+
+fn kk(k: ScalarKind) -> Result<K, String> {
+    match k {
+        ScalarKind::F32 => Ok(K::F32),
+        ScalarKind::F64 => Ok(K::F64),
+        ScalarKind::I32 => Ok(K::I32),
+        ScalarKind::Bool => Ok(K::Bool),
+        ScalarKind::Real => Err("unresolved Real kind".into()),
+    }
+}
+
+// ---- bit-pattern helpers (the register encoding) ----
+
+#[inline(always)]
+fn b32(x: f32) -> u64 {
+    x.to_bits() as u64
+}
+#[inline(always)]
+fn f32v(b: u64) -> f32 {
+    f32::from_bits(b as u32)
+}
+#[inline(always)]
+fn b64(x: f64) -> u64 {
+    x.to_bits()
+}
+#[inline(always)]
+fn f64v(b: u64) -> f64 {
+    f64::from_bits(b)
+}
+#[inline(always)]
+fn bi32(x: i32) -> u64 {
+    x as u32 as u64
+}
+#[inline(always)]
+fn i32v(b: u64) -> i32 {
+    b as u32 as i32
+}
+#[inline(always)]
+fn bi64(x: i64) -> u64 {
+    x as u64
+}
+#[inline(always)]
+fn i64v(b: u64) -> i64 {
+    b as i64
+}
+#[inline(always)]
+fn bb(x: bool) -> u64 {
+    x as u64
+}
+
+/// `Value::as_f64` on a register.
+#[inline(always)]
+fn to_f64(k: K, b: u64) -> f64 {
+    match k {
+        K::F32 => f32v(b) as f64,
+        K::F64 => f64v(b),
+        K::I32 => i32v(b) as f64,
+        K::Bool => (b != 0) as i32 as f64,
+    }
+}
+
+/// `Value::as_i64` on a register.
+#[inline(always)]
+fn to_i64(k: K, b: u64) -> i64 {
+    match k {
+        K::F32 => f32v(b) as i64,
+        K::F64 => f64v(b) as i64,
+        K::I32 => i32v(b) as i64,
+        K::Bool => b as i64,
+    }
+}
+
+/// `Value::truthy` on a register.
+#[inline(always)]
+fn truthy(k: K, b: u64) -> bool {
+    match k {
+        K::F32 => f32v(b) != 0.0,
+        K::F64 => f64v(b) != 0.0,
+        K::I32 => i32v(b) != 0,
+        K::Bool => b != 0,
+    }
+}
+
+/// `Value::cast` on a register (C conversion semantics).
+#[inline(always)]
+fn cast_bits(from: K, to: K, b: u64) -> u64 {
+    match to {
+        K::F32 => b32(to_f64(from, b) as f32),
+        K::F64 => b64(to_f64(from, b)),
+        K::I32 => bi32(to_i64(from, b) as i32),
+        K::Bool => bb(truthy(from, b)),
+    }
+}
+
+fn value_bits(v: Value) -> (K, u64) {
+    match v {
+        Value::F32(x) => (K::F32, b32(x)),
+        Value::F64(x) => (K::F64, b64(x)),
+        Value::I32(x) => (K::I32, bi32(x)),
+        Value::Bool(x) => (K::Bool, bb(x)),
+    }
+}
+
+pub(crate) fn bits_of_value(v: Value) -> u64 {
+    value_bits(v).1
+}
+
+fn bits_value(k: K, b: u64) -> Value {
+    match k {
+        K::F32 => Value::F32(f32v(b)),
+        K::F64 => Value::F64(f64v(b)),
+        K::I32 => Value::I32(i32v(b)),
+        K::Bool => Value::Bool(b != 0),
+    }
+}
+
+/// One tape instruction. Loop counters and load/store indices are internal
+/// i64 registers (`AsI64` truncates like `Value::as_i64`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    /// dst = bits.
+    Const { dst: R, bits: u64 },
+    /// dst = get_global_id(dim) as i32 bits.
+    Gid { dst: R, dim: u8 },
+    /// dst = get_global_size(dim).
+    Gsz { dst: R, dim: u8 },
+    /// dst = get_local_id(dim).
+    Lid { dst: R, dim: u8 },
+    /// dst = get_local_size(dim).
+    Lsz { dst: R, dim: u8 },
+    /// dst = get_group_id(dim).
+    Grp { dst: R, dim: u8 },
+    /// dst = src.
+    Mov { dst: R, src: R },
+    /// dst = cast(src) with C semantics.
+    Cast { dst: R, src: R, from: K, to: K },
+    /// dst = as_i64(src) (i64 register).
+    AsI64 { dst: R, src: R, from: K },
+    /// dst = max(dst, 1) on an i64 register (loop step clamping).
+    MaxOne { dst: R },
+    /// dst = src as i32 (loop variable materialisation).
+    I64ToI32 { dst: R, src: R },
+    /// dst = a + b on i64 registers.
+    AddI64 { dst: R, a: R, b: R },
+    /// Jump when a >= b (i64 registers; loop exit test).
+    JgeI64 { a: R, b: R, target: u32 },
+    /// Monomorphised negation.
+    Neg { dst: R, src: R, k: K },
+    /// Logical not (truthiness).
+    Not { dst: R, src: R, k: K },
+    /// Binary op on two operands pre-cast to the promoted kind `k`.
+    Bin { dst: R, a: R, b: R, op: BinOp, k: K },
+    /// Non-short-circuit `&&` / `||` on raw operands.
+    Logic { dst: R, a: R, b: R, ka: K, kb: K, or: bool },
+    /// min/max on operands pre-cast to `k` (f32 computes through f64 like
+    /// the tree-walker).
+    MinMax { dst: R, a: R, b: R, k: K, max: bool },
+    /// Unary float intrinsic at fixed precision.
+    Intr1 { dst: R, src: R, intr: Intrinsic, k: K },
+    /// Global/constant-space load. `idx` is an i64 register.
+    LdG { dst: R, buf: u16, idx: R, site: u32, constant: bool },
+    /// Global-space store; `vk` is the value register's kind (the buffer
+    /// casts on write, as the tree-walker does).
+    StG { buf: u16, idx: R, val: R, vk: K, site: u32 },
+    /// Private-array load.
+    LdP { dst: R, arr: u16, idx: R },
+    /// Private-array store (casts `vk` → the array kind `k`).
+    StP { arr: u16, idx: R, val: R, vk: K, k: K },
+    /// Workgroup-local load.
+    LdL { dst: R, arr: u16, idx: R },
+    /// Workgroup-local store.
+    StL { arr: u16, idx: R, val: R, vk: K, k: K },
+    /// (Re)allocate a private array, zero-filled.
+    DeclPriv { arr: u16, len: R },
+    /// Allocate a local array once per group.
+    DeclLocal { arr: u16, len: R },
+    /// Add `n` to the flop counter (one per basic block).
+    Flops { n: u32 },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+    /// Jump when the condition is falsy.
+    Jz { cond: R, k: K, target: u32 },
+    /// Work-item early exit.
+    Ret,
+    /// End of phase.
+    Halt,
+}
+
+/// A compiled kernel tape: one instruction stream with an entry point per
+/// barrier-delimited phase.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) phase_starts: Vec<u32>,
+    pub(crate) nregs: usize,
+}
+
+impl Compiled {
+    /// Number of barrier-delimited phases.
+    pub(crate) fn phases(&self) -> usize {
+        self.phase_starts.len()
+    }
+}
+
+/// Static kind state of a scalar slot during compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sk {
+    Unset,
+    Known(K),
+    Conflict,
+}
+
+fn merge_sk(a: Sk, b: Sk) -> Sk {
+    if a == b {
+        a
+    } else {
+        Sk::Conflict
+    }
+}
+
+struct Cc<'a> {
+    prep: &'a Prepared,
+    ops: Vec<Op>,
+    nregs: u32,
+    slots: Vec<Sk>,
+    flops: u32,
+}
+
+impl<'a> Cc<'a> {
+    fn temp(&mut self) -> R {
+        let r = self.nregs;
+        self.nregs += 1;
+        r
+    }
+
+    fn flush(&mut self) {
+        if self.flops > 0 {
+            let n = self.flops;
+            self.ops.push(Op::Flops { n });
+            self.flops = 0;
+        }
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch(&mut self, at: u32, t: u32) {
+        match &mut self.ops[at as usize] {
+            Op::Jmp { target } | Op::Jz { target, .. } | Op::JgeI64 { target, .. } => *target = t,
+            _ => unreachable!("patch target is not a jump"),
+        }
+    }
+
+    fn cast(&mut self, r: R, from: K, to: K) -> R {
+        if from == to {
+            return r;
+        }
+        let dst = self.temp();
+        self.ops.push(Op::Cast { dst, src: r, from, to });
+        dst
+    }
+
+    fn as_i64(&mut self, r: R, from: K) -> R {
+        let dst = self.temp();
+        self.ops.push(Op::AsI64 { dst, src: r, from });
+        dst
+    }
+
+    /// Promoted kind under C's usual arithmetic conversions.
+    fn promote_k(ka: K, kb: K) -> K {
+        if ka == K::F64 || kb == K::F64 {
+            K::F64
+        } else if ka == K::F32 || kb == K::F32 {
+            K::F32
+        } else {
+            K::I32
+        }
+    }
+
+    fn expr(&mut self, e: &PExpr) -> Result<(R, K), String> {
+        Ok(match e {
+            PExpr::Lit(v) => {
+                let (k, bits) = value_bits(*v);
+                let dst = self.temp();
+                self.ops.push(Op::Const { dst, bits });
+                (dst, k)
+            }
+            PExpr::Var(s) => match self.slots[*s] {
+                Sk::Known(k) => (*s as R, k),
+                Sk::Unset => return Err(format!("slot {s} read before any declaration")),
+                Sk::Conflict => {
+                    return Err(format!("slot {s} has branch-dependent kind at a read"))
+                }
+            },
+            PExpr::GlobalId(d) => {
+                let dst = self.temp();
+                self.ops.push(Op::Gid { dst, dim: *d });
+                (dst, K::I32)
+            }
+            PExpr::GlobalSize(d) => {
+                let dst = self.temp();
+                self.ops.push(Op::Gsz { dst, dim: *d });
+                (dst, K::I32)
+            }
+            PExpr::LocalId(d) => {
+                let dst = self.temp();
+                self.ops.push(Op::Lid { dst, dim: *d });
+                (dst, K::I32)
+            }
+            PExpr::LocalSize(d) => {
+                let dst = self.temp();
+                self.ops.push(Op::Lsz { dst, dim: *d });
+                (dst, K::I32)
+            }
+            PExpr::GroupId(d) => {
+                let dst = self.temp();
+                self.ops.push(Op::Grp { dst, dim: *d });
+                (dst, K::I32)
+            }
+            PExpr::Load { mem, idx, site, space } => {
+                let (ri, ki) = self.expr(idx)?;
+                let ri = self.as_i64(ri, ki);
+                let dst = self.temp();
+                match mem {
+                    PMem::Param(p) => {
+                        let k = kk(self.prep.params[*p].kind)?;
+                        let constant = matches!(space, MemSpace::Constant);
+                        self.ops.push(Op::LdG {
+                            dst,
+                            buf: *p as u16,
+                            idx: ri,
+                            site: *site,
+                            constant,
+                        });
+                        (dst, k)
+                    }
+                    PMem::Priv(a) => {
+                        let k = kk(self.prep.priv_kinds[*a])?;
+                        self.ops.push(Op::LdP { dst, arr: *a as u16, idx: ri });
+                        (dst, k)
+                    }
+                    PMem::Local(a) => {
+                        let k = kk(self.prep.local_kinds[*a])?;
+                        self.ops.push(Op::LdL { dst, arr: *a as u16, idx: ri });
+                        (dst, k)
+                    }
+                }
+            }
+            PExpr::Bin(op, a, b) => {
+                let (ra, ka) = self.expr(a)?;
+                let (rb, kb) = self.expr(b)?;
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        let dst = self.temp();
+                        self.ops.push(Op::Logic {
+                            dst,
+                            a: ra,
+                            b: rb,
+                            ka,
+                            kb,
+                            or: matches!(op, BinOp::Or),
+                        });
+                        (dst, K::Bool)
+                    }
+                    BinOp::Rem => {
+                        let k = Self::promote_k(ka, kb);
+                        if k != K::I32 {
+                            return Err("% on float operands".into());
+                        }
+                        let ra = self.cast(ra, ka, k);
+                        let rb = self.cast(rb, kb, k);
+                        let dst = self.temp();
+                        self.ops.push(Op::Bin { dst, a: ra, b: rb, op: *op, k });
+                        (dst, k)
+                    }
+                    _ => {
+                        let k = Self::promote_k(ka, kb);
+                        let ra = self.cast(ra, ka, k);
+                        let rb = self.cast(rb, kb, k);
+                        if op.is_flop() && (ka.is_float() || kb.is_float()) {
+                            self.flops += 1;
+                        }
+                        let dst = self.temp();
+                        self.ops.push(Op::Bin { dst, a: ra, b: rb, op: *op, k });
+                        (dst, if op.is_predicate() { K::Bool } else { k })
+                    }
+                }
+            }
+            PExpr::Un(op, a) => {
+                let (ra, ka) = self.expr(a)?;
+                let dst = self.temp();
+                match op {
+                    UnOp::Neg => {
+                        self.ops.push(Op::Neg { dst, src: ra, k: ka });
+                        (dst, if ka == K::Bool { K::I32 } else { ka })
+                    }
+                    UnOp::Not => {
+                        self.ops.push(Op::Not { dst, src: ra, k: ka });
+                        (dst, K::Bool)
+                    }
+                }
+            }
+            PExpr::Select(c, t, f) => {
+                let (rc, kc) = self.expr(c)?;
+                self.flush();
+                let dst = self.temp();
+                let jz = self.here();
+                self.ops.push(Op::Jz { cond: rc, k: kc, target: 0 });
+                let (rt, kt) = self.expr(t)?;
+                self.flush();
+                self.ops.push(Op::Mov { dst, src: rt });
+                let jmp = self.here();
+                self.ops.push(Op::Jmp { target: 0 });
+                let else_at = self.here();
+                self.patch(jz, else_at);
+                let (rf, kf) = self.expr(f)?;
+                self.flush();
+                self.ops.push(Op::Mov { dst, src: rf });
+                let end = self.here();
+                self.patch(jmp, end);
+                if kt != kf {
+                    return Err("select branches have different kinds".into());
+                }
+                (dst, kt)
+            }
+            PExpr::Call(intr, args) => {
+                let mut rs = Vec::with_capacity(args.len());
+                for a in args {
+                    rs.push(self.expr(a)?);
+                }
+                match intr {
+                    Intrinsic::Sqrt
+                    | Intrinsic::Fabs
+                    | Intrinsic::Exp
+                    | Intrinsic::Log
+                    | Intrinsic::Sin
+                    | Intrinsic::Cos => {
+                        let (r0, k0) = rs[0];
+                        self.flops += match intr {
+                            Intrinsic::Fabs => 0,
+                            _ => 4,
+                        };
+                        let (src, k) = if k0 == K::F32 {
+                            (r0, K::F32)
+                        } else {
+                            (self.cast(r0, k0, K::F64), K::F64)
+                        };
+                        let dst = self.temp();
+                        self.ops.push(Op::Intr1 { dst, src, intr: *intr, k });
+                        (dst, k)
+                    }
+                    Intrinsic::Min | Intrinsic::Max => {
+                        let (r0, k0) = rs[0];
+                        let (r1, k1) = rs[1];
+                        if k0.is_float() {
+                            self.flops += 1;
+                        }
+                        let k = Self::promote_k(k0, k1);
+                        let a = self.cast(r0, k0, k);
+                        let b = self.cast(r1, k1, k);
+                        let dst = self.temp();
+                        self.ops.push(Op::MinMax {
+                            dst,
+                            a,
+                            b,
+                            k,
+                            max: matches!(intr, Intrinsic::Max),
+                        });
+                        (dst, k)
+                    }
+                    Intrinsic::Fma => {
+                        // Unfused a*b + c in the promoted precision of (a, b):
+                        // f32 when both promote to f32, otherwise f64 — the
+                        // tree-walker's exact arm structure. Two flops.
+                        let (r0, k0) = rs[0];
+                        let (r1, k1) = rs[1];
+                        let (r2, k2) = rs[2];
+                        self.flops += 2;
+                        let k = if Self::promote_k(k0, k1) == K::F32 { K::F32 } else { K::F64 };
+                        let a = self.cast(r0, k0, k);
+                        let b = self.cast(r1, k1, k);
+                        let c = self.cast(r2, k2, k);
+                        let t = self.temp();
+                        self.ops.push(Op::Bin { dst: t, a, b, op: BinOp::Mul, k });
+                        let dst = self.temp();
+                        self.ops.push(Op::Bin { dst, a: t, b: c, op: BinOp::Add, k });
+                        (dst, k)
+                    }
+                }
+            }
+            PExpr::Cast(kind, a) => {
+                let (ra, ka) = self.expr(a)?;
+                let k = kk(*kind)?;
+                (self.cast(ra, ka, k), k)
+            }
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[PStmt]) -> Result<(), String> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &PStmt) -> Result<(), String> {
+        match s {
+            PStmt::DeclScalar { slot, kind, init } => {
+                let k = kk(*kind)?;
+                match init {
+                    Some(e) => {
+                        let (r, ke) = self.expr(e)?;
+                        let r = self.cast(r, ke, k);
+                        self.ops.push(Op::Mov { dst: *slot as R, src: r });
+                    }
+                    None => {
+                        self.ops.push(Op::Const { dst: *slot as R, bits: 0 });
+                    }
+                }
+                self.slots[*slot] = Sk::Known(k);
+            }
+            PStmt::Assign { slot, value, .. } => {
+                let k = match self.slots[*slot] {
+                    Sk::Known(k) => k,
+                    _ => return Err(format!("assignment to slot {slot} of unknown kind")),
+                };
+                let (r, ke) = self.expr(value)?;
+                let r = self.cast(r, ke, k);
+                self.ops.push(Op::Mov { dst: *slot as R, src: r });
+            }
+            PStmt::DeclPriv { arr, len, .. } => {
+                let (rl, kl) = self.expr(len)?;
+                let rl = self.as_i64(rl, kl);
+                self.ops.push(Op::DeclPriv { arr: *arr as u16, len: rl });
+            }
+            PStmt::DeclLocal { arr, len, .. } => {
+                let (rl, kl) = self.expr(len)?;
+                let rl = self.as_i64(rl, kl);
+                self.ops.push(Op::DeclLocal { arr: *arr as u16, len: rl });
+            }
+            PStmt::Store { mem, idx, value, site, space: _ } => {
+                let (ri, ki) = self.expr(idx)?;
+                let ri = self.as_i64(ri, ki);
+                let (rv, kv) = self.expr(value)?;
+                match mem {
+                    PMem::Param(p) => {
+                        self.ops.push(Op::StG {
+                            buf: *p as u16,
+                            idx: ri,
+                            val: rv,
+                            vk: kv,
+                            site: *site,
+                        });
+                    }
+                    PMem::Priv(a) => {
+                        let k = kk(self.prep.priv_kinds[*a])?;
+                        self.ops.push(Op::StP { arr: *a as u16, idx: ri, val: rv, vk: kv, k });
+                    }
+                    PMem::Local(a) => {
+                        let k = kk(self.prep.local_kinds[*a])?;
+                        self.ops.push(Op::StL { arr: *a as u16, idx: ri, val: rv, vk: kv, k });
+                    }
+                }
+            }
+            PStmt::For { slot, begin, end, step, body } => {
+                let (rb, kb) = self.expr(begin)?;
+                let rb = self.as_i64(rb, kb);
+                let (re, ke) = self.expr(end)?;
+                let re = self.as_i64(re, ke);
+                let (rs, ks) = self.expr(step)?;
+                let rs = self.as_i64(rs, ks);
+                self.ops.push(Op::MaxOne { dst: rs });
+                let ri = self.temp();
+                self.ops.push(Op::Mov { dst: ri, src: rb });
+                self.flush();
+                let head = self.here();
+                self.ops.push(Op::JgeI64 { a: ri, b: re, target: 0 });
+                self.ops.push(Op::I64ToI32 { dst: *slot as R, src: ri });
+                let pre = self.slots.clone();
+                self.slots[*slot] = Sk::Known(K::I32);
+                let entry = self.slots.clone();
+                self.stmts(body)?;
+                self.flush();
+                self.ops.push(Op::AddI64 { dst: ri, a: ri, b: rs });
+                self.ops.push(Op::Jmp { target: head });
+                let end_at = self.here();
+                self.patch(head, end_at);
+                // A later iteration re-enters the body with the kinds the
+                // previous one left behind; reject kernels where they differ
+                // from the kinds the emitted ops assumed.
+                for s in 0..self.slots.len() {
+                    if let (Sk::Known(k1), Sk::Known(k2)) = (entry[s], self.slots[s]) {
+                        if k1 != k2 {
+                            return Err(format!("loop body changes kind of slot {s}"));
+                        }
+                    }
+                    self.slots[s] = merge_sk(pre[s], self.slots[s]);
+                }
+            }
+            PStmt::If { cond, then_, else_ } => {
+                // Constant conditions (e.g. lowered comments) take one branch
+                // statically; the tree-walker's Lit eval has no side effects.
+                if let PExpr::Lit(v) = cond {
+                    return self.stmts(if v.truthy() { then_ } else { else_ });
+                }
+                let (rc, kc) = self.expr(cond)?;
+                self.flush();
+                let jz = self.here();
+                self.ops.push(Op::Jz { cond: rc, k: kc, target: 0 });
+                let saved = self.slots.clone();
+                self.stmts(then_)?;
+                self.flush();
+                let jmp = self.here();
+                self.ops.push(Op::Jmp { target: 0 });
+                let else_at = self.here();
+                self.patch(jz, else_at);
+                let after_then = std::mem::replace(&mut self.slots, saved);
+                self.stmts(else_)?;
+                self.flush();
+                let end = self.here();
+                self.patch(jmp, end);
+                for (slot, &then_sk) in self.slots.iter_mut().zip(&after_then) {
+                    *slot = merge_sk(then_sk, *slot);
+                }
+            }
+            PStmt::Return => {
+                self.flush();
+                self.ops.push(Op::Ret);
+            }
+            PStmt::Barrier => return Err("barrier inside a phase".into()),
+        }
+        Ok(())
+    }
+}
+
+/// Compiles a prepared kernel into a tape, or explains why it cannot be
+/// compiled (the caller then falls back to the tree-walker).
+pub(crate) fn compile(prep: &Prepared) -> Result<Compiled, String> {
+    let mut slots = vec![Sk::Unset; prep.nslots];
+    for (p, s) in prep.params.iter().zip(&prep.scalar_slots) {
+        if let Some(slot) = s {
+            slots[*slot] = Sk::Known(kk(p.kind)?);
+        }
+    }
+    let mut cc = Cc { prep, ops: Vec::new(), nregs: prep.nslots as u32, slots, flops: 0 };
+    let mut phase_starts = Vec::with_capacity(prep.phases.len());
+    for phase in &prep.phases {
+        phase_starts.push(cc.here());
+        cc.stmts(phase)?;
+        cc.flush();
+        cc.ops.push(Op::Halt);
+    }
+    if cc.nregs > u32::MAX / 2 {
+        return Err("register file overflow".into());
+    }
+    Ok(Compiled { ops: cc.ops, phase_starts, nregs: cc.nregs as usize })
+}
+
+/// Mutable per-item/per-launch state threaded through tape execution.
+pub(crate) struct TapeCtx<'a> {
+    pub bufs: &'a [Option<&'a SharedBuf>],
+    pub gsize: [usize; 3],
+    pub counters: &'a mut Counters,
+    pub trace: &'a mut Vec<(u32, u32, u64)>,
+    pub trace_on: bool,
+    pub writes: &'a mut Vec<WriteRec>,
+    pub race_on: bool,
+    pub item: u64,
+    pub gid: [usize; 3],
+    pub lid: usize,
+    pub group: usize,
+    pub lsize: usize,
+}
+
+/// Executes one phase of a compiled tape for one work-item. Returns `true`
+/// when the item executed `Ret` (early exit).
+pub(crate) fn exec_phase(
+    c: &Compiled,
+    phase: usize,
+    regs: &mut [u64],
+    privs: &mut [Vec<u64>],
+    locals: &mut [Vec<u64>],
+    t: &mut TapeCtx<'_>,
+) -> bool {
+    let ops = &c.ops[..];
+    let mut pc = c.phase_starts[phase] as usize;
+    loop {
+        match ops[pc] {
+            Op::Const { dst, bits } => regs[dst as usize] = bits,
+            Op::Gid { dst, dim } => regs[dst as usize] = bi32(t.gid[dim as usize] as i32),
+            Op::Gsz { dst, dim } => regs[dst as usize] = bi32(t.gsize[dim as usize] as i32),
+            Op::Lid { dst, dim } => {
+                regs[dst as usize] = bi32(if dim == 0 { t.lid as i32 } else { 0 })
+            }
+            Op::Lsz { dst, dim } => {
+                regs[dst as usize] = bi32(if dim == 0 { t.lsize as i32 } else { 1 })
+            }
+            Op::Grp { dst, dim } => {
+                regs[dst as usize] = bi32(if dim == 0 { t.group as i32 } else { 0 })
+            }
+            Op::Mov { dst, src } => regs[dst as usize] = regs[src as usize],
+            Op::Cast { dst, src, from, to } => {
+                regs[dst as usize] = cast_bits(from, to, regs[src as usize])
+            }
+            Op::AsI64 { dst, src, from } => {
+                regs[dst as usize] = bi64(to_i64(from, regs[src as usize]))
+            }
+            Op::MaxOne { dst } => {
+                regs[dst as usize] = bi64(i64v(regs[dst as usize]).max(1));
+            }
+            Op::I64ToI32 { dst, src } => regs[dst as usize] = bi32(i64v(regs[src as usize]) as i32),
+            Op::AddI64 { dst, a, b } => {
+                regs[dst as usize] = bi64(i64v(regs[a as usize]) + i64v(regs[b as usize]))
+            }
+            Op::JgeI64 { a, b, target } => {
+                if i64v(regs[a as usize]) >= i64v(regs[b as usize]) {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::Neg { dst, src, k } => {
+                let s = regs[src as usize];
+                regs[dst as usize] = match k {
+                    K::F32 => b32(-f32v(s)),
+                    K::F64 => b64(-f64v(s)),
+                    K::I32 => bi32(-i32v(s)),
+                    K::Bool => bi32(-((s != 0) as i32)),
+                };
+            }
+            Op::Not { dst, src, k } => {
+                regs[dst as usize] = bb(!truthy(k, regs[src as usize]));
+            }
+            Op::Bin { dst, a, b, op, k } => {
+                regs[dst as usize] = bin_bits(op, k, regs[a as usize], regs[b as usize]);
+            }
+            Op::Logic { dst, a, b, ka, kb, or } => {
+                let (x, y) = (truthy(ka, regs[a as usize]), truthy(kb, regs[b as usize]));
+                regs[dst as usize] = bb(if or { x || y } else { x && y });
+            }
+            Op::MinMax { dst, a, b, k, max } => {
+                let (x, y) = (regs[a as usize], regs[b as usize]);
+                regs[dst as usize] = match k {
+                    K::F32 => {
+                        let (p, q) = (f32v(x) as f64, f32v(y) as f64);
+                        b32((if max { p.max(q) } else { p.min(q) }) as f32)
+                    }
+                    K::F64 => {
+                        let (p, q) = (f64v(x), f64v(y));
+                        b64(if max { p.max(q) } else { p.min(q) })
+                    }
+                    K::I32 => {
+                        let (p, q) = (i32v(x) as i64, i32v(y) as i64);
+                        bi32((if max { p.max(q) } else { p.min(q) }) as i32)
+                    }
+                    K::Bool => unreachable!("min/max never promotes to bool"),
+                };
+            }
+            Op::Intr1 { dst, src, intr, k } => {
+                let s = regs[src as usize];
+                regs[dst as usize] = match k {
+                    K::F32 => b32(intr1_f32(intr, f32v(s))),
+                    _ => b64(intr1_f64(intr, f64v(s))),
+                };
+            }
+            Op::LdG { dst, buf, idx, site, constant } => {
+                let i = i64v(regs[idx as usize]);
+                let b = t.bufs[buf as usize].expect("buffer bound");
+                if constant {
+                    t.counters.loads_constant += 1;
+                } else {
+                    let eb = b.elem_bytes() as u64;
+                    t.counters.loads_global += 1;
+                    t.counters.bytes_loaded += eb;
+                    if t.trace_on {
+                        t.trace.push((site, 0, ((buf as u64) << 40) | ((i as u64) * eb)));
+                    }
+                }
+                debug_assert!(
+                    i >= 0 && (i as usize) < b.len(),
+                    "load out of bounds: param {buf}[{i}] (len {})",
+                    b.len()
+                );
+                // SAFETY: launch contract — no concurrent writer of this
+                // element (same contract as the tree-walker).
+                regs[dst as usize] = bits_of_value(unsafe { b.get(i as usize) });
+            }
+            Op::StG { buf, idx, val, vk, site } => {
+                let i = i64v(regs[idx as usize]);
+                let b = t.bufs[buf as usize].expect("buffer bound");
+                let eb = b.elem_bytes() as u64;
+                t.counters.stores_global += 1;
+                t.counters.bytes_stored += eb;
+                if t.trace_on {
+                    t.trace.push((site, 0, ((buf as u64) << 40) | ((i as u64) * eb)));
+                }
+                if t.race_on {
+                    t.writes.push((buf as u32, i as u64, t.item, site));
+                }
+                debug_assert!(
+                    i >= 0 && (i as usize) < b.len(),
+                    "store out of bounds: param {buf}[{i}] (len {})",
+                    b.len()
+                );
+                // SAFETY: launch contract — element disjointness across
+                // work-items (verified by race-check mode).
+                unsafe { b.set(i as usize, bits_value(vk, regs[val as usize])) };
+            }
+            Op::LdP { dst, arr, idx } => {
+                regs[dst as usize] = privs[arr as usize][i64v(regs[idx as usize]) as usize];
+            }
+            Op::StP { arr, idx, val, vk, k } => {
+                let i = i64v(regs[idx as usize]) as usize;
+                privs[arr as usize][i] = cast_bits(vk, k, regs[val as usize]);
+            }
+            Op::LdL { dst, arr, idx } => {
+                regs[dst as usize] = locals[arr as usize][i64v(regs[idx as usize]) as usize];
+            }
+            Op::StL { arr, idx, val, vk, k } => {
+                let i = i64v(regs[idx as usize]) as usize;
+                locals[arr as usize][i] = cast_bits(vk, k, regs[val as usize]);
+            }
+            Op::DeclPriv { arr, len } => {
+                let n = i64v(regs[len as usize]) as usize;
+                let p = &mut privs[arr as usize];
+                p.clear();
+                p.resize(n, 0);
+            }
+            Op::DeclLocal { arr, len } => {
+                let n = i64v(regs[len as usize]) as usize;
+                let l = &mut locals[arr as usize];
+                if l.len() != n {
+                    l.clear();
+                    l.resize(n, 0);
+                }
+            }
+            Op::Flops { n } => t.counters.flops += n as u64,
+            Op::Jmp { target } => {
+                pc = target as usize;
+                continue;
+            }
+            Op::Jz { cond, k, target } => {
+                if !truthy(k, regs[cond as usize]) {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::Ret => return true,
+            Op::Halt => return false,
+        }
+        pc += 1;
+    }
+}
+
+#[inline(always)]
+fn intr1_f32(i: Intrinsic, x: f32) -> f32 {
+    match i {
+        Intrinsic::Sqrt => x.sqrt(),
+        Intrinsic::Fabs => x.abs(),
+        Intrinsic::Exp => x.exp(),
+        Intrinsic::Log => x.ln(),
+        Intrinsic::Sin => x.sin(),
+        Intrinsic::Cos => x.cos(),
+        _ => unreachable!("not a unary intrinsic"),
+    }
+}
+
+#[inline(always)]
+fn intr1_f64(i: Intrinsic, x: f64) -> f64 {
+    match i {
+        Intrinsic::Sqrt => x.sqrt(),
+        Intrinsic::Fabs => x.abs(),
+        Intrinsic::Exp => x.exp(),
+        Intrinsic::Log => x.ln(),
+        Intrinsic::Sin => x.sin(),
+        Intrinsic::Cos => x.cos(),
+        _ => unreachable!("not a unary intrinsic"),
+    }
+}
+
+#[inline(always)]
+fn bin_bits(op: BinOp, k: K, x: u64, y: u64) -> u64 {
+    match k {
+        K::F32 => {
+            let (a, b) = (f32v(x), f32v(y));
+            match op {
+                BinOp::Add => b32(a + b),
+                BinOp::Sub => b32(a - b),
+                BinOp::Mul => b32(a * b),
+                BinOp::Div => b32(a / b),
+                BinOp::Eq => bb(a == b),
+                BinOp::Ne => bb(a != b),
+                BinOp::Lt => bb(a < b),
+                BinOp::Le => bb(a <= b),
+                BinOp::Gt => bb(a > b),
+                BinOp::Ge => bb(a >= b),
+                BinOp::Rem | BinOp::And | BinOp::Or => unreachable!("not monomorphised to f32"),
+            }
+        }
+        K::F64 => {
+            let (a, b) = (f64v(x), f64v(y));
+            match op {
+                BinOp::Add => b64(a + b),
+                BinOp::Sub => b64(a - b),
+                BinOp::Mul => b64(a * b),
+                BinOp::Div => b64(a / b),
+                BinOp::Eq => bb(a == b),
+                BinOp::Ne => bb(a != b),
+                BinOp::Lt => bb(a < b),
+                BinOp::Le => bb(a <= b),
+                BinOp::Gt => bb(a > b),
+                BinOp::Ge => bb(a >= b),
+                BinOp::Rem | BinOp::And | BinOp::Or => unreachable!("not monomorphised to f64"),
+            }
+        }
+        K::I32 => {
+            let (a, b) = (i32v(x), i32v(y));
+            match op {
+                BinOp::Add => bi32(a.wrapping_add(b)),
+                BinOp::Sub => bi32(a.wrapping_sub(b)),
+                BinOp::Mul => bi32(a.wrapping_mul(b)),
+                BinOp::Div => bi32(a / b),
+                BinOp::Rem => bi32(a % b),
+                BinOp::Eq => bb(a == b),
+                BinOp::Ne => bb(a != b),
+                BinOp::Lt => bb(a < b),
+                BinOp::Le => bb(a <= b),
+                BinOp::Gt => bb(a > b),
+                BinOp::Ge => bb(a >= b),
+                BinOp::And | BinOp::Or => unreachable!("logic ops use Op::Logic"),
+            }
+        }
+        K::Bool => unreachable!("binary ops never monomorphise to bool"),
+    }
+}

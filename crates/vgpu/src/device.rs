@@ -8,7 +8,7 @@
 //! profiling API.
 
 use crate::buffer::{BufData, SharedBuf};
-use crate::exec::{self, ArgBind, ExecError, ExecMode, LaunchStats, Prepared};
+use crate::exec::{self, ArgBind, Engine, ExecError, ExecMode, LaunchStats, Prepared};
 use crate::perfmodel::{modeled_time_s, ModelInput};
 use crate::profile::DeviceProfile;
 use lift::kast::Kernel;
@@ -45,13 +45,21 @@ pub struct Device {
     profile: DeviceProfile,
     buffers: Vec<SharedBuf>,
     race_check: bool,
+    engine: Engine,
     events: Vec<KernelEvent>,
 }
 
 impl Device {
-    /// A device with the given performance profile.
+    /// A device with the given performance profile. The execution engine
+    /// defaults per the `VGPU_ENGINE` environment variable (see [`Engine`]).
     pub fn new(profile: DeviceProfile) -> Self {
-        Device { profile, buffers: Vec::new(), race_check: false, events: Vec::new() }
+        Device {
+            profile,
+            buffers: Vec::new(),
+            race_check: false,
+            engine: Engine::from_env(),
+            events: Vec::new(),
+        }
     }
 
     /// A device profiled as the paper's GTX 780 (the platform of Figure 2).
@@ -68,6 +76,16 @@ impl Device {
     /// [`crate::buffer`]). Expensive; intended for tests.
     pub fn set_race_check(&mut self, on: bool) {
         self.race_check = on;
+    }
+
+    /// Selects the execution engine for subsequent launches.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Creates a zero-filled buffer.
@@ -131,7 +149,7 @@ impl Device {
                 Arg::Val(v) => ArgBind::Val(*v),
             })
             .collect();
-        let stats = exec::launch_wg(
+        let stats = exec::launch_wg_engine(
             prep,
             &binds,
             global,
@@ -139,11 +157,9 @@ impl Device {
             mode,
             self.race_check,
             self.profile.transaction_bytes,
+            self.engine,
         )?;
-        let double = prep
-            .params
-            .iter()
-            .any(|p| p.is_buffer && p.kind == ScalarKind::F64);
+        let double = prep.params.iter().any(|p| p.is_buffer && p.kind == ScalarKind::F64);
         let modeled_s = stats.transaction_bytes.map(|tb| {
             modeled_time_s(
                 &ModelInput {
@@ -192,7 +208,11 @@ mod tests {
             ],
             work_dim: 1,
         }
-        .resolve_real(if kind == ScalarKind::F64 { ScalarKind::F64 } else { ScalarKind::F32 })
+        .resolve_real(if kind == ScalarKind::F64 {
+            ScalarKind::F64
+        } else {
+            ScalarKind::F32
+        })
     }
 
     #[test]
@@ -200,8 +220,7 @@ mod tests {
         let mut dev = Device::gtx780();
         let x = dev.upload(BufData::from(vec![1.0f32, 2.0, 3.0]));
         let prep = dev.compile(&double_kernel(ScalarKind::F32)).unwrap();
-        dev.launch(&prep, &[Arg::Buf(x), Arg::Val(Value::I32(3))], &[32], ExecMode::Fast)
-            .unwrap();
+        dev.launch(&prep, &[Arg::Buf(x), Arg::Val(Value::I32(3))], &[32], ExecMode::Fast).unwrap();
         assert_eq!(dev.read(x), BufData::from(vec![2.0f32, 4.0, 6.0]));
         assert_eq!(dev.events().len(), 1);
         assert!(dev.events()[0].modeled_s.is_none());

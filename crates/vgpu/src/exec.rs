@@ -20,12 +20,16 @@
 //!   fails if two work-items wrote the same element, validating the safety
 //!   contract of the in-place primitives.
 
-use crate::buffer::SharedBuf;
+use crate::buffer::{BufData, SharedBuf};
+use crate::bytecode::{self, Compiled, TapeCtx};
 use lift::kast::{KExpr, KStmt, Kernel, KernelParam, MemRef, MemSpace};
 use lift::prelude::{BinOp, Intrinsic, ScalarKind, UnOp, Value};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::fmt;
+
+/// One recorded global store: (buffer param, element, work-item, site).
+pub(crate) type WriteRec = (u32, u64, u64, u32);
 
 /// Warp width used by the transaction model (all Table III GPUs execute
 /// 32-wide warps or 64-wide wavefronts; 32 is the finer, NVIDIA-accurate
@@ -208,6 +212,17 @@ pub struct Prepared {
     pub uses_groups: bool,
     /// Body split at top-level barriers (one entry when barrier-free).
     pub phases: Vec<Vec<PStmt>>,
+    /// Bytecode tape (`None` when the kernel is not statically typeable;
+    /// such kernels run on the tree-walker).
+    pub(crate) tape: Option<Compiled>,
+}
+
+impl Prepared {
+    /// True when the kernel compiled to a bytecode tape (the tree-walker
+    /// remains available as the reference oracle either way).
+    pub fn has_tape(&self) -> bool {
+        self.tape.is_some()
+    }
 }
 
 struct PrepCtx {
@@ -269,7 +284,7 @@ pub fn prepare(kernel: &Kernel) -> Result<Prepared, ExecError> {
             phases.last_mut().unwrap().push(st.clone());
         }
     }
-    Ok(Prepared {
+    let mut prep = Prepared {
         name: kernel.name.clone(),
         params: kernel.params.clone(),
         body,
@@ -281,7 +296,10 @@ pub fn prepare(kernel: &Kernel) -> Result<Prepared, ExecError> {
         local_kinds: ctx.local_kinds,
         uses_groups: ctx.uses_groups,
         phases,
-    })
+        tape: None,
+    };
+    prep.tape = bytecode::compile(&prep).ok();
+    Ok(prep)
 }
 
 fn prep_stmts(stmts: &[KStmt], k: &Kernel, ctx: &mut PrepCtx) -> Result<Vec<PStmt>, ExecError> {
@@ -327,10 +345,8 @@ fn prep_stmt(s: &KStmt, k: &Kernel, ctx: &mut PrepCtx, nested: bool) -> Result<P
         }
         KStmt::Barrier => {
             if nested {
-                return err(
-                    "barrier inside a loop or branch is not supported by this device \
-                     (kernels generated here only place barriers at the top level)",
-                );
+                return err("barrier inside a loop or branch is not supported by this device \
+                     (kernels generated here only place barriers at the top level)");
             }
             ctx.uses_groups = true;
             PStmt::Barrier
@@ -367,7 +383,9 @@ fn prep_stmt(s: &KStmt, k: &Kernel, ctx: &mut PrepCtx, nested: bool) -> Result<P
             else_: prep_stmts_nested(else_, k, ctx)?,
         },
         KStmt::Return => PStmt::Return,
-        KStmt::Comment(_) => PStmt::If { cond: PExpr::Lit(Value::Bool(false)), then_: vec![], else_: vec![] },
+        KStmt::Comment(_) => {
+            PStmt::If { cond: PExpr::Lit(Value::Bool(false)), then_: vec![], else_: vec![] }
+        }
     })
 }
 
@@ -435,11 +453,9 @@ fn prep_expr(e: &KExpr, k: &Kernel, ctx: &mut PrepCtx) -> Result<PExpr, ExecErro
             let (pm, space) = prep_mem(mem, k, ctx)?;
             PExpr::Load { mem: pm, idx: Box::new(prep_expr(idx, k, ctx)?), site: ctx.site(), space }
         }
-        KExpr::Bin(op, a, b) => PExpr::Bin(
-            *op,
-            Box::new(prep_expr(a, k, ctx)?),
-            Box::new(prep_expr(b, k, ctx)?),
-        ),
+        KExpr::Bin(op, a, b) => {
+            PExpr::Bin(*op, Box::new(prep_expr(a, k, ctx)?), Box::new(prep_expr(b, k, ctx)?))
+        }
         KExpr::Un(op, a) => PExpr::Un(*op, Box::new(prep_expr(a, k, ctx)?)),
         KExpr::Select(c, t, f) => PExpr::Select(
             Box::new(prep_expr(c, k, ctx)?),
@@ -515,6 +531,37 @@ pub enum ExecMode {
     },
 }
 
+/// Which interpreter backend executes a launch.
+///
+/// The default is chosen by the `VGPU_ENGINE` environment variable:
+/// `tree` selects the tree-walker, `diff` (or `differential`) runs both
+/// backends and asserts bit-identical buffers and identical stats, anything
+/// else selects the bytecode tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Flat bytecode tape (kernels the compiler rejects fall back to the
+    /// tree-walker transparently).
+    #[default]
+    Tape,
+    /// Reference tree-walking interpreter.
+    Tree,
+    /// Run the tree-walker, snapshot its outputs, restore inputs, run the
+    /// tape, and fail unless buffers are bit-identical and counters and
+    /// transaction bytes are equal.
+    Differential,
+}
+
+impl Engine {
+    /// Reads the `VGPU_ENGINE` environment variable (see type docs).
+    pub fn from_env() -> Engine {
+        match std::env::var("VGPU_ENGINE").as_deref() {
+            Ok("tree") => Engine::Tree,
+            Ok("diff") | Ok("differential") => Engine::Differential,
+            _ => Engine::Tape,
+        }
+    }
+}
+
 /// Result of a launch.
 #[derive(Debug, Clone)]
 pub struct LaunchStats {
@@ -542,7 +589,7 @@ struct ItemState {
     privs: Vec<Vec<Value>>,
     counters: Counters,
     trace: Vec<(u32, u32, u64)>, // (site, occurrence, byte address) — loads+stores
-    writes: Vec<(u32, u64, u64)>, // (param index, element index, work-item) for race check
+    writes: Vec<WriteRec>,
     trace_on: bool,
     race_on: bool,
     item: u64,
@@ -564,12 +611,18 @@ enum Flow {
 
 struct Exec<'a> {
     prep: &'a Prepared,
-    bufs: Vec<Option<&'a SharedBuf>>,
+    bufs: &'a [Option<&'a SharedBuf>],
     gsize: [usize; 3],
 }
 
 impl<'a> Exec<'a> {
-    fn eval(&self, e: &PExpr, st: &mut ItemState, locals: &mut Vec<Vec<Value>>, ic: ItemCtx) -> Value {
+    fn eval(
+        &self,
+        e: &PExpr,
+        st: &mut ItemState,
+        locals: &mut Vec<Vec<Value>>,
+        ic: ItemCtx,
+    ) -> Value {
         match e {
             PExpr::Lit(v) => *v,
             PExpr::Var(s) => st.slots[*s],
@@ -583,8 +636,12 @@ impl<'a> Exec<'a> {
                 match mem {
                     PMem::Param(p) => {
                         let buf = self.bufs[*p].expect("buffer bound");
-                        debug_assert!(i >= 0 && (i as usize) < buf.len(),
-                            "load out of bounds: {}[{i}] (len {})", self.prep.params[*p].name, buf.len());
+                        debug_assert!(
+                            i >= 0 && (i as usize) < buf.len(),
+                            "load out of bounds: {}[{i}] (len {})",
+                            self.prep.params[*p].name,
+                            buf.len()
+                        );
                         let eb = buf.elem_bytes() as u64;
                         match space {
                             MemSpace::Constant => st.counters.loads_constant += 1,
@@ -592,7 +649,11 @@ impl<'a> Exec<'a> {
                                 st.counters.loads_global += 1;
                                 st.counters.bytes_loaded += eb;
                                 if st.trace_on {
-                                    st.trace.push((*site, 0, (*p as u64) << 40 | (i as u64) * eb));
+                                    st.trace.push((
+                                        *site,
+                                        0,
+                                        ((*p as u64) << 40) | ((i as u64) * eb),
+                                    ));
                                 }
                             }
                         }
@@ -632,13 +693,20 @@ impl<'a> Exec<'a> {
                 }
             }
             PExpr::Call(intr, args) => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| self.eval(a, st, locals, ic)).collect();
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a, st, locals, ic)).collect();
                 st.counters.flops += match intr {
-                    Intrinsic::Sqrt | Intrinsic::Exp | Intrinsic::Log | Intrinsic::Sin | Intrinsic::Cos => 4,
+                    Intrinsic::Sqrt
+                    | Intrinsic::Exp
+                    | Intrinsic::Log
+                    | Intrinsic::Sin
+                    | Intrinsic::Cos => 4,
                     Intrinsic::Fma => 2,
                     Intrinsic::Min | Intrinsic::Max => {
-                        if vals[0].kind().is_float() { 1 } else { 0 }
+                        if vals[0].kind().is_float() {
+                            1
+                        } else {
+                            0
+                        }
                     }
                     Intrinsic::Fabs => 0,
                 };
@@ -648,7 +716,13 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn exec_block(&self, stmts: &[PStmt], st: &mut ItemState, locals: &mut Vec<Vec<Value>>, ic: ItemCtx) -> Flow {
+    fn exec_block(
+        &self,
+        stmts: &[PStmt],
+        st: &mut ItemState,
+        locals: &mut Vec<Vec<Value>>,
+        ic: ItemCtx,
+    ) -> Flow {
         for s in stmts {
             match s {
                 PStmt::DeclScalar { slot, kind, init } => {
@@ -685,17 +759,25 @@ impl<'a> Exec<'a> {
                     match mem {
                         PMem::Param(p) => {
                             let buf = self.bufs[*p].expect("buffer bound");
-                            debug_assert!(i >= 0 && (i as usize) < buf.len(),
-                                "store out of bounds: {}[{i}] (len {})", self.prep.params[*p].name, buf.len());
+                            debug_assert!(
+                                i >= 0 && (i as usize) < buf.len(),
+                                "store out of bounds: {}[{i}] (len {})",
+                                self.prep.params[*p].name,
+                                buf.len()
+                            );
                             let eb = buf.elem_bytes() as u64;
                             if !matches!(space, MemSpace::Private) {
                                 st.counters.stores_global += 1;
                                 st.counters.bytes_stored += eb;
                                 if st.trace_on {
-                                    st.trace.push((*site, 0, (*p as u64) << 40 | (i as u64) * eb));
+                                    st.trace.push((
+                                        *site,
+                                        0,
+                                        ((*p as u64) << 40) | ((i as u64) * eb),
+                                    ));
                                 }
                                 if st.race_on {
-                                    st.writes.push((*p as u32, i as u64, st.item));
+                                    st.writes.push((*p as u32, i as u64, st.item, *site));
                                 }
                             }
                             // SAFETY: launch contract — element disjointness
@@ -744,11 +826,8 @@ impl<'a> Exec<'a> {
     fn run_item(&self, linear: u64, st: &mut ItemState, locals: &mut Vec<Vec<Value>>) {
         let gx = self.gsize[0] as u64;
         let gy = self.gsize[1] as u64;
-        let gid = [
-            (linear % gx) as usize,
-            ((linear / gx) % gy) as usize,
-            (linear / (gx * gy)) as usize,
-        ];
+        let gid =
+            [(linear % gx) as usize, ((linear / gx) % gy) as usize, (linear / (gx * gy)) as usize];
         let ic = ItemCtx { gid, lid: 0, group: (linear / WARP as u64) as usize, lsize: 1 };
         st.item = linear;
         st.counters.work_items += 1;
@@ -762,10 +841,7 @@ fn call_intrinsic(i: Intrinsic, vals: &[Value]) -> Value {
 
 /// Counts distinct transaction segments per (site, occurrence) across one
 /// warp's traces and returns total DRAM bytes moved.
-fn warp_transaction_bytes(
-    traces: &mut [Vec<(u32, u32, u64)>],
-    txn: u64,
-) -> u64 {
+fn warp_transaction_bytes(traces: &mut [Vec<(u32, u32, u64)>], txn: u64) -> u64 {
     // Assign occurrence numbers per site within each item, then group.
     let mut groups: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
     for t in traces.iter_mut() {
@@ -808,6 +884,7 @@ pub fn launch(
 /// Executes a prepared kernel with an explicit workgroup size. Kernels that
 /// use barriers, local memory or local/group ids *require* `local`; the
 /// global size must be a multiple of it. Barrier-free kernels ignore it.
+/// The backend is chosen by [`Engine::from_env`].
 #[allow(clippy::too_many_arguments)]
 pub fn launch_wg(
     prep: &Prepared,
@@ -817,6 +894,41 @@ pub fn launch_wg(
     mode: ExecMode,
     race_check: bool,
     transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    launch_wg_engine(
+        prep,
+        bindings,
+        global,
+        local,
+        mode,
+        race_check,
+        transaction_size,
+        Engine::from_env(),
+    )
+}
+
+/// True when the tape can run this launch exactly: the kernel compiled, and
+/// every bound buffer's element kind matches its parameter declaration (the
+/// tape bakes element kinds in statically).
+fn tape_usable(prep: &Prepared, bufs: &[Option<&SharedBuf>]) -> bool {
+    prep.tape.is_some()
+        && prep.params.iter().zip(bufs).all(|(p, b)| match b {
+            Some(b) => b.kind() == p.kind,
+            None => true,
+        })
+}
+
+/// [`launch_wg`] with an explicit backend selection.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_wg_engine(
+    prep: &Prepared,
+    bindings: &[ArgBind<'_>],
+    global: &[usize],
+    local: Option<usize>,
+    mode: ExecMode,
+    race_check: bool,
+    transaction_size: u64,
+    engine: Engine,
 ) -> Result<LaunchStats, ExecError> {
     if bindings.len() != prep.params.len() {
         return err(format!(
@@ -849,15 +961,8 @@ pub fn launch_wg(
         gsize[d] = *g;
     }
     let total: u64 = (gsize[0] as u64) * (gsize[1] as u64) * (gsize[2] as u64);
-    let exec = Exec { prep, bufs, gsize };
 
-    let trace_on = matches!(mode, ExecMode::Model { .. });
-    let stride = match mode {
-        ExecMode::Fast => 1usize,
-        ExecMode::Model { sample_stride } => sample_stride.max(1),
-    };
-
-    if prep.uses_groups {
+    let lsize = if prep.uses_groups {
         let lsize = match local {
             Some(l) if l > 0 => l,
             _ => {
@@ -870,21 +975,321 @@ pub fn launch_wg(
         if prep.work_dim != 1 || gsize[1] != 1 || gsize[2] != 1 {
             return err("workgroup kernels are supported for 1-D NDRanges only");
         }
-        if total % lsize as u64 != 0 {
+        if !total.is_multiple_of(lsize as u64) {
             return err(format!(
                 "global size {total} is not a multiple of the workgroup size {lsize}"
             ));
         }
-        return run_grouped(
-            &exec, prep, &init_slots, total, lsize, stride, trace_on, race_check, transaction_size,
-        );
-    }
+        Some(lsize)
+    } else {
+        None
+    };
 
+    match engine {
+        Engine::Tree => run_launch(
+            prep,
+            &bufs,
+            &init_slots,
+            gsize,
+            total,
+            lsize,
+            mode,
+            race_check,
+            transaction_size,
+            false,
+        ),
+        Engine::Tape => {
+            let use_tape = tape_usable(prep, &bufs);
+            run_launch(
+                prep,
+                &bufs,
+                &init_slots,
+                gsize,
+                total,
+                lsize,
+                mode,
+                race_check,
+                transaction_size,
+                use_tape,
+            )
+        }
+        Engine::Differential => run_differential(
+            prep,
+            &bufs,
+            &init_slots,
+            gsize,
+            total,
+            lsize,
+            mode,
+            race_check,
+            transaction_size,
+        ),
+    }
+}
+
+/// Dispatches a validated launch to one backend.
+#[allow(clippy::too_many_arguments)]
+fn run_launch(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    total: u64,
+    lsize: Option<usize>,
+    mode: ExecMode,
+    race_check: bool,
+    transaction_size: u64,
+    use_tape: bool,
+) -> Result<LaunchStats, ExecError> {
+    let trace_on = matches!(mode, ExecMode::Model { .. });
+    let stride = match mode {
+        ExecMode::Fast => 1usize,
+        ExecMode::Model { sample_stride } => sample_stride.max(1),
+    };
+    match (lsize, use_tape) {
+        (Some(lsize), false) => {
+            let exec = Exec { prep, bufs, gsize };
+            run_grouped(
+                &exec,
+                prep,
+                init_slots,
+                total,
+                lsize,
+                stride,
+                trace_on,
+                race_check,
+                transaction_size,
+            )
+        }
+        (Some(lsize), true) => run_grouped_tape(
+            prep,
+            bufs,
+            init_slots,
+            total,
+            lsize,
+            stride,
+            trace_on,
+            race_check,
+            transaction_size,
+        ),
+        (None, false) => run_flat_tree(
+            prep,
+            bufs,
+            init_slots,
+            gsize,
+            total,
+            stride,
+            trace_on,
+            race_check,
+            transaction_size,
+        ),
+        (None, true) => run_flat_tape(
+            prep,
+            bufs,
+            init_slots,
+            gsize,
+            total,
+            stride,
+            trace_on,
+            race_check,
+            transaction_size,
+        ),
+    }
+}
+
+/// Runs the tree-walker, snapshots its output, restores the inputs, runs the
+/// tape, and fails unless the two backends produced bit-identical buffers
+/// and identical counters and transaction bytes.
+#[allow(clippy::too_many_arguments)]
+fn run_differential(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    total: u64,
+    lsize: Option<usize>,
+    mode: ExecMode,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    let usable = tape_usable(prep, bufs);
+    let snaps: Vec<Option<BufData>> = bufs.iter().map(|b| b.map(|b| b.data().clone())).collect();
+    let tree = run_launch(
+        prep,
+        bufs,
+        init_slots,
+        gsize,
+        total,
+        lsize,
+        mode,
+        race_check,
+        transaction_size,
+        false,
+    )?;
+    if !usable {
+        return Ok(tree);
+    }
+    let tree_out: Vec<Option<BufData>> = bufs.iter().map(|b| b.map(|b| b.data().clone())).collect();
+    for (b, s) in bufs.iter().zip(snaps) {
+        if let (Some(b), Some(s)) = (b, s) {
+            b.restore(s);
+        }
+    }
+    let tape = run_launch(
+        prep,
+        bufs,
+        init_slots,
+        gsize,
+        total,
+        lsize,
+        mode,
+        race_check,
+        transaction_size,
+        true,
+    )?;
+    for (i, (b, expect)) in bufs.iter().zip(&tree_out).enumerate() {
+        if let (Some(b), Some(e)) = (b, expect) {
+            if !bits_eq(b.data(), e) {
+                return err(format!(
+                    "differential check failed for kernel `{}`: buffer `{}` differs between tree-walker and tape",
+                    prep.name, prep.params[i].name
+                ));
+            }
+        }
+    }
+    if tape.counters != tree.counters {
+        return err(format!(
+            "differential check failed for kernel `{}`: counters differ (tree {:?}, tape {:?})",
+            prep.name, tree.counters, tape.counters
+        ));
+    }
+    if tape.transaction_bytes != tree.transaction_bytes {
+        return err(format!(
+            "differential check failed for kernel `{}`: transaction bytes differ (tree {:?}, tape {:?})",
+            prep.name, tree.transaction_bytes, tape.transaction_bytes
+        ));
+    }
+    Ok(tape)
+}
+
+/// Bitwise buffer equality (distinguishes NaN payloads and signed zeros,
+/// which `PartialEq` on floats would not).
+fn bits_eq(a: &BufData, b: &BufData) -> bool {
+    match (a, b) {
+        (BufData::F32(x), BufData::F32(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        (BufData::F64(x), BufData::F64(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        (BufData::I32(x), BufData::I32(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Sampled-launch scale factor: the full NDRange over the work-items the
+/// sampled warps actually covered. The last warp may be partial when the
+/// global size is not a multiple of [`WARP`], so weighting by warp *count*
+/// would over-scale whenever that warp is sampled.
+fn flat_sample_scale(total: u64, warp_ids: &[u64]) -> f64 {
+    let covered: u64 = warp_ids.iter().map(|&w| (WARP as u64).min(total - w * WARP as u64)).sum();
+    if covered == 0 || covered == total {
+        1.0
+    } else {
+        total as f64 / covered as f64
+    }
+}
+
+/// Per-launch aggregation shared by every backend: sums warp/group results,
+/// runs the race check, and applies the sampling scale.
+fn finish(
+    prep: &Prepared,
+    results: Vec<(Counters, u64, Vec<WriteRec>)>,
+    race_check: bool,
+    trace_on: bool,
+    scale: f64,
+    wall: std::time::Duration,
+    total: u64,
+) -> Result<LaunchStats, ExecError> {
+    let mut counters = Counters::default();
+    let mut tbytes = 0u64;
+    let mut all_writes: Vec<WriteRec> = Vec::new();
+    for (c, t, mut w) in results {
+        counters.add(&c);
+        tbytes += t;
+        all_writes.append(&mut w);
+    }
+    if race_check {
+        check_write_races(&prep.name, all_writes)?;
+    }
+    Ok(LaunchStats {
+        counters: counters.scaled(scale),
+        transaction_bytes: trace_on.then(|| (tbytes as f64 * scale).round() as u64),
+        wall,
+        global_work_items: total,
+    })
+}
+
+/// Race detection over the recorded write set. A work-item may rewrite its
+/// own element; two *different* items writing the same element is a data
+/// race under the launch contract. Reports every distinct conflicting
+/// element together with the static store sites involved.
+fn check_write_races(name: &str, mut all: Vec<WriteRec>) -> Result<(), ExecError> {
+    all.sort_unstable();
+    let mut conflicts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < all.len() {
+        let (b, e, ..) = all[i];
+        let mut j = i;
+        while j < all.len() && all[j].0 == b && all[j].1 == e {
+            j += 1;
+        }
+        let run = &all[i..j];
+        // items are sorted within the run (lexicographic tuple order)
+        let mut items: Vec<u64> = run.iter().map(|r| r.2).collect();
+        items.dedup();
+        if items.len() > 1 {
+            let mut sites: Vec<u32> = run.iter().map(|r| r.3).collect();
+            sites.sort_unstable();
+            sites.dedup();
+            conflicts.push(format!(
+                "buffer {b} element {e}: {} work-items via site(s) {sites:?}",
+                items.len()
+            ));
+        }
+        i = j;
+    }
+    if conflicts.is_empty() {
+        return Ok(());
+    }
+    let shown = conflicts.iter().take(4).cloned().collect::<Vec<_>>().join("; ");
+    let extra = conflicts.len().saturating_sub(4);
+    let more = if extra > 0 { format!("; … {extra} more") } else { String::new() };
+    err(format!(
+        "race check failed for kernel `{name}`: {} conflicting element(s): {shown}{more}",
+        conflicts.len()
+    ))
+}
+
+/// Tree-walker execution of a barrier-free NDRange, parallel over warps.
+#[allow(clippy::too_many_arguments)]
+fn run_flat_tree(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    total: u64,
+    stride: usize,
+    trace_on: bool,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    let exec = Exec { prep, bufs, gsize };
     let warps_total = total.div_ceil(WARP as u64);
     let warp_ids: Vec<u64> = (0..warps_total).step_by(stride).collect();
 
     let start = std::time::Instant::now();
-    let results: Vec<(Counters, u64, Vec<(u32, u64, u64)>)> = warp_ids
+    let results: Vec<(Counters, u64, Vec<WriteRec>)> = warp_ids
         .par_iter()
         .map(|&w| {
             let mut st = ItemState {
@@ -897,15 +1302,15 @@ pub fn launch_wg(
                 race_on: race_check,
                 item: 0,
             };
-            for (slot, v) in &init_slots {
+            for (slot, v) in init_slots {
                 st.slots[*slot] = *v;
             }
             let begin = w * WARP as u64;
             let end = (begin + WARP as u64).min(total);
             let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
-            let mut writes: Vec<(u32, u64, u64)> = Vec::new();
+            let mut writes: Vec<WriteRec> = Vec::new();
             for item in begin..end {
-                for (slot, v) in &init_slots {
+                for (slot, v) in init_slots {
                     st.slots[*slot] = *v;
                 }
                 st.trace.clear();
@@ -927,49 +1332,181 @@ pub fn launch_wg(
         })
         .collect();
     let wall = start.elapsed();
+    let scale = flat_sample_scale(total, &warp_ids);
+    finish(prep, results, race_check, trace_on, scale, wall, total)
+}
 
-    let mut counters = Counters::default();
-    let mut tbytes = 0u64;
-    let mut all_writes: Vec<(u32, u64, u64)> = Vec::new();
-    for (c, t, mut w) in results {
-        counters.add(&c);
-        tbytes += t;
-        all_writes.append(&mut w);
-    }
-    if race_check {
-        // A work-item may rewrite its own element; two *different* items
-        // writing the same element is a data race under the launch contract.
-        all_writes.sort_unstable();
-        let mut races = 0u64;
-        let mut first: Option<(u32, u64)> = None;
-        for w in all_writes.windows(2) {
-            let (b0, e0, i0) = w[0];
-            let (b1, e1, i1) = w[1];
-            if b0 == b1 && e0 == e1 && i0 != i1 {
-                races += 1;
-                if first.is_none() {
-                    first = Some((b0, e0));
+/// Bytecode execution of a barrier-free NDRange, parallel over warps. The
+/// warp loop mirrors [`run_flat_tree`] exactly so counters, traces, and
+/// race records are item-for-item identical.
+#[allow(clippy::too_many_arguments)]
+fn run_flat_tape(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    total: u64,
+    stride: usize,
+    trace_on: bool,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    let tape = prep.tape.as_ref().expect("tape checked by caller");
+    let init_bits: Vec<(usize, u64)> =
+        init_slots.iter().map(|(s, v)| (*s, bytecode::bits_of_value(*v))).collect();
+    let warps_total = total.div_ceil(WARP as u64);
+    let warp_ids: Vec<u64> = (0..warps_total).step_by(stride).collect();
+    let gx = gsize[0] as u64;
+    let gy = gsize[1] as u64;
+
+    let start = std::time::Instant::now();
+    let results: Vec<(Counters, u64, Vec<WriteRec>)> = warp_ids
+        .par_iter()
+        .map(|&w| {
+            let mut regs = vec![0u64; tape.nregs];
+            let mut privs: Vec<Vec<u64>> = vec![Vec::new(); prep.npriv];
+            let mut no_locals: Vec<Vec<u64>> = Vec::new();
+            let mut counters = Counters::default();
+            let mut trace: Vec<(u32, u32, u64)> = Vec::new();
+            let mut writes: Vec<WriteRec> = Vec::new();
+            let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
+            let begin = w * WARP as u64;
+            let end = (begin + WARP as u64).min(total);
+            for item in begin..end {
+                for (slot, b) in &init_bits {
+                    regs[*slot] = *b;
+                }
+                let gid = [
+                    (item % gx) as usize,
+                    ((item / gx) % gy) as usize,
+                    (item / (gx * gy)) as usize,
+                ];
+                counters.work_items += 1;
+                let mut t = TapeCtx {
+                    bufs,
+                    gsize,
+                    counters: &mut counters,
+                    trace: &mut trace,
+                    trace_on,
+                    writes: &mut writes,
+                    race_on: race_check,
+                    item,
+                    gid,
+                    lid: 0,
+                    group: (item / WARP as u64) as usize,
+                    lsize: 1,
+                };
+                bytecode::exec_phase(tape, 0, &mut regs, &mut privs, &mut no_locals, &mut t);
+                if trace_on {
+                    warp_traces.push(std::mem::take(&mut trace));
                 }
             }
-        }
-        if let Some((b, e)) = first {
-            return err(format!(
-                "race check failed for kernel `{}`: {races} conflicting write pair(s), first: buffer {b} element {e}",
-                prep.name
-            ));
-        }
-    }
-    let scale = if stride > 1 {
-        warps_total as f64 / warp_ids.len() as f64
-    } else {
-        1.0
-    };
-    Ok(LaunchStats {
-        counters: counters.scaled(scale),
-        transaction_bytes: trace_on.then(|| (tbytes as f64 * scale).round() as u64),
-        wall,
-        global_work_items: total,
-    })
+            let tbytes = if trace_on {
+                warp_transaction_bytes(&mut warp_traces, transaction_size)
+            } else {
+                0
+            };
+            (counters, tbytes, writes)
+        })
+        .collect();
+    let wall = start.elapsed();
+    let scale = flat_sample_scale(total, &warp_ids);
+    finish(prep, results, race_check, trace_on, scale, wall, total)
+}
+
+/// Bytecode execution of a grouped (barrier-synchronised) NDRange; mirrors
+/// [`run_grouped`] phase for phase.
+#[allow(clippy::too_many_arguments)]
+fn run_grouped_tape(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    total: u64,
+    lsize: usize,
+    stride: usize,
+    trace_on: bool,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    let tape = prep.tape.as_ref().expect("tape checked by caller");
+    let init_bits: Vec<(usize, u64)> =
+        init_slots.iter().map(|(s, v)| (*s, bytecode::bits_of_value(*v))).collect();
+    let gsize = [total as usize, 1, 1];
+    let groups_total = (total / lsize as u64) as usize;
+    let group_ids: Vec<usize> = (0..groups_total).step_by(stride).collect();
+    let start = std::time::Instant::now();
+    let results: Vec<(Counters, u64, Vec<WriteRec>)> = group_ids
+        .par_iter()
+        .map(|&g| {
+            let mut locals: Vec<Vec<u64>> = vec![Vec::new(); prep.local_kinds.len()];
+            let mut regss: Vec<Vec<u64>> = (0..lsize)
+                .map(|_| {
+                    let mut r = vec![0u64; tape.nregs];
+                    for (slot, b) in &init_bits {
+                        r[*slot] = *b;
+                    }
+                    r
+                })
+                .collect();
+            let mut privss: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); prep.npriv]; lsize];
+            let mut counterss: Vec<Counters> = vec![Counters::default(); lsize];
+            let mut tracess: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); lsize];
+            let mut writes: Vec<WriteRec> = Vec::new();
+            let mut active = vec![true; lsize];
+            for phase in 0..tape.phases() {
+                for lid in 0..lsize {
+                    if !active[lid] {
+                        continue;
+                    }
+                    let linear = (g * lsize + lid) as u64;
+                    counterss[lid].work_items += 1;
+                    let mut t = TapeCtx {
+                        bufs,
+                        gsize,
+                        counters: &mut counterss[lid],
+                        trace: &mut tracess[lid],
+                        trace_on,
+                        writes: &mut writes,
+                        race_on: race_check,
+                        item: linear,
+                        gid: [linear as usize, 0, 0],
+                        lid,
+                        group: g,
+                        lsize,
+                    };
+                    if bytecode::exec_phase(
+                        tape,
+                        phase,
+                        &mut regss[lid],
+                        &mut privss[lid],
+                        &mut locals,
+                        &mut t,
+                    ) {
+                        active[lid] = false;
+                    }
+                }
+            }
+            let mut counters = Counters::default();
+            let mut tbytes = 0u64;
+            let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
+            for lid in 0..lsize {
+                // work_items was incremented once per phase; normalise
+                counterss[lid].work_items = 1;
+                counters.add(&counterss[lid]);
+                if trace_on {
+                    warp_traces.push(std::mem::take(&mut tracess[lid]));
+                    if warp_traces.len() == WARP || lid == lsize - 1 {
+                        tbytes += warp_transaction_bytes(&mut warp_traces, transaction_size);
+                        warp_traces.clear();
+                    }
+                }
+            }
+            (counters, tbytes, writes)
+        })
+        .collect();
+    let wall = start.elapsed();
+    let scale = if stride > 1 { groups_total as f64 / group_ids.len() as f64 } else { 1.0 };
+    finish(prep, results, race_check, trace_on, scale, wall, total)
 }
 
 /// Group-mode execution: groups run independently (parallel via rayon);
@@ -991,7 +1528,7 @@ fn run_grouped(
     let groups_total = (total / lsize as u64) as usize;
     let group_ids: Vec<usize> = (0..groups_total).step_by(stride).collect();
     let start = std::time::Instant::now();
-    let results: Vec<(Counters, u64, Vec<(u32, u64, u64)>)> = group_ids
+    let results: Vec<(Counters, u64, Vec<WriteRec>)> = group_ids
         .par_iter()
         .map(|&g| {
             let mut locals: Vec<Vec<Value>> = vec![Vec::new(); prep.local_kinds.len()];
@@ -1020,15 +1557,9 @@ fn run_grouped(
                         continue;
                     }
                     let linear = (g * lsize + lid) as u64;
-                    let ic = ItemCtx {
-                        gid: [linear as usize, 0, 0],
-                        lid,
-                        group: g,
-                        lsize,
-                    };
+                    let ic = ItemCtx { gid: [linear as usize, 0, 0], lid, group: g, lsize };
                     states[lid].counters.work_items += 1;
-                    if let Flow::Return =
-                        exec.exec_block(phase, &mut states[lid], &mut locals, ic)
+                    if let Flow::Return = exec.exec_block(phase, &mut states[lid], &mut locals, ic)
                     {
                         active[lid] = false;
                     }
@@ -1056,34 +1587,8 @@ fn run_grouped(
         })
         .collect();
     let wall = start.elapsed();
-    let mut counters = Counters::default();
-    let mut tbytes = 0u64;
-    let mut all_writes: Vec<(u32, u64, u64)> = Vec::new();
-    for (c, t, mut w) in results {
-        counters.add(&c);
-        tbytes += t;
-        all_writes.append(&mut w);
-    }
-    if race_check {
-        all_writes.sort_unstable();
-        for w in all_writes.windows(2) {
-            let (b0, e0, i0) = w[0];
-            let (b1, e1, i1) = w[1];
-            if b0 == b1 && e0 == e1 && i0 != i1 {
-                return err(format!(
-                    "race check failed for kernel `{}`: buffer {b0} element {e0} written by items {i0} and {i1}",
-                    prep.name
-                ));
-            }
-        }
-    }
     let scale = if stride > 1 { groups_total as f64 / group_ids.len() as f64 } else { 1.0 };
-    Ok(LaunchStats {
-        counters: counters.scaled(scale),
-        transaction_bytes: trace_on.then(|| (tbytes as f64 * scale).round() as u64),
-        wall,
-        global_work_items: total,
-    })
+    finish(prep, results, race_check, trace_on, scale, wall, total)
 }
 
 #[cfg(test)]
@@ -1200,7 +1705,11 @@ mod tests {
             ],
             body: vec![
                 KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(0), KExpr::var("N"))),
-                KStmt::DeclPrivArray { name: "p".into(), kind: ScalarKind::F32, len: KExpr::int(4) },
+                KStmt::DeclPrivArray {
+                    name: "p".into(),
+                    kind: ScalarKind::F32,
+                    len: KExpr::int(4),
+                },
                 KStmt::For {
                     var: "j".into(),
                     begin: KExpr::int(0),
@@ -1215,7 +1724,11 @@ mod tests {
                         ),
                     }],
                 },
-                KStmt::DeclScalar { name: "s".into(), kind: ScalarKind::F32, init: Some(KExpr::real(0.0)) },
+                KStmt::DeclScalar {
+                    name: "s".into(),
+                    kind: ScalarKind::F32,
+                    init: Some(KExpr::real(0.0)),
+                },
                 KStmt::For {
                     var: "j2".into(),
                     begin: KExpr::int(0),
@@ -1223,10 +1736,15 @@ mod tests {
                     step: KExpr::int(1),
                     body: vec![KStmt::Assign {
                         name: "s".into(),
-                        value: KExpr::var("s") + KExpr::load(MemRef::Priv("p".into()), KExpr::var("j2")),
+                        value: KExpr::var("s")
+                            + KExpr::load(MemRef::Priv("p".into()), KExpr::var("j2")),
                     }],
                 },
-                KStmt::Store { mem: MemRef::Param(0), idx: KExpr::GlobalId(0), value: KExpr::var("s") },
+                KStmt::Store {
+                    mem: MemRef::Param(0),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::var("s"),
+                },
             ],
             work_dim: 1,
         }
@@ -1322,11 +1840,149 @@ mod tests {
             ArgBind::Val(Value::F32(1.0)),
             ArgBind::Val(Value::I32(n as i32)),
         ];
-        let full = launch(&prep, &args, &[n], ExecMode::Model { sample_stride: 1 }, false, 128).unwrap();
-        let sampled = launch(&prep, &args, &[n], ExecMode::Model { sample_stride: 4 }, false, 128).unwrap();
+        let full =
+            launch(&prep, &args, &[n], ExecMode::Model { sample_stride: 1 }, false, 128).unwrap();
+        let sampled =
+            launch(&prep, &args, &[n], ExecMode::Model { sample_stride: 4 }, false, 128).unwrap();
         let f = full.transaction_bytes.unwrap() as f64;
         let s = sampled.transaction_bytes.unwrap() as f64;
         assert!((f - s).abs() / f < 0.05, "full {f}, sampled {s}");
+    }
+
+    #[test]
+    fn saxpy_compiles_to_a_tape() {
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        assert!(prep.has_tape(), "saxpy should compile to a tape");
+    }
+
+    fn saxpy_launch_engine(
+        n: usize,
+        global: usize,
+        mode: ExecMode,
+        engine: Engine,
+    ) -> (LaunchStats, Vec<f64>) {
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        let x = SharedBuf::new(BufData::from((0..n).map(|i| i as f32).collect::<Vec<_>>()));
+        let y = SharedBuf::new(BufData::from(vec![1.0f32; n]));
+        let stats = launch_wg_engine(
+            &prep,
+            &[
+                ArgBind::Buf(&x),
+                ArgBind::Buf(&y),
+                ArgBind::Val(Value::F32(2.0)),
+                ArgBind::Val(Value::I32(n as i32)),
+            ],
+            &[global],
+            None,
+            mode,
+            true,
+            128,
+            engine,
+        )
+        .unwrap();
+        (stats, y.data().to_f64_vec())
+    }
+
+    #[test]
+    fn tape_matches_tree_on_saxpy() {
+        let (ts, to) =
+            saxpy_launch_engine(100, 128, ExecMode::Model { sample_stride: 1 }, Engine::Tree);
+        let (ps, po) =
+            saxpy_launch_engine(100, 128, ExecMode::Model { sample_stride: 1 }, Engine::Tape);
+        assert_eq!(to, po);
+        assert_eq!(ts.counters, ps.counters);
+        assert_eq!(ts.transaction_bytes, ps.transaction_bytes);
+        // Differential mode performs the same comparison internally.
+        saxpy_launch_engine(100, 128, ExecMode::Model { sample_stride: 2 }, Engine::Differential);
+    }
+
+    #[test]
+    fn partial_warp_sampling_weights_by_items_covered() {
+        // 48 items = a full warp + a half warp. Weighting by warp *count*
+        // would scale 48/(2·32) = 0.75× and under-report; weighting by the
+        // items the sampled warps covered keeps full sampling exact.
+        for engine in [Engine::Tree, Engine::Tape] {
+            let (stats, _) =
+                saxpy_launch_engine(48, 48, ExecMode::Model { sample_stride: 1 }, engine);
+            assert_eq!(stats.counters.flops, 2 * 48, "{engine:?}");
+            assert_eq!(stats.counters.stores_global, 48, "{engine:?}");
+            // 112 items = 3.5 warps; stride 2 samples warps {0, 2} = 64 items,
+            // so the scale is exactly 112/64 and the totals stay exact.
+            let (stats, _) =
+                saxpy_launch_engine(112, 112, ExecMode::Model { sample_stride: 2 }, engine);
+            assert_eq!(stats.counters.flops, 2 * 112, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn flat_sample_scale_handles_partial_warps() {
+        assert_eq!(flat_sample_scale(48, &[0, 1]), 1.0);
+        assert_eq!(flat_sample_scale(112, &[0, 2]), 112.0 / 64.0);
+        assert_eq!(flat_sample_scale(64, &[0]), 2.0);
+        assert_eq!(flat_sample_scale(0, &[]), 1.0);
+    }
+
+    #[test]
+    fn race_report_names_elements_and_sites() {
+        // Every work-item stores to element gid % 2: two conflicting
+        // elements, one store site.
+        let k = Kernel {
+            name: "clash2".into(),
+            params: vec![KernelParam::global_buf("y", ScalarKind::F32)],
+            body: vec![KStmt::Store {
+                mem: MemRef::Param(0),
+                idx: KExpr::bin(BinOp::Rem, KExpr::GlobalId(0), KExpr::int(2)),
+                value: KExpr::Lit(Lit::f32(1.0)),
+            }],
+            work_dim: 1,
+        };
+        let prep = prepare(&k).unwrap();
+        for engine in [Engine::Tree, Engine::Tape] {
+            let y = SharedBuf::new(BufData::from(vec![0.0f32; 4]));
+            let msg = launch_wg_engine(
+                &prep,
+                &[ArgBind::Buf(&y)],
+                &[8],
+                None,
+                ExecMode::Fast,
+                true,
+                128,
+                engine,
+            )
+            .unwrap_err()
+            .to_string();
+            assert!(msg.contains("2 conflicting element(s)"), "{engine:?}: {msg}");
+            assert!(msg.contains("element 0"), "{engine:?}: {msg}");
+            assert!(msg.contains("element 1"), "{engine:?}: {msg}");
+            assert!(msg.contains("site(s) [0]"), "{engine:?}: {msg}");
+        }
+    }
+
+    #[test]
+    fn tape_skips_kind_mismatched_buffers() {
+        // Binding an f64 buffer to an f32 parameter is legal for the
+        // tree-walker (Value-level casts); the tape bakes kinds in, so the
+        // launch must transparently fall back and still compute correctly.
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        let x = SharedBuf::new(BufData::from(vec![3.0f64; 8]));
+        let y = SharedBuf::new(BufData::from(vec![1.0f64; 8]));
+        launch_wg_engine(
+            &prep,
+            &[
+                ArgBind::Buf(&x),
+                ArgBind::Buf(&y),
+                ArgBind::Val(Value::F32(2.0)),
+                ArgBind::Val(Value::I32(8)),
+            ],
+            &[8],
+            None,
+            ExecMode::Fast,
+            true,
+            128,
+            Engine::Tape,
+        )
+        .unwrap();
+        assert_eq!(y.data().to_f64_vec(), vec![7.0; 8]);
     }
 
     #[test]

@@ -115,16 +115,15 @@ pub fn run_host_program(
                 for a in args {
                     match a {
                         LaunchArg::Buf(slot) => {
-                            let id = slots
-                                .get(slot)
-                                .ok_or_else(|| ExecError(format!("unknown device slot `{slot}`")))?;
+                            let id = slots.get(slot).ok_or_else(|| {
+                                ExecError(format!("unknown device slot `{slot}`"))
+                            })?;
                             largs.push(Arg::Buf(*id));
                         }
                         LaunchArg::ScalarInput(name) => {
-                            let v = env
-                                .scalars
-                                .get(name)
-                                .ok_or_else(|| ExecError(format!("missing host scalar `{name}`")))?;
+                            let v = env.scalars.get(name).ok_or_else(|| {
+                                ExecError(format!("missing host scalar `{name}`"))
+                            })?;
                             largs.push(Arg::Val(*v));
                         }
                         LaunchArg::SizeVar(name) => {
@@ -154,10 +153,7 @@ pub fn run_host_program(
             }
         }
     }
-    let device_slots = slots
-        .iter()
-        .map(|(name, id)| (name.clone(), device.read(*id)))
-        .collect();
+    let device_slots = slots.iter().map(|(name, id)| (name.clone(), device.read(*id))).collect();
     Ok(HostRun { outputs, result: prog.result.clone(), device_slots })
 }
 
@@ -183,7 +179,10 @@ mod tests {
         let data = ParamDef::typed("data", Type::array(Type::real(), "N"));
         let d2 = data.clone();
         let k2body = ir::map_glb(idxs.to_expr(), "idx", move |idx| {
-            let v = ir::call(&funs::mult(), vec![ir::at(d2.to_expr(), idx.clone()), ir::lit(Lit::real(3.0))]);
+            let v = ir::call(
+                &funs::mult(),
+                vec![ir::at(d2.to_expr(), idx.clone()), ir::lit(Lit::real(3.0))],
+            );
             ir::write_to(ir::at(d2.to_expr(), idx), v)
         });
         let k2 = KernelDef::new("scale3", vec![idxs, data], k2body);

@@ -10,6 +10,11 @@
 //! * [`device::Device`] — buffers + in-order queue with profiling events;
 //! * [`exec`] — kernel preparation and the interpreter (counters, traces,
 //!   race detection);
+//! * [`bytecode`] — flat register-based tapes that kernels compile to; the
+//!   default execution engine. The tree-walker in [`exec`] is kept as the
+//!   reference oracle: select it with `VGPU_ENGINE=tree`, or run both and
+//!   assert bit-identical results with `VGPU_ENGINE=diff` (see
+//!   [`exec::Engine`]);
 //! * [`profile::DeviceProfile`] — the four Table III GPUs;
 //! * [`perfmodel`] — transactions/flops → modeled seconds;
 //! * [`host_exec`] — runs LIFT host programs (`ToGPU`/`OclKernel`/`ToHost`).
@@ -47,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod bytecode;
 pub mod device;
 pub mod exec;
 pub mod host_exec;
@@ -55,7 +61,7 @@ pub mod profile;
 
 pub use buffer::BufData;
 pub use device::{Arg, BufId, Device, KernelEvent};
-pub use exec::{Counters, ExecError, ExecMode, LaunchStats, Prepared};
+pub use exec::{Counters, Engine, ExecError, ExecMode, LaunchStats, Prepared};
 pub use host_exec::{run_host_program, HostEnv, HostRun};
 pub use perfmodel::{modeled_time_s, updates_per_second, ModelInput};
 pub use profile::DeviceProfile;

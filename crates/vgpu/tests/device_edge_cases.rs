@@ -61,7 +61,12 @@ fn zero_sized_ndrange_is_a_noop() {
     let src = dev.upload(BufData::from(vec![5.0f32; 4]));
     let dst = dev.create_buffer(ScalarKind::F32, 4);
     let stats = dev
-        .launch(&prep, &[Arg::Buf(src), Arg::Buf(dst), Arg::Val(Value::I32(0))], &[0], ExecMode::Fast)
+        .launch(
+            &prep,
+            &[Arg::Buf(src), Arg::Buf(dst), Arg::Val(Value::I32(0))],
+            &[0],
+            ExecMode::Fast,
+        )
         .unwrap();
     assert_eq!(stats.counters.stores_global, 0);
     assert_eq!(dev.read(dst), BufData::zeros(ScalarKind::F32, 4));
@@ -105,8 +110,7 @@ fn scalar_args_cast_to_param_kind() {
     let mut dev = Device::gtx780();
     let prep = dev.compile(&k).unwrap();
     let dst = dev.create_buffer(ScalarKind::F32, 2);
-    dev.launch(&prep, &[Arg::Buf(dst), Arg::Val(Value::F64(0.1))], &[2], ExecMode::Fast)
-        .unwrap();
+    dev.launch(&prep, &[Arg::Buf(dst), Arg::Val(Value::F64(0.1))], &[2], ExecMode::Fast).unwrap();
     assert_eq!(dev.read(dst), BufData::from(vec![0.1f64 as f32; 2]));
 }
 
@@ -164,21 +168,16 @@ fn event_log_records_launches() {
     let src = dev.upload(BufData::from(vec![0.0f32; 8]));
     let dst = dev.create_buffer(ScalarKind::F32, 8);
     for _ in 0..3 {
-        dev.launch(&prep, &[Arg::Buf(src), Arg::Buf(dst), Arg::Val(Value::I32(8))], &[8], ExecMode::Fast)
-            .unwrap();
+        dev.launch(
+            &prep,
+            &[Arg::Buf(src), Arg::Buf(dst), Arg::Val(Value::I32(8))],
+            &[8],
+            ExecMode::Fast,
+        )
+        .unwrap();
     }
     assert_eq!(dev.events().len(), 3);
     assert!(dev.events().iter().all(|e| e.name == "copy"));
     dev.clear_events();
     assert!(dev.events().is_empty());
-}
-
-/// `BufData::zeros` helper used above.
-trait Zeros {
-    fn zeros(kind: ScalarKind, n: usize) -> BufData;
-}
-impl Zeros for BufData {
-    fn zeros(kind: ScalarKind, n: usize) -> BufData {
-        vgpu::buffer::BufData::zeros(kind, n)
-    }
 }

@@ -16,7 +16,6 @@
 //! cargo run --release --example gpr_wave
 //! ```
 
-use room_acoustics_lift::lift::funs;
 use room_acoustics_lift::lift::ir::{self, ParamDef};
 use room_acoustics_lift::lift::lower::lower_kernel;
 use room_acoustics_lift::lift::prelude::*;
@@ -60,10 +59,7 @@ fn h_kernel(real: ScalarKind) -> lift::lower::LoweredKernel {
         "addClamped",
         vec![("i", ScalarKind::I32), ("d", ScalarKind::I32), ("n", ScalarKind::I32)],
         ScalarKind::I32,
-        SExpr::Call(
-            Intrinsic::Min,
-            vec![SExpr::p(0) + SExpr::p(1), SExpr::p(2) - SExpr::int(1)],
-        ),
+        SExpr::Call(Intrinsic::Min, vec![SExpr::p(0) + SExpr::p(1), SExpr::p(2) - SExpr::int(1)]),
     );
     // guarded update: u(old, a, b, ch, edge) = edge ? old : old − ch·(a−b)
     let upd = UserFun::new(
@@ -274,8 +270,7 @@ fn main() {
     // reference state
     let (mut rez, mut rhx, mut rhy) = (ez0, vec![0.0f64; n], vec![0.0f64; n]);
 
-    let sizes: HashMap<&str, i64> =
-        [("N", n as i64), ("Nx", NX as i64), ("Ny", NY as i64)].into();
+    let sizes: HashMap<&str, i64> = [("N", n as i64), ("Nx", NX as i64), ("Ny", NY as i64)].into();
     let bind = |lk: &lift::lower::LoweredKernel, bufs: &HashMap<&str, vgpu::BufId>| -> Vec<Arg> {
         lk.args
             .iter()
@@ -300,13 +295,12 @@ fn main() {
         reference_step(&mut rez, &mut rhx, &mut rhy, &ca, &cb, C);
         if step % 20 == 19 {
             let g = device.read(ez).to_f64_vec();
-            let err = g
-                .iter()
-                .zip(&rez)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
+            let err = g.iter().zip(&rez).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
             let energy: f64 = g.iter().map(|v| v * v).sum();
-            println!("step {:3}: max|LIFT − reference| = {err:.3e}, field energy {energy:.5}", step + 1);
+            println!(
+                "step {:3}: max|LIFT − reference| = {err:.3e}, field energy {energy:.5}",
+                step + 1
+            );
             assert!(err < 1e-12, "generated kernels must match the reference");
         }
     }

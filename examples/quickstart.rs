@@ -30,7 +30,8 @@ fn main() {
 
     // 2. Build the LIFT pipeline: the volume and FD-MM boundary kernels are
     //    generated from pattern-IR programs and run on the virtual GPU.
-    let mut sim = LiftSim::new(setup.clone(), Precision::Single, LiftBoundary::FdMm, Device::gtx780());
+    let mut sim =
+        LiftSim::new(setup.clone(), Precision::Single, LiftBoundary::FdMm, Device::gtx780());
     let (vol_src, _) = sim.generated_sources();
     println!(
         "\ngenerated volume kernel (first lines):\n{}",

@@ -37,10 +37,9 @@ fn bind_and_run(
             g.eval(&|n| sizes.iter().find(|(s, _)| *s == n).map(|(_, v)| *v)).unwrap() as usize
         })
         .collect();
-    let local = lk
-        .local_size
-        .as_ref()
-        .map(|l| l.eval(&|n| sizes.iter().find(|(s, _)| *s == n).map(|(_, v)| *v)).unwrap() as usize);
+    let local = lk.local_size.as_ref().map(|l| {
+        l.eval(&|n| sizes.iter().find(|(s, _)| *s == n).map(|(_, v)| *v)).unwrap() as usize
+    });
     dev.launch_wg(&prep, &args, &global, local, ExecMode::Fast).unwrap();
 }
 
@@ -78,11 +77,14 @@ fn dsl_in_place_scatter_matches_semantics() {
     dev.set_race_check(true);
     let idx = dev.upload(BufData::from(vec![1i32, 4]));
     let data = dev.upload(BufData::from(vec![0.0f64, 1.0, 2.0, 3.0, 4.0, 5.0]));
-    bind_and_run(&lk, &[("indices", idx), ("data", data)], &[("numB", 2), ("N", 6)], &mut dev, None);
-    assert_eq!(
-        dev.read(data),
-        BufData::from(vec![0.0f64, 10.0, 2.0, 3.0, 40.0, 5.0])
+    bind_and_run(
+        &lk,
+        &[("indices", idx), ("data", data)],
+        &[("numB", 2), ("N", 6)],
+        &mut dev,
+        None,
     );
+    assert_eq!(dev.read(data), BufData::from(vec![0.0f64, 10.0, 2.0, 3.0, 40.0, 5.0]));
 }
 
 #[test]
@@ -104,7 +106,10 @@ fn dsl_tiled_stencil_runs_with_workgroups() {
     let got = dev.read(out).to_f64_vec();
     // interior: 3-point sums; edges use clamp
     assert_eq!(got[5], (4 + 5 + 6) as f64);
-    assert_eq!(got[0], (0 + 0 + 1) as f64);
+    #[allow(clippy::identity_op)]
+    {
+        assert_eq!(got[0], (0 + 0 + 1) as f64);
+    }
     assert_eq!(got[127], (126 + 127 + 127) as f64);
 }
 

@@ -19,10 +19,7 @@ fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
     let mut worst = 0.0f64;
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
         let d = (x - y).abs();
-        assert!(
-            d <= tol * (1.0 + y.abs()),
-            "{what}: mismatch at {i}: {x} vs {y} (|Δ|={d:.3e})"
-        );
+        assert!(d <= tol * (1.0 + y.abs()), "{what}: mismatch at {i}: {x} vs {y} (|Δ|={d:.3e})");
         worst = worst.max(d);
     }
 }
@@ -196,6 +193,63 @@ impl F64Of for f64 {
     fn f64_of(&self) -> f64 {
         *self
     }
+}
+
+// --- L-shape boundary probes -----------------------------------------------
+//
+// The L-shaped room has concave edges where a boundary node's missing
+// neighbours point *into* the cut-out; these configurations exercised the
+// `nbrs`/`bnbrs` tables differently from Box/Dome and were the subject of
+// two checked-in regression seeds (see `crates/acoustics/tests/
+// seed_replay.rs`). Until these probes, only FD-MM ran against the
+// reference on the L-shape; FI-MM (generated and hand-written) was a
+// coverage hole.
+
+#[test]
+fn lift_fimm_matches_reference_f64_lshape() {
+    let s = SimSetup::new(&SimConfig::fimm(GridDims::new(14, 14, 10), RoomShape::LShape));
+    let mut dev = Device::gtx780();
+    dev.set_race_check(true);
+    let mut lift = LiftSim::new(s.clone(), Precision::Double, LiftBoundary::FiMm, dev);
+    let mut rf = ReferenceSim::<f64>::new(s);
+    lift.impulse(4, 4, 4, 1.0);
+    rf.impulse(4, 4, 4, 1.0);
+    lift.run(20);
+    rf.run(20);
+    assert_close(&lift.read_curr(), &rf.curr, 1e-12, "FI-MM L-shape f64");
+}
+
+#[test]
+fn hw_fimm_matches_reference_f64_lshape() {
+    let s = SimSetup::new(&SimConfig::fimm(GridDims::new(14, 14, 10), RoomShape::LShape));
+    let mut dev = Device::gtx780();
+    dev.set_race_check(true);
+    let mut hw = HandwrittenSim::new(
+        s.clone(),
+        Precision::Double,
+        BoundaryKernel::FiMm { beta_constant: false },
+        dev,
+    );
+    let mut rf = ReferenceSim::<f64>::new(s);
+    hw.impulse(4, 4, 4, 1.0);
+    rf.impulse(4, 4, 4, 1.0);
+    hw.run(20);
+    rf.run(20);
+    assert_close(&hw.read_curr(), &rf.curr, 1e-12, "handwritten FI-MM L-shape f64");
+}
+
+#[test]
+fn hw_fdmm_matches_reference_f64_lshape() {
+    let s = SimSetup::new(&SimConfig::fdmm(GridDims::new(14, 14, 10), RoomShape::LShape));
+    let mut dev = Device::gtx780();
+    dev.set_race_check(true);
+    let mut hw = HandwrittenSim::new(s.clone(), Precision::Double, BoundaryKernel::FdMm, dev);
+    let mut rf = ReferenceSim::<f64>::new(s);
+    hw.impulse(4, 4, 4, 1.0);
+    rf.impulse(4, 4, 4, 1.0);
+    hw.run(20);
+    rf.run(20);
+    assert_close(&hw.read_curr(), &rf.curr, 1e-12, "handwritten FD-MM L-shape f64");
 }
 
 #[test]

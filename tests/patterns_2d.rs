@@ -13,25 +13,18 @@ use vgpu::{Arg, BufData, Device, ExecMode};
 const NX: usize = 20;
 const NY: usize = 14;
 
-fn run2d(
-    lk: &lift::lower::LoweredKernel,
-    inputs: &[(&str, Vec<f32>)],
-) -> Vec<f32> {
+fn run2d(lk: &lift::lower::LoweredKernel, inputs: &[(&str, Vec<f32>)]) -> Vec<f32> {
     let mut dev = Device::gtx780();
     dev.set_race_check(true);
     let prep = dev.compile(&lk.kernel).unwrap();
-    let bufs: Vec<(String, vgpu::BufId)> = inputs
-        .iter()
-        .map(|(n, d)| (n.to_string(), dev.upload(BufData::from(d.clone()))))
-        .collect();
+    let bufs: Vec<(String, vgpu::BufId)> =
+        inputs.iter().map(|(n, d)| (n.to_string(), dev.upload(BufData::from(d.clone())))).collect();
     let out = dev.create_buffer(ScalarKind::F32, NX * NY);
     let args: Vec<Arg> = lk
         .args
         .iter()
         .map(|spec| match spec {
-            ArgSpec::Input(_, name) => {
-                Arg::Buf(bufs.iter().find(|(n, _)| n == name).unwrap().1)
-            }
+            ArgSpec::Input(_, name) => Arg::Buf(bufs.iter().find(|(n, _)| n == name).unwrap().1),
             ArgSpec::Size(n) => Arg::Val(Value::I32(match n.as_str() {
                 "Nx" => NX as i32,
                 "Ny" => NY as i32,
@@ -67,10 +60,8 @@ fn sample_image() -> Vec<f32> {
 fn box_blur_2d_matches_oracle() {
     let img = ParamDef::typed("img", Type::array2(Type::real(), "Nx", "Ny"));
     let add = funs::add();
-    let prog = ir::map2_glb(
-        ir::slide2(3, 1, ir::pad2(1, PadKind::Clamp, img.to_expr())),
-        "w",
-        move |w| {
+    let prog =
+        ir::map2_glb(ir::slide2(3, 1, ir::pad2(1, PadKind::Clamp, img.to_expr())), "w", move |w| {
             // sum the 3×3 window: reduce over rows of the window
             let row_sums = ir::map_seq(w, "row", {
                 let add = add.clone();
@@ -83,8 +74,7 @@ fn box_blur_2d_matches_oracle() {
             ir::reduce_seq(ir::lit(Lit::real(0.0)), ir::to_private(row_sums), |acc, x| {
                 ir::call(&add, vec![acc, x])
             })
-        },
-    );
+        });
     let lk = lower_kernel("blur2d", &[img], &prog, ScalarKind::F32).unwrap();
     assert_eq!(lk.kernel.work_dim, 2);
     let data = sample_image();

@@ -27,8 +27,11 @@ fn stage_strategy() -> impl Strategy<Value = Stage> {
     prop_oneof![
         (2usize..5, 1usize..3).prop_map(|(size, step)| Stage::SlideSum { size, step }),
         (1usize..3, 2usize..5).prop_map(|(pad, size)| Stage::PadClampSlideSum { pad, size }),
-        (1usize..3, 2usize..5, -4i32..5)
-            .prop_map(|(pad, size, c)| Stage::PadConstSlideSum { pad, size, c }),
+        (1usize..3, 2usize..5, -4i32..5).prop_map(|(pad, size, c)| Stage::PadConstSlideSum {
+            pad,
+            size,
+            c
+        }),
         prop_oneof![Just(2usize), Just(4usize)].prop_map(|chunk| Stage::SplitSum { chunk }),
         Just(Stage::Reverse),
     ]
@@ -39,18 +42,17 @@ fn stage_strategy() -> impl Strategy<Value = Stage> {
 fn apply_stage(stage: &Stage, n: usize, data: &[f32]) -> Option<(ExprRef, Vec<Rc>, Vec<f32>)> {
     let a = ParamDef::typed("a", Type::array(Type::real(), n));
     let add = funs::add();
-    let sum_window = |w: ExprRef| ir::reduce_seq(ir::lit(Lit::real(0.0)), w, |acc, x| ir::call(&add, vec![acc, x]));
+    let sum_window = |w: ExprRef| {
+        ir::reduce_seq(ir::lit(Lit::real(0.0)), w, |acc, x| ir::call(&add, vec![acc, x]))
+    };
     match stage {
         Stage::SlideSum { size, step } => {
             if n < *size {
                 return None;
             }
             let windows = (n - size) / step + 1;
-            let prog = ir::map_glb(
-                ir::slide(*size as i64, *step as i64, a.to_expr()),
-                "w",
-                sum_window,
-            );
+            let prog =
+                ir::map_glb(ir::slide(*size as i64, *step as i64, a.to_expr()), "w", sum_window);
             let expected: Vec<f32> = (0..windows)
                 .map(|w| {
                     let mut acc = 0.0f32;
@@ -69,7 +71,11 @@ fn apply_stage(stage: &Stage, n: usize, data: &[f32]) -> Option<(ExprRef, Vec<Rc
             }
             let windows = padded - size + 1;
             let prog = ir::map_glb(
-                ir::slide(*size as i64, 1, ir::pad(*pad as i64, *pad as i64, PadKind::Clamp, a.to_expr())),
+                ir::slide(
+                    *size as i64,
+                    1,
+                    ir::pad(*pad as i64, *pad as i64, PadKind::Clamp, a.to_expr()),
+                ),
                 "w",
                 sum_window,
             );
@@ -92,7 +98,12 @@ fn apply_stage(stage: &Stage, n: usize, data: &[f32]) -> Option<(ExprRef, Vec<Rc
                 ir::slide(
                     *size as i64,
                     1,
-                    ir::pad(*pad as i64, *pad as i64, PadKind::Constant(Lit::real(*c as f64)), a.to_expr()),
+                    ir::pad(
+                        *pad as i64,
+                        *pad as i64,
+                        PadKind::Constant(Lit::real(*c as f64)),
+                        a.to_expr(),
+                    ),
                 ),
                 "w",
                 sum_window,
@@ -111,14 +122,12 @@ fn apply_stage(stage: &Stage, n: usize, data: &[f32]) -> Option<(ExprRef, Vec<Rc
             Some((prog, vec![a], expected))
         }
         Stage::SplitSum { chunk } => {
-            if n % chunk != 0 {
+            if !n.is_multiple_of(*chunk) {
                 return None;
             }
             let prog = ir::map_glb(ir::split(*chunk, a.to_expr()), "chunkv", sum_window);
-            let expected: Vec<f32> = data
-                .chunks(*chunk)
-                .map(|c| c.iter().fold(0.0f32, |x, y| x + y))
-                .collect();
+            let expected: Vec<f32> =
+                data.chunks(*chunk).map(|c| c.iter().fold(0.0f32, |x, y| x + y)).collect();
             Some((prog, vec![a], expected))
         }
         Stage::Reverse => {
@@ -151,11 +160,8 @@ fn run_program(prog: &ExprRef, params: &[Rc], data: &[f32], out_len: usize) -> V
             lift::lower::ArgSpec::Output(_, _) => Arg::Buf(out),
         })
         .collect();
-    let global: Vec<usize> = lk
-        .global_size
-        .iter()
-        .map(|g| g.eval(&|_| None).expect("concrete") as usize)
-        .collect();
+    let global: Vec<usize> =
+        lk.global_size.iter().map(|g| g.eval(&|_| None).expect("concrete") as usize).collect();
     dev.launch(&prep, &args, &global, ExecMode::Fast).expect("launches");
     match dev.read(out) {
         BufData::F32(v) => v,

@@ -33,7 +33,7 @@ fn layout_strategy() -> impl Strategy<Value = Layout> {
 fn apply_layout(w: &Layout, e: ExprRef, data: Vec<f32>) -> (ExprRef, Vec<f32>) {
     match w {
         Layout::SplitJoin { chunk } => {
-            if data.len() % chunk == 0 && !data.is_empty() {
+            if data.len().is_multiple_of(*chunk) && !data.is_empty() {
                 (ir::join(ir::split(*chunk, e)), data)
             } else {
                 (e, data)
@@ -77,11 +77,8 @@ fn run(params: &[std::rc::Rc<ParamDef>], prog: &ExprRef, data: &[f32], out_len: 
             lift::lower::ArgSpec::Output(_, _) => Arg::Buf(out),
         })
         .collect();
-    let global: Vec<usize> = lk
-        .global_size
-        .iter()
-        .map(|g| g.eval(&|_| None).expect("concrete") as usize)
-        .collect();
+    let global: Vec<usize> =
+        lk.global_size.iter().map(|g| g.eval(&|_| None).expect("concrete") as usize).collect();
     dev.launch(&prep, &args, &global, ExecMode::Fast).expect("runs");
     match dev.read(out) {
         BufData::F32(v) => v,
@@ -112,10 +109,7 @@ proptest! {
         for (j, k) in adds.iter().enumerate() {
             let kk = *k as f64;
             let addf = add.clone();
-            let mk = |input: ExprRef| {
-                ir::map_seq(input, "x", move |x| ir::call(&addf, vec![x, ir::lit(Lit::real(kk))]))
-            };
-            e = mk(e);
+            e = ir::map_seq(e, "x", move |x| ir::call(&addf, vec![x, ir::lit(Lit::real(kk))]));
             for v in oracle.iter_mut() {
                 *v += *k as f32;
             }

@@ -58,8 +58,11 @@ fn rs_strategy() -> impl Strategy<Value = RS> {
             inner.clone().prop_map(|a| RS::Neg(a.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| RS::Min(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| RS::Max(a.into(), b.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| RS::Sel(c.into(), t.into(), f.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| RS::Sel(
+                c.into(),
+                t.into(),
+                f.into()
+            )),
         ]
     })
 }

@@ -28,10 +28,7 @@ fn stencil_program() -> (std::rc::Rc<ParamDef>, ExprRef) {
     (a, prog)
 }
 
-fn run(
-    lowered: &lift::lower::LoweredKernel,
-    data: &[f32],
-) -> (Vec<f32>, vgpu::LaunchStats) {
+fn run(lowered: &lift::lower::LoweredKernel, data: &[f32]) -> (Vec<f32>, vgpu::LaunchStats) {
     let mut dev = Device::gtx780();
     dev.set_race_check(true);
     let prep = dev.compile(&lowered.kernel).expect("prepares");
@@ -46,15 +43,9 @@ fn run(
             ArgSpec::Output(_, _) => Arg::Buf(out),
         })
         .collect();
-    let global: Vec<usize> = lowered
-        .global_size
-        .iter()
-        .map(|g| g.eval(&|_| None).expect("concrete") as usize)
-        .collect();
-    let local = lowered
-        .local_size
-        .as_ref()
-        .map(|l| l.eval(&|_| None).expect("concrete") as usize);
+    let global: Vec<usize> =
+        lowered.global_size.iter().map(|g| g.eval(&|_| None).expect("concrete") as usize).collect();
+    let local = lowered.local_size.as_ref().map(|l| l.eval(&|_| None).expect("concrete") as usize);
     let stats = dev
         .launch_wg(&prep, &args, &global, local, ExecMode::Model { sample_stride: 1 })
         .expect("launches");
@@ -70,7 +61,8 @@ fn tiled_stencil_matches_untiled_and_cuts_global_loads() {
     let data: Vec<f32> = (0..N).map(|i| ((i * 37) % 17) as f32 - 8.0).collect();
 
     let (a, plain) = stencil_program();
-    let plain_lk = lower_kernel("stencil_plain", &[a.clone()], &plain, ScalarKind::F32).unwrap();
+    let plain_lk =
+        lower_kernel("stencil_plain", std::slice::from_ref(&a), &plain, ScalarKind::F32).unwrap();
     assert!(plain_lk.local_size.is_none());
     let (plain_out, plain_stats) = run(&plain_lk, &data);
 
