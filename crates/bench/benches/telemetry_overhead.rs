@@ -1,0 +1,139 @@
+//! Guard bench: with `VGPU_TRACE=off` the telemetry layer must add less
+//! than 2 % per-step overhead on the hand-written FI stencil at cube(40).
+//!
+//! The instrumented path is [`vgpu::Device::launch`] — the production entry
+//! point, which carries the disabled-telemetry branches (one relaxed atomic
+//! load per gate) plus the unconditional launch counters. The baseline is a
+//! raw [`vgpu::exec::launch_wg_engine`] loop over the same prepared kernel
+//! and buffers, which contains no telemetry instrumentation at all.
+//!
+//! Trials are interleaved and the minimum per-iteration time of each side is
+//! compared, so one-off scheduler noise cannot fail the guard. Run under
+//! `cargo bench` (full: 1.02× bound) or with `--test` as CI does (smaller
+//! grid, looser 1.5× bound — there it only checks the guard still runs).
+
+use room_acoustics::{BoundaryModel, GridDims, MaterialAssignment, RoomShape, SimConfig, SimSetup};
+use std::time::Instant;
+use vgpu::buffer::SharedBuf;
+use vgpu::exec::{self, ArgBind};
+use vgpu::telemetry::{self, TraceMode};
+use vgpu::{Arg, BufData, Device, Engine, ExecMode};
+
+use lift::scalar::Value;
+use lift::types::ScalarKind;
+
+fn fi_setup(dims: GridDims) -> SimSetup {
+    SimSetup::new(&SimConfig {
+        dims,
+        shape: RoomShape::Box,
+        assignment: MaterialAssignment::Uniform,
+        boundary: BoundaryModel::Fi { beta: 0.1 },
+    })
+}
+
+/// Times `iters` calls of `f` and returns the mean seconds per call.
+fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    // The guard compares against a no-telemetry baseline, so tracing must be
+    // off regardless of the environment this runs in.
+    telemetry::set_mode(TraceMode::Off);
+
+    let (n, trials, iters, bound) = if smoke { (24, 3, 5, 1.5) } else { (40, 7, 20, 1.02) };
+    let dims = GridDims::cube(n);
+    let setup = fi_setup(dims);
+    let kernel = room_acoustics::handwritten::fi_single_kernel().resolve_real(ScalarKind::F32);
+    let global = [dims.nx, dims.ny, dims.nz];
+    let total = dims.total();
+
+    // Instrumented side: the Device entry point.
+    let mut device = Device::gtx780();
+    device.set_engine(Engine::Tape);
+    let prep = device.compile(&kernel).unwrap();
+    let prev = device.create_buffer(ScalarKind::F32, total);
+    let curr = device.create_buffer(ScalarKind::F32, total);
+    let next = device.create_buffer(ScalarKind::F32, total);
+    let args = [
+        Arg::Buf(next),
+        Arg::Buf(curr),
+        Arg::Buf(prev),
+        Arg::Val(Value::F32(setup.l as f32)),
+        Arg::Val(Value::F32(setup.l2 as f32)),
+        Arg::Val(Value::F32(0.1)),
+        Arg::Val(Value::I32(dims.nx as i32)),
+        Arg::Val(Value::I32(dims.ny as i32)),
+        Arg::Val(Value::I32(dims.nz as i32)),
+    ];
+
+    // Baseline side: raw exec over plain shared buffers, no Device wrapper.
+    let base_bufs: Vec<SharedBuf> =
+        (0..3).map(|_| SharedBuf::new(BufData::zeros(ScalarKind::F32, total))).collect();
+    let base_binds = [
+        ArgBind::Buf(&base_bufs[0]),
+        ArgBind::Buf(&base_bufs[1]),
+        ArgBind::Buf(&base_bufs[2]),
+        ArgBind::Val(Value::F32(setup.l as f32)),
+        ArgBind::Val(Value::F32(setup.l2 as f32)),
+        ArgBind::Val(Value::F32(0.1)),
+        ArgBind::Val(Value::I32(dims.nx as i32)),
+        ArgBind::Val(Value::I32(dims.ny as i32)),
+        ArgBind::Val(Value::I32(dims.nz as i32)),
+    ];
+    let baseline_step = || {
+        exec::launch_wg_engine(
+            &prep,
+            &base_binds,
+            &global,
+            None,
+            ExecMode::Fast,
+            false,
+            128,
+            Engine::Tape,
+        )
+        .unwrap();
+    };
+
+    // Warm both paths (first-touch, lazy tape state, allocator warm-up).
+    for _ in 0..iters.min(5) {
+        baseline_step();
+        device.launch(&prep, &args, &global, ExecMode::Fast).unwrap();
+    }
+
+    let mut best_base = f64::INFINITY;
+    let mut best_inst = f64::INFINITY;
+    for trial in 0..trials {
+        let base = time_per_iter(iters, baseline_step);
+        let inst = time_per_iter(iters, || {
+            device.launch(&prep, &args, &global, ExecMode::Fast).unwrap();
+        });
+        device.clear_events();
+        best_base = best_base.min(base);
+        best_inst = best_inst.min(inst);
+        eprintln!(
+            "trial {trial}: baseline {:.3} ms/step, instrumented {:.3} ms/step",
+            base * 1e3,
+            inst * 1e3
+        );
+    }
+
+    let ratio = best_inst / best_base;
+    println!(
+        "telemetry_overhead: cube({n}) baseline {:.3} ms/step, instrumented {:.3} ms/step, \
+         ratio {ratio:.4} (bound {bound})",
+        best_base * 1e3,
+        best_inst * 1e3
+    );
+    assert!(
+        ratio <= bound,
+        "telemetry adds {:.2}% per-step overhead with VGPU_TRACE=off (bound {:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (bound - 1.0) * 100.0
+    );
+}

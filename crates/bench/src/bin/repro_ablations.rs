@@ -309,4 +309,5 @@ fn main() {
         Ok(p) => eprintln!("wrote {p}"),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    bench::trace::finish("ablations");
 }

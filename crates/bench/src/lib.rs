@@ -24,5 +24,6 @@ pub mod measure;
 pub mod paper;
 pub mod report;
 pub mod table;
+pub mod trace;
 
 pub use measure::{measure_fdmm, measure_fi_single, measure_fimm, Impl, Measurement};

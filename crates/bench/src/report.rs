@@ -86,7 +86,8 @@ pub fn boundary_sweep(
 }
 
 /// Prints a figure report: per-platform tables with paper-vs-modeled times
-/// and the derived throughputs.
+/// and the derived throughputs, plus the per-kernel telemetry summary when
+/// tracing is enabled.
 pub fn print_report(title: &str, rows: &[ReportRow]) {
     println!("== {title} ==\n");
     for platform in ["AMD7970", "GTX780", "RadeonR9", "Titan Black"] {
@@ -117,6 +118,44 @@ pub fn print_report(title: &str, rows: &[ReportRow]) {
             )
         );
     }
+    if let Some(summary) = kernel_summary_section() {
+        println!("{summary}");
+    }
+}
+
+/// Renders the per-kernel launch/flop/byte totals accumulated by the
+/// telemetry layer during this run, or `None` when tracing is off or no
+/// kernel event was recorded.
+pub fn kernel_summary_section() -> Option<String> {
+    if !vgpu::telemetry::enabled() {
+        return None;
+    }
+    let events = vgpu::telemetry::events_snapshot();
+    let kernels = vgpu::telemetry::sink::kernel_summaries(&events);
+    if kernels.is_empty() {
+        return None;
+    }
+    let rows: Vec<Vec<String>> = kernels
+        .iter()
+        .map(|k| {
+            vec![
+                k.name.clone(),
+                k.launches.to_string(),
+                k.work_items.to_string(),
+                k.flops.to_string(),
+                k.transaction_bytes.to_string(),
+                format!("{:.3}", k.modeled_ms),
+                k.tape_fallbacks.to_string(),
+            ]
+        })
+        .collect();
+    Some(format!(
+        "-- per-kernel telemetry --\n{}",
+        table::render(
+            &["kernel", "launches", "work-items", "flops", "txn bytes", "model ms", "fallbacks"],
+            &rows
+        )
+    ))
 }
 
 /// Checks the reproduction's qualitative claims over a set of rows and

@@ -1,0 +1,89 @@
+//! Trace artifact emission for the `repro_*` binaries.
+//!
+//! Each binary calls [`finish`] once, after its measurements: depending on
+//! `VGPU_TRACE` this prints the telemetry summary table (`summary`), writes
+//! a JSONL event stream to `results/<name>.trace.jsonl` (`json`), or writes
+//! a Perfetto-loadable Chrome trace to `results/<name>.trace.json`
+//! (`chrome`). In the two file modes a machine-readable
+//! `results/<name>.telemetry.json` with per-kernel and transfer summaries is
+//! written alongside, so traces land next to the `results/*.json` report the
+//! run produced.
+
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+use vgpu::telemetry::{self, sink, MetricSnapshot, TraceMode};
+
+/// The sidecar summary written next to a trace artifact.
+#[derive(Debug, Serialize)]
+pub struct TelemetryReport {
+    /// Per-kernel launch/flop/byte totals.
+    pub kernels: Vec<sink::KernelSummary>,
+    /// Transfer totals by direction.
+    pub transfers: Vec<sink::TransferSummary>,
+    /// Snapshot of the process-wide metric registry.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Drains the telemetry buffer and emits the artifact selected by
+/// `VGPU_TRACE` (see module docs). Returns the trace file path in the file
+/// modes, `None` for `off`/`summary`. Emission failures are reported to
+/// stderr, never fatal — a repro run's exit code reflects its shape checks,
+/// not its tracing.
+pub fn finish(name: &str) -> Option<String> {
+    let mode = telemetry::mode();
+    if mode == TraceMode::Off {
+        return None;
+    }
+    let events = telemetry::take_events();
+    let metrics = telemetry::registry().snapshot();
+    if mode == TraceMode::Summary {
+        eprintln!("{}", sink::render_summary(&events, &metrics));
+        return None;
+    }
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let (path, res) = match mode {
+        TraceMode::Json => (
+            dir.join(format!("{name}.trace.jsonl")),
+            sink::write_jsonl(&mut buf, &events, &metrics),
+        ),
+        _ => (
+            dir.join(format!("{name}.trace.json")),
+            sink::write_chrome(&mut buf, &events, &metrics),
+        ),
+    };
+    if let Err(e) = res {
+        eprintln!("cannot render trace: {e}");
+        return None;
+    }
+    if let Err(e) = fs::write(&path, &buf) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return None;
+    }
+    let report = TelemetryReport {
+        kernels: sink::kernel_summaries(&events),
+        transfers: sink::transfer_summaries(&events),
+        metrics,
+    };
+    let side = dir.join(format!("{name}.telemetry.json"));
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&side, json) {
+                eprintln!("cannot write {}: {e}", side.display());
+            }
+        }
+        Err(e) => eprintln!("cannot serialise telemetry report: {e}"),
+    }
+    let path = path.to_string_lossy().into_owned();
+    eprintln!("wrote trace {path}");
+    Some(path)
+}

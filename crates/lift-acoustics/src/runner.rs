@@ -14,6 +14,7 @@ use room_acoustics::reference::FdArrays;
 use room_acoustics::sim::SimSetup;
 use room_acoustics::vgpu_sim::Precision;
 use std::collections::HashMap;
+use vgpu::telemetry::{self, HOST_TRACK};
 use vgpu::{Arg, BufId, Device, ExecMode, LaunchStats, Prepared};
 
 /// Which boundary model a LIFT run uses.
@@ -115,6 +116,7 @@ impl LiftSim {
         boundary_kind: LiftBoundary,
         mut device: Device,
     ) -> Self {
+        let _span = telemetry::span(HOST_TRACK, "LiftSim::new");
         let real = precision.kind();
         let n = setup.dims().total();
         let nb = setup.num_b();
@@ -218,6 +220,7 @@ impl LiftSim {
 
     /// Advances one step; returns (volume, boundary) launch stats.
     pub fn step(&mut self, mode: ExecMode) -> (LaunchStats, LaunchStats) {
+        let _span = telemetry::span(HOST_TRACK, "LiftSim::step");
         let sizes = self.size_env();
         let l = self.precision.val(self.setup.l);
         let l2 = self.precision.val(self.setup.l2);
@@ -275,6 +278,7 @@ impl LiftSim {
     /// the generated-code counterpart of
     /// [`room_acoustics::HandwrittenSim::boundary_step_only`].
     pub fn boundary_step_only(&mut self, mode: ExecMode) -> LaunchStats {
+        let _span = telemetry::span(HOST_TRACK, "LiftSim::boundary_step_only");
         let sizes = self.size_env();
         let l = self.precision.val(self.setup.l);
         let mut bbufs: HashMap<&str, BufId> = [
@@ -305,6 +309,7 @@ impl LiftSim {
 
     /// Runs `n` fast steps.
     pub fn run(&mut self, n: usize) {
+        let _span = telemetry::span_with(HOST_TRACK, || format!("LiftSim::run({n})"));
         for _ in 0..n {
             self.step(ExecMode::Fast);
         }
@@ -345,6 +350,7 @@ pub struct FiSingleLift {
 impl FiSingleLift {
     /// Builds the FI run (box rooms, uniform β).
     pub fn new(setup: SimSetup, precision: Precision, beta: f64, mut device: Device) -> Self {
+        let _span = telemetry::span(HOST_TRACK, "FiSingleLift::new");
         let real = precision.kind();
         let n = setup.dims().total();
         let p = programs::fi_single_program();
@@ -384,6 +390,7 @@ impl FiSingleLift {
 
     /// One step; returns the kernel's launch stats.
     pub fn step(&mut self, mode: ExecMode) -> LaunchStats {
+        let _span = telemetry::span(HOST_TRACK, "FiSingleLift::step");
         let dims = self.setup.dims();
         let sizes: HashMap<&str, i64> =
             [("Nx", dims.nx as i64), ("Ny", dims.ny as i64), ("Nz", dims.nz as i64)].into();
@@ -408,6 +415,7 @@ impl FiSingleLift {
 
     /// Runs `n` fast steps.
     pub fn run(&mut self, n: usize) {
+        let _span = telemetry::span_with(HOST_TRACK, || format!("FiSingleLift::run({n})"));
         for _ in 0..n {
             self.step(ExecMode::Fast);
         }

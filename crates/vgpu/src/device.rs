@@ -11,8 +11,11 @@ use crate::buffer::{BufData, SharedBuf};
 use crate::exec::{self, ArgBind, Engine, ExecError, ExecMode, LaunchStats, Prepared};
 use crate::perfmodel::{modeled_time_s, ModelInput};
 use crate::profile::DeviceProfile;
+use crate::telemetry::{self, Event, KernelMetrics, TrackId, TransferDir};
 use lift::kast::Kernel;
 use lift::prelude::{ScalarKind, Value};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Handle to a device buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,6 +43,39 @@ pub struct KernelEvent {
     pub modeled_s: Option<f64>,
 }
 
+/// Distinguishes multiple devices of the same profile in trace track names.
+static DEVICE_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// Lazily allocated telemetry state for one device: its trace tracks and
+/// the cumulative modeled-time clock that positions [`Event::ModeledKernel`]
+/// spans. The clock is an `AtomicU64` holding `f64` bits so `&self` methods
+/// can advance it.
+struct DevTele {
+    kernel_track: TrackId,
+    transfer_track: TrackId,
+    modeled_track: TrackId,
+    model_clock_us: AtomicU64,
+}
+
+impl DevTele {
+    /// Advances the modeled clock by `dur_us` and returns the span's start.
+    fn advance_model_clock(&self, dur_us: f64) -> f64 {
+        let mut cur = self.model_clock_us.load(Ordering::Relaxed);
+        loop {
+            let start = f64::from_bits(cur);
+            match self.model_clock_us.compare_exchange_weak(
+                cur,
+                (start + dur_us).to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return start,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
 /// The virtual GPU.
 pub struct Device {
     profile: DeviceProfile,
@@ -47,6 +83,12 @@ pub struct Device {
     race_check: bool,
     engine: Engine,
     events: Vec<KernelEvent>,
+    tele: OnceLock<DevTele>,
+}
+
+/// Bytes occupied by a buffer's payload.
+fn byte_len(len: usize, elem_bytes: usize) -> u64 {
+    (len * elem_bytes) as u64
 }
 
 impl Device {
@@ -59,6 +101,66 @@ impl Device {
             race_check: false,
             engine: Engine::from_env(),
             events: Vec::new(),
+            tele: OnceLock::new(),
+        }
+    }
+
+    /// This device's telemetry tracks, allocated on first use (only called
+    /// when tracing is enabled).
+    fn tele(&self) -> &DevTele {
+        self.tele.get_or_init(|| {
+            telemetry::ensure_host_track();
+            let n = DEVICE_SEQ.fetch_add(1, Ordering::Relaxed);
+            let label = format!("{} #{n}", self.profile.name);
+            DevTele {
+                kernel_track: telemetry::new_track(&format!("{label} kernels")),
+                transfer_track: telemetry::new_track(&format!("{label} transfers")),
+                modeled_track: telemetry::new_track(&format!("{label} modeled")),
+                model_clock_us: AtomicU64::new(0f64.to_bits()),
+            }
+        })
+    }
+
+    /// Accounts one buffer allocation: bumps the allocation gauge
+    /// unconditionally and records an [`Event::Alloc`] when tracing.
+    fn note_alloc(&self, id: BufId, bytes: u64) {
+        telemetry::registry().gauge("vgpu.mem.allocated_bytes").add(bytes as i64);
+        if telemetry::enabled() {
+            self.tele();
+            telemetry::record(Event::Alloc {
+                name: format!("buf{}", id.0),
+                bytes,
+                ts_us: telemetry::now_us(),
+            });
+        }
+    }
+
+    /// Accounts one host⇄device transfer, exactly once per enqueue: bumps
+    /// the direction's byte/transfer counters unconditionally and records an
+    /// [`Event::Transfer`] span when tracing. `t0` is the span start
+    /// captured before the copy (`Some` only when tracing was enabled).
+    fn note_transfer(&self, dir: TransferDir, id: BufId, bytes: u64, t0: Option<f64>) {
+        let reg = telemetry::registry();
+        match dir {
+            TransferDir::ToGpu => {
+                reg.counter("vgpu.xfer.to_gpu.bytes").add(bytes);
+                reg.counter("vgpu.xfer.to_gpu.transfers").inc();
+            }
+            TransferDir::ToHost => {
+                reg.counter("vgpu.xfer.to_host.bytes").add(bytes);
+                reg.counter("vgpu.xfer.to_host.transfers").inc();
+            }
+        }
+        if let Some(ts_us) = t0 {
+            let tele = self.tele();
+            telemetry::record(Event::Transfer {
+                track: tele.transfer_track,
+                dir,
+                name: format!("{}(buf{})", dir.label(), id.0),
+                bytes,
+                ts_us,
+                dur_us: (telemetry::now_us() - ts_us).max(0.0),
+            });
         }
     }
 
@@ -91,23 +193,46 @@ impl Device {
     /// Creates a zero-filled buffer.
     pub fn create_buffer(&mut self, kind: ScalarKind, len: usize) -> BufId {
         self.buffers.push(SharedBuf::new(BufData::zeros(kind, len)));
-        BufId(self.buffers.len() - 1)
+        let id = BufId(self.buffers.len() - 1);
+        self.note_alloc(id, byte_len(len, kind.byte_size()));
+        id
     }
 
     /// Creates a buffer from host data (`enqueueWriteBuffer` at creation).
+    /// Accounted as one allocation plus one `ToGPU` transfer.
     pub fn upload(&mut self, data: BufData) -> BufId {
+        let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
+        let bytes = byte_len(data.len(), data.elem_bytes());
         self.buffers.push(SharedBuf::new(data));
-        BufId(self.buffers.len() - 1)
+        let id = BufId(self.buffers.len() - 1);
+        self.note_alloc(id, bytes);
+        self.note_transfer(TransferDir::ToGpu, id, bytes, t0);
+        id
     }
 
-    /// Overwrites a buffer from host data.
+    /// Overwrites a buffer from host data (`enqueueWriteBuffer`). Accounted
+    /// as one `ToGPU` transfer.
     pub fn write(&mut self, id: BufId, data: BufData) {
         assert_eq!(data.len(), self.buffers[id.0].len(), "buffer size mismatch");
+        let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
+        let bytes = byte_len(data.len(), data.elem_bytes());
         *self.buffers[id.0].data_mut() = data;
+        self.note_transfer(TransferDir::ToGpu, id, bytes, t0);
     }
 
-    /// Reads a buffer back to the host (`enqueueReadBuffer`).
+    /// Reads a buffer back to the host (`enqueueReadBuffer`). Accounted as
+    /// one `ToHost` transfer.
     pub fn read(&self, id: BufId) -> BufData {
+        let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
+        let data = self.buffers[id.0].data().clone();
+        self.note_transfer(TransferDir::ToHost, id, byte_len(data.len(), data.elem_bytes()), t0);
+        data
+    }
+
+    /// Inspects a buffer *without* transfer accounting — for harness-side
+    /// checks and debugging, where a counted `ToHost` would distort the
+    /// transfer totals. Simulated host code should use [`Device::read`].
+    pub fn peek(&self, id: BufId) -> BufData {
         self.buffers[id.0].data().clone()
     }
 
@@ -149,6 +274,7 @@ impl Device {
                 Arg::Val(v) => ArgBind::Val(*v),
             })
             .collect();
+        let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
         let stats = exec::launch_wg_engine(
             prep,
             &binds,
@@ -170,6 +296,42 @@ impl Device {
                 &self.profile,
             )
         });
+        let reg = telemetry::registry();
+        match stats.backend {
+            exec::Backend::Tape => reg.counter("vgpu.launches.tape").inc(),
+            exec::Backend::Tree => reg.counter("vgpu.launches.tree").inc(),
+        }
+        if let Some(ts_us) = t0 {
+            let tele = self.tele();
+            telemetry::record(Event::Kernel {
+                track: tele.kernel_track,
+                name: prep.name.clone(),
+                engine: stats.backend.label().to_string(),
+                ts_us,
+                dur_us: stats.wall.as_secs_f64() * 1e6,
+                metrics: KernelMetrics {
+                    work_items: stats.counters.work_items,
+                    loads_global: stats.counters.loads_global,
+                    stores_global: stats.counters.stores_global,
+                    loads_constant: stats.counters.loads_constant,
+                    bytes_loaded: stats.counters.bytes_loaded,
+                    bytes_stored: stats.counters.bytes_stored,
+                    flops: stats.counters.flops,
+                    transaction_bytes: stats.transaction_bytes,
+                    modeled_us: modeled_s.map(|s| s * 1e6),
+                },
+            });
+            if let Some(s) = modeled_s {
+                let dur_us = s * 1e6;
+                let start = tele.advance_model_clock(dur_us);
+                telemetry::record(Event::ModeledKernel {
+                    track: tele.modeled_track,
+                    name: prep.name.clone(),
+                    ts_us: start,
+                    dur_us,
+                });
+            }
+        }
         self.events.push(KernelEvent { name: prep.name.clone(), stats: stats.clone(), modeled_s });
         Ok(stats)
     }
@@ -182,6 +344,26 @@ impl Device {
     /// Clears the profiling event log.
     pub fn clear_events(&mut self) {
         self.events.clear();
+    }
+}
+
+impl Drop for Device {
+    /// Releases the device's buffers: winds the allocation gauge back and,
+    /// when tracing, records one [`Event::Free`] per buffer.
+    fn drop(&mut self) {
+        let trace = telemetry::enabled();
+        let ts_us = if trace { telemetry::now_us() } else { 0.0 };
+        let mut total = 0u64;
+        for (i, b) in self.buffers.iter().enumerate() {
+            let bytes = byte_len(b.len(), b.elem_bytes());
+            total += bytes;
+            if trace {
+                telemetry::record(Event::Free { name: format!("buf{i}"), bytes, ts_us });
+            }
+        }
+        if total > 0 {
+            telemetry::registry().gauge("vgpu.mem.allocated_bytes").add(-(total as i64));
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 
 use crate::buffer::{BufData, SharedBuf};
 use crate::bytecode::{self, Compiled, TapeCtx};
+use crate::telemetry;
 use lift::kast::{KExpr, KStmt, Kernel, KernelParam, MemRef, MemSpace};
 use lift::prelude::{BinOp, Intrinsic, ScalarKind, UnOp, Value};
 use rayon::prelude::*;
@@ -215,6 +216,9 @@ pub struct Prepared {
     /// Bytecode tape (`None` when the kernel is not statically typeable;
     /// such kernels run on the tree-walker).
     pub(crate) tape: Option<Compiled>,
+    /// Why the tape compiler rejected the kernel (`None` when `tape` is
+    /// `Some`). Surfaced through the telemetry fallback record.
+    pub(crate) tape_err: Option<String>,
 }
 
 impl Prepared {
@@ -297,8 +301,12 @@ pub fn prepare(kernel: &Kernel) -> Result<Prepared, ExecError> {
         uses_groups: ctx.uses_groups,
         phases,
         tape: None,
+        tape_err: None,
     };
-    prep.tape = bytecode::compile(&prep).ok();
+    match bytecode::compile(&prep) {
+        Ok(tape) => prep.tape = Some(tape),
+        Err(e) => prep.tape_err = Some(e),
+    }
     Ok(prep)
 }
 
@@ -562,6 +570,27 @@ impl Engine {
     }
 }
 
+/// The interpreter backend that actually executed a launch (as opposed to
+/// [`Engine`], the *requested* policy — `Engine::Tape` still runs the
+/// tree-walker when the kernel has no usable tape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The flat bytecode tape VM.
+    Tape,
+    /// The reference tree-walking interpreter.
+    Tree,
+}
+
+impl Backend {
+    /// Display label (`"tape"` / `"tree"`), as used in telemetry events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Tape => "tape",
+            Backend::Tree => "tree",
+        }
+    }
+}
+
 /// Result of a launch.
 #[derive(Debug, Clone)]
 pub struct LaunchStats {
@@ -574,6 +603,8 @@ pub struct LaunchStats {
     pub wall: std::time::Duration,
     /// Total work-items in the NDRange.
     pub global_work_items: u64,
+    /// Which backend executed the launch.
+    pub backend: Backend,
 }
 
 /// One buffer binding or scalar argument.
@@ -907,15 +938,52 @@ pub fn launch_wg(
     )
 }
 
-/// True when the tape can run this launch exactly: the kernel compiled, and
-/// every bound buffer's element kind matches its parameter declaration (the
-/// tape bakes element kinds in statically).
+/// Why the tape cannot run this launch exactly, or `None` when it can: the
+/// kernel must have compiled, and every bound buffer's element kind must
+/// match its parameter declaration (the tape bakes element kinds in
+/// statically).
+fn tape_fallback_reason(prep: &Prepared, bufs: &[Option<&SharedBuf>]) -> Option<String> {
+    if prep.tape.is_none() {
+        return Some(match &prep.tape_err {
+            Some(e) => format!("tape compile failed: {e}"),
+            None => "tape compile failed".to_string(),
+        });
+    }
+    for (p, b) in prep.params.iter().zip(bufs) {
+        if let Some(b) = b {
+            if b.kind() != p.kind {
+                return Some(format!(
+                    "buffer param `{}` declared {:?} but bound as {:?}",
+                    p.name,
+                    p.kind,
+                    b.kind()
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// True when the tape can run this launch exactly.
 fn tape_usable(prep: &Prepared, bufs: &[Option<&SharedBuf>]) -> bool {
-    prep.tape.is_some()
-        && prep.params.iter().zip(bufs).all(|(p, b)| match b {
-            Some(b) => b.kind() == p.kind,
-            None => true,
-        })
+    tape_fallback_reason(prep, bufs).is_none()
+}
+
+/// Audits one tape→tree fallback: bumps the `vgpu.tape.fallbacks` counter
+/// unconditionally and, when tracing is on, records an
+/// [`telemetry::Event::TapeFallback`] and prints a one-line structured
+/// record to stderr so the fallback is visible even in summary mode.
+fn note_tape_fallback(kernel: &str, reason: &str) {
+    telemetry::registry().counter("vgpu.tape.fallbacks").inc();
+    if telemetry::enabled() {
+        let ts_us = telemetry::now_us();
+        eprintln!("{{\"ev\":\"tape_fallback\",\"kernel\":{kernel:?},\"reason\":{reason:?}}}");
+        telemetry::record(telemetry::Event::TapeFallback {
+            kernel: kernel.to_string(),
+            reason: reason.to_string(),
+            ts_us,
+        });
+    }
 }
 
 /// [`launch_wg`] with an explicit backend selection.
@@ -999,7 +1067,11 @@ pub fn launch_wg_engine(
             false,
         ),
         Engine::Tape => {
-            let use_tape = tape_usable(prep, &bufs);
+            let fallback = tape_fallback_reason(prep, &bufs);
+            let use_tape = fallback.is_none();
+            if let Some(reason) = &fallback {
+                note_tape_fallback(&prep.name, reason);
+            }
             run_launch(
                 prep,
                 &bufs,
@@ -1046,7 +1118,7 @@ fn run_launch(
         ExecMode::Fast => 1usize,
         ExecMode::Model { sample_stride } => sample_stride.max(1),
     };
-    match (lsize, use_tape) {
+    let result = match (lsize, use_tape) {
         (Some(lsize), false) => {
             let exec = Exec { prep, bufs, gsize };
             run_grouped(
@@ -1094,7 +1166,11 @@ fn run_launch(
             race_check,
             transaction_size,
         ),
-    }
+    };
+    result.map(|mut stats| {
+        stats.backend = if use_tape { Backend::Tape } else { Backend::Tree };
+        stats
+    })
 }
 
 /// Runs the tree-walker, snapshots its output, restores the inputs, runs the
@@ -1227,6 +1303,8 @@ fn finish(
         transaction_bytes: trace_on.then(|| (tbytes as f64 * scale).round() as u64),
         wall,
         global_work_items: total,
+        // Overwritten by `run_launch`, which knows which backend ran.
+        backend: Backend::Tree,
     })
 }
 

@@ -8,6 +8,7 @@
 use crate::buffer::BufData;
 use crate::device::{Arg, BufId, Device};
 use crate::exec::{ExecError, ExecMode};
+use crate::telemetry::{self, HOST_TRACK};
 use lift::arith::ArithExpr;
 use lift::host::{HostCmd, HostProgram, LaunchArg};
 use lift::prelude::{ScalarKind, Value};
@@ -50,6 +51,22 @@ impl HostEnv {
     }
 }
 
+/// Host⇄device traffic of one host-program run, counted exactly once per
+/// transfer command (`ToGPU` at `CopyIn`, `ToHost` at `CopyOut`). The
+/// inspection snapshot in [`HostRun::device_slots`] is *not* included — it
+/// is taken with [`Device::peek`], which performs no transfer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferTotals {
+    /// Bytes moved host → device.
+    pub to_gpu_bytes: u64,
+    /// Number of host → device transfers.
+    pub to_gpu_transfers: u64,
+    /// Bytes moved device → host.
+    pub to_host_bytes: u64,
+    /// Number of device → host transfers.
+    pub to_host_transfers: u64,
+}
+
 /// Result of a host-program run.
 pub struct HostRun {
     /// Host outputs produced by `ToHost`, by name.
@@ -59,6 +76,8 @@ pub struct HostRun {
     pub result: String,
     /// Final state of every device slot (for inspection/in-place results).
     pub device_slots: HashMap<String, BufData>,
+    /// Transfer traffic of this run, exactly once per transfer command.
+    pub transfers: TransferTotals,
 }
 
 fn eval_len(ty: &Type, sizes: &HashMap<String, i64>) -> Result<usize, ExecError> {
@@ -80,13 +99,18 @@ pub fn run_host_program(
 ) -> Result<HostRun, ExecError> {
     let mut slots: HashMap<String, BufId> = HashMap::new();
     let mut outputs: HashMap<String, BufData> = HashMap::new();
+    let mut transfers = TransferTotals::default();
     let mut prepared = Vec::with_capacity(prog.kernels.len());
-    for lk in &prog.kernels {
-        prepared.push(device.compile(&lk.kernel)?);
+    {
+        let _s = telemetry::span(HOST_TRACK, "compile_kernels");
+        for lk in &prog.kernels {
+            prepared.push(device.compile(&lk.kernel)?);
+        }
     }
     for cmd in &prog.cmds {
         match cmd {
             HostCmd::CopyIn { host, dev, ty } => {
+                let _s = telemetry::span_with(HOST_TRACK, || format!("ToGPU({dev})"));
                 let data = env
                     .arrays
                     .get(host)
@@ -98,10 +122,13 @@ pub fn run_host_program(
                         data.len()
                     )));
                 }
+                transfers.to_gpu_bytes += (data.len() * data.elem_bytes()) as u64;
+                transfers.to_gpu_transfers += 1;
                 let id = device.upload(data.clone());
                 slots.insert(dev.clone(), id);
             }
             HostCmd::Alloc { dev, ty } => {
+                let _s = telemetry::span_with(HOST_TRACK, || format!("Alloc({dev})"));
                 let rty = ty.resolve_real(real);
                 let kind = rty
                     .scalar_kind()
@@ -111,6 +138,9 @@ pub fn run_host_program(
                 slots.insert(dev.clone(), id);
             }
             HostCmd::Launch { kernel, args, global_size } => {
+                let _s = telemetry::span_with(HOST_TRACK, || {
+                    format!("OclKernel({})", prepared[*kernel].name)
+                });
                 let mut largs = Vec::with_capacity(args.len());
                 for a in args {
                     match a {
@@ -146,15 +176,21 @@ pub fn run_host_program(
                 device.launch(&prepared[*kernel], &largs, &global?, mode)?;
             }
             HostCmd::CopyOut { dev, host, .. } => {
+                let _s = telemetry::span_with(HOST_TRACK, || format!("ToHost({host})"));
                 let id = slots
                     .get(dev)
                     .ok_or_else(|| ExecError(format!("unknown device slot `{dev}`")))?;
-                outputs.insert(host.clone(), device.read(*id));
+                let data = device.read(*id);
+                transfers.to_host_bytes += (data.len() * data.elem_bytes()) as u64;
+                transfers.to_host_transfers += 1;
+                outputs.insert(host.clone(), data);
             }
         }
     }
-    let device_slots = slots.iter().map(|(name, id)| (name.clone(), device.read(*id))).collect();
-    Ok(HostRun { outputs, result: prog.result.clone(), device_slots })
+    // Inspection snapshot, not a modeled transfer: use `peek` so it does not
+    // inflate the `ToHost` accounting.
+    let device_slots = slots.iter().map(|(name, id)| (name.clone(), device.peek(*id))).collect();
+    Ok(HostRun { outputs, result: prog.result.clone(), device_slots, transfers })
 }
 
 #[cfg(test)]
@@ -212,6 +248,44 @@ mod tests {
         let out = run.outputs.get(&run.result).expect("result on host");
         // a+2 = [3,4,5,6]; ×3 at idx 1 and 3 → [3,12,5,18]
         assert_eq!(*out, BufData::from(vec![3.0f32, 12.0, 5.0, 18.0]));
+        // Exactly-once transfer accounting: two ToGPU copies (a_h: 4×f32,
+        // idx_h: 2×i32) and one ToHost copy (4×f32). The device_slots
+        // inspection snapshot must not count.
+        assert_eq!(
+            run.transfers,
+            TransferTotals {
+                to_gpu_bytes: 4 * 4 + 2 * 4,
+                to_gpu_transfers: 2,
+                to_host_bytes: 4 * 4,
+                to_host_transfers: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn transfer_counters_match_run_totals() {
+        // The registry counters are process-global (shared across tests), so
+        // assert on the *delta* across one run.
+        let reg = telemetry::registry();
+        let before_gpu = reg.counter("vgpu.xfer.to_gpu.bytes").get();
+        let before_host = reg.counter("vgpu.xfer.to_host.bytes").get();
+
+        let a = ParamDef::typed("a", Type::array(Type::real(), "N"));
+        let body = ir::map_glb(a.to_expr(), "x", |x| x);
+        let k = KernelDef::new("idk2", vec![a], body);
+        let a_h = ParamDef::typed("a_h", Type::array(Type::real(), "N"));
+        let prog_expr = host::to_host(host::ocl_kernel(&k, vec![host::to_gpu(host::input(&a_h))]));
+        let prog = host::compile_host(&prog_expr, ScalarKind::F32).unwrap();
+        let env = HostEnv::new().array("a_h", vec![0.0f32; 8]).size("N", 8);
+        let mut dev = Device::gtx780();
+        let run = run_host_program(&prog, &env, &mut dev, ScalarKind::F32, ExecMode::Fast).unwrap();
+
+        assert_eq!(run.transfers.to_gpu_bytes, 32);
+        assert_eq!(run.transfers.to_host_bytes, 32);
+        // The Device-layer counters moved by at least this run's traffic
+        // (other tests may run concurrently, so ≥, not ==).
+        assert!(reg.counter("vgpu.xfer.to_gpu.bytes").get() >= before_gpu + 32);
+        assert!(reg.counter("vgpu.xfer.to_host.bytes").get() >= before_host + 32);
     }
 
     #[test]

@@ -58,10 +58,12 @@ pub mod exec;
 pub mod host_exec;
 pub mod perfmodel;
 pub mod profile;
+pub mod telemetry;
 
 pub use buffer::BufData;
 pub use device::{Arg, BufId, Device, KernelEvent};
-pub use exec::{Counters, Engine, ExecError, ExecMode, LaunchStats, Prepared};
-pub use host_exec::{run_host_program, HostEnv, HostRun};
+pub use exec::{Backend, Counters, Engine, ExecError, ExecMode, LaunchStats, Prepared};
+pub use host_exec::{run_host_program, HostEnv, HostRun, TransferTotals};
 pub use perfmodel::{modeled_time_s, updates_per_second, ModelInput};
 pub use profile::DeviceProfile;
+pub use telemetry::{TraceMode, TrackId};

@@ -1,0 +1,273 @@
+//! The process-wide metric registry: typed counters, gauges and histograms.
+//!
+//! Instrumented code registers a metric once by name and holds a cheap
+//! cloneable handle; updates are single relaxed atomic operations, safe to
+//! call from rayon workers. Snapshots are deterministic (name-ordered) and
+//! serialisable, so they can be embedded in repro reports and dumped by the
+//! sinks.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. bytes currently allocated).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two histogram buckets (bucket `i` counts values whose
+/// highest set bit is `i - 1`; bucket 0 counts zeros).
+const BUCKETS: usize = 65;
+
+struct HistInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A power-of-two bucketed histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        let b = (64 - v.leading_zeros()) as usize;
+        self.0.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistInner>),
+}
+
+/// The value part of a metric snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum MetricValue {
+    /// Counter value.
+    Counter {
+        /// Accumulated count.
+        value: u64,
+    },
+    /// Gauge value.
+    Gauge {
+        /// Instantaneous value.
+        value: i64,
+    },
+    /// Histogram summary.
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Non-empty buckets as `(lower_bound, count)` pairs.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// One metric at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    #[serde(flatten)]
+    pub value: MetricValue,
+}
+
+/// The registry. Use [`crate::telemetry::registry`] for the process-wide
+/// instance.
+pub struct Registry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Registry {
+        Registry { slots: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Returns the counter registered under `name`, registering it on first
+    /// use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut slots = self.slots.lock();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Slot::Counter(c) => Counter(c.clone()),
+            _ => panic!("metric `{name}` is already registered with a different type"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, registering it on first
+    /// use. Panics on a type mismatch like [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut slots = self.slots.lock();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicI64::new(0))))
+        {
+            Slot::Gauge(g) => Gauge(g.clone()),
+            _ => panic!("metric `{name}` is already registered with a different type"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, registering it on
+    /// first use. Panics on a type mismatch like [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut slots = self.slots.lock();
+        match slots.entry(name.to_string()).or_insert_with(|| {
+            Slot::Histogram(Arc::new(HistInner {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            }))
+        }) {
+            Slot::Histogram(h) => Histogram(h.clone()),
+            _ => panic!("metric `{name}` is already registered with a different type"),
+        }
+    }
+
+    /// Deterministic (name-ordered) snapshot of every registered metric.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let slots = self.slots.lock();
+        slots
+            .iter()
+            .map(|(name, slot)| MetricSnapshot {
+                name: name.clone(),
+                value: match slot {
+                    Slot::Counter(c) => MetricValue::Counter { value: c.load(Ordering::Relaxed) },
+                    Slot::Gauge(g) => MetricValue::Gauge { value: g.load(Ordering::Relaxed) },
+                    Slot::Histogram(h) => {
+                        let mut buckets = Vec::new();
+                        for (i, b) in h.buckets.iter().enumerate() {
+                            let c = b.load(Ordering::Relaxed);
+                            if c > 0 {
+                                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                                buckets.push((lo, c));
+                            }
+                        }
+                        MetricValue::Histogram {
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                            buckets,
+                        }
+                    }
+                },
+            })
+            .collect()
+    }
+
+    /// Removes every registered metric (tests only — existing handles keep
+    /// their storage but detach from the registry).
+    pub fn reset(&self) {
+        self.slots.lock().clear();
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("c").get(), 5);
+        let g = r.gauge("g");
+        g.add(10);
+        g.add(-3);
+        assert_eq!(r.gauge("g").get(), 7);
+        let h = r.histogram("h");
+        h.record(0);
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1001);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].name, "c");
+        assert_eq!(snap[0].value, MetricValue::Counter { value: 5 });
+        match &snap[2].value {
+            MetricValue::Histogram { count: 3, sum: 1001, buckets } => {
+                // 0 → bucket 0; 1 → [1,2); 1000 → [512,1024)
+                assert_eq!(buckets, &vec![(0, 1), (1, 1), (512, 1)]);
+            }
+            other => panic!("unexpected snapshot {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

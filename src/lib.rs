@@ -7,3 +7,5 @@ pub use lift;
 pub use lift_acoustics;
 pub use room_acoustics;
 pub use vgpu;
+
+pub use vgpu::telemetry;
