@@ -447,4 +447,30 @@ mod tests {
         let accesses = (bstats.counters.loads_global + bstats.counters.stores_global) / nb;
         assert!((20..=60).contains(&accesses), "accesses/update = {accesses}");
     }
+    #[test]
+    fn step_loop_reuses_cached_launch_plans() {
+        // A simulation's step loop launches the same two kernels against the
+        // same buffer kinds every step (buffer rotation changes ids, not
+        // kinds), so the device plan cache must plateau at one plan per
+        // kernel and cached steps must report the same work as cold ones.
+        let s = setup(GridDims::cube(10), RoomShape::Box, false);
+        let mut hw = HandwrittenSim::new(
+            s,
+            Precision::Double,
+            BoundaryKernel::FiMm { beta_constant: false },
+            Device::gtx780(),
+        );
+        hw.impulse(5, 5, 5, 1.0);
+        let mode = ExecMode::Model { sample_stride: 1 };
+        let cold = hw.step(mode);
+        assert_eq!(hw.device.plan_cache_len(), 2, "volume + boundary plans");
+        for _ in 0..3 {
+            let warm = hw.step(mode);
+            assert_eq!(hw.device.plan_cache_len(), 2, "plans are reused, not re-made");
+            assert_eq!(warm.0.counters, cold.0.counters);
+            assert_eq!(warm.1.counters, cold.1.counters);
+            assert_eq!(warm.0.transaction_bytes, cold.0.transaction_bytes);
+            assert_eq!(warm.1.transaction_bytes, cold.1.transaction_bytes);
+        }
+    }
 }

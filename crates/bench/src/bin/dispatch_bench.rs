@@ -1,0 +1,95 @@
+//! Wall-clock step-loop timing for the FI cube workload on the tape engine.
+//!
+//! Criterion benches don't time under the offline stub harness, so this bin
+//! is the measurement behind the dispatch-overhead numbers in
+//! EXPERIMENTS.md: it runs the same leap-frog launch loop the sims run and
+//! prints ms/step for fast and modeled execution, plus the launch-plan
+//! cache hit counters, as one JSON record.
+//!
+//! Usage: `dispatch_bench [cube-edge] [steps]` (defaults 32, 60).
+
+use lift::prelude::{ScalarKind, Value};
+use room_acoustics::{
+    handwritten, BoundaryModel, GridDims, MaterialAssignment, RoomShape, SimConfig, SimSetup,
+};
+use std::time::Instant;
+use vgpu::{telemetry, Arg, BufId, Device, Engine, ExecMode};
+
+struct FiRun {
+    dev: Device,
+    prep: vgpu::Prepared,
+    bufs: [BufId; 3],
+    scalars: Vec<Arg>,
+    global: [usize; 3],
+}
+
+fn fi_run(n: usize) -> FiRun {
+    let dims = GridDims::cube(n);
+    let setup = SimSetup::new(&SimConfig {
+        dims,
+        shape: RoomShape::Box,
+        assignment: MaterialAssignment::Uniform,
+        boundary: BoundaryModel::Fi { beta: 0.1 },
+    });
+    let mut dev = Device::gtx780();
+    dev.set_engine(Engine::Tape);
+    let prep = dev.compile(&handwritten::fi_single_kernel().resolve_real(ScalarKind::F32)).unwrap();
+    let total = dims.total();
+    let bufs = [
+        dev.create_buffer(ScalarKind::F32, total),
+        dev.create_buffer(ScalarKind::F32, total),
+        dev.create_buffer(ScalarKind::F32, total),
+    ];
+    let scalars = vec![
+        Arg::Val(Value::F32(setup.l as f32)),
+        Arg::Val(Value::F32(setup.l2 as f32)),
+        Arg::Val(Value::F32(0.1)),
+        Arg::Val(Value::I32(dims.nx as i32)),
+        Arg::Val(Value::I32(dims.ny as i32)),
+        Arg::Val(Value::I32(dims.nz as i32)),
+    ];
+    FiRun { dev, prep, bufs, scalars, global: [dims.nx, dims.ny, dims.nz] }
+}
+
+impl FiRun {
+    fn step(&mut self, mode: ExecMode) {
+        let mut args = vec![Arg::Buf(self.bufs[0]), Arg::Buf(self.bufs[1]), Arg::Buf(self.bufs[2])];
+        args.extend_from_slice(&self.scalars);
+        self.dev.launch(&self.prep, &args, &self.global, mode).unwrap();
+        self.bufs.rotate_right(1);
+    }
+
+    /// Best-of-3 trials of `steps` steps; returns ms/step.
+    fn measure(&mut self, steps: usize, mode: ExecMode) -> f64 {
+        for _ in 0..steps.min(5) {
+            self.step(mode); // warm-up
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..steps {
+                self.step(mode);
+            }
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3 / steps as f64);
+            self.dev.clear_events();
+        }
+        best
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
+
+    let fast = fi_run(n).measure(steps, ExecMode::Fast);
+    let model = fi_run(n).measure(steps, ExecMode::Model { sample_stride: 1 });
+    let reg = telemetry::registry();
+    println!(
+        "{{\"bench\":\"dispatch\",\"cube\":{n},\"steps\":{steps},\
+         \"fast_ms_per_step\":{fast:.4},\"model_ms_per_step\":{model:.4},\
+         \"plan_hits\":{},\"plan_misses\":{}}}",
+        reg.counter("vgpu.plan.hits").get(),
+        reg.counter("vgpu.plan.misses").get(),
+    );
+}

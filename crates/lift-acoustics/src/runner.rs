@@ -426,3 +426,31 @@ impl FiSingleLift {
         self.device.read(self.curr).to_f64_vec()
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use room_acoustics::geometry::{GridDims, RoomShape};
+    use room_acoustics::sim::SimConfig;
+
+    #[test]
+    fn lift_step_loop_reuses_cached_launch_plans() {
+        // Generated kernels go through the same plan cache as handwritten
+        // ones: two kernels per step (volume + boundary) means exactly two
+        // cached plans no matter how many steps run.
+        let setup = SimSetup::new(&SimConfig::fimm(GridDims::cube(10), RoomShape::Box));
+        let mut sim = LiftSim::new(setup, Precision::Double, LiftBoundary::FiMm, Device::gtx780());
+        sim.impulse(5, 5, 5, 1.0);
+        sim.run(4);
+        assert_eq!(sim.device.plan_cache_len(), 2, "volume + boundary plans");
+    }
+
+    #[test]
+    fn fi_single_step_loop_reuses_one_cached_plan() {
+        let setup = SimSetup::new(&SimConfig::fimm(GridDims::cube(8), RoomShape::Box));
+        let mut sim = FiSingleLift::new(setup, Precision::Single, 0.1, Device::gtx780());
+        sim.impulse(4, 4, 4, 1.0);
+        sim.run(4);
+        assert_eq!(sim.device.plan_cache_len(), 1, "one kernel, one plan");
+    }
+}

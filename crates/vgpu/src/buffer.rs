@@ -81,6 +81,18 @@ impl BufData {
         }
     }
 
+    /// Reads element `i` (bounds-checked) as its raw register bit pattern
+    /// (f32/i32 zero-extended to 64 bits): the same bits the tape VM's
+    /// register encoding assigns to `get(i)`, without the `Value`
+    /// round-trip.
+    pub fn get_bits(&self, i: usize) -> u64 {
+        match self {
+            BufData::F32(v) => v[i].to_bits() as u64,
+            BufData::F64(v) => v[i].to_bits(),
+            BufData::I32(v) => v[i] as u32 as u64,
+        }
+    }
+
     /// Writes element `i` (bounds-checked), casting `val` to the buffer's
     /// kind with C semantics.
     pub fn set(&mut self, i: usize, val: Value) {
@@ -161,6 +173,14 @@ impl SharedBuf {
     /// No other thread may be writing element `i` concurrently.
     pub unsafe fn get(&self, i: usize) -> Value {
         (*self.data.get()).get(i)
+    }
+
+    /// Reads one element as raw register bits (see [`BufData::get_bits`]).
+    ///
+    /// # Safety
+    /// No other thread may be writing element `i` concurrently.
+    pub unsafe fn get_bits(&self, i: usize) -> u64 {
+        (*self.data.get()).get_bits(i)
     }
 
     /// Writes one element.

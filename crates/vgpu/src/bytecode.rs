@@ -242,12 +242,26 @@ pub(crate) enum Op {
 }
 
 /// A compiled kernel tape: one instruction stream with an entry point per
-/// barrier-delimited phase.
+/// barrier-delimited phase, plus a launch-invariant prelude hoisted out of
+/// the per-item path by [`optimize`].
 #[derive(Debug, Clone)]
 pub struct Compiled {
     pub(crate) ops: Vec<Op>,
     pub(crate) phase_starts: Vec<u32>,
     pub(crate) nregs: usize,
+    /// Item-invariant ops hoisted out of the per-item stream; executed once
+    /// per register file by [`exec_pre`] (after scalar-slot initialisation,
+    /// before any phase). Contains only pure register ops — never loads,
+    /// stores, `Flops`, or control flow — so counters and the transaction
+    /// model are unaffected.
+    pub(crate) pre: Vec<Op>,
+    /// Deduplicated launch-context reads (`Gid`/`Lid`/`Lsz`/`Grp`), one per
+    /// distinct (op, dim): executed once per work-item by [`exec_item_pre`]
+    /// instead of at every use site. Pure register writes only.
+    pub(crate) item_pre: Vec<Op>,
+    /// Ops eliminated by the peephole optimizer: constant folds, dead ops
+    /// removed, and ops hoisted into `pre`. Feeds `vgpu.tape.optimized_ops`.
+    pub(crate) optimized_ops: u32,
 }
 
 impl Compiled {
@@ -709,51 +723,568 @@ pub(crate) fn compile(prep: &Prepared) -> Result<Compiled, String> {
     if cc.nregs > u32::MAX / 2 {
         return Err("register file overflow".into());
     }
-    Ok(Compiled { ops: cc.ops, phase_starts, nregs: cc.nregs as usize })
+    let mut c = Compiled {
+        ops: cc.ops,
+        phase_starts,
+        nregs: cc.nregs as usize,
+        pre: Vec::new(),
+        item_pre: Vec::new(),
+        optimized_ops: 0,
+    };
+    optimize(&mut c, prep.nslots);
+    if !validate(&c) {
+        // Never expected: the compiler allocated every operand itself. The
+        // fallback keeps the launch on the (fully bounds-checked) tree
+        // engine rather than trusting a tape the check rejected.
+        return Err("tape validation failed".into());
+    }
+    Ok(c)
 }
 
-/// Mutable per-item/per-launch state threaded through tape execution.
-pub(crate) struct TapeCtx<'a> {
-    pub bufs: &'a [Option<&'a SharedBuf>],
-    pub gsize: [usize; 3],
-    pub counters: &'a mut Counters,
-    pub trace: &'a mut Vec<(u32, u32, u64)>,
-    pub trace_on: bool,
-    pub writes: &'a mut Vec<WriteRec>,
-    pub race_on: bool,
-    pub item: u64,
-    pub gid: [usize; 3],
-    pub lid: usize,
-    pub group: usize,
-    pub lsize: usize,
+/// One-time structural check run at compile time: every register operand in
+/// the main tape and the prelude is below `nregs`, every jump target and
+/// phase entry is inside the tape, and the tape is non-empty. `exec_phase`
+/// relies on this to elide per-access register bounds checks.
+fn validate(c: &Compiled) -> bool {
+    // The tape must end in a terminator: `pc` only moves past non-final ops
+    // (a fall-through at the final op would run off the end) or to a
+    // validated jump target, so the program counter can never leave the
+    // tape. `exec_phase` elides the fetch bounds check on this basis.
+    let mut ok = matches!(c.ops.last(), Some(Op::Ret | Op::Halt));
+    for op in c.ops.iter().chain(&c.pre).chain(&c.item_pre) {
+        if let Some(d) = op_dst(op) {
+            ok &= (d as usize) < c.nregs;
+        }
+        visit_srcs(op, &mut |r| ok &= (r as usize) < c.nregs);
+        if let Op::Jmp { target } | Op::Jz { target, .. } | Op::JgeI64 { target, .. } = *op {
+            ok &= (target as usize) < c.ops.len();
+        }
+    }
+    for &s in &c.phase_starts {
+        ok &= (s as usize) < c.ops.len();
+    }
+    ok
 }
 
-/// Executes one phase of a compiled tape for one work-item. Returns `true`
-/// when the item executed `Ret` (early exit).
-pub(crate) fn exec_phase(
-    c: &Compiled,
-    phase: usize,
-    regs: &mut [u64],
-    privs: &mut [Vec<u64>],
-    locals: &mut [Vec<u64>],
-    t: &mut TapeCtx<'_>,
-) -> bool {
-    let ops = &c.ops[..];
-    let mut pc = c.phase_starts[phase] as usize;
+// ---- peephole optimizer ----
+//
+// Three passes over the compiled tape, run once at compile time:
+//
+// 1. **Constant folding** — pure register ops whose operands are all
+//    compile-time constants are rewritten to `Const`.
+// 2. **Hoisting** — pure ops in a phase's entry block (before any control
+//    flow) whose operands are item-invariant move to `Compiled::pre` and
+//    execute once per register file instead of once per work-item.
+// 3. **Dead-register elimination** — pure ops whose destination is never
+//    read are removed and jump targets/phase entries are remapped.
+//
+// The passes never touch loads, stores, `Flops`, declarations, or control
+// flow, so the observable semantics — buffer bits, all counters, the
+// transaction trace, and race records — are identical to the unoptimized
+// tape. `Engine::Differential` enforces this against the tree-walker.
+
+/// The destination register an op writes, if any. `MaxOne` both reads and
+/// writes its `dst`; callers that need read sets must also consult
+/// [`visit_srcs`].
+fn op_dst(op: &Op) -> Option<R> {
+    match *op {
+        Op::Const { dst, .. }
+        | Op::Gid { dst, .. }
+        | Op::Gsz { dst, .. }
+        | Op::Lid { dst, .. }
+        | Op::Lsz { dst, .. }
+        | Op::Grp { dst, .. }
+        | Op::Mov { dst, .. }
+        | Op::Cast { dst, .. }
+        | Op::AsI64 { dst, .. }
+        | Op::MaxOne { dst }
+        | Op::I64ToI32 { dst, .. }
+        | Op::AddI64 { dst, .. }
+        | Op::Neg { dst, .. }
+        | Op::Not { dst, .. }
+        | Op::Bin { dst, .. }
+        | Op::Logic { dst, .. }
+        | Op::MinMax { dst, .. }
+        | Op::Intr1 { dst, .. }
+        | Op::LdG { dst, .. }
+        | Op::LdP { dst, .. }
+        | Op::LdL { dst, .. } => Some(dst),
+        Op::StG { .. }
+        | Op::StP { .. }
+        | Op::StL { .. }
+        | Op::DeclPriv { .. }
+        | Op::DeclLocal { .. }
+        | Op::Flops { .. }
+        | Op::Jmp { .. }
+        | Op::JgeI64 { .. }
+        | Op::Jz { .. }
+        | Op::Ret
+        | Op::Halt => None,
+    }
+}
+
+/// Visits every register an op reads.
+fn visit_srcs(op: &Op, f: &mut impl FnMut(R)) {
+    match *op {
+        Op::Mov { src, .. }
+        | Op::Cast { src, .. }
+        | Op::AsI64 { src, .. }
+        | Op::I64ToI32 { src, .. }
+        | Op::Neg { src, .. }
+        | Op::Not { src, .. }
+        | Op::Intr1 { src, .. } => f(src),
+        Op::MaxOne { dst } => f(dst),
+        Op::AddI64 { a, b, .. }
+        | Op::JgeI64 { a, b, .. }
+        | Op::Bin { a, b, .. }
+        | Op::Logic { a, b, .. }
+        | Op::MinMax { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Op::LdG { idx, .. } | Op::LdP { idx, .. } | Op::LdL { idx, .. } => f(idx),
+        Op::StG { idx, val, .. } | Op::StP { idx, val, .. } | Op::StL { idx, val, .. } => {
+            f(idx);
+            f(val);
+        }
+        Op::DeclPriv { len, .. } | Op::DeclLocal { len, .. } => f(len),
+        Op::Jz { cond, .. } => f(cond),
+        Op::Const { .. }
+        | Op::Gid { .. }
+        | Op::Gsz { .. }
+        | Op::Lid { .. }
+        | Op::Lsz { .. }
+        | Op::Grp { .. }
+        | Op::Flops { .. }
+        | Op::Jmp { .. }
+        | Op::Ret
+        | Op::Halt => {}
+    }
+}
+
+/// Mutable twin of [`visit_srcs`]: offers every source-register field for
+/// in-place rewriting (the context-CSE pass redirects reads of duplicate
+/// context registers to the canonical one).
+fn visit_srcs_mut(op: &mut Op, f: &mut impl FnMut(&mut R)) {
+    match op {
+        Op::Mov { src, .. }
+        | Op::Cast { src, .. }
+        | Op::AsI64 { src, .. }
+        | Op::I64ToI32 { src, .. }
+        | Op::Neg { src, .. }
+        | Op::Not { src, .. }
+        | Op::Intr1 { src, .. } => f(src),
+        Op::MaxOne { dst } => f(dst),
+        Op::AddI64 { a, b, .. }
+        | Op::JgeI64 { a, b, .. }
+        | Op::Bin { a, b, .. }
+        | Op::Logic { a, b, .. }
+        | Op::MinMax { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Op::LdG { idx, .. } | Op::LdP { idx, .. } | Op::LdL { idx, .. } => f(idx),
+        Op::StG { idx, val, .. } | Op::StP { idx, val, .. } | Op::StL { idx, val, .. } => {
+            f(idx);
+            f(val);
+        }
+        Op::DeclPriv { len, .. } | Op::DeclLocal { len, .. } => f(len),
+        Op::Jz { cond, .. } => f(cond),
+        Op::Const { .. }
+        | Op::Gid { .. }
+        | Op::Gsz { .. }
+        | Op::Lid { .. }
+        | Op::Lsz { .. }
+        | Op::Grp { .. }
+        | Op::Flops { .. }
+        | Op::Jmp { .. }
+        | Op::Ret
+        | Op::Halt => {}
+    }
+}
+
+/// Number of writers of each register across the whole tape.
+fn count_writers(ops: &[Op], nregs: usize) -> Vec<u32> {
+    let mut w = vec![0u32; nregs];
+    for op in ops {
+        if let Some(d) = op_dst(op) {
+            w[d as usize] += 1;
+        }
+    }
+    w
+}
+
+/// Folds one op whose operands are all known constants into its result
+/// bits, reproducing `exec_phase` arithmetic exactly. Returns `None` for
+/// non-foldable ops, unknown operands, and i32 `Div`/`Rem` cases that would
+/// trap at runtime (those must keep trapping at their original site).
+fn try_fold(op: &Op, constv: &[Option<u64>]) -> Option<(R, u64)> {
+    let c = |r: R| constv[r as usize];
+    match *op {
+        Op::Mov { dst, src } => c(src).map(|v| (dst, v)),
+        Op::Cast { dst, src, from, to } => c(src).map(|v| (dst, cast_bits(from, to, v))),
+        Op::AsI64 { dst, src, from } => c(src).map(|v| (dst, bi64(to_i64(from, v)))),
+        Op::I64ToI32 { dst, src } => c(src).map(|v| (dst, bi32(i64v(v) as i32))),
+        Op::AddI64 { dst, a, b } => match (c(a), c(b)) {
+            (Some(x), Some(y)) => Some((dst, bi64(i64v(x).wrapping_add(i64v(y))))),
+            _ => None,
+        },
+        Op::Neg { dst, src, k } => c(src).map(|v| {
+            let bits = match k {
+                K::F32 => b32(-f32v(v)),
+                K::F64 => b64(-f64v(v)),
+                K::I32 => bi32(i32v(v).wrapping_neg()),
+                K::Bool => bi32(((v != 0) as i32).wrapping_neg()),
+            };
+            (dst, bits)
+        }),
+        Op::Not { dst, src, k } => c(src).map(|v| (dst, bb(!truthy(k, v)))),
+        Op::Bin { dst, a, b, op, k } => {
+            let (x, y) = (c(a)?, c(b)?);
+            if k == K::I32 && matches!(op, BinOp::Div | BinOp::Rem) {
+                let (p, q) = (i32v(x), i32v(y));
+                if q == 0 || (p == i32::MIN && q == -1) {
+                    return None;
+                }
+            }
+            Some((dst, bin_bits(op, k, x, y)))
+        }
+        Op::Logic { dst, a, b, ka, kb, or } => match (c(a), c(b)) {
+            (Some(x), Some(y)) => {
+                let (p, q) = (truthy(ka, x), truthy(kb, y));
+                Some((dst, bb(if or { p || q } else { p && q })))
+            }
+            _ => None,
+        },
+        Op::MinMax { dst, a, b, k, max } => {
+            if k == K::Bool {
+                return None;
+            }
+            let (x, y) = (c(a)?, c(b)?);
+            let bits = match k {
+                K::F32 => {
+                    let (p, q) = (f32v(x) as f64, f32v(y) as f64);
+                    b32((if max { p.max(q) } else { p.min(q) }) as f32)
+                }
+                K::F64 => {
+                    let (p, q) = (f64v(x), f64v(y));
+                    b64(if max { p.max(q) } else { p.min(q) })
+                }
+                K::I32 => {
+                    let (p, q) = (i32v(x) as i64, i32v(y) as i64);
+                    bi32((if max { p.max(q) } else { p.min(q) }) as i32)
+                }
+                K::Bool => unreachable!(),
+            };
+            Some((dst, bits))
+        }
+        Op::Intr1 { dst, src, intr, k } => c(src).map(|v| {
+            let bits = match k {
+                K::F32 => b32(intr1_f32(intr, f32v(v))),
+                _ => b64(intr1_f64(intr, f64v(v))),
+            };
+            (dst, bits)
+        }),
+        _ => None,
+    }
+}
+
+/// True for pure register ops that are safe to hoist into the per-warp
+/// prelude when their operands are item-invariant. Conservatively excludes
+/// i32 `Div`/`Rem` (may trap) and every id-dependent, memory, counter, or
+/// control op.
+fn hoistable(op: &Op) -> bool {
+    match op {
+        Op::Bin { op: b, k, .. } => !(*k == K::I32 && matches!(b, BinOp::Div | BinOp::Rem)),
+        Op::Const { .. }
+        | Op::Gsz { .. }
+        | Op::Mov { .. }
+        | Op::Cast { .. }
+        | Op::AsI64 { .. }
+        | Op::I64ToI32 { .. }
+        | Op::AddI64 { .. }
+        | Op::Neg { .. }
+        | Op::Not { .. }
+        | Op::Logic { .. }
+        | Op::MinMax { .. }
+        | Op::Intr1 { .. } => true,
+        _ => false,
+    }
+}
+
+/// True for pure ops that may be deleted when their destination is never
+/// read: no side effects, no counters, and cannot trap.
+fn removable(op: &Op) -> bool {
+    match op {
+        Op::Bin { op: b, k, .. } => !(*k == K::I32 && matches!(b, BinOp::Div | BinOp::Rem)),
+        Op::Const { .. }
+        | Op::Gid { .. }
+        | Op::Gsz { .. }
+        | Op::Lid { .. }
+        | Op::Lsz { .. }
+        | Op::Grp { .. }
+        | Op::Mov { .. }
+        | Op::Cast { .. }
+        | Op::AsI64 { .. }
+        | Op::I64ToI32 { .. }
+        | Op::AddI64 { .. }
+        | Op::Neg { .. }
+        | Op::Not { .. }
+        | Op::Logic { .. }
+        | Op::MinMax { .. }
+        | Op::Intr1 { .. } => true,
+        _ => false,
+    }
+}
+
+/// Runs the three peephole passes on a freshly compiled tape. `nslots` is
+/// the number of scalar-slot registers (slots may be re-initialised per
+/// item and are never treated as constants or hoist destinations).
+// The passes walk `c.ops` by index while mutating the parallel `removed`
+// mask and appending to `c.pre`/`c.item_pre`; iterator forms would need a
+// second borrow of `c`.
+#[allow(clippy::needless_range_loop)]
+fn optimize(c: &mut Compiled, nslots: usize) {
+    let writers = count_writers(&c.ops, c.nregs);
+    let single_temp = |r: R| (r as usize) >= nslots && writers[r as usize] == 1;
+
+    // Pass 1: constant folding to fixpoint. A register is constant when it
+    // is a single-writer temporary whose writer is a `Const` op; codegen
+    // guarantees such temporaries are written before every read.
+    let mut constv: Vec<Option<u64>> = vec![None; c.nregs];
     loop {
-        match ops[pc] {
-            Op::Const { dst, bits } => regs[dst as usize] = bits,
-            Op::Gid { dst, dim } => regs[dst as usize] = bi32(t.gid[dim as usize] as i32),
-            Op::Gsz { dst, dim } => regs[dst as usize] = bi32(t.gsize[dim as usize] as i32),
+        let mut changed = false;
+        for i in 0..c.ops.len() {
+            if let Some((dst, bits)) = try_fold(&c.ops[i], &constv) {
+                c.ops[i] = Op::Const { dst, bits };
+                c.optimized_ops += 1;
+                changed = true;
+            }
+            if let Op::Const { dst, bits } = c.ops[i] {
+                if single_temp(dst) && constv[dst as usize].is_none() {
+                    constv[dst as usize] = Some(bits);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 2: hoist item-invariant ops into the prelude. An op qualifies
+    // anywhere in the tape — even behind a branch or inside a loop — when
+    // (a) it is pure and non-trapping (`hoistable`), (b) its destination is
+    // a single-writer temporary (codegen guarantees write-before-read, so
+    // no path observes the pre-hoist zero), and (c) every operand is
+    // immutable over the whole launch: a never-written scalar slot (slots
+    // are re-initialised to identical bits for every item) or the result of
+    // an already-hoisted op. Running such an op once per register file in
+    // the prelude therefore produces exactly the bits every reader saw
+    // before. The prelude stays dependency-ordered for free: a register is
+    // only marked invariant when its producer is pushed, so consumers always
+    // land after their producers.
+    let mut removed = vec![false; c.ops.len()];
+    let mut invariant = vec![false; c.nregs];
+    for (r, inv) in invariant.iter_mut().enumerate().take(nslots) {
+        *inv = writers[r] == 0;
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..c.ops.len() {
+            if removed[i] {
+                continue;
+            }
+            let op = c.ops[i];
+            let dst = match op_dst(&op) {
+                Some(d) if single_temp(d) => d,
+                _ => continue,
+            };
+            if !hoistable(&op) {
+                continue;
+            }
+            let mut ok = true;
+            visit_srcs(&op, &mut |r| ok &= invariant[r as usize]);
+            if !ok {
+                continue;
+            }
+            c.pre.push(op);
+            removed[i] = true;
+            invariant[dst as usize] = true;
+            c.optimized_ops += 1;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 2b: context-op CSE. `Gid`/`Lid`/`Lsz`/`Grp` read launch context
+    // that is fixed for the duration of one work-item, so every occurrence
+    // of the same (op, dim) writes identical bits wherever it sits — even
+    // behind branches or inside loops. Codegen re-emits them at each use
+    // site; here the first single-writer occurrence becomes canonical and
+    // moves to `item_pre` (run once per item, before any phase), readers of
+    // the duplicates are redirected to the canonical register, and all
+    // in-tape occurrences are dropped. Canonical registers are never
+    // written by the main tape afterwards, so the value persists across
+    // phases of the same item.
+    let mut redirect: Vec<Option<R>> = vec![None; c.nregs];
+    let mut canon: std::collections::HashMap<(u8, u8), R> = std::collections::HashMap::new();
+    for i in 0..c.ops.len() {
+        if removed[i] {
+            continue;
+        }
+        let (tag, dim, dst) = match c.ops[i] {
+            Op::Gid { dst, dim } => (0u8, dim, dst),
+            Op::Lid { dst, dim } => (1, dim, dst),
+            Op::Lsz { dst, dim } => (2, dim, dst),
+            Op::Grp { dst, dim } => (3, dim, dst),
+            _ => continue,
+        };
+        if !single_temp(dst) {
+            continue;
+        }
+        match canon.entry((tag, dim)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                redirect[dst as usize] = Some(*e.get());
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(dst);
+                c.item_pre.push(c.ops[i]);
+            }
+        }
+        removed[i] = true;
+        c.optimized_ops += 1;
+    }
+    if !canon.is_empty() {
+        for (i, op) in c.ops.iter_mut().enumerate() {
+            if !removed[i] {
+                visit_srcs_mut(op, &mut |r| {
+                    if let Some(n) = redirect[*r as usize] {
+                        *r = n;
+                    }
+                });
+            }
+        }
+    }
+
+    // Pass 3: dead-register elimination to fixpoint. Reads from the prelude
+    // count (they keep earlier prelude producers alive; main-tape producers
+    // feeding a hoisted op were necessarily hoisted too).
+    loop {
+        let mut reads = vec![0u32; c.nregs];
+        for (i, op) in c.ops.iter().enumerate() {
+            if !removed[i] {
+                visit_srcs(op, &mut |r| reads[r as usize] += 1);
+            }
+        }
+        for op in &c.pre {
+            visit_srcs(op, &mut |r| reads[r as usize] += 1);
+        }
+        let mut changed = false;
+        for i in 0..c.ops.len() {
+            if removed[i] || !removable(&c.ops[i]) {
+                continue;
+            }
+            if let Some(d) = op_dst(&c.ops[i]) {
+                if reads[d as usize] == 0 {
+                    removed[i] = true;
+                    c.optimized_ops += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // DCE may have erased the last reader of a canonical context register;
+    // drop prelude entries nothing reads so items don't pay for them.
+    {
+        let mut reads = vec![0u32; c.nregs];
+        for (i, op) in c.ops.iter().enumerate() {
+            if !removed[i] {
+                visit_srcs(op, &mut |r| reads[r as usize] += 1);
+            }
+        }
+        for op in &c.pre {
+            visit_srcs(op, &mut |r| reads[r as usize] += 1);
+        }
+        c.item_pre.retain(|op| op_dst(op).is_some_and(|d| reads[d as usize] > 0));
+    }
+
+    // Compaction: drop removed ops, remapping jump targets and phase entry
+    // points. A target pointing at a removed op falls through to the next
+    // retained one (the prefix count gives exactly that index).
+    if removed.iter().any(|&r| r) {
+        let mut newpos = Vec::with_capacity(c.ops.len() + 1);
+        let mut n = 0u32;
+        for &r in &removed {
+            newpos.push(n);
+            if !r {
+                n += 1;
+            }
+        }
+        newpos.push(n);
+        let mut ops = Vec::with_capacity(n as usize);
+        for (i, mut op) in c.ops.drain(..).enumerate() {
+            if removed[i] {
+                continue;
+            }
+            match &mut op {
+                Op::Jmp { target } | Op::Jz { target, .. } | Op::JgeI64 { target, .. } => {
+                    *target = newpos[*target as usize];
+                }
+                _ => {}
+            }
+            ops.push(op);
+        }
+        c.ops = ops;
+        for s in c.phase_starts.iter_mut() {
+            *s = newpos[*s as usize];
+        }
+    }
+}
+
+/// Executes the hoisted prelude once into a freshly initialised register
+/// file (scalar slots must already hold their launch values). Contains only
+/// pure register ops, so it touches no counters, traces, or memory.
+/// Executes the per-item context prelude: one deduplicated `Gid`/`Lid`/
+/// `Lsz`/`Grp` read per distinct (op, dim), mirroring the corresponding
+/// [`exec_phase`] arms bit for bit. Run once per work-item, after slot
+/// initialisation and before any phase.
+pub(crate) fn exec_item_pre(
+    c: &Compiled,
+    regs: &mut [u64],
+    gid: [usize; 3],
+    lid: usize,
+    lsize: usize,
+    group: usize,
+) {
+    for op in &c.item_pre {
+        match *op {
+            Op::Gid { dst, dim } => regs[dst as usize] = bi32(gid[dim as usize] as i32),
             Op::Lid { dst, dim } => {
-                regs[dst as usize] = bi32(if dim == 0 { t.lid as i32 } else { 0 })
+                regs[dst as usize] = bi32(if dim == 0 { lid as i32 } else { 0 })
             }
             Op::Lsz { dst, dim } => {
-                regs[dst as usize] = bi32(if dim == 0 { t.lsize as i32 } else { 1 })
+                regs[dst as usize] = bi32(if dim == 0 { lsize as i32 } else { 1 })
             }
             Op::Grp { dst, dim } => {
-                regs[dst as usize] = bi32(if dim == 0 { t.group as i32 } else { 0 })
+                regs[dst as usize] = bi32(if dim == 0 { group as i32 } else { 0 })
             }
+            _ => unreachable!("non-context op in item prelude"),
+        }
+    }
+}
+
+pub(crate) fn exec_pre(c: &Compiled, regs: &mut [u64], gsize: [usize; 3]) {
+    for op in &c.pre {
+        match *op {
+            Op::Const { dst, bits } => regs[dst as usize] = bits,
+            Op::Gsz { dst, dim } => regs[dst as usize] = bi32(gsize[dim as usize] as i32),
             Op::Mov { dst, src } => regs[dst as usize] = regs[src as usize],
             Op::Cast { dst, src, from, to } => {
                 regs[dst as usize] = cast_bits(from, to, regs[src as usize])
@@ -761,18 +1292,9 @@ pub(crate) fn exec_phase(
             Op::AsI64 { dst, src, from } => {
                 regs[dst as usize] = bi64(to_i64(from, regs[src as usize]))
             }
-            Op::MaxOne { dst } => {
-                regs[dst as usize] = bi64(i64v(regs[dst as usize]).max(1));
-            }
             Op::I64ToI32 { dst, src } => regs[dst as usize] = bi32(i64v(regs[src as usize]) as i32),
             Op::AddI64 { dst, a, b } => {
                 regs[dst as usize] = bi64(i64v(regs[a as usize]) + i64v(regs[b as usize]))
-            }
-            Op::JgeI64 { a, b, target } => {
-                if i64v(regs[a as usize]) >= i64v(regs[b as usize]) {
-                    pc = target as usize;
-                    continue;
-                }
             }
             Op::Neg { dst, src, k } => {
                 let s = regs[src as usize];
@@ -818,8 +1340,133 @@ pub(crate) fn exec_phase(
                     _ => b64(intr1_f64(intr, f64v(s))),
                 };
             }
+            _ => unreachable!("non-hoistable op in prelude"),
+        }
+    }
+}
+
+/// Mutable per-item/per-launch state threaded through tape execution.
+pub(crate) struct TapeCtx<'a> {
+    pub bufs: &'a [Option<&'a SharedBuf>],
+    pub gsize: [usize; 3],
+    pub counters: &'a mut Counters,
+    pub trace: &'a mut Vec<(u32, u32, u64)>,
+    pub trace_on: bool,
+    pub writes: &'a mut Vec<WriteRec>,
+    pub race_on: bool,
+    pub item: u64,
+    pub gid: [usize; 3],
+    pub lid: usize,
+    pub group: usize,
+    pub lsize: usize,
+}
+
+/// Executes one phase of a compiled tape for one work-item. Returns `true`
+/// when the item executed `Ret` (early exit).
+/// Unchecked register read. The tape passed [`validate`] at compile time
+/// (every operand `< nregs`) and `exec_phase` asserts the register file is
+/// at least `nregs` long, so the index is always in bounds.
+#[inline(always)]
+fn rg(regs: &[u64], r: R) -> u64 {
+    debug_assert!((r as usize) < regs.len());
+    // SAFETY: see doc comment — `validate` + the `exec_phase` entry assert.
+    unsafe { *regs.get_unchecked(r as usize) }
+}
+
+/// Unchecked register write; same justification as [`rg`].
+#[inline(always)]
+fn wr(regs: &mut [u64], r: R, v: u64) {
+    debug_assert!((r as usize) < regs.len());
+    // SAFETY: see doc comment on `rg`.
+    unsafe { *regs.get_unchecked_mut(r as usize) = v }
+}
+
+pub(crate) fn exec_phase(
+    c: &Compiled,
+    phase: usize,
+    regs: &mut [u64],
+    privs: &mut [Vec<u64>],
+    locals: &mut [Vec<u64>],
+    t: &mut TapeCtx<'_>,
+) -> bool {
+    assert!(regs.len() >= c.nregs, "register file smaller than tape nregs");
+    let ops = &c.ops[..];
+    let mut pc = c.phase_starts[phase] as usize;
+    loop {
+        // SAFETY: `validate` checked that every jump target and phase entry
+        // is inside the tape and that the tape ends in `Ret`/`Halt`, so by
+        // induction `pc` stays in bounds (a non-terminator is never final,
+        // hence `pc + 1` lands on an op; jumps land on validated targets).
+        match *unsafe { ops.get_unchecked(pc) } {
+            Op::Const { dst, bits } => wr(regs, dst, bits),
+            Op::Gid { dst, dim } => wr(regs, dst, bi32(t.gid[dim as usize] as i32)),
+            Op::Gsz { dst, dim } => wr(regs, dst, bi32(t.gsize[dim as usize] as i32)),
+            Op::Lid { dst, dim } => wr(regs, dst, bi32(if dim == 0 { t.lid as i32 } else { 0 })),
+            Op::Lsz { dst, dim } => wr(regs, dst, bi32(if dim == 0 { t.lsize as i32 } else { 1 })),
+            Op::Grp { dst, dim } => wr(regs, dst, bi32(if dim == 0 { t.group as i32 } else { 0 })),
+            Op::Mov { dst, src } => wr(regs, dst, rg(regs, src)),
+            Op::Cast { dst, src, from, to } => wr(regs, dst, cast_bits(from, to, rg(regs, src))),
+            Op::AsI64 { dst, src, from } => wr(regs, dst, bi64(to_i64(from, rg(regs, src)))),
+            Op::MaxOne { dst } => {
+                wr(regs, dst, bi64(i64v(rg(regs, dst)).max(1)));
+            }
+            Op::I64ToI32 { dst, src } => wr(regs, dst, bi32(i64v(rg(regs, src)) as i32)),
+            Op::AddI64 { dst, a, b } => wr(regs, dst, bi64(i64v(rg(regs, a)) + i64v(rg(regs, b)))),
+            Op::JgeI64 { a, b, target } => {
+                if i64v(rg(regs, a)) >= i64v(rg(regs, b)) {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            Op::Neg { dst, src, k } => {
+                let s = rg(regs, src);
+                let v = match k {
+                    K::F32 => b32(-f32v(s)),
+                    K::F64 => b64(-f64v(s)),
+                    K::I32 => bi32(-i32v(s)),
+                    K::Bool => bi32(-((s != 0) as i32)),
+                };
+                wr(regs, dst, v);
+            }
+            Op::Not { dst, src, k } => {
+                wr(regs, dst, bb(!truthy(k, rg(regs, src))));
+            }
+            Op::Bin { dst, a, b, op, k } => {
+                wr(regs, dst, bin_bits(op, k, rg(regs, a), rg(regs, b)));
+            }
+            Op::Logic { dst, a, b, ka, kb, or } => {
+                let (x, y) = (truthy(ka, rg(regs, a)), truthy(kb, rg(regs, b)));
+                wr(regs, dst, bb(if or { x || y } else { x && y }));
+            }
+            Op::MinMax { dst, a, b, k, max } => {
+                let (x, y) = (rg(regs, a), rg(regs, b));
+                let v = match k {
+                    K::F32 => {
+                        let (p, q) = (f32v(x) as f64, f32v(y) as f64);
+                        b32((if max { p.max(q) } else { p.min(q) }) as f32)
+                    }
+                    K::F64 => {
+                        let (p, q) = (f64v(x), f64v(y));
+                        b64(if max { p.max(q) } else { p.min(q) })
+                    }
+                    K::I32 => {
+                        let (p, q) = (i32v(x) as i64, i32v(y) as i64);
+                        bi32((if max { p.max(q) } else { p.min(q) }) as i32)
+                    }
+                    K::Bool => unreachable!("min/max never promotes to bool"),
+                };
+                wr(regs, dst, v);
+            }
+            Op::Intr1 { dst, src, intr, k } => {
+                let s = rg(regs, src);
+                let v = match k {
+                    K::F32 => b32(intr1_f32(intr, f32v(s))),
+                    _ => b64(intr1_f64(intr, f64v(s))),
+                };
+                wr(regs, dst, v);
+            }
             Op::LdG { dst, buf, idx, site, constant } => {
-                let i = i64v(regs[idx as usize]);
+                let i = i64v(rg(regs, idx));
                 let b = t.bufs[buf as usize].expect("buffer bound");
                 if constant {
                     t.counters.loads_constant += 1;
@@ -838,10 +1485,10 @@ pub(crate) fn exec_phase(
                 );
                 // SAFETY: launch contract — no concurrent writer of this
                 // element (same contract as the tree-walker).
-                regs[dst as usize] = bits_of_value(unsafe { b.get(i as usize) });
+                wr(regs, dst, unsafe { b.get_bits(i as usize) });
             }
             Op::StG { buf, idx, val, vk, site } => {
-                let i = i64v(regs[idx as usize]);
+                let i = i64v(rg(regs, idx));
                 let b = t.bufs[buf as usize].expect("buffer bound");
                 let eb = b.elem_bytes() as u64;
                 t.counters.stores_global += 1;
@@ -859,30 +1506,30 @@ pub(crate) fn exec_phase(
                 );
                 // SAFETY: launch contract — element disjointness across
                 // work-items (verified by race-check mode).
-                unsafe { b.set(i as usize, bits_value(vk, regs[val as usize])) };
+                unsafe { b.set(i as usize, bits_value(vk, rg(regs, val))) };
             }
             Op::LdP { dst, arr, idx } => {
-                regs[dst as usize] = privs[arr as usize][i64v(regs[idx as usize]) as usize];
+                wr(regs, dst, privs[arr as usize][i64v(rg(regs, idx)) as usize]);
             }
             Op::StP { arr, idx, val, vk, k } => {
-                let i = i64v(regs[idx as usize]) as usize;
-                privs[arr as usize][i] = cast_bits(vk, k, regs[val as usize]);
+                let i = i64v(rg(regs, idx)) as usize;
+                privs[arr as usize][i] = cast_bits(vk, k, rg(regs, val));
             }
             Op::LdL { dst, arr, idx } => {
-                regs[dst as usize] = locals[arr as usize][i64v(regs[idx as usize]) as usize];
+                wr(regs, dst, locals[arr as usize][i64v(rg(regs, idx)) as usize]);
             }
             Op::StL { arr, idx, val, vk, k } => {
-                let i = i64v(regs[idx as usize]) as usize;
-                locals[arr as usize][i] = cast_bits(vk, k, regs[val as usize]);
+                let i = i64v(rg(regs, idx)) as usize;
+                locals[arr as usize][i] = cast_bits(vk, k, rg(regs, val));
             }
             Op::DeclPriv { arr, len } => {
-                let n = i64v(regs[len as usize]) as usize;
+                let n = i64v(rg(regs, len)) as usize;
                 let p = &mut privs[arr as usize];
                 p.clear();
                 p.resize(n, 0);
             }
             Op::DeclLocal { arr, len } => {
-                let n = i64v(regs[len as usize]) as usize;
+                let n = i64v(rg(regs, len)) as usize;
                 let l = &mut locals[arr as usize];
                 if l.len() != n {
                     l.clear();
@@ -895,7 +1542,7 @@ pub(crate) fn exec_phase(
                 continue;
             }
             Op::Jz { cond, k, target } => {
-                if !truthy(k, regs[cond as usize]) {
+                if !truthy(k, rg(regs, cond)) {
                     pc = target as usize;
                     continue;
                 }
@@ -986,5 +1633,147 @@ fn bin_bits(op: BinOp, k: K, x: u64, y: u64) -> u64 {
             }
         }
         K::Bool => unreachable!("binary ops never monomorphise to bool"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufData;
+    use crate::buffer::SharedBuf;
+    use crate::exec::{launch_wg_engine, prepare, ArgBind, Engine, ExecMode};
+    use lift::kast::{KExpr, KStmt, Kernel, KernelParam, MemRef};
+
+    /// out[gid] = x[gid] * scale + bias-ish expression, with `expr` as the
+    /// stored value; single f32 input/output pair plus one scalar `a`.
+    fn unary_kernel(name: &str, expr: KExpr) -> Kernel {
+        Kernel {
+            name: name.into(),
+            params: vec![
+                KernelParam::global_buf("x", ScalarKind::F32),
+                KernelParam::global_buf("out", ScalarKind::F32),
+                KernelParam::scalar("a", ScalarKind::F32),
+            ],
+            body: vec![KStmt::Store {
+                mem: MemRef::Param(1),
+                idx: KExpr::GlobalId(0),
+                value: expr,
+            }],
+            work_dim: 1,
+        }
+        .resolve_real(ScalarKind::F32)
+    }
+
+    /// Launches on the differential engine (tree vs tape bit-equality is
+    /// asserted inside) and returns the output buffer.
+    fn run_diff(k: &Kernel, n: usize, a: f32) -> Vec<f64> {
+        let prep = prepare(k).unwrap();
+        assert!(prep.has_tape(), "kernel should compile to a tape");
+        let x = SharedBuf::new(BufData::from((0..n).map(|i| i as f32).collect::<Vec<_>>()));
+        let out = SharedBuf::new(BufData::from(vec![0.0f32; n]));
+        launch_wg_engine(
+            &prep,
+            &[ArgBind::Buf(&x), ArgBind::Buf(&out), ArgBind::Val(Value::F32(a))],
+            &[n],
+            None,
+            ExecMode::Model { sample_stride: 1 },
+            true,
+            128,
+            Engine::Differential,
+        )
+        .unwrap();
+        out.data().to_f64_vec()
+    }
+
+    fn tape_of(k: &Kernel) -> Compiled {
+        prepare(k).unwrap().tape.take().expect("tape")
+    }
+
+    #[test]
+    fn constant_expressions_fold_to_a_single_const() {
+        // (2 + 3) is constant: the Add folds, and the folded constant (an
+        // operand-free Const) is then hoisted into the warp prelude.
+        let k = unary_kernel(
+            "fold5",
+            KExpr::load(MemRef::Param(0), KExpr::GlobalId(0))
+                * (KExpr::real(2.0) + KExpr::real(3.0)),
+        );
+        let t = tape_of(&k);
+        assert!(t.optimized_ops > 0);
+        let five = (5.0f32).to_bits() as u64;
+        assert!(
+            t.pre.iter().any(|op| matches!(op, Op::Const { bits, .. } if *bits == five)),
+            "folded 5.0 should sit in the prelude: {:?}",
+            t.pre
+        );
+        let out = run_diff(&k, 64, 0.0);
+        assert_eq!(out[7], 7.0 * 5.0);
+    }
+
+    #[test]
+    fn scalar_invariant_ops_hoist_into_the_prelude() {
+        // a*a depends only on a never-written scalar slot: computed once
+        // per register file instead of once per item, even though it sits
+        // in the middle of the per-item expression.
+        let k = unary_kernel(
+            "hoistsq",
+            KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)) + KExpr::var("a") * KExpr::var("a"),
+        );
+        let t = tape_of(&k);
+        assert!(
+            t.pre.iter().any(|op| matches!(op, Op::Bin { op: BinOp::Mul, .. })),
+            "a*a should be hoisted: {:?}",
+            t.pre
+        );
+        let out = run_diff(&k, 64, 3.0);
+        assert_eq!(out[11], 11.0 + 9.0);
+    }
+
+    #[test]
+    fn repeated_gid_reads_dedupe_into_the_item_prelude() {
+        // GlobalId(0) appears three times; codegen re-emits the read at
+        // each use site, the context-CSE pass leaves exactly one copy,
+        // executed once per item.
+        let k = unary_kernel(
+            "gidcse",
+            KExpr::load(MemRef::Param(0), KExpr::GlobalId(0))
+                + KExpr::Cast(
+                    ScalarKind::F32,
+                    Box::new(KExpr::GlobalId(0) * KExpr::int(2) + KExpr::GlobalId(0)),
+                ),
+        );
+        let t = tape_of(&k);
+        let in_item_pre = t.item_pre.iter().filter(|op| matches!(op, Op::Gid { .. })).count();
+        let in_tape = t.ops.iter().filter(|op| matches!(op, Op::Gid { .. })).count();
+        assert_eq!(in_item_pre, 1, "one canonical Gid: {:?}", t.item_pre);
+        assert_eq!(in_tape, 0, "all in-tape Gid reads deduped");
+        let out = run_diff(&k, 64, 0.0);
+        assert_eq!(out[9], 9.0 + (9 * 2 + 9) as f64);
+    }
+
+    #[test]
+    fn optimizer_preserves_counters_and_transactions() {
+        // The differential engine compares values, counters, and modeled
+        // transaction bytes bit-for-bit between the optimized tape and the
+        // unoptimized tree-walker — on a kernel exercising fold + hoist +
+        // context CSE together.
+        let k = unary_kernel(
+            "alltogether",
+            (KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)) + KExpr::var("a") * KExpr::var("a"))
+                * (KExpr::real(1.0) + KExpr::real(0.5))
+                + KExpr::Cast(ScalarKind::F32, Box::new(KExpr::GlobalId(0))),
+        );
+        let out = run_diff(&k, 200, 2.0);
+        assert_eq!(out[13], (13.0 + 4.0) * 1.5 + 13.0);
+    }
+
+    #[test]
+    fn validated_tapes_keep_terminators_and_bounds() {
+        let k = unary_kernel("vcheck", KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)));
+        let t = tape_of(&k);
+        assert!(validate(&t), "fresh tapes must pass validation");
+        let mut broken = t;
+        broken.ops.push(Op::Mov { dst: broken.nregs as R, src: 0 });
+        assert!(!validate(&broken), "out-of-range register must be rejected");
     }
 }

@@ -8,12 +8,13 @@
 //! profiling API.
 
 use crate::buffer::{BufData, SharedBuf};
-use crate::exec::{self, ArgBind, Engine, ExecError, ExecMode, LaunchStats, Prepared};
+use crate::exec::{self, ArgBind, Engine, ExecError, ExecMode, LaunchPlan, LaunchStats, Prepared};
 use crate::perfmodel::{modeled_time_s, ModelInput};
 use crate::profile::DeviceProfile;
 use crate::telemetry::{self, Event, KernelMetrics, TrackId, TransferDir};
 use lift::kast::Kernel;
 use lift::prelude::{ScalarKind, Value};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -84,6 +85,11 @@ pub struct Device {
     engine: Engine,
     events: Vec<KernelEvent>,
     tele: OnceLock<DevTele>,
+    /// Launch plans memoised per (kernel id, binding signature); see
+    /// [`Device::binding_sig`]. A stepping simulation re-launching the same
+    /// kernel resolves argument matching and the tape-fallback decision
+    /// once instead of per step.
+    plans: HashMap<(u64, Vec<u8>), LaunchPlan>,
 }
 
 /// Bytes occupied by a buffer's payload.
@@ -102,7 +108,22 @@ impl Device {
             engine: Engine::from_env(),
             events: Vec::new(),
             tele: OnceLock::new(),
+            plans: HashMap::new(),
         }
+    }
+
+    /// One byte per argument describing the launch signature a cached
+    /// [`LaunchPlan`] depends on: the bound buffer's *current* element kind
+    /// for buffer args (0xFF for scalars). [`Device::write`] may change a
+    /// buffer's kind, which flips the tape-fallback decision — keying on
+    /// the kinds keeps stale plans unreachable.
+    fn binding_sig(&self, args: &[Arg]) -> Vec<u8> {
+        args.iter()
+            .map(|a| match a {
+                Arg::Buf(id) => self.buffers[id.0].kind() as u8,
+                Arg::Val(_) => 0xFF,
+            })
+            .collect()
     }
 
     /// This device's telemetry tracks, allocated on first use (only called
@@ -190,6 +211,14 @@ impl Device {
         self.engine
     }
 
+    /// Number of distinct (kernel, binding-signature) launch plans cached
+    /// on this device. Steady-state step loops should plateau at one plan
+    /// per kernel; growth proportional to the step count means plans are
+    /// not being reused (see `vgpu.plan.{hits,misses}`).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.len()
+    }
+
     /// Creates a zero-filled buffer.
     pub fn create_buffer(&mut self, kind: ScalarKind, len: usize) -> BufId {
         self.buffers.push(SharedBuf::new(BufData::zeros(kind, len)));
@@ -274,9 +303,22 @@ impl Device {
                 Arg::Val(v) => ArgBind::Val(*v),
             })
             .collect();
+        let reg = telemetry::registry();
+        let key = (prep.id, self.binding_sig(args));
+        let plan = match self.plans.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                reg.counter("vgpu.plan.hits").inc();
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                reg.counter("vgpu.plan.misses").inc();
+                e.insert(exec::plan_launch(prep, &binds)?)
+            }
+        };
         let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
-        let stats = exec::launch_wg_engine(
+        let stats = exec::launch_planned(
             prep,
+            plan,
             &binds,
             global,
             local,
@@ -296,18 +338,48 @@ impl Device {
                 &self.profile,
             )
         });
-        let reg = telemetry::registry();
         match stats.backend {
             exec::Backend::Tape => reg.counter("vgpu.launches.tape").inc(),
             exec::Backend::Tree => reg.counter("vgpu.launches.tree").inc(),
         }
+        // Differential launches also ran the tree-walker as an oracle.
+        // Count that leg separately (the logical launch above is counted
+        // once) and trace it as its own span under a distinct name, so
+        // kernel summaries aggregated by name stay truthful about what
+        // each engine executed.
+        let oracle_us = stats.oracle_wall.map(|w| {
+            reg.counter("vgpu.launches.oracle").inc();
+            w.as_secs_f64() * 1e6
+        });
         if let Some(ts_us) = t0 {
             let tele = self.tele();
+            if let Some(dur_us) = oracle_us {
+                telemetry::record(Event::Kernel {
+                    track: tele.kernel_track,
+                    name: format!("{} (oracle)", prep.name),
+                    engine: "tree(oracle)".to_string(),
+                    ts_us,
+                    dur_us,
+                    metrics: KernelMetrics {
+                        work_items: stats.counters.work_items,
+                        loads_global: stats.counters.loads_global,
+                        stores_global: stats.counters.stores_global,
+                        loads_constant: stats.counters.loads_constant,
+                        bytes_loaded: stats.counters.bytes_loaded,
+                        bytes_stored: stats.counters.bytes_stored,
+                        flops: stats.counters.flops,
+                        transaction_bytes: stats.transaction_bytes,
+                        modeled_us: None,
+                    },
+                });
+            }
             telemetry::record(Event::Kernel {
                 track: tele.kernel_track,
                 name: prep.name.clone(),
                 engine: stats.backend.label().to_string(),
-                ts_us,
+                // The oracle leg ran first; the reported launch's span
+                // starts where the oracle's ended.
+                ts_us: ts_us + oracle_us.unwrap_or(0.0),
                 dur_us: stats.wall.as_secs_f64() * 1e6,
                 metrics: KernelMetrics {
                     work_items: stats.counters.work_items,
@@ -406,6 +478,38 @@ mod tests {
         assert_eq!(dev.read(x), BufData::from(vec![2.0f32, 4.0, 6.0]));
         assert_eq!(dev.events().len(), 1);
         assert!(dev.events()[0].modeled_s.is_none());
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans_and_replans_on_kind_change() {
+        let reg = telemetry::registry();
+        let h0 = reg.counter("vgpu.plan.hits").get();
+        let m0 = reg.counter("vgpu.plan.misses").get();
+        let mut dev = Device::gtx780();
+        let x = dev.upload(BufData::from(vec![1.0f32, 2.0, 3.0]));
+        let prep = dev.compile(&double_kernel(ScalarKind::F32)).unwrap();
+        let args = [Arg::Buf(x), Arg::Val(Value::I32(3))];
+        let mode = ExecMode::Model { sample_stride: 1 };
+        dev.launch(&prep, &args, &[32], mode).unwrap();
+        dev.launch(&prep, &args, &[32], mode).unwrap();
+        assert_eq!(dev.plan_cache_len(), 1, "identical launches share one plan");
+        // Counters are process-global, so only lower bounds are stable.
+        assert!(reg.counter("vgpu.plan.misses").get() - m0 >= 1);
+        assert!(reg.counter("vgpu.plan.hits").get() - h0 >= 1);
+        // The cached plan must produce exactly the stats of the uncached
+        // first launch (same kernel, same NDRange, same buffer shapes).
+        let ev = dev.events();
+        assert_eq!(ev[0].stats.counters, ev[1].stats.counters);
+        assert_eq!(ev[0].stats.transaction_bytes, ev[1].stats.transaction_bytes);
+        assert_eq!(dev.read(x), BufData::from(vec![4.0f32, 8.0, 12.0]));
+
+        // Rewriting the buffer with a different element kind changes the
+        // binding signature: the stale f32 plan must not be reused (the
+        // tape bakes kinds in; this launch needs the tree fallback).
+        dev.write(x, BufData::from(vec![1.0f64, 2.0, 3.0]));
+        dev.launch(&prep, &args, &[32], ExecMode::Fast).unwrap();
+        assert_eq!(dev.plan_cache_len(), 2, "kind change makes a new plan");
+        assert_eq!(dev.read(x).to_f64_vec(), vec![2.0, 4.0, 6.0]);
     }
 
     #[test]

@@ -189,6 +189,10 @@ pub enum PStmt {
 /// A kernel ready for execution.
 #[derive(Debug, Clone)]
 pub struct Prepared {
+    /// Process-unique id assigned by [`prepare`]; launch-plan caches key on
+    /// it (clones share the id — and the plan, which stays valid because
+    /// plans depend only on the parameter list and tape).
+    pub(crate) id: u64,
     /// Kernel name.
     pub name: String,
     /// Parameter declarations (buffer/scalar, spaces, kinds).
@@ -288,7 +292,9 @@ pub fn prepare(kernel: &Kernel) -> Result<Prepared, ExecError> {
             phases.last_mut().unwrap().push(st.clone());
         }
     }
+    static PREP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let mut prep = Prepared {
+        id: PREP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         name: kernel.name.clone(),
         params: kernel.params.clone(),
         body,
@@ -304,7 +310,14 @@ pub fn prepare(kernel: &Kernel) -> Result<Prepared, ExecError> {
         tape_err: None,
     };
     match bytecode::compile(&prep) {
-        Ok(tape) => prep.tape = Some(tape),
+        Ok(tape) => {
+            if tape.optimized_ops > 0 {
+                telemetry::registry()
+                    .counter("vgpu.tape.optimized_ops")
+                    .add(tape.optimized_ops as u64);
+            }
+            prep.tape = Some(tape);
+        }
         Err(e) => prep.tape_err = Some(e),
     }
     Ok(prep)
@@ -605,6 +618,12 @@ pub struct LaunchStats {
     pub global_work_items: u64,
     /// Which backend executed the launch.
     pub backend: Backend,
+    /// Wall-clock time of the tree-walker *oracle* leg when the launch ran
+    /// under [`Engine::Differential`] (`wall` then covers only the tape
+    /// leg). `None` for single-backend launches. Lets launch audits and
+    /// traces attribute the oracle's extra execution instead of silently
+    /// folding it into the reported launch.
+    pub oracle_wall: Option<std::time::Duration>,
 }
 
 /// One buffer binding or scalar argument.
@@ -896,6 +915,43 @@ fn warp_transaction_bytes(traces: &mut [Vec<(u32, u32, u64)>], txn: u64) -> u64 
     bytes
 }
 
+/// [`warp_transaction_bytes`] over one warp's accesses stored in a single
+/// flat trace, with `ends[i]` marking the end offset of item `i`'s
+/// accesses. Avoids one `Vec` allocation per work-item in the hot path;
+/// the per-(site, occurrence) grouping and segment math are identical.
+fn warp_transaction_bytes_flat(trace: &mut [(u32, u32, u64)], ends: &[usize], txn: u64) -> u64 {
+    let mut groups: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+    let mut occ: HashMap<u32, u32> = HashMap::new();
+    let mut start = 0usize;
+    for &end in ends {
+        occ.clear();
+        for (site, o, addr) in trace[start..end].iter_mut() {
+            let e = occ.entry(*site).or_insert(0);
+            *o = *e;
+            *e += 1;
+            groups.entry((*site, *o)).or_default().push(*addr);
+        }
+        start = end;
+    }
+    let mut bytes = 0u64;
+    let mut segs: Vec<u64> = Vec::with_capacity(WARP);
+    for (_, addrs) in groups {
+        segs.clear();
+        segs.extend(addrs.iter().map(|a| a / txn));
+        segs.sort_unstable();
+        segs.dedup();
+        bytes += segs.len() as u64 * txn;
+    }
+    bytes
+}
+
+/// Work-ids per rayon task for the chunked dispatchers: coarse enough to
+/// amortise per-task setup (register files, scratch vectors), fine enough
+/// to keep every worker busy (~4 chunks per thread).
+fn dispatch_chunk(nids: usize) -> usize {
+    nids.div_ceil(rayon::current_num_threads().max(1) * 4).max(1)
+}
+
 /// Executes a prepared kernel over the given NDRange.
 ///
 /// `bindings` must match `prep.params` in order: buffers for buffer
@@ -969,13 +1025,30 @@ fn tape_usable(prep: &Prepared, bufs: &[Option<&SharedBuf>]) -> bool {
     tape_fallback_reason(prep, bufs).is_none()
 }
 
+/// (kernel, reason) pairs already reported by [`note_tape_fallback`], so a
+/// long-running simulation that launches the same non-compilable kernel
+/// thousands of times emits exactly one stderr record and one trace event.
+static FALLBACKS_SEEN: std::sync::OnceLock<
+    std::sync::Mutex<std::collections::HashSet<(String, String)>>,
+> = std::sync::OnceLock::new();
+
 /// Audits one tape→tree fallback: bumps the `vgpu.tape.fallbacks` counter
-/// unconditionally and, when tracing is on, records an
-/// [`telemetry::Event::TapeFallback`] and prints a one-line structured
-/// record to stderr so the fallback is visible even in summary mode.
+/// unconditionally (once per launch — the audit total stays truthful), and,
+/// when tracing is on, records a [`telemetry::Event::TapeFallback`] and
+/// prints a one-line structured record to stderr — but only the *first*
+/// time each (kernel, reason) pair is seen in this process.
 fn note_tape_fallback(kernel: &str, reason: &str) {
     telemetry::registry().counter("vgpu.tape.fallbacks").inc();
-    if telemetry::enabled() {
+    if !telemetry::enabled() {
+        return;
+    }
+    let seen =
+        FALLBACKS_SEEN.get_or_init(|| std::sync::Mutex::new(std::collections::HashSet::new()));
+    let first = seen
+        .lock()
+        .expect("fallback dedupe set poisoned")
+        .insert((kernel.to_string(), reason.to_string()));
+    if first {
         let ts_us = telemetry::now_us();
         eprintln!("{{\"ev\":\"tape_fallback\",\"kernel\":{kernel:?},\"reason\":{reason:?}}}");
         telemetry::record(telemetry::Event::TapeFallback {
@@ -984,6 +1057,59 @@ fn note_tape_fallback(kernel: &str, reason: &str) {
             ts_us,
         });
     }
+}
+
+/// The launch-invariant part of argument validation, resolved once per
+/// (kernel, binding signature) by [`plan_launch`] and reusable across every
+/// subsequent launch with the same signature — a simulation stepping one
+/// kernel thousands of times pays for argument matching, scalar-slot
+/// lookup, and the tape-fallback decision exactly once.
+///
+/// A plan is only valid for bindings with the same shape (buffer vs scalar
+/// per position) *and* the same buffer element kinds it was planned
+/// against; callers that cache plans must key on both (see
+/// [`crate::Device`], which derives the key from the bound buffers).
+#[derive(Debug, Clone)]
+pub struct LaunchPlan {
+    /// For each scalar parameter: (binding index, slot, declared kind).
+    scalar_args: Vec<(usize, usize, ScalarKind)>,
+    /// Why the tape cannot run launches with this signature (`None` when it
+    /// can). Cached so per-step launches skip re-walking the params.
+    tape_fallback: Option<String>,
+}
+
+/// Validates the binding shape against the kernel's parameter list and
+/// resolves everything about a launch that does not depend on the NDRange
+/// or the scalar *values*: which bindings feed which scalar slots, and
+/// whether the bytecode tape can run this signature.
+pub fn plan_launch(prep: &Prepared, bindings: &[ArgBind<'_>]) -> Result<LaunchPlan, ExecError> {
+    if bindings.len() != prep.params.len() {
+        return err(format!(
+            "kernel `{}` expects {} arguments, got {}",
+            prep.name,
+            prep.params.len(),
+            bindings.len()
+        ));
+    }
+    let mut scalar_args = Vec::new();
+    let mut bufs: Vec<Option<&SharedBuf>> = Vec::with_capacity(bindings.len());
+    for (i, (b, p)) in bindings.iter().zip(&prep.params).enumerate() {
+        match (b, p.is_buffer) {
+            (ArgBind::Buf(buf), true) => bufs.push(Some(buf)),
+            (ArgBind::Val(_), false) => {
+                bufs.push(None);
+                let slot = prep.scalar_slots[i].expect("scalar param has a slot");
+                scalar_args.push((i, slot, p.kind));
+            }
+            _ => {
+                return err(format!(
+                    "argument {i} of kernel `{}` does not match parameter `{}`",
+                    prep.name, p.name
+                ))
+            }
+        }
+    }
+    Ok(LaunchPlan { scalar_args, tape_fallback: tape_fallback_reason(prep, &bufs) })
 }
 
 /// [`launch_wg`] with an explicit backend selection.
@@ -998,28 +1124,48 @@ pub fn launch_wg_engine(
     transaction_size: u64,
     engine: Engine,
 ) -> Result<LaunchStats, ExecError> {
-    if bindings.len() != prep.params.len() {
-        return err(format!(
-            "kernel `{}` expects {} arguments, got {}",
-            prep.name,
-            prep.params.len(),
-            bindings.len()
-        ));
-    }
+    let plan = plan_launch(prep, bindings)?;
+    launch_planned(prep, &plan, bindings, global, local, mode, race_check, transaction_size, engine)
+}
+
+/// Launches with a previously resolved [`LaunchPlan`]. Performs only the
+/// per-launch work: scalar-value casts, NDRange/workgroup validation, and
+/// backend dispatch. The bindings must have the shape and buffer kinds the
+/// plan was made for (checked in debug builds).
+#[allow(clippy::too_many_arguments)]
+pub fn launch_planned(
+    prep: &Prepared,
+    plan: &LaunchPlan,
+    bindings: &[ArgBind<'_>],
+    global: &[usize],
+    local: Option<usize>,
+    mode: ExecMode,
+    race_check: bool,
+    transaction_size: u64,
+    engine: Engine,
+) -> Result<LaunchStats, ExecError> {
+    debug_assert_eq!(bindings.len(), prep.params.len(), "plan/binding shape mismatch");
     let mut bufs: Vec<Option<&SharedBuf>> = Vec::with_capacity(bindings.len());
-    let mut init_slots: Vec<(usize, Value)> = Vec::new();
-    for (i, (b, p)) in bindings.iter().zip(&prep.params).enumerate() {
-        match (b, p.is_buffer) {
-            (ArgBind::Buf(buf), true) => bufs.push(Some(buf)),
-            (ArgBind::Val(v), false) => {
-                bufs.push(None);
-                let slot = prep.scalar_slots[i].expect("scalar param has a slot");
-                init_slots.push((slot, v.cast(p.kind)));
-            }
-            _ => {
+    for b in bindings {
+        bufs.push(match b {
+            ArgBind::Buf(buf) => Some(buf),
+            ArgBind::Val(_) => None,
+        });
+    }
+    debug_assert_eq!(
+        plan.tape_fallback,
+        tape_fallback_reason(prep, &bufs),
+        "launch plan is stale for kernel `{}` (buffer kinds changed?)",
+        prep.name
+    );
+    let mut init_slots: Vec<(usize, Value)> = Vec::with_capacity(plan.scalar_args.len());
+    for &(i, slot, kind) in &plan.scalar_args {
+        match &bindings[i] {
+            ArgBind::Val(v) => init_slots.push((slot, v.cast(kind))),
+            ArgBind::Buf(_) => {
                 return err(format!(
-                    "argument {i} of kernel `{}` does not match parameter `{}`",
-                    prep.name, p.name
+                    "argument {i} of kernel `{}` is a buffer but the launch plan expects a scalar",
+                    prep.name
                 ))
             }
         }
@@ -1035,17 +1181,24 @@ pub fn launch_wg_engine(
             Some(l) if l > 0 => l,
             _ => {
                 return err(format!(
-                    "kernel `{}` uses workgroup features; launch it with an explicit local size",
+                    "kernel `{}` uses workgroup features; launch it with an explicit local size \
+                     (global {global:?}, local {local:?})",
                     prep.name
                 ))
             }
         };
         if prep.work_dim != 1 || gsize[1] != 1 || gsize[2] != 1 {
-            return err("workgroup kernels are supported for 1-D NDRanges only");
+            return err(format!(
+                "kernel `{}`: workgroup kernels are supported for 1-D NDRanges only \
+                 (global {global:?}, local size {lsize})",
+                prep.name
+            ));
         }
         if !total.is_multiple_of(lsize as u64) {
             return err(format!(
-                "global size {total} is not a multiple of the workgroup size {lsize}"
+                "kernel `{}`: global size {total} is not a multiple of the workgroup size \
+                 {lsize} (global {global:?})",
+                prep.name
             ));
         }
         Some(lsize)
@@ -1067,9 +1220,8 @@ pub fn launch_wg_engine(
             false,
         ),
         Engine::Tape => {
-            let fallback = tape_fallback_reason(prep, &bufs);
-            let use_tape = fallback.is_none();
-            if let Some(reason) = &fallback {
+            let use_tape = plan.tape_fallback.is_none();
+            if let Some(reason) = &plan.tape_fallback {
                 note_tape_fallback(&prep.name, reason);
             }
             run_launch(
@@ -1211,7 +1363,7 @@ fn run_differential(
             b.restore(s);
         }
     }
-    let tape = run_launch(
+    let mut tape = run_launch(
         prep,
         bufs,
         init_slots,
@@ -1223,6 +1375,7 @@ fn run_differential(
         transaction_size,
         true,
     )?;
+    tape.oracle_wall = Some(tree.wall);
     for (i, (b, expect)) in bufs.iter().zip(&tree_out).enumerate() {
         if let (Some(b), Some(e)) = (b, expect) {
             if !bits_eq(b.data(), e) {
@@ -1305,6 +1458,8 @@ fn finish(
         global_work_items: total,
         // Overwritten by `run_launch`, which knows which backend ran.
         backend: Backend::Tree,
+        // Set by `run_differential` when an oracle leg also ran.
+        oracle_wall: None,
     })
 }
 
@@ -1365,11 +1520,15 @@ fn run_flat_tree(
     let exec = Exec { prep, bufs, gsize };
     let warps_total = total.div_ceil(WARP as u64);
     let warp_ids: Vec<u64> = (0..warps_total).step_by(stride).collect();
+    let chunk = dispatch_chunk(warp_ids.len());
 
     let start = std::time::Instant::now();
     let results: Vec<(Counters, u64, Vec<WriteRec>)> = warp_ids
-        .par_iter()
-        .map(|&w| {
+        .par_chunks(chunk)
+        .map(|ws| {
+            // One rayon task per chunk of warps; the scratch state below is
+            // allocated once and reset per warp, reproducing the state a
+            // per-warp task would have started from.
             let mut st = ItemState {
                 slots: vec![Value::I32(0); prep.nslots],
                 privs: vec![Vec::new(); prep.npriv],
@@ -1380,32 +1539,37 @@ fn run_flat_tree(
                 race_on: race_check,
                 item: 0,
             };
-            for (slot, v) in init_slots {
-                st.slots[*slot] = *v;
-            }
-            let begin = w * WARP as u64;
-            let end = (begin + WARP as u64).min(total);
-            let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
+            let mut no_locals: Vec<Vec<Value>> = Vec::new();
+            let mut ends: Vec<usize> = Vec::new();
             let mut writes: Vec<WriteRec> = Vec::new();
-            for item in begin..end {
-                for (slot, v) in init_slots {
-                    st.slots[*slot] = *v;
+            let mut tbytes = 0u64;
+            for &w in ws {
+                for s in st.slots.iter_mut() {
+                    *s = Value::I32(0);
                 }
-                st.trace.clear();
-                let mut no_locals: Vec<Vec<Value>> = Vec::new();
-                exec.run_item(item, &mut st, &mut no_locals);
+                for p in st.privs.iter_mut() {
+                    p.clear();
+                }
+                let begin = w * WARP as u64;
+                let end = (begin + WARP as u64).min(total);
+                for item in begin..end {
+                    for (slot, v) in init_slots {
+                        st.slots[*slot] = *v;
+                    }
+                    exec.run_item(item, &mut st, &mut no_locals);
+                    if trace_on {
+                        ends.push(st.trace.len());
+                    }
+                    if race_check {
+                        writes.append(&mut st.writes);
+                    }
+                }
                 if trace_on {
-                    warp_traces.push(std::mem::take(&mut st.trace));
-                }
-                if race_check {
-                    writes.append(&mut st.writes);
+                    tbytes += warp_transaction_bytes_flat(&mut st.trace, &ends, transaction_size);
+                    st.trace.clear();
+                    ends.clear();
                 }
             }
-            let tbytes = if trace_on {
-                warp_transaction_bytes(&mut warp_traces, transaction_size)
-            } else {
-                0
-            };
             (st.counters, tbytes, writes)
         })
         .collect();
@@ -1434,56 +1598,73 @@ fn run_flat_tape(
         init_slots.iter().map(|(s, v)| (*s, bytecode::bits_of_value(*v))).collect();
     let warps_total = total.div_ceil(WARP as u64);
     let warp_ids: Vec<u64> = (0..warps_total).step_by(stride).collect();
+    let chunk = dispatch_chunk(warp_ids.len());
     let gx = gsize[0] as u64;
     let gy = gsize[1] as u64;
 
     let start = std::time::Instant::now();
     let results: Vec<(Counters, u64, Vec<WriteRec>)> = warp_ids
-        .par_iter()
-        .map(|&w| {
+        .par_chunks(chunk)
+        .map(|ws| {
+            // One rayon task per chunk of warps: the register file, private
+            // arrays, and trace storage are allocated once and reset per
+            // warp instead of reallocated per warp.
             let mut regs = vec![0u64; tape.nregs];
             let mut privs: Vec<Vec<u64>> = vec![Vec::new(); prep.npriv];
             let mut no_locals: Vec<Vec<u64>> = Vec::new();
             let mut counters = Counters::default();
             let mut trace: Vec<(u32, u32, u64)> = Vec::new();
+            let mut ends: Vec<usize> = Vec::new();
             let mut writes: Vec<WriteRec> = Vec::new();
-            let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
-            let begin = w * WARP as u64;
-            let end = (begin + WARP as u64).min(total);
-            for item in begin..end {
+            let mut tbytes = 0u64;
+            for &w in ws {
+                regs.fill(0);
                 for (slot, b) in &init_bits {
                     regs[*slot] = *b;
                 }
-                let gid = [
-                    (item % gx) as usize,
-                    ((item / gx) % gy) as usize,
-                    (item / (gx * gy)) as usize,
-                ];
-                counters.work_items += 1;
-                let mut t = TapeCtx {
-                    bufs,
-                    gsize,
-                    counters: &mut counters,
-                    trace: &mut trace,
-                    trace_on,
-                    writes: &mut writes,
-                    race_on: race_check,
-                    item,
-                    gid,
-                    lid: 0,
-                    group: (item / WARP as u64) as usize,
-                    lsize: 1,
-                };
-                bytecode::exec_phase(tape, 0, &mut regs, &mut privs, &mut no_locals, &mut t);
+                bytecode::exec_pre(tape, &mut regs, gsize);
+                for p in privs.iter_mut() {
+                    p.clear();
+                }
+                let begin = w * WARP as u64;
+                let end = (begin + WARP as u64).min(total);
+                for item in begin..end {
+                    for (slot, b) in &init_bits {
+                        regs[*slot] = *b;
+                    }
+                    let gid = [
+                        (item % gx) as usize,
+                        ((item / gx) % gy) as usize,
+                        (item / (gx * gy)) as usize,
+                    ];
+                    counters.work_items += 1;
+                    let group = (item / WARP as u64) as usize;
+                    bytecode::exec_item_pre(tape, &mut regs, gid, 0, 1, group);
+                    let mut t = TapeCtx {
+                        bufs,
+                        gsize,
+                        counters: &mut counters,
+                        trace: &mut trace,
+                        trace_on,
+                        writes: &mut writes,
+                        race_on: race_check,
+                        item,
+                        gid,
+                        lid: 0,
+                        group,
+                        lsize: 1,
+                    };
+                    bytecode::exec_phase(tape, 0, &mut regs, &mut privs, &mut no_locals, &mut t);
+                    if trace_on {
+                        ends.push(trace.len());
+                    }
+                }
                 if trace_on {
-                    warp_traces.push(std::mem::take(&mut trace));
+                    tbytes += warp_transaction_bytes_flat(&mut trace, &ends, transaction_size);
+                    trace.clear();
+                    ends.clear();
                 }
             }
-            let tbytes = if trace_on {
-                warp_transaction_bytes(&mut warp_traces, transaction_size)
-            } else {
-                0
-            };
             (counters, tbytes, writes)
         })
         .collect();
@@ -1512,70 +1693,86 @@ fn run_grouped_tape(
     let gsize = [total as usize, 1, 1];
     let groups_total = (total / lsize as u64) as usize;
     let group_ids: Vec<usize> = (0..groups_total).step_by(stride).collect();
+    let chunk = dispatch_chunk(group_ids.len());
     let start = std::time::Instant::now();
     let results: Vec<(Counters, u64, Vec<WriteRec>)> = group_ids
-        .par_iter()
-        .map(|&g| {
+        .par_chunks(chunk)
+        .map(|gs| {
+            // One rayon task per chunk of groups; per-item register files,
+            // private arrays, and traces are allocated once and reset to
+            // fresh-group state for each group in the chunk.
             let mut locals: Vec<Vec<u64>> = vec![Vec::new(); prep.local_kinds.len()];
-            let mut regss: Vec<Vec<u64>> = (0..lsize)
-                .map(|_| {
-                    let mut r = vec![0u64; tape.nregs];
-                    for (slot, b) in &init_bits {
-                        r[*slot] = *b;
-                    }
-                    r
-                })
-                .collect();
+            let mut regss: Vec<Vec<u64>> = vec![vec![0u64; tape.nregs]; lsize];
             let mut privss: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); prep.npriv]; lsize];
             let mut counterss: Vec<Counters> = vec![Counters::default(); lsize];
             let mut tracess: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); lsize];
-            let mut writes: Vec<WriteRec> = Vec::new();
             let mut active = vec![true; lsize];
-            for phase in 0..tape.phases() {
-                for lid in 0..lsize {
-                    if !active[lid] {
-                        continue;
-                    }
-                    let linear = (g * lsize + lid) as u64;
-                    counterss[lid].work_items += 1;
-                    let mut t = TapeCtx {
-                        bufs,
-                        gsize,
-                        counters: &mut counterss[lid],
-                        trace: &mut tracess[lid],
-                        trace_on,
-                        writes: &mut writes,
-                        race_on: race_check,
-                        item: linear,
-                        gid: [linear as usize, 0, 0],
-                        lid,
-                        group: g,
-                        lsize,
-                    };
-                    if bytecode::exec_phase(
-                        tape,
-                        phase,
-                        &mut regss[lid],
-                        &mut privss[lid],
-                        &mut locals,
-                        &mut t,
-                    ) {
-                        active[lid] = false;
-                    }
-                }
-            }
             let mut counters = Counters::default();
             let mut tbytes = 0u64;
-            let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
-            for lid in 0..lsize {
-                // work_items was incremented once per phase; normalise
-                counterss[lid].work_items = 1;
-                counters.add(&counterss[lid]);
+            let mut writes: Vec<WriteRec> = Vec::new();
+            for &g in gs {
+                for l in locals.iter_mut() {
+                    // Emptied so the group's first DeclLocal re-zeros it.
+                    l.clear();
+                }
+                for lid in 0..lsize {
+                    regss[lid].fill(0);
+                    for (slot, b) in &init_bits {
+                        regss[lid][*slot] = *b;
+                    }
+                    bytecode::exec_pre(tape, &mut regss[lid], gsize);
+                    let linear = g * lsize + lid;
+                    bytecode::exec_item_pre(tape, &mut regss[lid], [linear, 0, 0], lid, lsize, g);
+                    for p in privss[lid].iter_mut() {
+                        p.clear();
+                    }
+                    counterss[lid] = Counters::default();
+                    tracess[lid].clear();
+                    active[lid] = true;
+                }
+                for phase in 0..tape.phases() {
+                    for lid in 0..lsize {
+                        if !active[lid] {
+                            continue;
+                        }
+                        let linear = (g * lsize + lid) as u64;
+                        counterss[lid].work_items += 1;
+                        let mut t = TapeCtx {
+                            bufs,
+                            gsize,
+                            counters: &mut counterss[lid],
+                            trace: &mut tracess[lid],
+                            trace_on,
+                            writes: &mut writes,
+                            race_on: race_check,
+                            item: linear,
+                            gid: [linear as usize, 0, 0],
+                            lid,
+                            group: g,
+                            lsize,
+                        };
+                        if bytecode::exec_phase(
+                            tape,
+                            phase,
+                            &mut regss[lid],
+                            &mut privss[lid],
+                            &mut locals,
+                            &mut t,
+                        ) {
+                            active[lid] = false;
+                        }
+                    }
+                }
+                for cs in counterss.iter_mut().take(lsize) {
+                    // work_items was incremented once per phase; normalise
+                    cs.work_items = 1;
+                    counters.add(cs);
+                }
                 if trace_on {
-                    warp_traces.push(std::mem::take(&mut tracess[lid]));
-                    if warp_traces.len() == WARP || lid == lsize - 1 {
-                        tbytes += warp_transaction_bytes(&mut warp_traces, transaction_size);
-                        warp_traces.clear();
+                    // Same warp-granular partition as the per-group code:
+                    // consecutive runs of WARP work-items, last one partial.
+                    for warp in tracess.chunks_mut(WARP) {
+                        tbytes += warp_transaction_bytes(warp, transaction_size);
                     }
                 }
             }
@@ -1605,59 +1802,84 @@ fn run_grouped(
 ) -> Result<LaunchStats, ExecError> {
     let groups_total = (total / lsize as u64) as usize;
     let group_ids: Vec<usize> = (0..groups_total).step_by(stride).collect();
+    let chunk = dispatch_chunk(group_ids.len());
     let start = std::time::Instant::now();
     let results: Vec<(Counters, u64, Vec<WriteRec>)> = group_ids
-        .par_iter()
-        .map(|&g| {
+        .par_chunks(chunk)
+        .map(|gs| {
+            // One rayon task per chunk of groups with per-item states
+            // allocated once and reset to fresh-group values per group.
             let mut locals: Vec<Vec<Value>> = vec![Vec::new(); prep.local_kinds.len()];
             let mut states: Vec<ItemState> = (0..lsize)
-                .map(|lid| {
-                    let mut st = ItemState {
-                        slots: vec![Value::I32(0); prep.nslots],
-                        privs: vec![Vec::new(); prep.npriv],
-                        counters: Counters::default(),
-                        trace: Vec::new(),
-                        writes: Vec::new(),
-                        trace_on,
-                        race_on: race_check,
-                        item: (g * lsize + lid) as u64,
-                    };
-                    for (slot, v) in init_slots {
-                        st.slots[*slot] = *v;
-                    }
-                    st
+                .map(|_| ItemState {
+                    slots: vec![Value::I32(0); prep.nslots],
+                    privs: vec![Vec::new(); prep.npriv],
+                    counters: Counters::default(),
+                    trace: Vec::new(),
+                    writes: Vec::new(),
+                    trace_on,
+                    race_on: race_check,
+                    item: 0,
                 })
                 .collect();
             let mut active = vec![true; lsize];
-            for phase in &prep.phases {
-                for lid in 0..lsize {
-                    if !active[lid] {
-                        continue;
-                    }
-                    let linear = (g * lsize + lid) as u64;
-                    let ic = ItemCtx { gid: [linear as usize, 0, 0], lid, group: g, lsize };
-                    states[lid].counters.work_items += 1;
-                    if let Flow::Return = exec.exec_block(phase, &mut states[lid], &mut locals, ic)
-                    {
-                        active[lid] = false;
-                    }
-                }
-            }
-            // aggregate group results; warp-granular transaction counting
             let mut counters = Counters::default();
             let mut writes = Vec::new();
             let mut tbytes = 0u64;
-            let mut warp_traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
-            for (lid, st) in states.iter_mut().enumerate() {
-                // work_items was incremented once per phase; normalise
-                st.counters.work_items = 1;
-                counters.add(&st.counters);
-                writes.append(&mut st.writes);
+            for &g in gs {
+                for l in locals.iter_mut() {
+                    // Emptied so the group's first DeclLocal re-allocates.
+                    l.clear();
+                }
+                for (lid, st) in states.iter_mut().enumerate() {
+                    for s in st.slots.iter_mut() {
+                        *s = Value::I32(0);
+                    }
+                    for (slot, v) in init_slots {
+                        st.slots[*slot] = *v;
+                    }
+                    for p in st.privs.iter_mut() {
+                        p.clear();
+                    }
+                    st.counters = Counters::default();
+                    st.trace.clear();
+                    st.item = (g * lsize + lid) as u64;
+                    active[lid] = true;
+                }
+                for phase in &prep.phases {
+                    for lid in 0..lsize {
+                        if !active[lid] {
+                            continue;
+                        }
+                        let linear = (g * lsize + lid) as u64;
+                        let ic = ItemCtx { gid: [linear as usize, 0, 0], lid, group: g, lsize };
+                        states[lid].counters.work_items += 1;
+                        if let Flow::Return =
+                            exec.exec_block(phase, &mut states[lid], &mut locals, ic)
+                        {
+                            active[lid] = false;
+                        }
+                    }
+                }
+                // aggregate group results; warp-granular transaction counting
+                for st in states.iter_mut() {
+                    // work_items was incremented once per phase; normalise
+                    st.counters.work_items = 1;
+                    counters.add(&st.counters);
+                    writes.append(&mut st.writes);
+                }
                 if trace_on {
-                    warp_traces.push(std::mem::take(&mut st.trace));
-                    if warp_traces.len() == WARP || lid == lsize - 1 {
-                        tbytes += warp_transaction_bytes(&mut warp_traces, transaction_size);
-                        warp_traces.clear();
+                    // Same warp-granular partition as the per-group code:
+                    // consecutive runs of WARP work-items, last one partial.
+                    let mut traces: Vec<Vec<(u32, u32, u64)>> = Vec::new();
+                    for st in states.iter_mut() {
+                        traces.push(std::mem::take(&mut st.trace));
+                    }
+                    for warp in traces.chunks_mut(WARP) {
+                        tbytes += warp_transaction_bytes(warp, transaction_size);
+                    }
+                    for (st, t) in states.iter_mut().zip(traces) {
+                        st.trace = t;
                     }
                 }
             }
@@ -2085,5 +2307,143 @@ mod tests {
         launch(&prep, &[ArgBind::Buf(&out)], &[4, 4, 4], ExecMode::Fast, true, 128).unwrap();
         let o = out.data().to_f64_vec();
         assert_eq!(o[1 + 2 * 4 + 3 * 16], 1.0 + 20.0 + 300.0);
+    }
+
+    /// Two barrier-separated phases so the launch takes the grouped path:
+    /// phase 1 stores the local id, phase 2 re-reads it and adds one.
+    fn two_phase_lid_kernel() -> Kernel {
+        Kernel {
+            name: "lid2p".into(),
+            params: vec![KernelParam::global_buf("out", ScalarKind::I32)],
+            body: vec![
+                KStmt::Store {
+                    mem: MemRef::Param(0),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::LocalId(0),
+                },
+                KStmt::Barrier,
+                KStmt::Store {
+                    mem: MemRef::Param(0),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)) + KExpr::int(1),
+                },
+            ],
+            work_dim: 1,
+        }
+    }
+
+    #[test]
+    fn grouped_sampled_launches_scale_counters() {
+        // 8 groups of 32; stride 2 executes groups {0, 2, 4, 6} and must
+        // scale counters and transaction bytes back to full-launch totals
+        // (all groups do identical work here), on both engines.
+        let prep = prepare(&two_phase_lid_kernel()).unwrap();
+        let run = |stride: usize, engine: Engine| {
+            let out = SharedBuf::new(BufData::from(vec![0i32; 256]));
+            launch_wg_engine(
+                &prep,
+                &[ArgBind::Buf(&out)],
+                &[256],
+                Some(32),
+                ExecMode::Model { sample_stride: stride },
+                false,
+                128,
+                engine,
+            )
+            .unwrap()
+        };
+        let full_tree = run(1, Engine::Tree);
+        for engine in [Engine::Tree, Engine::Tape] {
+            let full = run(1, engine);
+            let sampled = run(2, engine);
+            assert_eq!(full.counters, sampled.counters, "{engine:?}");
+            assert_eq!(full.transaction_bytes, sampled.transaction_bytes, "{engine:?}");
+            assert_eq!(full.counters, full_tree.counters, "{engine:?} vs tree");
+            // Every item stores twice and loads once.
+            assert_eq!(full.counters.stores_global, 2 * 256, "{engine:?}");
+            assert_eq!(full.counters.loads_global, 256, "{engine:?}");
+        }
+        // Grouped sampling on the differential engine cross-checks both.
+        run(2, Engine::Differential);
+    }
+
+    #[test]
+    fn planned_launch_matches_unplanned_launch() {
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        let mode = ExecMode::Model { sample_stride: 1 };
+        let (unplanned, expected) = saxpy_launch_engine(100, 128, mode, Engine::Tape);
+
+        let x = SharedBuf::new(BufData::from((0..100).map(|i| i as f32).collect::<Vec<_>>()));
+        let y = SharedBuf::new(BufData::from(vec![1.0f32; 100]));
+        let binds = [
+            ArgBind::Buf(&x),
+            ArgBind::Buf(&y),
+            ArgBind::Val(Value::F32(2.0)),
+            ArgBind::Val(Value::I32(100)),
+        ];
+        let plan = plan_launch(&prep, &binds).unwrap();
+        assert!(plan.tape_fallback.is_none(), "f32 buffers are tape-compatible");
+        let planned =
+            launch_planned(&prep, &plan, &binds, &[128], None, mode, true, 128, Engine::Tape)
+                .unwrap();
+        assert_eq!(planned.counters, unplanned.counters);
+        assert_eq!(planned.transaction_bytes, unplanned.transaction_bytes);
+        assert_eq!(y.data().to_f64_vec(), expected);
+    }
+
+    #[test]
+    fn plan_caches_the_tape_fallback_decision() {
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        // f64 buffers on f32 params: legal for the tree-walker only.
+        let x = SharedBuf::new(BufData::from(vec![3.0f64; 8]));
+        let y = SharedBuf::new(BufData::from(vec![1.0f64; 8]));
+        let binds = [
+            ArgBind::Buf(&x),
+            ArgBind::Buf(&y),
+            ArgBind::Val(Value::F32(2.0)),
+            ArgBind::Val(Value::I32(8)),
+        ];
+        let plan = plan_launch(&prep, &binds).unwrap();
+        assert!(plan.tape_fallback.is_some(), "kind mismatch must be resolved at plan time");
+        let mode = ExecMode::Fast;
+        launch_planned(&prep, &plan, &binds, &[8], None, mode, true, 128, Engine::Tape).unwrap();
+        assert_eq!(y.data().to_f64_vec(), vec![7.0; 8]);
+    }
+
+    #[test]
+    fn launch_validation_errors_name_kernel_and_sizes() {
+        let prep = prepare(&two_phase_lid_kernel()).unwrap();
+        let out = SharedBuf::new(BufData::from(vec![0i32; 64]));
+        // Workgroup kernel launched without a local size.
+        let msg = launch_wg_engine(
+            &prep,
+            &[ArgBind::Buf(&out)],
+            &[64],
+            None,
+            ExecMode::Fast,
+            false,
+            128,
+            Engine::Tape,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(msg.contains("lid2p"), "{msg}");
+        assert!(msg.contains("[64]"), "{msg}");
+        // Local size that does not divide the global size.
+        let msg = launch_wg_engine(
+            &prep,
+            &[ArgBind::Buf(&out)],
+            &[64],
+            Some(24),
+            ExecMode::Fast,
+            false,
+            128,
+            Engine::Tape,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(msg.contains("lid2p"), "{msg}");
+        assert!(msg.contains("64"), "{msg}");
+        assert!(msg.contains("24"), "{msg}");
     }
 }

@@ -62,7 +62,7 @@ pub mod telemetry;
 
 pub use buffer::BufData;
 pub use device::{Arg, BufId, Device, KernelEvent};
-pub use exec::{Backend, Counters, Engine, ExecError, ExecMode, LaunchStats, Prepared};
+pub use exec::{Backend, Counters, Engine, ExecError, ExecMode, LaunchPlan, LaunchStats, Prepared};
 pub use host_exec::{run_host_program, HostEnv, HostRun, TransferTotals};
 pub use perfmodel::{modeled_time_s, updates_per_second, ModelInput};
 pub use profile::DeviceProfile;

@@ -231,8 +231,10 @@ pub struct KernelSummary {
 /// Aggregates [`Event::Kernel`] (and fallback) events per kernel name,
 /// sorted by name for determinism.
 pub fn kernel_summaries(events: &[Event]) -> Vec<KernelSummary> {
-    let mut map: BTreeMap<&str, KernelSummary> = BTreeMap::new();
-    let entry = |map: &mut BTreeMap<&str, KernelSummary>, name| {
+    fn entry<'e, 'm>(
+        map: &'m mut BTreeMap<&'e str, KernelSummary>,
+        name: &'e str,
+    ) -> &'m mut KernelSummary {
         map.entry(name).or_insert_with(|| KernelSummary {
             name: String::new(),
             launches: 0,
@@ -244,7 +246,8 @@ pub fn kernel_summaries(events: &[Event]) -> Vec<KernelSummary> {
             modeled_ms: 0.0,
             tape_fallbacks: 0,
         })
-    };
+    }
+    let mut map: BTreeMap<&str, KernelSummary> = BTreeMap::new();
     for ev in events {
         match ev {
             Event::Kernel { name, metrics, .. } => {

@@ -1,0 +1,65 @@
+//! Tape-fallback audit records are deduplicated per (kernel, reason).
+//!
+//! Runs in its own test binary (hence its own process) because the dedupe
+//! set is process-global: in-crate unit tests that also trigger fallbacks
+//! would race with this one.
+
+use lift::kast::{KExpr, KStmt, Kernel, KernelParam, MemRef};
+use lift::prelude::{ScalarKind, Value};
+use vgpu::telemetry::{self, Event, TraceMode};
+use vgpu::{Arg, BufData, Device, Engine, ExecMode};
+
+/// out[gid] = x[gid] * a — compiled for f32 buffers.
+fn saxpy_ish() -> Kernel {
+    Kernel {
+        name: "dedupe_fb".into(),
+        params: vec![
+            KernelParam::global_buf("x", ScalarKind::F32),
+            KernelParam::global_buf("out", ScalarKind::F32),
+            KernelParam::scalar("a", ScalarKind::F32),
+        ],
+        body: vec![KStmt::Store {
+            mem: MemRef::Param(1),
+            idx: KExpr::GlobalId(0),
+            value: KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)) * KExpr::var("a"),
+        }],
+        work_dim: 1,
+    }
+}
+
+#[test]
+fn repeated_fallback_launches_emit_one_record_but_count_every_launch() {
+    telemetry::set_mode(TraceMode::Chrome);
+    let fallbacks0 = telemetry::registry().counter("vgpu.tape.fallbacks").get();
+    let _ = telemetry::take_events();
+
+    let mut dev = Device::gtx780();
+    dev.set_engine(Engine::Tape);
+    let prep = dev.compile(&saxpy_ish()).unwrap();
+    // f64 buffers against a tape specialized for f32 → per-launch fallback
+    // to the tree-walker, with the same (kernel, reason) pair every time.
+    let x = dev.upload(BufData::from(vec![1.0f64, 2.0, 3.0, 4.0]));
+    let out = dev.upload(BufData::from(vec![0.0f64; 4]));
+    for _ in 0..3 {
+        dev.launch(
+            &prep,
+            &[Arg::Buf(x), Arg::Buf(out), Arg::Val(Value::F32(2.0))],
+            &[4],
+            ExecMode::Fast,
+        )
+        .unwrap();
+    }
+    assert_eq!(dev.read(out).to_f64_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+
+    // The audit counter stays truthful: one bump per fallen-back launch.
+    let fallbacks = telemetry::registry().counter("vgpu.tape.fallbacks").get() - fallbacks0;
+    assert_eq!(fallbacks, 3, "counter must record every launch");
+
+    // But the trace stream reports the pair exactly once.
+    let events: Vec<_> = telemetry::take_events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::TapeFallback { kernel, .. } if kernel == "dedupe_fb"))
+        .collect();
+    assert_eq!(events.len(), 1, "one TapeFallback event per (kernel, reason): {events:?}");
+    telemetry::set_mode(TraceMode::Off);
+}
