@@ -2,11 +2,12 @@
 //!
 //! The paper's claim lives in the leap-frog step loop (§VI): thousands of
 //! launches of the same two kernels against the same buffers. This bench
-//! pins the wall-clock cost of that loop on the tape engine for the FI cube
-//! workload — the launch-plan cache, chunked warp dispatch, and tape
-//! peephole optimizer all land here. `step_loop/fast` is the headline
-//! number recorded in EXPERIMENTS.md; `step_loop/model` additionally runs
-//! the warp transaction model, and `boundary_small` stresses pure dispatch
+//! pins the wall-clock cost of that loop on both tape engines (scalar and
+//! warp-vectorized) for the FI cube workload — the launch-plan cache,
+//! chunked warp dispatch, tape peephole optimizer, and SIMT lane
+//! vectorization all land here. `step_loop/fast/*` is the headline number
+//! recorded in EXPERIMENTS.md; `step_loop/model/*` additionally runs the
+//! warp transaction model, and `boundary_small/*` stresses pure dispatch
 //! overhead with a tiny NDRange where per-launch setup dominates.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -26,7 +27,7 @@ struct FiRun {
     global: [usize; 3],
 }
 
-fn fi_run(n: usize) -> FiRun {
+fn fi_run(n: usize, engine: Engine) -> FiRun {
     let dims = GridDims::cube(n);
     let setup = SimSetup::new(&SimConfig {
         dims,
@@ -35,7 +36,7 @@ fn fi_run(n: usize) -> FiRun {
         boundary: BoundaryModel::Fi { beta: 0.1 },
     });
     let mut dev = Device::gtx780();
-    dev.set_engine(Engine::Tape);
+    dev.set_engine(engine);
     let prep = dev.compile(&handwritten::fi_single_kernel().resolve_real(ScalarKind::F32)).unwrap();
     let total = dims.total();
     let bufs = [
@@ -75,17 +76,23 @@ fn bench_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_overhead");
     group.sample_size(20);
 
-    let mut run = fi_run(32);
-    group.bench_function("step_loop/fast", |b| b.iter(|| run.steps(STEPS, ExecMode::Fast)));
+    for (label, engine) in [("tape", Engine::Tape), ("vector", Engine::Vector)] {
+        let mut run = fi_run(32, engine);
+        group.bench_function(format!("step_loop/fast/{label}"), |b| {
+            b.iter(|| run.steps(STEPS, ExecMode::Fast))
+        });
 
-    let mut run = fi_run(32);
-    group.bench_function("step_loop/model", |b| {
-        b.iter(|| run.steps(STEPS, ExecMode::Model { sample_stride: 1 }))
-    });
+        let mut run = fi_run(32, engine);
+        group.bench_function(format!("step_loop/model/{label}"), |b| {
+            b.iter(|| run.steps(STEPS, ExecMode::Model { sample_stride: 1 }))
+        });
 
-    // Tiny NDRange: per-launch overhead dominates execution.
-    let mut run = fi_run(8);
-    group.bench_function("boundary_small", |b| b.iter(|| run.steps(STEPS, ExecMode::Fast)));
+        // Tiny NDRange: per-launch overhead dominates execution.
+        let mut run = fi_run(8, engine);
+        group.bench_function(format!("boundary_small/{label}"), |b| {
+            b.iter(|| run.steps(STEPS, ExecMode::Fast))
+        });
+    }
 
     group.finish();
 }

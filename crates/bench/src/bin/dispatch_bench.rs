@@ -1,10 +1,11 @@
-//! Wall-clock step-loop timing for the FI cube workload on the tape engine.
+//! Wall-clock step-loop timing for the FI cube workload on the tape engines.
 //!
 //! Criterion benches don't time under the offline stub harness, so this bin
 //! is the measurement behind the dispatch-overhead numbers in
 //! EXPERIMENTS.md: it runs the same leap-frog launch loop the sims run and
-//! prints ms/step for fast and modeled execution, plus the launch-plan
-//! cache hit counters, as one JSON record.
+//! prints ms/step for fast and modeled execution on both the scalar tape
+//! and the warp-vectorized engine, plus the launch-plan cache hit counters
+//! and the divergent-warp audit, as one JSON record.
 //!
 //! Usage: `dispatch_bench [cube-edge] [steps]` (defaults 32, 60).
 
@@ -23,7 +24,7 @@ struct FiRun {
     global: [usize; 3],
 }
 
-fn fi_run(n: usize) -> FiRun {
+fn fi_run(n: usize, engine: Engine) -> FiRun {
     let dims = GridDims::cube(n);
     let setup = SimSetup::new(&SimConfig {
         dims,
@@ -32,7 +33,7 @@ fn fi_run(n: usize) -> FiRun {
         boundary: BoundaryModel::Fi { beta: 0.1 },
     });
     let mut dev = Device::gtx780();
-    dev.set_engine(Engine::Tape);
+    dev.set_engine(engine);
     let prep = dev.compile(&handwritten::fi_single_kernel().resolve_real(ScalarKind::F32)).unwrap();
     let total = dims.total();
     let bufs = [
@@ -82,12 +83,18 @@ fn main() {
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
     let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
 
-    let fast = fi_run(n).measure(steps, ExecMode::Fast);
-    let model = fi_run(n).measure(steps, ExecMode::Model { sample_stride: 1 });
+    let fast = fi_run(n, Engine::Tape).measure(steps, ExecMode::Fast);
+    let model = fi_run(n, Engine::Tape).measure(steps, ExecMode::Model { sample_stride: 1 });
     let reg = telemetry::registry();
+    let divergent0 = reg.counter("vgpu.warp.divergent").get();
+    let vfast = fi_run(n, Engine::Vector).measure(steps, ExecMode::Fast);
+    let vmodel = fi_run(n, Engine::Vector).measure(steps, ExecMode::Model { sample_stride: 1 });
+    let divergent = reg.counter("vgpu.warp.divergent").get() - divergent0;
     println!(
         "{{\"bench\":\"dispatch\",\"cube\":{n},\"steps\":{steps},\
          \"fast_ms_per_step\":{fast:.4},\"model_ms_per_step\":{model:.4},\
+         \"vector_fast_ms_per_step\":{vfast:.4},\"vector_model_ms_per_step\":{vmodel:.4},\
+         \"divergent_warps\":{divergent},\
          \"plan_hits\":{},\"plan_misses\":{}}}",
         reg.counter("vgpu.plan.hits").get(),
         reg.counter("vgpu.plan.misses").get(),

@@ -28,7 +28,7 @@
 //! [`crate::exec::Engine`]).
 
 use crate::buffer::SharedBuf;
-use crate::exec::{Counters, PExpr, PMem, PStmt, Prepared, WriteRec};
+use crate::exec::{Counters, PExpr, PMem, PStmt, Prepared, WriteRec, WARP};
 use lift::kast::MemSpace;
 use lift::prelude::{BinOp, Intrinsic, ScalarKind, UnOp, Value};
 
@@ -212,6 +212,11 @@ pub(crate) enum Op {
     MinMax { dst: R, a: R, b: R, k: K, max: bool },
     /// Unary float intrinsic at fixed precision.
     Intr1 { dst: R, src: R, intr: Intrinsic, k: K },
+    /// dst = truthy(ck, cond) ? t : f, raw bits. Materialised by the
+    /// if-conversion pass for branch diamonds whose arms are pure: both
+    /// operand chains have already executed unconditionally, so no branch —
+    /// and no warp divergence — remains.
+    Sel { dst: R, cond: R, ck: K, t: R, f: R },
     /// Global/constant-space load. `idx` is an i64 register.
     LdG { dst: R, buf: u16, idx: R, site: u32, constant: bool },
     /// Global-space store; `vk` is the value register's kind (the buffer
@@ -262,6 +267,13 @@ pub struct Compiled {
     /// Ops eliminated by the peephole optimizer: constant folds, dead ops
     /// removed, and ops hoisted into `pre`. Feeds `vgpu.tape.optimized_ops`.
     pub(crate) optimized_ops: u32,
+    /// Reconvergence metadata for the warp interpreter, parallel to `ops`:
+    /// `joins[pc]` is the immediate postdominator of the conditional branch
+    /// at `pc` — the first instruction every lane reaches again no matter
+    /// which side of the branch it took — `ops.len()` when the branch's
+    /// paths only meet again at `Ret`/`Halt`, and [`NO_JOIN`] on non-branch
+    /// ops. Computed by [`compute_joins`] on the final optimized tape.
+    pub(crate) joins: Vec<u32>,
 }
 
 impl Compiled {
@@ -730,6 +742,7 @@ pub(crate) fn compile(prep: &Prepared) -> Result<Compiled, String> {
         pre: Vec::new(),
         item_pre: Vec::new(),
         optimized_ops: 0,
+        joins: Vec::new(),
     };
     optimize(&mut c, prep.nslots);
     if !validate(&c) {
@@ -738,7 +751,112 @@ pub(crate) fn compile(prep: &Prepared) -> Result<Compiled, String> {
         // engine rather than trusting a tape the check rejected.
         return Err("tape validation failed".into());
     }
+    // Branch reconvergence points for the warp interpreter, computed on the
+    // final op stream (the optimizer has already remapped every target).
+    c.joins = compute_joins(&c.ops);
     Ok(c)
+}
+
+/// `joins[pc]` value for ops that are not conditional branches (or whose
+/// join could not be established): the warp interpreter must finish the
+/// affected lanes on the scalar interpreter instead of reconverging.
+pub(crate) const NO_JOIN: u32 = u32::MAX;
+
+/// Immediate postdominators of the tape's conditional branches — the warp
+/// interpreter's reconvergence points. The tape's control-flow graph is one
+/// node per op (successors: fall-through, jump targets, or a shared virtual
+/// exit after `Ret`/`Halt`); postdominators are computed by the standard
+/// iterative algorithm of Cooper–Harvey–Kennedy run on the reversed graph,
+/// which the tape's size (hundreds of ops) makes effectively linear. The
+/// result is exact for arbitrary reducible control flow, so it covers the
+/// structured `If`/`Select` diamonds and `For` loops the compiler emits —
+/// including branches whose only meeting point is the virtual exit (a `Ret`
+/// inside one arm), which map to `ops.len()`.
+fn compute_joins(ops: &[Op]) -> Vec<u32> {
+    let n = ops.len();
+    let exit = n; // virtual exit node shared by every `Ret`/`Halt`
+    let succs = |pc: usize| -> ([usize; 2], usize) {
+        match ops[pc] {
+            Op::Jmp { target } => ([target as usize, 0], 1),
+            Op::Jz { target, .. } | Op::JgeI64 { target, .. } => ([pc + 1, target as usize], 2),
+            Op::Ret | Op::Halt => ([exit, 0], 1),
+            _ => ([pc + 1, 0], 1),
+        }
+    };
+    // Predecessor lists of the original graph double as successor lists of
+    // the reversed graph, whose dominator tree is the postdominator tree.
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+    for pc in 0..n {
+        let (ss, k) = succs(pc);
+        for &s in &ss[..k] {
+            preds[s].push(pc as u32);
+        }
+    }
+    // Iterative DFS postorder over the reversed graph from the exit. Ops
+    // that cannot reach the exit (an infinite loop, which the structured
+    // compiler never emits) stay unvisited and keep `NO_JOIN`.
+    let mut order: Vec<usize> = Vec::with_capacity(n + 1);
+    let mut seen = vec![false; n + 1];
+    let mut stack: Vec<(usize, usize)> = vec![(exit, 0)];
+    seen[exit] = true;
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        if let Some(&u) = preds[v].get(*i) {
+            *i += 1;
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                stack.push((u as usize, 0));
+            }
+        } else {
+            order.push(v);
+            stack.pop();
+        }
+    }
+    let mut po = vec![usize::MAX; n + 1];
+    for (i, &v) in order.iter().enumerate() {
+        po[v] = i;
+    }
+    let mut ipdom = vec![usize::MAX; n + 1];
+    ipdom[exit] = exit;
+    let intersect = |ipdom: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while po[a] < po[b] {
+                a = ipdom[a];
+            }
+            while po[b] < po[a] {
+                b = ipdom[b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse postorder of the reversed graph; only successors already
+        // assigned an ipdom participate in the intersection.
+        for &v in order.iter().rev() {
+            if v == exit {
+                continue;
+            }
+            let (ss, k) = succs(v);
+            let mut new = usize::MAX;
+            for &s in &ss[..k] {
+                if ipdom[s] != usize::MAX {
+                    new = if new == usize::MAX { s } else { intersect(&ipdom, new, s) };
+                }
+            }
+            if new != usize::MAX && ipdom[v] != new {
+                ipdom[v] = new;
+                changed = true;
+            }
+        }
+    }
+    let mut joins = vec![NO_JOIN; n];
+    for (pc, join) in joins.iter_mut().enumerate() {
+        if matches!(ops[pc], Op::Jz { .. } | Op::JgeI64 { .. }) && ipdom[pc] != usize::MAX {
+            *join = ipdom[pc] as u32;
+        }
+    }
+    joins
 }
 
 /// One-time structural check run at compile time: every register operand in
@@ -768,8 +886,13 @@ fn validate(c: &Compiled) -> bool {
 
 // ---- peephole optimizer ----
 //
-// Three passes over the compiled tape, run once at compile time:
+// Four passes over the compiled tape, run once at compile time:
 //
+// 0. **If-conversion** — branch diamonds whose arms are pure straight-line
+//    code are flattened: both arms execute unconditionally into renamed
+//    temporaries and a predicated `Sel` picks the taken side's bits for
+//    each live-out register. This is what keeps the warp interpreter
+//    convergent on stencil boundary logic.
 // 1. **Constant folding** — pure register ops whose operands are all
 //    compile-time constants are rewritten to `Const`.
 // 2. **Hoisting** — pure ops in a phase's entry block (before any control
@@ -779,9 +902,10 @@ fn validate(c: &Compiled) -> bool {
 //    read are removed and jump targets/phase entries are remapped.
 //
 // The passes never touch loads, stores, `Flops`, declarations, or control
-// flow, so the observable semantics — buffer bits, all counters, the
-// transaction trace, and race records — are identical to the unoptimized
-// tape. `Engine::Differential` enforces this against the tree-walker.
+// flow with observable effects, so the observable semantics — buffer bits,
+// all counters, the transaction trace, and race records — are identical to
+// the unoptimized tape. `Engine::Differential` enforces this against the
+// tree-walker.
 
 /// The destination register an op writes, if any. `MaxOne` both reads and
 /// writes its `dst`; callers that need read sets must also consult
@@ -806,6 +930,47 @@ fn op_dst(op: &Op) -> Option<R> {
         | Op::Logic { dst, .. }
         | Op::MinMax { dst, .. }
         | Op::Intr1 { dst, .. }
+        | Op::Sel { dst, .. }
+        | Op::LdG { dst, .. }
+        | Op::LdP { dst, .. }
+        | Op::LdL { dst, .. } => Some(dst),
+        Op::StG { .. }
+        | Op::StP { .. }
+        | Op::StL { .. }
+        | Op::DeclPriv { .. }
+        | Op::DeclLocal { .. }
+        | Op::Flops { .. }
+        | Op::Jmp { .. }
+        | Op::JgeI64 { .. }
+        | Op::Jz { .. }
+        | Op::Ret
+        | Op::Halt => None,
+    }
+}
+
+/// Mutable twin of [`op_dst`]: the if-conversion pass redirects an arm's
+/// live-out write into a fresh temporary before predicating it with `Sel`.
+fn op_dst_mut(op: &mut Op) -> Option<&mut R> {
+    match op {
+        Op::Const { dst, .. }
+        | Op::Gid { dst, .. }
+        | Op::Gsz { dst, .. }
+        | Op::Lid { dst, .. }
+        | Op::Lsz { dst, .. }
+        | Op::Grp { dst, .. }
+        | Op::Mov { dst, .. }
+        | Op::Cast { dst, .. }
+        | Op::AsI64 { dst, .. }
+        | Op::MaxOne { dst }
+        | Op::I64ToI32 { dst, .. }
+        | Op::AddI64 { dst, .. }
+        | Op::Neg { dst, .. }
+        | Op::Not { dst, .. }
+        | Op::Bin { dst, .. }
+        | Op::Logic { dst, .. }
+        | Op::MinMax { dst, .. }
+        | Op::Intr1 { dst, .. }
+        | Op::Sel { dst, .. }
         | Op::LdG { dst, .. }
         | Op::LdP { dst, .. }
         | Op::LdL { dst, .. } => Some(dst),
@@ -849,6 +1014,11 @@ fn visit_srcs(op: &Op, f: &mut impl FnMut(R)) {
         }
         Op::DeclPriv { len, .. } | Op::DeclLocal { len, .. } => f(len),
         Op::Jz { cond, .. } => f(cond),
+        Op::Sel { cond, t, f: fv, .. } => {
+            f(cond);
+            f(t);
+            f(fv);
+        }
         Op::Const { .. }
         | Op::Gid { .. }
         | Op::Gsz { .. }
@@ -890,6 +1060,11 @@ fn visit_srcs_mut(op: &mut Op, f: &mut impl FnMut(&mut R)) {
         }
         Op::DeclPriv { len, .. } | Op::DeclLocal { len, .. } => f(len),
         Op::Jz { cond, .. } => f(cond),
+        Op::Sel { cond, t, f: fv, .. } => {
+            f(cond);
+            f(t);
+            f(fv);
+        }
         Op::Const { .. }
         | Op::Gid { .. }
         | Op::Gsz { .. }
@@ -985,6 +1160,10 @@ fn try_fold(op: &Op, constv: &[Option<u64>]) -> Option<(R, u64)> {
             };
             (dst, bits)
         }),
+        Op::Sel { dst, cond, ck, t, f } => match (c(cond), c(t), c(f)) {
+            (Some(cv), Some(tv), Some(fv)) => Some((dst, if truthy(ck, cv) { tv } else { fv })),
+            _ => None,
+        },
         _ => None,
     }
 }
@@ -1007,13 +1186,17 @@ fn hoistable(op: &Op) -> bool {
         | Op::Not { .. }
         | Op::Logic { .. }
         | Op::MinMax { .. }
-        | Op::Intr1 { .. } => true,
+        | Op::Intr1 { .. }
+        | Op::Sel { .. } => true,
         _ => false,
     }
 }
 
 /// True for pure ops that may be deleted when their destination is never
-/// read: no side effects, no counters, and cannot trap.
+/// read: no side effects, no counters, and cannot trap. The same criteria
+/// make an op safe for the if-converter to *speculate* (execute on a path
+/// the program would have branched around), so pass 0 reuses this
+/// predicate for arm bodies.
 fn removable(op: &Op) -> bool {
     match op {
         Op::Bin { op: b, k, .. } => !(*k == K::I32 && matches!(b, BinOp::Div | BinOp::Rem)),
@@ -1032,12 +1215,197 @@ fn removable(op: &Op) -> bool {
         | Op::Not { .. }
         | Op::Logic { .. }
         | Op::MinMax { .. }
-        | Op::Intr1 { .. } => true,
+        | Op::Intr1 { .. }
+        | Op::Sel { .. } => true,
         _ => false,
     }
 }
 
-/// Runs the three peephole passes on a freshly compiled tape. `nslots` is
+/// Pass 0: if-conversion. Looks for the canonical diamond the compiler
+/// emits for `If`/`Select` —
+///
+/// ```text
+/// pc:         Jz cond → target
+/// pc+1..m:    then-arm
+/// m:          Jmp join            (m = target - 1)
+/// target..j:  else-arm (possibly empty)
+/// j:          join (the branch's immediate postdominator)
+/// ```
+///
+/// — and flattens it when both arms are pure straight-line code
+/// ([`removable`] ops: no memory, no `Flops`, no traps, no control flow).
+/// Both arms then execute unconditionally, each live-out register's arm
+/// write is redirected to a fresh temporary, and one [`Op::Sel`] per
+/// live-out picks the taken side's bits. The freed `Jz`/`Jmp` slots become
+/// `Jmp join` fillers, so the tape keeps its length and no other targets
+/// move.
+///
+/// Bit-exactness: the speculated ops touch no counters, traces, or memory;
+/// a register whose reads and writes all sit inside one arm is scratch
+/// nothing else observes; every other written register gets exactly the
+/// taken path's bits from its `Sel`. Diamonds where that argument does not
+/// hold — an arm that traps, counts flops, re-reads a live-out, or writes
+/// one twice — are skipped and stay real branches.
+fn if_convert(c: &mut Compiled) {
+    'fixpoint: loop {
+        // Joins are recomputed after every conversion: a rewrite edits the
+        // CFG (and can turn a nested-diamond arm pure, enabling its
+        // parent), and tapes are small enough to re-scan.
+        let joins = compute_joins(&c.ops);
+        for pc in 0..c.ops.len() {
+            if try_if_convert_at(c, &joins, pc) {
+                c.optimized_ops += 2; // the deleted Jz and arm-ending Jmp
+                continue 'fixpoint;
+            }
+        }
+        return;
+    }
+}
+
+/// Attempts the rewrite described on [`if_convert`] at `pc`; returns `true`
+/// after mutating the tape in place.
+fn try_if_convert_at(c: &mut Compiled, joins: &[u32], pc: usize) -> bool {
+    let Op::Jz { cond, k: ck, target } = c.ops[pc] else { return false };
+    if joins[pc] == NO_JOIN {
+        return false;
+    }
+    let (j, target) = (joins[pc] as usize, target as usize);
+    // Canonical shape: forward branch, then-arm ending in `Jmp j` right
+    // before the else entry, whole diamond in [pc, j). The join is a real
+    // op (`j < len`): a diamond converging at the tape end would have a
+    // terminator inside an arm, which the purity check rejects anyway.
+    if !(pc + 1 < target && target <= j && j < c.ops.len()) {
+        return false;
+    }
+    if !matches!(c.ops[target - 1], Op::Jmp { target: t } if t as usize == j) {
+        return false;
+    }
+    let then_arm = pc + 1..target - 1;
+    let else_arm = target..j;
+    if !c.ops[then_arm.clone()].iter().chain(&c.ops[else_arm.clone()]).all(removable) {
+        return false;
+    }
+    // Single entry: nothing outside the diamond may jump into it (`pc`
+    // itself is a fine target — it becomes the first rewritten op), and no
+    // phase may start inside it.
+    let inside = |t: usize| t > pc && t < j;
+    for (i, op) in c.ops.iter().enumerate() {
+        if (pc..j).contains(&i) {
+            continue; // the Jz/Jmp being deleted; arms have no control flow
+        }
+        if let Op::Jmp { target: t } | Op::Jz { target: t, .. } | Op::JgeI64 { target: t, .. } = *op
+        {
+            if inside(t as usize) {
+                return false;
+            }
+        }
+    }
+    if c.phase_starts.iter().any(|&s| inside(s as usize)) {
+        return false;
+    }
+
+    // Classify every register the arms write. Pass 0 runs before hoisting,
+    // so `pre`/`item_pre` are empty and the whole program is `c.ops`.
+    let n = c.nregs;
+    let (mut w_then, mut w_else) = (vec![0u32; n], vec![0u32; n]);
+    let (mut r_then, mut r_else) = (vec![false; n], vec![false; n]);
+    let (mut r_out, mut w_out) = (vec![false; n], vec![false; n]);
+    for (i, op) in c.ops.iter().enumerate() {
+        if then_arm.contains(&i) {
+            if let Some(d) = op_dst(op) {
+                w_then[d as usize] += 1;
+            }
+            visit_srcs(op, &mut |r| r_then[r as usize] = true);
+        } else if else_arm.contains(&i) {
+            if let Some(d) = op_dst(op) {
+                w_else[d as usize] += 1;
+            }
+            visit_srcs(op, &mut |r| r_else[r as usize] = true);
+        } else if i != pc {
+            if let Some(d) = op_dst(op) {
+                w_out[d as usize] = true;
+            }
+            visit_srcs(op, &mut |r| r_out[r as usize] = true);
+        }
+    }
+    // The Sels read `cond` after both arms ran, so it must survive them.
+    if w_then[cond as usize] + w_else[cond as usize] > 0 {
+        return false;
+    }
+    // Live-outs to predicate: (register, written-by-then, written-by-else).
+    let mut outs: Vec<(R, bool, bool)> = Vec::new();
+    for r in 0..n {
+        let (wt, we) = (w_then[r], w_else[r]);
+        if wt == 0 && we == 0 {
+            continue;
+        }
+        let one_arm_scratch = !r_out[r]
+            && !w_out[r]
+            && ((wt > 0 && we == 0 && !r_else[r]) || (we > 0 && wt == 0 && !r_then[r]));
+        if one_arm_scratch {
+            continue; // observed nowhere outside its arm: leave unrenamed
+        }
+        // Needs a `Sel`; keep the rewrite simple — exactly one write per
+        // arm and no reads of the register anywhere inside the diamond.
+        if wt > 1 || we > 1 || r_then[r] || r_else[r] {
+            return false;
+        }
+        outs.push((r as R, wt == 1, we == 1));
+    }
+    // The deleted Jz + Jmp leave room for exactly two Sels.
+    if outs.len() > 2 {
+        return false;
+    }
+
+    // Allocate the fresh per-arm temporaries and build the Sels.
+    let mut sels: Vec<Op> = Vec::with_capacity(outs.len());
+    let mut ren_then: Vec<(R, R)> = Vec::new();
+    let mut ren_else: Vec<(R, R)> = Vec::new();
+    for &(r, wt, we) in &outs {
+        let mut fresh = || {
+            let f = c.nregs as R;
+            c.nregs += 1;
+            f
+        };
+        let tv = if wt {
+            let f = fresh();
+            ren_then.push((r, f));
+            f
+        } else {
+            r
+        };
+        let fv = if we {
+            let f = fresh();
+            ren_else.push((r, f));
+            f
+        } else {
+            r
+        };
+        sels.push(Op::Sel { dst: r, cond, ck, t: tv, f: fv });
+    }
+
+    // Rewrite in place: renamed then-arm, renamed else-arm, Sels, fillers.
+    let mut repl: Vec<Op> = Vec::with_capacity(j - pc);
+    for (arm, renames) in [(then_arm, ren_then), (else_arm, ren_else)] {
+        for i in arm {
+            let mut op = c.ops[i];
+            if let Some(d) = op_dst_mut(&mut op) {
+                if let Some(&(_, f)) = renames.iter().find(|&&(orig, _)| orig == *d) {
+                    *d = f;
+                }
+            }
+            repl.push(op);
+        }
+    }
+    repl.extend(sels);
+    while repl.len() < j - pc {
+        repl.push(Op::Jmp { target: j as u32 });
+    }
+    c.ops[pc..j].copy_from_slice(&repl);
+    true
+}
+
+/// Runs the peephole passes on a freshly compiled tape. `nslots` is
 /// the number of scalar-slot registers (slots may be re-initialised per
 /// item and are never treated as constants or hoist destinations).
 // The passes walk `c.ops` by index while mutating the parallel `removed`
@@ -1045,6 +1413,10 @@ fn removable(op: &Op) -> bool {
 // second borrow of `c`.
 #[allow(clippy::needless_range_loop)]
 fn optimize(c: &mut Compiled, nslots: usize) {
+    // Pass 0 first: it relies on codegen's fresh-temporary discipline
+    // (before any other pass moves ops around) and the branches it deletes
+    // unlock hoisting of the former arm bodies.
+    if_convert(c);
     let writers = count_writers(&c.ops, c.nregs);
     let single_temp = |r: R| (r as usize) >= nslots && writers[r as usize] == 1;
 
@@ -1340,6 +1712,10 @@ pub(crate) fn exec_pre(c: &Compiled, regs: &mut [u64], gsize: [usize; 3]) {
                     _ => b64(intr1_f64(intr, f64v(s))),
                 };
             }
+            Op::Sel { dst, cond, ck, t, f } => {
+                regs[dst as usize] =
+                    regs[if truthy(ck, regs[cond as usize]) { t } else { f } as usize];
+            }
             _ => unreachable!("non-hoistable op in prelude"),
         }
     }
@@ -1389,10 +1765,59 @@ pub(crate) fn exec_phase(
     locals: &mut [Vec<u64>],
     t: &mut TapeCtx<'_>,
 ) -> bool {
+    exec_phase_from(c, c.phase_starts[phase] as usize, regs, privs, locals, t)
+}
+
+/// How a (possibly bounded) scalar tape run ended.
+#[derive(PartialEq, Eq)]
+enum ScalarRun {
+    /// The item executed `Ret` (early exit).
+    Ret,
+    /// The item ran off the end of the phase (`Halt`).
+    Halt,
+    /// Bounded run only: the item reached the `until` pc without executing
+    /// it — it is parked at a reconvergence point, not finished.
+    Until,
+}
+
+/// [`exec_phase`] starting at an arbitrary instruction. The vectorized warp
+/// interpreter uses this to continue individual lanes from a divergent
+/// branch: the branch op itself re-evaluates its condition from the lane's
+/// registers (a pure read), so resuming *at* the branch reproduces scalar
+/// control flow exactly without duplicating any side effect.
+pub(crate) fn exec_phase_from(
+    c: &Compiled,
+    entry: usize,
+    regs: &mut [u64],
+    privs: &mut [Vec<u64>],
+    locals: &mut [Vec<u64>],
+    t: &mut TapeCtx<'_>,
+) -> bool {
+    exec_scalar::<false>(c, entry, usize::MAX, regs, privs, locals, t) == ScalarRun::Ret
+}
+
+/// The scalar interpreter loop. `BOUNDED` is a compile-time switch: `false`
+/// instantiates the unbounded hot path (no per-op `until` compare), `true`
+/// the warp interpreter's per-lane continuation, which stops *before*
+/// executing the op at `until` so the lane can rejoin vectorized execution
+/// there.
+fn exec_scalar<const BOUNDED: bool>(
+    c: &Compiled,
+    entry: usize,
+    until: usize,
+    regs: &mut [u64],
+    privs: &mut [Vec<u64>],
+    locals: &mut [Vec<u64>],
+    t: &mut TapeCtx<'_>,
+) -> ScalarRun {
     assert!(regs.len() >= c.nregs, "register file smaller than tape nregs");
+    assert!(entry < c.ops.len(), "entry pc outside the tape");
     let ops = &c.ops[..];
-    let mut pc = c.phase_starts[phase] as usize;
+    let mut pc = entry;
     loop {
+        if BOUNDED && pc == until {
+            return ScalarRun::Until;
+        }
         // SAFETY: `validate` checked that every jump target and phase entry
         // is inside the tape and that the tape ends in `Ret`/`Halt`, so by
         // induction `pc` stays in bounds (a non-terminator is never final,
@@ -1463,6 +1888,10 @@ pub(crate) fn exec_phase(
                     K::F32 => b32(intr1_f32(intr, f32v(s))),
                     _ => b64(intr1_f64(intr, f64v(s))),
                 };
+                wr(regs, dst, v);
+            }
+            Op::Sel { dst, cond, ck, t: tr, f: fr } => {
+                let v = if truthy(ck, rg(regs, cond)) { rg(regs, tr) } else { rg(regs, fr) };
                 wr(regs, dst, v);
             }
             Op::LdG { dst, buf, idx, site, constant } => {
@@ -1547,10 +1976,678 @@ pub(crate) fn exec_phase(
                     continue;
                 }
             }
-            Op::Ret => return true,
-            Op::Halt => return false,
+            Op::Ret => return ScalarRun::Ret,
+            Op::Halt => return ScalarRun::Halt,
         }
         pc += 1;
+    }
+}
+
+// ---- warp-vectorized execution ----
+//
+// The scalar interpreter above re-dispatches every op once per work-item:
+// 32 fetch/decode cycles per warp per op. The warp interpreter decodes each
+// op *once* and applies it to the active lanes through a structure-of-arrays
+// register file (`vregs[r * WARP + lane]`), the software analogue of SIMT
+// instruction issue on the paper's GPUs. Lanes of one warp are consecutive
+// work-items; the active set is a lane bitmask, initially the prefix
+// `0..nact` (only the final warp of an NDRange is partial).
+//
+// Branches follow the hardware's reconvergence discipline. A branch whose
+// active lanes agree takes a single jump. When lanes *diverge*, the
+// interpreter executes both sides under complementary masks and reconverges
+// at the branch's immediate postdominator (`Compiled::joins`, computed at
+// compile time) — exactly the stack-based reconvergence real SIMT hardware
+// performs, which keeps warps vectorized across the per-lane boundary
+// conditions that dominate the acoustics kernels. Lanes that `Ret` inside a
+// masked region simply drop out of the mask. Only when no join is usable (a
+// branch whose paths never meet again, or reconvergence nested past
+// `MAX_DIVERGE_DEPTH`) does a lane finish on the scalar interpreter — run
+// *until the join*, so even that path rejoins vector execution. Divergence
+// is therefore a performance event, never a correctness one, and
+// `vgpu.warp.divergent` counts the warps that actually paid for it.
+
+/// Unchecked SoA register read: lane `l` of register `r`. Same license as
+/// [`rg`] — `validate` bounds every operand below `nregs`, and
+/// [`exec_phase_warp`] asserts the SoA file holds `nregs * WARP` lanes with
+/// `l < WARP`.
+#[inline(always)]
+fn vg(vregs: &[u64], r: R, l: usize) -> u64 {
+    debug_assert!(r as usize * WARP + l < vregs.len());
+    // SAFETY: see doc comment.
+    unsafe { *vregs.get_unchecked(r as usize * WARP + l) }
+}
+
+/// Unchecked SoA register write; same justification as [`vg`].
+#[inline(always)]
+fn vs(vregs: &mut [u64], r: R, l: usize, v: u64) {
+    debug_assert!(r as usize * WARP + l < vregs.len());
+    // SAFETY: see doc comment on `vg`.
+    unsafe { *vregs.get_unchecked_mut(r as usize * WARP + l) = v }
+}
+
+/// The mask with every lane of a full warp active.
+const FULL_MASK: u32 = u32::MAX;
+
+/// The active mask of a fresh warp: lanes `0..nact`.
+#[inline(always)]
+fn prefix_mask(nact: usize) -> u32 {
+    debug_assert!((1..=WARP).contains(&nact));
+    if nact == WARP {
+        FULL_MASK
+    } else {
+        (1u32 << nact) - 1
+    }
+}
+
+/// Runs `$body` with `$l` bound to each set lane of `$mask`, low to high.
+macro_rules! for_lanes {
+    ($mask:expr, $l:ident, $body:block) => {{
+        let mut m: u32 = $mask;
+        while m != 0 {
+            let $l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            $body
+        }
+    }};
+}
+
+/// The active lanes of `mask` as a dense range `lo..hi`, when the mask is
+/// one contiguous run of set bits. Full warps, partial final warps, and the
+/// divergence masks of boundary-condition branches (interior lanes vs. the
+/// edge lanes of a stencil row) are all contiguous, so lane loops stay
+/// dense — and autovectorizable — even while diverged.
+#[inline(always)]
+fn contiguous(mask: u32) -> Option<(usize, usize)> {
+    let lo = mask.trailing_zeros();
+    let run = mask >> lo;
+    if run & run.wrapping_add(1) == 0 {
+        Some((lo as usize, (lo + 32 - run.leading_zeros()) as usize))
+    } else {
+        None
+    }
+}
+
+/// Lane-wise unary register op over the active mask. Contiguous masks — the
+/// overwhelmingly common case, see [`contiguous`] — get a dense loop that
+/// LLVM can autovectorize.
+#[inline(always)]
+fn vmap1(vregs: &mut [u64], dst: R, src: R, mask: u32, f: impl Fn(u64) -> u64) {
+    if mask == FULL_MASK {
+        // Constant trip count: LLVM unrolls/vectorizes with no remainder.
+        for l in 0..WARP {
+            let x = vg(vregs, src, l);
+            vs(vregs, dst, l, f(x));
+        }
+    } else if let Some((lo, hi)) = contiguous(mask) {
+        for l in lo..hi {
+            let x = vg(vregs, src, l);
+            vs(vregs, dst, l, f(x));
+        }
+    } else {
+        for_lanes!(mask, l, {
+            let x = vg(vregs, src, l);
+            vs(vregs, dst, l, f(x));
+        });
+    }
+}
+
+/// Lane-wise binary register op over the active mask; see [`vmap1`].
+#[inline(always)]
+fn vmap2(vregs: &mut [u64], dst: R, a: R, b: R, mask: u32, f: impl Fn(u64, u64) -> u64) {
+    if mask == FULL_MASK {
+        for l in 0..WARP {
+            let x = vg(vregs, a, l);
+            let y = vg(vregs, b, l);
+            vs(vregs, dst, l, f(x, y));
+        }
+    } else if let Some((lo, hi)) = contiguous(mask) {
+        for l in lo..hi {
+            let x = vg(vregs, a, l);
+            let y = vg(vregs, b, l);
+            vs(vregs, dst, l, f(x, y));
+        }
+    } else {
+        for_lanes!(mask, l, {
+            let x = vg(vregs, a, l);
+            let y = vg(vregs, b, l);
+            vs(vregs, dst, l, f(x, y));
+        });
+    }
+}
+
+/// Registers the flat vector dispatcher must broadcast into every lane of a
+/// warp register file, split by lifetime:
+///
+/// - `.0` — broadcast **once per register-file allocation**: scalar slots
+///   the main tape never writes (zero or launch-argument bits, like the
+///   scalar path's `regs.fill(0)` + slot init) and the destinations of the
+///   hoisted prelude (single-writer: their only writer moved to `pre`).
+///   Nothing overwrites these lanes, so one fill serves every warp the
+///   file is reused for.
+/// - `.1` — broadcast **per warp**: slots the tape itself writes; the next
+///   warp must see the launch-initial bits again.
+///
+/// `item_pre` destinations need no broadcast at all — [`exec_item_pre_warp`]
+/// rewrites every active lane each warp, and masked execution never reads
+/// an inactive lane. Every other register is written before it is read
+/// within one item — the same single-writer/write-before-read property the
+/// optimizer's hoisting pass relies on — so its lanes may start as garbage.
+pub(crate) fn warp_init_regs(c: &Compiled, nslots: usize) -> (Vec<R>, Vec<R>) {
+    let mut written = vec![false; c.nregs];
+    for op in &c.ops {
+        if let Some(d) = op_dst(op) {
+            written[d as usize] = true;
+        }
+    }
+    let (mut once, mut per_warp): (Vec<R>, Vec<R>) = (Vec::new(), Vec::new());
+    for s in 0..nslots as R {
+        if written[s as usize] {
+            per_warp.push(s);
+        } else {
+            once.push(s);
+        }
+    }
+    for op in &c.pre {
+        if let Some(d) = op_dst(op) {
+            once.push(d);
+        }
+    }
+    once.sort_unstable();
+    once.dedup();
+    (once, per_warp)
+}
+
+/// Vectorized [`exec_item_pre`]: one deduplicated context read per distinct
+/// (op, dim), written to every active lane. Flat dispatch passes `lid = 0`,
+/// `lsize = 1` and per-lane groups, exactly as the scalar path does.
+pub(crate) fn exec_item_pre_warp(
+    c: &Compiled,
+    vregs: &mut [u64],
+    nact: usize,
+    gids: &[[usize; 3]],
+    items: &[u64],
+) {
+    for op in &c.item_pre {
+        match *op {
+            Op::Gid { dst, dim } => {
+                for (l, gid) in gids.iter().enumerate().take(nact) {
+                    vs(vregs, dst, l, bi32(gid[dim as usize] as i32));
+                }
+            }
+            Op::Lid { dst, .. } => {
+                for l in 0..nact {
+                    vs(vregs, dst, l, bi32(0));
+                }
+            }
+            Op::Lsz { dst, .. } => {
+                for l in 0..nact {
+                    vs(vregs, dst, l, bi32(1));
+                }
+            }
+            Op::Grp { dst, dim } => {
+                for (l, item) in items.iter().enumerate().take(nact) {
+                    let g = if dim == 0 { (item / WARP as u64) as i32 } else { 0 };
+                    vs(vregs, dst, l, bi32(g));
+                }
+            }
+            _ => unreachable!("non-context op in item prelude"),
+        }
+    }
+}
+
+/// Reconvergence recursion bound: one level per simultaneously-open masked
+/// region (nested `If`s, or one level per divergent loop-exit event — at
+/// most one per lane). Far above anything structured kernels produce; past
+/// it the affected lanes finish on the bounded scalar interpreter, which is
+/// a performance valve, not a correctness limit.
+const MAX_DIVERGE_DEPTH: u32 = 64;
+
+/// Per-warp launch state threaded through [`exec_phase_warp`]. Counters and
+/// race records are shared across lanes (bulk-added per op); transaction
+/// traces stay per-lane so the existing warp coalescing model
+/// (`warp_transaction_bytes`) sees the same per-item access sequences the
+/// scalar interpreter produces.
+pub(crate) struct WarpCtx<'a> {
+    /// Buffer bindings (by parameter index).
+    pub bufs: &'a [Option<&'a SharedBuf>],
+    /// Shared operation counters.
+    pub counters: &'a mut Counters,
+    /// Per-lane transaction traces (`traces[l]` belongs to lane `l`).
+    pub traces: &'a mut [Vec<(u32, u32, u64)>],
+    /// Record load/store addresses into `traces`.
+    pub trace_on: bool,
+    /// Shared global-store records for the race detector.
+    pub writes: &'a mut Vec<WriteRec>,
+    /// Record stores into `writes`.
+    pub race_on: bool,
+    /// Per-lane linear work-item ids.
+    pub items: &'a [u64],
+    /// Per-lane global ids.
+    pub gids: &'a [[usize; 3]],
+    /// Global NDRange sizes.
+    pub gsize: [usize; 3],
+}
+
+/// Executes one phase of a compiled tape for a whole warp at once: `nact`
+/// active lanes (initially a prefix; the last warp of an NDRange may be
+/// partial) advance through the tape in lockstep over the SoA register file
+/// `vregs`, diverging and reconverging per the SIMT mask discipline in the
+/// section comment above. Arithmetic reuses the exact bit-level helpers of
+/// the scalar interpreter ([`bin_bits`], [`cast_bits`],
+/// [`intr1_f32`]/[`intr1_f64`]), so results are bit-identical lane for
+/// lane. Returns `true` when any branch diverged — the warp still ran to
+/// completion; the flag feeds `vgpu.warp.divergent`.
+pub(crate) fn exec_phase_warp(
+    c: &Compiled,
+    phase: usize,
+    nact: usize,
+    vregs: &mut [u64],
+    lane_privs: &mut [Vec<Vec<u64>>],
+    w: &mut WarpCtx<'_>,
+) -> bool {
+    assert!(vregs.len() >= c.nregs * WARP, "SoA register file smaller than tape nregs");
+    assert!((1..=WARP).contains(&nact), "active lanes out of range");
+    assert!(lane_privs.len() >= nact && w.items.len() >= nact && w.gids.len() >= nact);
+    assert_eq!(c.joins.len(), c.ops.len(), "tape compiled without join metadata");
+    let mut ex = WarpExec { c, vregs, lane_privs, w, scratch: Vec::new(), diverged: false };
+    ex.run(c.phase_starts[phase] as usize, c.ops.len(), prefix_mask(nact), 0);
+    ex.diverged
+}
+
+/// Outcome of resolving a conditional branch for the active mask.
+enum Branch {
+    /// Continue vectorized execution at this pc with this mask.
+    Goto(usize, u32),
+    /// The enclosing region is finished: this mask of lanes (possibly
+    /// empty) is parked at its `until` pc; the rest returned.
+    Reached(u32),
+}
+
+/// One warp's execution state: the pieces [`WarpExec::run`] threads through
+/// its reconvergence recursion.
+struct WarpExec<'e, 'w> {
+    c: &'e Compiled,
+    vregs: &'e mut [u64],
+    lane_privs: &'e mut [Vec<Vec<u64>>],
+    w: &'e mut WarpCtx<'w>,
+    /// Scalar register file for the per-lane bailout; sized on first use.
+    scratch: Vec<u64>,
+    diverged: bool,
+}
+
+impl WarpExec<'_, '_> {
+    /// Executes ops from `pc` until the active lanes reach the
+    /// reconvergence pc `until` (`c.ops.len()` means "run to `Ret`/`Halt`").
+    /// Returns the mask of lanes parked at `until`, without executing it;
+    /// lanes that hit `Ret`/`Halt` first are dropped. `mask` starts
+    /// non-empty.
+    fn run(&mut self, mut pc: usize, until: usize, mut mask: u32, depth: u32) -> u32 {
+        let ops = &self.c.ops[..];
+        loop {
+            if pc == until {
+                return mask;
+            }
+            let vregs = &mut *self.vregs;
+            // SAFETY: same induction as `exec_phase` — `validate` bounds
+            // every jump target and guarantees a trailing terminator, and
+            // `until` is checked before the fetch.
+            match *unsafe { ops.get_unchecked(pc) } {
+                Op::Const { dst, bits } => {
+                    for_lanes!(mask, l, {
+                        vs(vregs, dst, l, bits);
+                    });
+                }
+                Op::Gid { dst, dim } => {
+                    for_lanes!(mask, l, {
+                        vs(vregs, dst, l, bi32(self.w.gids[l][dim as usize] as i32));
+                    });
+                }
+                Op::Gsz { dst, dim } => {
+                    let bits = bi32(self.w.gsize[dim as usize] as i32);
+                    for_lanes!(mask, l, {
+                        vs(vregs, dst, l, bits);
+                    });
+                }
+                // Flat dispatch: local id 0, local size 1, group = warp id.
+                Op::Lid { dst, .. } => {
+                    for_lanes!(mask, l, {
+                        vs(vregs, dst, l, bi32(0));
+                    });
+                }
+                Op::Lsz { dst, .. } => {
+                    for_lanes!(mask, l, {
+                        vs(vregs, dst, l, bi32(1));
+                    });
+                }
+                Op::Grp { dst, dim } => {
+                    for_lanes!(mask, l, {
+                        let g = if dim == 0 { (self.w.items[l] / WARP as u64) as i32 } else { 0 };
+                        vs(vregs, dst, l, bi32(g));
+                    });
+                }
+                Op::Mov { dst, src } => vmap1(vregs, dst, src, mask, |x| x),
+                Op::Cast { dst, src, from, to } => {
+                    vmap1(vregs, dst, src, mask, |x| cast_bits(from, to, x))
+                }
+                Op::AsI64 { dst, src, from } => {
+                    vmap1(vregs, dst, src, mask, |x| bi64(to_i64(from, x)))
+                }
+                Op::MaxOne { dst } => vmap1(vregs, dst, dst, mask, |x| bi64(i64v(x).max(1))),
+                Op::I64ToI32 { dst, src } => vmap1(vregs, dst, src, mask, |x| bi32(i64v(x) as i32)),
+                Op::AddI64 { dst, a, b } => {
+                    vmap2(vregs, dst, a, b, mask, |x, y| bi64(i64v(x) + i64v(y)))
+                }
+                Op::JgeI64 { a, b, target } => {
+                    let mut jmask = 0u32;
+                    for_lanes!(mask, l, {
+                        if i64v(vg(vregs, a, l)) >= i64v(vg(vregs, b, l)) {
+                            jmask |= 1 << l;
+                        }
+                    });
+                    match self.branch(pc, target as usize, jmask, mask, until, depth) {
+                        Branch::Goto(p, m) => {
+                            pc = p;
+                            mask = m;
+                            continue;
+                        }
+                        Branch::Reached(m) => return m,
+                    }
+                }
+                Op::Neg { dst, src, k } => match k {
+                    K::F32 => vmap1(vregs, dst, src, mask, |x| b32(-f32v(x))),
+                    K::F64 => vmap1(vregs, dst, src, mask, |x| b64(-f64v(x))),
+                    K::I32 => vmap1(vregs, dst, src, mask, |x| bi32(-i32v(x))),
+                    K::Bool => vmap1(vregs, dst, src, mask, |x| bi32(-((x != 0) as i32))),
+                },
+                Op::Not { dst, src, k } => vmap1(vregs, dst, src, mask, |x| bb(!truthy(k, x))),
+                // The hot acoustics arithmetic gets dedicated lane loops
+                // (simple enough for LLVM to autovectorize); everything else
+                // goes through the shared scalar helper with (op, k)
+                // loop-invariant.
+                Op::Bin { dst, a, b, op, k } => match (k, op) {
+                    (K::F32, BinOp::Add) => {
+                        vmap2(vregs, dst, a, b, mask, |x, y| b32(f32v(x) + f32v(y)))
+                    }
+                    (K::F32, BinOp::Sub) => {
+                        vmap2(vregs, dst, a, b, mask, |x, y| b32(f32v(x) - f32v(y)))
+                    }
+                    (K::F32, BinOp::Mul) => {
+                        vmap2(vregs, dst, a, b, mask, |x, y| b32(f32v(x) * f32v(y)))
+                    }
+                    (K::F64, BinOp::Add) => {
+                        vmap2(vregs, dst, a, b, mask, |x, y| b64(f64v(x) + f64v(y)))
+                    }
+                    (K::F64, BinOp::Sub) => {
+                        vmap2(vregs, dst, a, b, mask, |x, y| b64(f64v(x) - f64v(y)))
+                    }
+                    (K::F64, BinOp::Mul) => {
+                        vmap2(vregs, dst, a, b, mask, |x, y| b64(f64v(x) * f64v(y)))
+                    }
+                    _ => vmap2(vregs, dst, a, b, mask, |x, y| bin_bits(op, k, x, y)),
+                },
+                Op::Logic { dst, a, b, ka, kb, or } => vmap2(vregs, dst, a, b, mask, |x, y| {
+                    let (p, q) = (truthy(ka, x), truthy(kb, y));
+                    bb(if or { p || q } else { p && q })
+                }),
+                Op::MinMax { dst, a, b, k, max } => match k {
+                    K::F32 => vmap2(vregs, dst, a, b, mask, |x, y| {
+                        let (p, q) = (f32v(x) as f64, f32v(y) as f64);
+                        b32((if max { p.max(q) } else { p.min(q) }) as f32)
+                    }),
+                    K::F64 => vmap2(vregs, dst, a, b, mask, |x, y| {
+                        let (p, q) = (f64v(x), f64v(y));
+                        b64(if max { p.max(q) } else { p.min(q) })
+                    }),
+                    K::I32 => vmap2(vregs, dst, a, b, mask, |x, y| {
+                        let (p, q) = (i32v(x) as i64, i32v(y) as i64);
+                        bi32((if max { p.max(q) } else { p.min(q) }) as i32)
+                    }),
+                    K::Bool => unreachable!("min/max never promotes to bool"),
+                },
+                Op::Intr1 { dst, src, intr, k } => match k {
+                    K::F32 => vmap1(vregs, dst, src, mask, |x| b32(intr1_f32(intr, f32v(x)))),
+                    _ => vmap1(vregs, dst, src, mask, |x| b64(intr1_f64(intr, f64v(x)))),
+                },
+                Op::Sel { dst, cond, ck, t, f } => {
+                    if mask == FULL_MASK {
+                        for l in 0..WARP {
+                            let pick = if truthy(ck, vg(vregs, cond, l)) { t } else { f };
+                            vs(vregs, dst, l, vg(vregs, pick, l));
+                        }
+                    } else if let Some((lo, hi)) = contiguous(mask) {
+                        for l in lo..hi {
+                            let pick = if truthy(ck, vg(vregs, cond, l)) { t } else { f };
+                            vs(vregs, dst, l, vg(vregs, pick, l));
+                        }
+                    } else {
+                        for_lanes!(mask, l, {
+                            let pick = if truthy(ck, vg(vregs, cond, l)) { t } else { f };
+                            vs(vregs, dst, l, vg(vregs, pick, l));
+                        });
+                    }
+                }
+                Op::LdG { dst, buf, idx, site, constant } => {
+                    let b = self.w.bufs[buf as usize].expect("buffer bound");
+                    let n = mask.count_ones() as u64;
+                    let eb = b.elem_bytes() as u64;
+                    if constant {
+                        self.w.counters.loads_constant += n;
+                    } else {
+                        self.w.counters.loads_global += n;
+                        self.w.counters.bytes_loaded += eb * n;
+                    }
+                    let push_trace = self.w.trace_on && !constant;
+                    // SAFETY (both loops): launch contract — no concurrent
+                    // writer of this element (same contract as the scalar
+                    // interpreters).
+                    if let (false, Some((lo, hi))) = (push_trace, contiguous(mask)) {
+                        for l in lo..hi {
+                            let i = i64v(vg(vregs, idx, l));
+                            debug_assert!(
+                                i >= 0 && (i as usize) < b.len(),
+                                "load out of bounds: param {buf}[{i}] (len {})",
+                                b.len()
+                            );
+                            vs(vregs, dst, l, unsafe { b.get_bits(i as usize) });
+                        }
+                    } else {
+                        for_lanes!(mask, l, {
+                            let i = i64v(vg(vregs, idx, l));
+                            if push_trace {
+                                self.w.traces[l].push((
+                                    site,
+                                    0,
+                                    ((buf as u64) << 40) | ((i as u64) * eb),
+                                ));
+                            }
+                            debug_assert!(
+                                i >= 0 && (i as usize) < b.len(),
+                                "load out of bounds: param {buf}[{i}] (len {})",
+                                b.len()
+                            );
+                            vs(vregs, dst, l, unsafe { b.get_bits(i as usize) });
+                        });
+                    }
+                }
+                Op::StG { buf, idx, val, vk, site } => {
+                    let b = self.w.bufs[buf as usize].expect("buffer bound");
+                    let eb = b.elem_bytes() as u64;
+                    let n = mask.count_ones() as u64;
+                    self.w.counters.stores_global += n;
+                    self.w.counters.bytes_stored += eb * n;
+                    // SAFETY (both loops): launch contract — element
+                    // disjointness across work-items (verified by
+                    // race-check mode).
+                    if let (false, false, Some((lo, hi))) =
+                        (self.w.trace_on, self.w.race_on, contiguous(mask))
+                    {
+                        for l in lo..hi {
+                            let i = i64v(vg(vregs, idx, l));
+                            debug_assert!(
+                                i >= 0 && (i as usize) < b.len(),
+                                "store out of bounds: param {buf}[{i}] (len {})",
+                                b.len()
+                            );
+                            unsafe { b.set(i as usize, bits_value(vk, vg(vregs, val, l))) };
+                        }
+                    } else {
+                        for_lanes!(mask, l, {
+                            let i = i64v(vg(vregs, idx, l));
+                            if self.w.trace_on {
+                                self.w.traces[l].push((
+                                    site,
+                                    0,
+                                    ((buf as u64) << 40) | ((i as u64) * eb),
+                                ));
+                            }
+                            if self.w.race_on {
+                                self.w.writes.push((buf as u32, i as u64, self.w.items[l], site));
+                            }
+                            debug_assert!(
+                                i >= 0 && (i as usize) < b.len(),
+                                "store out of bounds: param {buf}[{i}] (len {})",
+                                b.len()
+                            );
+                            unsafe { b.set(i as usize, bits_value(vk, vg(vregs, val, l))) };
+                        });
+                    }
+                }
+                Op::LdP { dst, arr, idx } => {
+                    for_lanes!(mask, l, {
+                        let i = i64v(vg(vregs, idx, l)) as usize;
+                        vs(vregs, dst, l, self.lane_privs[l][arr as usize][i]);
+                    });
+                }
+                Op::StP { arr, idx, val, vk, k } => {
+                    for_lanes!(mask, l, {
+                        let i = i64v(vg(vregs, idx, l)) as usize;
+                        self.lane_privs[l][arr as usize][i] = cast_bits(vk, k, vg(vregs, val, l));
+                    });
+                }
+                Op::LdL { .. } | Op::StL { .. } | Op::DeclLocal { .. } => {
+                    unreachable!(
+                        "local-memory op in flat vector dispatch (grouped launches fall back)"
+                    )
+                }
+                Op::DeclPriv { arr, len } => {
+                    for_lanes!(mask, l, {
+                        let n = i64v(vg(vregs, len, l)) as usize;
+                        let p = &mut self.lane_privs[l][arr as usize];
+                        p.clear();
+                        p.resize(n, 0);
+                    });
+                }
+                Op::Flops { n } => {
+                    self.w.counters.flops += n as u64 * mask.count_ones() as u64;
+                }
+                Op::Jmp { target } => {
+                    pc = target as usize;
+                    continue;
+                }
+                Op::Jz { cond, k, target } => {
+                    let mut jmask = 0u32;
+                    for_lanes!(mask, l, {
+                        if !truthy(k, vg(vregs, cond, l)) {
+                            jmask |= 1 << l;
+                        }
+                    });
+                    match self.branch(pc, target as usize, jmask, mask, until, depth) {
+                        Branch::Goto(p, m) => {
+                            pc = p;
+                            mask = m;
+                            continue;
+                        }
+                        Branch::Reached(m) => return m,
+                    }
+                }
+                Op::Ret | Op::Halt => return 0,
+            }
+            pc += 1;
+        }
+    }
+
+    /// Resolves the conditional branch at `pc`: `jmask` (⊆ `mask`) holds the
+    /// lanes that take the jump to `target`. Uniform masks are a single
+    /// jump. Divergent masks execute both sides under complementary masks
+    /// and reconverge at the branch's join (its immediate postdominator);
+    /// when no join is usable the lanes finish on the bounded scalar
+    /// interpreter instead, parked at the enclosing region's `until`.
+    fn branch(
+        &mut self,
+        pc: usize,
+        target: usize,
+        jmask: u32,
+        mask: u32,
+        until: usize,
+        depth: u32,
+    ) -> Branch {
+        if jmask == 0 {
+            return Branch::Goto(pc + 1, mask);
+        }
+        if jmask == mask {
+            return Branch::Goto(target, mask);
+        }
+        self.diverged = true;
+        let join = self.c.joins[pc];
+        if join != NO_JOIN && depth < MAX_DIVERGE_DEPTH {
+            let j = join as usize;
+            let fell = self.run(pc + 1, j, mask & !jmask, depth + 1);
+            let jumped = self.run(target, j, jmask, depth + 1);
+            let m = fell | jumped;
+            // The join may lie past `until` when one arm returns early (the
+            // sides then ran to `Ret` inside the recursion): no lane is left
+            // to park.
+            if m == 0 {
+                return Branch::Reached(0);
+            }
+            return Branch::Goto(j, m);
+        }
+        Branch::Reached(self.scalar_lanes(pc, until, mask))
+    }
+
+    /// Performance valve for branches without a usable join: finishes each
+    /// lane of `mask` on the bounded scalar interpreter, resumed *at* the
+    /// divergent branch (whose condition re-reads lane registers — a pure
+    /// operation, so nothing is skipped or doubled) and stopped at `until`.
+    /// Returns the lanes that reached `until`; their register columns are
+    /// copied back so vectorized execution resumes seamlessly.
+    fn scalar_lanes(&mut self, pc: usize, until: usize, mask: u32) -> u32 {
+        let WarpExec { c, vregs, lane_privs, w, scratch, .. } = self;
+        let nregs = c.nregs;
+        if scratch.len() < nregs {
+            scratch.resize(nregs, 0);
+        }
+        let mut reached = 0u32;
+        for_lanes!(mask, l, {
+            for r in 0..nregs {
+                scratch[r] = vregs[r * WARP + l];
+            }
+            let no_locals: &mut [Vec<u64>] = &mut [];
+            let mut t = TapeCtx {
+                bufs: w.bufs,
+                gsize: w.gsize,
+                counters: &mut *w.counters,
+                trace: &mut w.traces[l],
+                trace_on: w.trace_on,
+                writes: &mut *w.writes,
+                race_on: w.race_on,
+                item: w.items[l],
+                gid: w.gids[l],
+                lid: 0,
+                group: (w.items[l] / WARP as u64) as usize,
+                lsize: 1,
+            };
+            if exec_scalar::<true>(c, pc, until, scratch, &mut lane_privs[l], no_locals, &mut t)
+                == ScalarRun::Until
+            {
+                reached |= 1 << l;
+                for r in 0..nregs {
+                    vregs[r * WARP + l] = scratch[r];
+                }
+            }
+        });
+        reached
     }
 }
 
@@ -1775,5 +2872,112 @@ mod tests {
         let mut broken = t;
         broken.ops.push(Op::Mov { dst: broken.nregs as R, src: 0 });
         assert!(!validate(&broken), "out-of-range register must be rejected");
+    }
+
+    /// `s = 0.5; if (gid % 2 == 0) s = 2 else s = 3; out[gid] = x[gid] * s`
+    /// — a branch diamond whose arms are pure constant assigns, the shape
+    /// the FI kernel's `one_if` selects compile to.
+    fn select_kernel(name: &str) -> Kernel {
+        Kernel {
+            name: name.into(),
+            params: vec![
+                KernelParam::global_buf("x", ScalarKind::F32),
+                KernelParam::global_buf("out", ScalarKind::F32),
+                KernelParam::scalar("a", ScalarKind::F32),
+            ],
+            body: vec![
+                KStmt::DeclScalar {
+                    name: "s".into(),
+                    kind: ScalarKind::F32,
+                    init: Some(KExpr::real(0.5)),
+                },
+                KStmt::If {
+                    cond: KExpr::bin(
+                        BinOp::Eq,
+                        KExpr::bin(BinOp::Rem, KExpr::GlobalId(0), KExpr::int(2)),
+                        KExpr::int(0),
+                    ),
+                    then_: vec![KStmt::Assign { name: "s".into(), value: KExpr::real(2.0) }],
+                    else_: vec![KStmt::Assign { name: "s".into(), value: KExpr::real(3.0) }],
+                },
+                KStmt::Store {
+                    mem: MemRef::Param(1),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)) * KExpr::var("s"),
+                },
+            ],
+            work_dim: 1,
+        }
+        .resolve_real(ScalarKind::F32)
+    }
+
+    #[test]
+    fn pure_branch_arms_if_convert_to_selects() {
+        let k = select_kernel("ifconv");
+        let t = tape_of(&k);
+        let jumps = t.ops.iter().filter(|op| matches!(op, Op::Jz { .. })).count();
+        let sels =
+            t.ops.iter().chain(t.item_pre.iter()).filter(|op| matches!(op, Op::Sel { .. })).count();
+        assert_eq!(jumps, 0, "pure diamond must lose its branch: {:?}", t.ops);
+        assert!(sels >= 1, "live-out must be selected: {:?}", t.ops);
+        // The converted tape stays bit-identical to the tree oracle...
+        let out = run_diff(&k, 64, 0.0);
+        assert_eq!(out[8], 8.0 * 2.0);
+        assert_eq!(out[9], 9.0 * 3.0);
+        // ...and the lane-dependent condition no longer diverges warps.
+        let prep = prepare(&k).unwrap();
+        let x = SharedBuf::new(BufData::from(vec![1.0f32; 64]));
+        let out = SharedBuf::new(BufData::from(vec![0.0f32; 64]));
+        let stats = launch_wg_engine(
+            &prep,
+            &[ArgBind::Buf(&x), ArgBind::Buf(&out), ArgBind::Val(Value::F32(0.0))],
+            &[64],
+            None,
+            ExecMode::Fast,
+            true,
+            128,
+            Engine::Vector,
+        )
+        .unwrap();
+        assert_eq!(stats.divergent_warps, 0, "selects execute fully converged");
+    }
+
+    #[test]
+    fn store_bearing_branch_arms_keep_their_jumps() {
+        // Same diamond shape, but the arms store to global memory: stores
+        // are not speculatable, so the branch must survive if-conversion.
+        let k = Kernel {
+            name: "ifkeep".into(),
+            params: vec![
+                KernelParam::global_buf("x", ScalarKind::F32),
+                KernelParam::global_buf("out", ScalarKind::F32),
+                KernelParam::scalar("a", ScalarKind::F32),
+            ],
+            body: vec![KStmt::If {
+                cond: KExpr::bin(
+                    BinOp::Eq,
+                    KExpr::bin(BinOp::Rem, KExpr::GlobalId(0), KExpr::int(2)),
+                    KExpr::int(0),
+                ),
+                then_: vec![KStmt::Store {
+                    mem: MemRef::Param(1),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)),
+                }],
+                else_: vec![KStmt::Store {
+                    mem: MemRef::Param(1),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::var("a"),
+                }],
+            }],
+            work_dim: 1,
+        }
+        .resolve_real(ScalarKind::F32);
+        let t = tape_of(&k);
+        let jumps = t.ops.iter().filter(|op| matches!(op, Op::Jz { .. })).count();
+        assert!(jumps >= 1, "memory arms must keep the branch: {:?}", t.ops);
+        let out = run_diff(&k, 64, 7.0);
+        assert_eq!(out[6], 6.0);
+        assert_eq!(out[7], 7.0);
     }
 }

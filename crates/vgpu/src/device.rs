@@ -97,10 +97,29 @@ fn byte_len(len: usize, elem_bytes: usize) -> u64 {
     (len * elem_bytes) as u64
 }
 
+/// Sizes the global rayon pool from the `VGPU_THREADS` environment variable
+/// exactly once per process. Benches and `VGPU_ENGINE=diff` runs on shared
+/// machines set it for reproducible parallelism; unset (or unparsable)
+/// leaves rayon's own default. The build error when another component
+/// already initialised the pool is deliberately ignored — the override is
+/// best-effort.
+fn init_thread_pool() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if let Some(n) = std::env::var("VGPU_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            if n > 0 {
+                let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+            }
+        }
+    });
+}
+
 impl Device {
     /// A device with the given performance profile. The execution engine
-    /// defaults per the `VGPU_ENGINE` environment variable (see [`Engine`]).
+    /// defaults per the `VGPU_ENGINE` environment variable (see [`Engine`]),
+    /// and the worker pool honours `VGPU_THREADS` (see [`init_thread_pool`]).
     pub fn new(profile: DeviceProfile) -> Self {
+        init_thread_pool();
         Device {
             profile,
             buffers: Vec::new(),
@@ -339,6 +358,7 @@ impl Device {
             )
         });
         match stats.backend {
+            exec::Backend::Vector => reg.counter("vgpu.launches.vector").inc(),
             exec::Backend::Tape => reg.counter("vgpu.launches.tape").inc(),
             exec::Backend::Tree => reg.counter("vgpu.launches.tree").inc(),
         }

@@ -555,20 +555,29 @@ pub enum ExecMode {
 /// Which interpreter backend executes a launch.
 ///
 /// The default is chosen by the `VGPU_ENGINE` environment variable:
-/// `tree` selects the tree-walker, `diff` (or `differential`) runs both
-/// backends and asserts bit-identical buffers and identical stats, anything
-/// else selects the bytecode tape.
+/// `tree` selects the tree-walker, `tape` the scalar bytecode tape, `diff`
+/// (or `differential`) runs the oracle plus the fast engines and asserts
+/// bit-identical buffers and identical stats, anything else selects the
+/// warp-vectorized tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Flat bytecode tape (kernels the compiler rejects fall back to the
-    /// tree-walker transparently).
+    /// Warp-vectorized bytecode tape: each op is decoded once per warp and
+    /// applied to all 32 lanes through a structure-of-arrays register file.
+    /// Warps whose lanes disagree at a branch execute both sides under
+    /// complementary lane masks and reconverge at the branch's join
+    /// (counted by `vgpu.warp.divergent`); grouped (barrier) launches run
+    /// the scalar tape, and kernels the tape compiler rejects fall back to
+    /// the tree-walker — both transparently.
     #[default]
+    Vector,
+    /// Flat bytecode tape, one lane at a time (kernels the compiler rejects
+    /// fall back to the tree-walker transparently).
     Tape,
     /// Reference tree-walking interpreter.
     Tree,
     /// Run the tree-walker, snapshot its outputs, restore inputs, run the
-    /// tape, and fail unless buffers are bit-identical and counters and
-    /// transaction bytes are equal.
+    /// scalar tape and then the vector engine, and fail unless buffers are
+    /// bit-identical and counters and transaction bytes are equal.
     Differential,
 }
 
@@ -577,8 +586,9 @@ impl Engine {
     pub fn from_env() -> Engine {
         match std::env::var("VGPU_ENGINE").as_deref() {
             Ok("tree") => Engine::Tree,
+            Ok("tape") => Engine::Tape,
             Ok("diff") | Ok("differential") => Engine::Differential,
-            _ => Engine::Tape,
+            _ => Engine::Vector,
         }
     }
 }
@@ -588,6 +598,8 @@ impl Engine {
 /// tree-walker when the kernel has no usable tape).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
+    /// The warp-vectorized tape VM (SoA register file, one decode per warp).
+    Vector,
     /// The flat bytecode tape VM.
     Tape,
     /// The reference tree-walking interpreter.
@@ -595,9 +607,11 @@ pub enum Backend {
 }
 
 impl Backend {
-    /// Display label (`"tape"` / `"tree"`), as used in telemetry events.
+    /// Display label (`"vector"` / `"tape"` / `"tree"`), as used in
+    /// telemetry events.
     pub fn label(self) -> &'static str {
         match self {
+            Backend::Vector => "vector",
             Backend::Tape => "tape",
             Backend::Tree => "tree",
         }
@@ -618,6 +632,10 @@ pub struct LaunchStats {
     pub global_work_items: u64,
     /// Which backend executed the launch.
     pub backend: Backend,
+    /// Warps whose active lanes disagreed at one or more branches and ran
+    /// them under divergence masks (reconverging at each branch's join).
+    /// Always 0 outside [`Backend::Vector`].
+    pub divergent_warps: u64,
     /// Wall-clock time of the tree-walker *oracle* leg when the launch ran
     /// under [`Engine::Differential`] (`wall` then covers only the tape
     /// leg). `None` for single-backend launches. Lets launch audits and
@@ -1025,38 +1043,72 @@ fn tape_usable(prep: &Prepared, bufs: &[Option<&SharedBuf>]) -> bool {
     tape_fallback_reason(prep, bufs).is_none()
 }
 
-/// (kernel, reason) pairs already reported by [`note_tape_fallback`], so a
-/// long-running simulation that launches the same non-compilable kernel
-/// thousands of times emits exactly one stderr record and one trace event.
+/// One reported fallback/divergence cause: (event, kernel, reason).
+type FallbackKey = (&'static str, String, String);
+
+/// [`FallbackKey`]s already reported by [`note_fallback_record`], so a
+/// long-running simulation that launches the same non-compilable (or
+/// divergent) kernel thousands of times emits exactly one stderr record and
+/// one trace event per distinct cause.
 static FALLBACKS_SEEN: std::sync::OnceLock<
-    std::sync::Mutex<std::collections::HashSet<(String, String)>>,
+    std::sync::Mutex<std::collections::HashSet<FallbackKey>>,
 > = std::sync::OnceLock::new();
 
-/// Audits one tape→tree fallback: bumps the `vgpu.tape.fallbacks` counter
-/// unconditionally (once per launch — the audit total stays truthful), and,
-/// when tracing is on, records a [`telemetry::Event::TapeFallback`] and
-/// prints a one-line structured record to stderr — but only the *first*
-/// time each (kernel, reason) pair is seen in this process.
-fn note_tape_fallback(kernel: &str, reason: &str) {
-    telemetry::registry().counter("vgpu.tape.fallbacks").inc();
+/// The shared dedupe half of every engine-fallback audit: when tracing is
+/// on, records a [`telemetry::Event::TapeFallback`] and prints a one-line
+/// structured record to stderr — but only the *first* time each
+/// (event, kernel, reason) triple is seen in this process. Counters are the
+/// caller's job and stay truthful per launch/warp.
+fn note_fallback_record(ev: &'static str, kernel: &str, reason: &str) {
     if !telemetry::enabled() {
         return;
     }
     let seen =
         FALLBACKS_SEEN.get_or_init(|| std::sync::Mutex::new(std::collections::HashSet::new()));
-    let first = seen
-        .lock()
-        .expect("fallback dedupe set poisoned")
-        .insert((kernel.to_string(), reason.to_string()));
+    let first = seen.lock().expect("fallback dedupe set poisoned").insert((
+        ev,
+        kernel.to_string(),
+        reason.to_string(),
+    ));
     if first {
         let ts_us = telemetry::now_us();
-        eprintln!("{{\"ev\":\"tape_fallback\",\"kernel\":{kernel:?},\"reason\":{reason:?}}}");
-        telemetry::record(telemetry::Event::TapeFallback {
-            kernel: kernel.to_string(),
-            reason: reason.to_string(),
-            ts_us,
+        eprintln!("{{\"ev\":{ev:?},\"kernel\":{kernel:?},\"reason\":{reason:?}}}");
+        let (kernel, reason) = (kernel.to_string(), reason.to_string());
+        telemetry::record(match ev {
+            "vector_fallback" => telemetry::Event::VectorFallback { kernel, reason, ts_us },
+            "warp_divergence" => telemetry::Event::WarpDivergence { kernel, reason, ts_us },
+            _ => telemetry::Event::TapeFallback { kernel, reason, ts_us },
         });
     }
+}
+
+/// Audits one tape→tree fallback: bumps the `vgpu.tape.fallbacks` counter
+/// unconditionally (once per launch — the audit total stays truthful), and
+/// emits a deduplicated stderr/trace record via [`note_fallback_record`].
+fn note_tape_fallback(kernel: &str, reason: &str) {
+    telemetry::registry().counter("vgpu.tape.fallbacks").inc();
+    note_fallback_record("tape_fallback", kernel, reason);
+}
+
+/// Audits one vector→tape fallback (the whole launch, e.g. a grouped
+/// NDRange the vector engine does not cover): bumps
+/// `vgpu.vector.fallbacks` once per launch, deduped record as above.
+fn note_vector_fallback(kernel: &str, reason: &str) {
+    telemetry::registry().counter("vgpu.vector.fallbacks").inc();
+    note_fallback_record("vector_fallback", kernel, reason);
+}
+
+/// Audits warp divergence inside a vector launch: `vgpu.warp.divergent`
+/// counts every divergent warp, while the stderr/trace record is deduped
+/// per kernel.
+fn note_warp_divergence(kernel: &str, warps: u64) {
+    telemetry::registry().counter("vgpu.warp.divergent").add(warps);
+    note_fallback_record(
+        "warp_divergence",
+        kernel,
+        "active lanes disagreed at a branch; both sides ran under divergence masks and \
+         reconverged at the branch join",
+    );
 }
 
 /// The launch-invariant part of argument validation, resolved once per
@@ -1076,6 +1128,10 @@ pub struct LaunchPlan {
     /// Why the tape cannot run launches with this signature (`None` when it
     /// can). Cached so per-step launches skip re-walking the params.
     tape_fallback: Option<String>,
+    /// Why the *vector* engine cannot run launches with this signature
+    /// (`None` when it can). Only meaningful when `tape_fallback` is `None`
+    /// — a tape-less kernel already reroutes to the tree-walker.
+    vector_fallback: Option<String>,
 }
 
 /// Validates the binding shape against the kernel's parameter list and
@@ -1109,7 +1165,19 @@ pub fn plan_launch(prep: &Prepared, bindings: &[ArgBind<'_>]) -> Result<LaunchPl
             }
         }
     }
-    Ok(LaunchPlan { scalar_args, tape_fallback: tape_fallback_reason(prep, &bufs) })
+    let tape_fallback = tape_fallback_reason(prep, &bufs);
+    let vector_fallback = if tape_fallback.is_some() {
+        None
+    } else if prep.uses_groups {
+        Some(
+            "kernel uses workgroup features (barriers/local memory); \
+             the vector engine covers flat NDRanges only"
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    Ok(LaunchPlan { scalar_args, tape_fallback, vector_fallback })
 }
 
 /// [`launch_wg`] with an explicit backend selection.
@@ -1206,25 +1274,29 @@ pub fn launch_planned(
         None
     };
 
-    match engine {
-        Engine::Tree => run_launch(
-            prep,
-            &bufs,
-            &init_slots,
-            gsize,
-            total,
-            lsize,
-            mode,
-            race_check,
-            transaction_size,
-            false,
-        ),
+    let backend = match engine {
+        Engine::Tree => Backend::Tree,
         Engine::Tape => {
-            let use_tape = plan.tape_fallback.is_none();
             if let Some(reason) = &plan.tape_fallback {
                 note_tape_fallback(&prep.name, reason);
+                Backend::Tree
+            } else {
+                Backend::Tape
             }
-            run_launch(
+        }
+        Engine::Vector => {
+            if let Some(reason) = &plan.tape_fallback {
+                note_tape_fallback(&prep.name, reason);
+                Backend::Tree
+            } else if let Some(reason) = &plan.vector_fallback {
+                note_vector_fallback(&prep.name, reason);
+                Backend::Tape
+            } else {
+                Backend::Vector
+            }
+        }
+        Engine::Differential => {
+            return run_differential(
                 prep,
                 &bufs,
                 &init_slots,
@@ -1234,21 +1306,21 @@ pub fn launch_planned(
                 mode,
                 race_check,
                 transaction_size,
-                use_tape,
             )
         }
-        Engine::Differential => run_differential(
-            prep,
-            &bufs,
-            &init_slots,
-            gsize,
-            total,
-            lsize,
-            mode,
-            race_check,
-            transaction_size,
-        ),
-    }
+    };
+    run_launch(
+        prep,
+        &bufs,
+        &init_slots,
+        gsize,
+        total,
+        lsize,
+        mode,
+        race_check,
+        transaction_size,
+        backend,
+    )
 }
 
 /// Dispatches a validated launch to one backend.
@@ -1263,15 +1335,15 @@ fn run_launch(
     mode: ExecMode,
     race_check: bool,
     transaction_size: u64,
-    use_tape: bool,
+    backend: Backend,
 ) -> Result<LaunchStats, ExecError> {
     let trace_on = matches!(mode, ExecMode::Model { .. });
     let stride = match mode {
         ExecMode::Fast => 1usize,
         ExecMode::Model { sample_stride } => sample_stride.max(1),
     };
-    let result = match (lsize, use_tape) {
-        (Some(lsize), false) => {
+    let result = match (lsize, backend) {
+        (Some(lsize), Backend::Tree) => {
             let exec = Exec { prep, bufs, gsize };
             run_grouped(
                 &exec,
@@ -1285,7 +1357,7 @@ fn run_launch(
                 transaction_size,
             )
         }
-        (Some(lsize), true) => run_grouped_tape(
+        (Some(lsize), Backend::Tape) => run_grouped_tape(
             prep,
             bufs,
             init_slots,
@@ -1296,7 +1368,10 @@ fn run_launch(
             race_check,
             transaction_size,
         ),
-        (None, false) => run_flat_tree(
+        (Some(_), Backend::Vector) => {
+            unreachable!("vector backend is never selected for grouped launches")
+        }
+        (None, Backend::Tree) => run_flat_tree(
             prep,
             bufs,
             init_slots,
@@ -1307,7 +1382,18 @@ fn run_launch(
             race_check,
             transaction_size,
         ),
-        (None, true) => run_flat_tape(
+        (None, Backend::Tape) => run_flat_tape(
+            prep,
+            bufs,
+            init_slots,
+            gsize,
+            total,
+            stride,
+            trace_on,
+            race_check,
+            transaction_size,
+        ),
+        (None, Backend::Vector) => run_flat_vector(
             prep,
             bufs,
             init_slots,
@@ -1320,14 +1406,17 @@ fn run_launch(
         ),
     };
     result.map(|mut stats| {
-        stats.backend = if use_tape { Backend::Tape } else { Backend::Tree };
+        stats.backend = backend;
         stats
     })
 }
 
-/// Runs the tree-walker, snapshots its output, restores the inputs, runs the
-/// tape, and fails unless the two backends produced bit-identical buffers
-/// and identical counters and transaction bytes.
+/// Runs the tree-walker, snapshots its output, then for each fast engine
+/// (scalar tape, then — on flat NDRanges — the warp-vectorized tape)
+/// restores the inputs, re-runs the launch, and fails unless the engine
+/// produced bit-identical buffers and identical counters and transaction
+/// bytes. Returns the last (fastest) leg's stats, tagged with the oracle's
+/// wall time.
 #[allow(clippy::too_many_arguments)]
 fn run_differential(
     prep: &Prepared,
@@ -1352,17 +1441,20 @@ fn run_differential(
         mode,
         race_check,
         transaction_size,
-        false,
+        Backend::Tree,
     )?;
     if !usable {
         return Ok(tree);
     }
     let tree_out: Vec<Option<BufData>> = bufs.iter().map(|b| b.map(|b| b.data().clone())).collect();
-    for (b, s) in bufs.iter().zip(snaps) {
-        if let (Some(b), Some(s)) = (b, s) {
-            b.restore(s);
+    let restore = |snaps: &[Option<BufData>]| {
+        for (b, s) in bufs.iter().zip(snaps) {
+            if let (Some(b), Some(s)) = (b, s) {
+                b.restore(s.clone());
+            }
         }
-    }
+    };
+    restore(&snaps);
     let mut tape = run_launch(
         prep,
         bufs,
@@ -1373,32 +1465,66 @@ fn run_differential(
         mode,
         race_check,
         transaction_size,
-        true,
+        Backend::Tape,
     )?;
     tape.oracle_wall = Some(tree.wall);
-    for (i, (b, expect)) in bufs.iter().zip(&tree_out).enumerate() {
-        if let (Some(b), Some(e)) = (b, expect) {
+    diff_check(prep, bufs, &tree_out, &tree, &tape, "tape")?;
+    if lsize.is_some() {
+        // Grouped (barrier) launches are outside the vector engine's
+        // coverage; the scalar tape is the fast leg there.
+        return Ok(tape);
+    }
+    restore(&snaps);
+    let mut vector = run_launch(
+        prep,
+        bufs,
+        init_slots,
+        gsize,
+        total,
+        lsize,
+        mode,
+        race_check,
+        transaction_size,
+        Backend::Vector,
+    )?;
+    vector.oracle_wall = Some(tree.wall);
+    diff_check(prep, bufs, &tree_out, &tree, &vector, "vector")?;
+    Ok(vector)
+}
+
+/// One differential-leg comparison: current buffer contents against the
+/// oracle's outputs (bitwise), plus counters and transaction bytes.
+fn diff_check(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    expect: &[Option<BufData>],
+    oracle: &LaunchStats,
+    got: &LaunchStats,
+    label: &str,
+) -> Result<(), ExecError> {
+    for (i, (b, e)) in bufs.iter().zip(expect).enumerate() {
+        if let (Some(b), Some(e)) = (b, e) {
             if !bits_eq(b.data(), e) {
                 return err(format!(
-                    "differential check failed for kernel `{}`: buffer `{}` differs between tree-walker and tape",
+                    "differential check failed for kernel `{}`: buffer `{}` differs between tree-walker and {label}",
                     prep.name, prep.params[i].name
                 ));
             }
         }
     }
-    if tape.counters != tree.counters {
+    if got.counters != oracle.counters {
         return err(format!(
-            "differential check failed for kernel `{}`: counters differ (tree {:?}, tape {:?})",
-            prep.name, tree.counters, tape.counters
+            "differential check failed for kernel `{}`: counters differ (tree {:?}, {label} {:?})",
+            prep.name, oracle.counters, got.counters
         ));
     }
-    if tape.transaction_bytes != tree.transaction_bytes {
+    if got.transaction_bytes != oracle.transaction_bytes {
         return err(format!(
-            "differential check failed for kernel `{}`: transaction bytes differ (tree {:?}, tape {:?})",
-            prep.name, tree.transaction_bytes, tape.transaction_bytes
+            "differential check failed for kernel `{}`: transaction bytes differ (tree {:?}, {label} {:?})",
+            prep.name, oracle.transaction_bytes, got.transaction_bytes
         ));
     }
-    Ok(tape)
+    Ok(())
 }
 
 /// Bitwise buffer equality (distinguishes NaN payloads and signed zeros,
@@ -1458,6 +1584,8 @@ fn finish(
         global_work_items: total,
         // Overwritten by `run_launch`, which knows which backend ran.
         backend: Backend::Tree,
+        // Set by `run_flat_vector`; 0 everywhere else.
+        divergent_warps: 0,
         // Set by `run_differential` when an oracle leg also ran.
         oracle_wall: None,
     })
@@ -1671,6 +1799,149 @@ fn run_flat_tape(
     let wall = start.elapsed();
     let scale = flat_sample_scale(total, &warp_ids);
     finish(prep, results, race_check, trace_on, scale, wall, total)
+}
+
+/// Warp-vectorized execution of a barrier-free NDRange: each tape op is
+/// decoded once per warp and applied to all active lanes through a
+/// structure-of-arrays register file ([`bytecode::exec_phase_warp`]).
+/// Arithmetic, counters, per-lane access traces, and race records reproduce
+/// the scalar runners bit for bit. Warps whose lanes disagree at a branch
+/// stay vectorized: both sides execute under complementary lane masks and
+/// reconverge at the branch's immediate postdominator, the same mask/stack
+/// discipline real SIMT hardware applies (per-lane scalar continuation
+/// remains only as a valve for unstructured control flow).
+#[allow(clippy::too_many_arguments)]
+fn run_flat_vector(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    total: u64,
+    stride: usize,
+    trace_on: bool,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    let tape = prep.tape.as_ref().expect("tape checked by caller");
+    let init_bits: Vec<(usize, u64)> =
+        init_slots.iter().map(|(s, v)| (*s, bytecode::bits_of_value(*v))).collect();
+    let warps_total = total.div_ceil(WARP as u64);
+    let warp_ids: Vec<u64> = (0..warps_total).step_by(stride).collect();
+    let chunk = dispatch_chunk(warp_ids.len());
+    let gx = gsize[0] as u64;
+    let gy = gsize[1] as u64;
+
+    // The launch-invariant register state (zeroed file + scalar arguments +
+    // the optimizer's hoisted prelude) is computed once per *launch* and
+    // broadcast into each warp's SoA file — every other register is written
+    // before it is read within one item (the same single-writer property
+    // the hoisting pass relies on), so its lanes may start as garbage.
+    let mut regs0 = vec![0u64; tape.nregs];
+    for (slot, b) in &init_bits {
+        regs0[*slot] = *b;
+    }
+    bytecode::exec_pre(tape, &mut regs0, gsize);
+    let (bcast_once, bcast_warp) = bytecode::warp_init_regs(tape, prep.nslots);
+
+    let start = std::time::Instant::now();
+    let results: Vec<(Counters, u64, Vec<WriteRec>, u64)> = warp_ids
+        .par_chunks(chunk)
+        .map(|ws| {
+            // One rayon task per chunk of warps; the SoA register file and
+            // the per-lane private arrays and traces are allocated once and
+            // reset per warp.
+            let mut vregs = vec![0u64; tape.nregs * WARP];
+            for &r in &bcast_once {
+                let row = r as usize * WARP;
+                vregs[row..row + WARP].fill(regs0[r as usize]);
+            }
+            let mut lane_privs: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); prep.npriv]; WARP];
+            let mut lane_traces: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); WARP];
+            let mut counters = Counters::default();
+            let mut writes: Vec<WriteRec> = Vec::new();
+            let mut tbytes = 0u64;
+            let mut divergent = 0u64;
+            let mut items: Vec<u64> = Vec::with_capacity(WARP);
+            let mut gids: Vec<[usize; 3]> = Vec::with_capacity(WARP);
+            for &w in ws {
+                let begin = w * WARP as u64;
+                let end = (begin + WARP as u64).min(total);
+                let nact = (end - begin) as usize;
+                items.clear();
+                gids.clear();
+                // One division per warp; lanes advance the 3-D id
+                // incrementally (items within a warp are consecutive).
+                let mut gid = [
+                    (begin % gx) as usize,
+                    ((begin / gx) % gy) as usize,
+                    (begin / (gx * gy)) as usize,
+                ];
+                for item in begin..end {
+                    items.push(item);
+                    gids.push(gid);
+                    gid[0] += 1;
+                    if gid[0] as u64 == gx {
+                        gid[0] = 0;
+                        gid[1] += 1;
+                        if gid[1] as u64 == gy {
+                            gid[1] = 0;
+                            gid[2] += 1;
+                        }
+                    }
+                }
+                for &r in &bcast_warp {
+                    let row = r as usize * WARP;
+                    vregs[row..row + WARP].fill(regs0[r as usize]);
+                }
+                if prep.npriv > 0 {
+                    for lp in lane_privs[..nact].iter_mut() {
+                        for p in lp.iter_mut() {
+                            p.clear();
+                        }
+                    }
+                }
+                counters.work_items += nact as u64;
+                bytecode::exec_item_pre_warp(tape, &mut vregs, nact, &gids, &items);
+                let mut wc = bytecode::WarpCtx {
+                    bufs,
+                    counters: &mut counters,
+                    traces: &mut lane_traces,
+                    trace_on,
+                    writes: &mut writes,
+                    race_on: race_check,
+                    items: &items,
+                    gids: &gids,
+                    gsize,
+                };
+                if bytecode::exec_phase_warp(tape, 0, nact, &mut vregs, &mut lane_privs, &mut wc) {
+                    divergent += 1;
+                }
+                if trace_on {
+                    tbytes += warp_transaction_bytes(&mut lane_traces[..nact], transaction_size);
+                    for tr in lane_traces[..nact].iter_mut() {
+                        tr.clear();
+                    }
+                }
+            }
+            (counters, tbytes, writes, divergent)
+        })
+        .collect();
+    let wall = start.elapsed();
+    let mut divergent = 0u64;
+    let results: Vec<(Counters, u64, Vec<WriteRec>)> = results
+        .into_iter()
+        .map(|(c, t, w, d)| {
+            divergent += d;
+            (c, t, w)
+        })
+        .collect();
+    let scale = flat_sample_scale(total, &warp_ids);
+    let mut stats = finish(prep, results, race_check, trace_on, scale, wall, total)?;
+    stats.divergent_warps = divergent;
+    if divergent > 0 {
+        note_warp_divergence(&prep.name, divergent);
+    }
+    Ok(stats)
 }
 
 /// Bytecode execution of a grouped (barrier-synchronised) NDRange; mirrors
@@ -2201,7 +2472,7 @@ mod tests {
         // 48 items = a full warp + a half warp. Weighting by warp *count*
         // would scale 48/(2·32) = 0.75× and under-report; weighting by the
         // items the sampled warps covered keeps full sampling exact.
-        for engine in [Engine::Tree, Engine::Tape] {
+        for engine in [Engine::Tree, Engine::Tape, Engine::Vector] {
             let (stats, _) =
                 saxpy_launch_engine(48, 48, ExecMode::Model { sample_stride: 1 }, engine);
             assert_eq!(stats.counters.flops, 2 * 48, "{engine:?}");
@@ -2237,7 +2508,7 @@ mod tests {
             work_dim: 1,
         };
         let prep = prepare(&k).unwrap();
-        for engine in [Engine::Tree, Engine::Tape] {
+        for engine in [Engine::Tree, Engine::Tape, Engine::Vector] {
             let y = SharedBuf::new(BufData::from(vec![0.0f32; 4]));
             let msg = launch_wg_engine(
                 &prep,
@@ -2353,7 +2624,9 @@ mod tests {
             .unwrap()
         };
         let full_tree = run(1, Engine::Tree);
-        for engine in [Engine::Tree, Engine::Tape] {
+        // Vector is included even though grouped launches fall back to the
+        // scalar tape: the fallback must preserve counters too.
+        for engine in [Engine::Tree, Engine::Tape, Engine::Vector] {
             let full = run(1, engine);
             let sampled = run(2, engine);
             assert_eq!(full.counters, sampled.counters, "{engine:?}");
@@ -2445,5 +2718,194 @@ mod tests {
         assert!(msg.contains("lid2p"), "{msg}");
         assert!(msg.contains("64"), "{msg}");
         assert!(msg.contains("24"), "{msg}");
+    }
+
+    #[test]
+    fn vector_matches_tree_on_partial_final_warp() {
+        // 100 items = 3 full warps + a 4-lane partial warp: the masked tail
+        // must produce bit-identical values, counters, and transactions.
+        let mode = ExecMode::Model { sample_stride: 1 };
+        let (ts, to) = saxpy_launch_engine(100, 100, mode, Engine::Tree);
+        let (vs, vo) = saxpy_launch_engine(100, 100, mode, Engine::Vector);
+        assert_eq!(vs.backend, Backend::Vector);
+        assert_eq!(to, vo);
+        assert_eq!(ts.counters, vs.counters);
+        assert_eq!(ts.transaction_bytes, vs.transaction_bytes);
+    }
+
+    #[test]
+    fn uniform_branches_are_not_divergent() {
+        // global 96, N = 64: warps 0–1 have the guard false on every lane,
+        // warp 2 has it true on every lane. Uniform either way — the branch
+        // must not count as divergence.
+        let (stats, out) = saxpy_launch_engine(64, 96, ExecMode::Fast, Engine::Vector);
+        assert_eq!(stats.backend, Backend::Vector);
+        assert_eq!(stats.divergent_warps, 0, "uniform warps must not count");
+        assert_eq!(out[63], 2.0 * 63.0 + 1.0);
+    }
+
+    #[test]
+    fn divergent_store_branch_counts_warps_and_matches_tree() {
+        // Even lanes double, odd lanes negate — both arms store, so
+        // if-conversion cannot remove the branch and every warp diverges.
+        let k = Kernel {
+            name: "divstore".into(),
+            params: vec![
+                KernelParam::global_buf("x", ScalarKind::F32),
+                KernelParam::global_buf("y", ScalarKind::F32),
+            ],
+            body: vec![KStmt::If {
+                cond: KExpr::bin(
+                    BinOp::Eq,
+                    KExpr::bin(BinOp::Rem, KExpr::GlobalId(0), KExpr::int(2)),
+                    KExpr::int(0),
+                ),
+                then_: vec![KStmt::Store {
+                    mem: MemRef::Param(1),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::load(MemRef::Param(0), KExpr::GlobalId(0))
+                        * KExpr::Lit(Lit::f32(2.0)),
+                }],
+                else_: vec![KStmt::Store {
+                    mem: MemRef::Param(1),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::Lit(Lit::f32(0.0))
+                        - KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)),
+                }],
+            }],
+            work_dim: 1,
+        };
+        let prep = prepare(&k).unwrap();
+        let run = |engine: Engine| {
+            let x = SharedBuf::new(BufData::from((0..64).map(|i| i as f32).collect::<Vec<_>>()));
+            let y = SharedBuf::new(BufData::from(vec![0.0f32; 64]));
+            let stats = launch_wg_engine(
+                &prep,
+                &[ArgBind::Buf(&x), ArgBind::Buf(&y)],
+                &[64],
+                None,
+                ExecMode::Model { sample_stride: 1 },
+                true,
+                128,
+                engine,
+            )
+            .unwrap();
+            (stats, y.data().to_f64_vec())
+        };
+        let (ts, to) = run(Engine::Tree);
+        let (vs, vo) = run(Engine::Vector);
+        assert_eq!(vs.backend, Backend::Vector);
+        assert_eq!(vs.divergent_warps, 2, "both mixed warps must count");
+        assert_eq!(to, vo);
+        assert_eq!(ts.counters, vs.counters);
+        assert_eq!(ts.transaction_bytes, vs.transaction_bytes);
+        assert_eq!(vo[6], 12.0);
+        assert_eq!(vo[7], -7.0);
+    }
+
+    #[test]
+    fn lane_dependent_private_indexing_matches_tree() {
+        // Each lane writes a different slot of its private array (gid % 4)
+        // then reads it back: per-lane private addressing under the mask.
+        let k = Kernel {
+            name: "lanepriv".into(),
+            params: vec![KernelParam::global_buf("out", ScalarKind::F32)],
+            body: vec![
+                KStmt::DeclPrivArray {
+                    name: "p".into(),
+                    kind: ScalarKind::F32,
+                    len: KExpr::int(4),
+                },
+                KStmt::Store {
+                    mem: MemRef::Priv("p".into()),
+                    idx: KExpr::bin(BinOp::Rem, KExpr::GlobalId(0), KExpr::int(4)),
+                    value: KExpr::Cast(
+                        ScalarKind::F32,
+                        Box::new(KExpr::GlobalId(0) * KExpr::int(3)),
+                    ),
+                },
+                KStmt::Store {
+                    mem: MemRef::Param(0),
+                    idx: KExpr::GlobalId(0),
+                    value: KExpr::load(
+                        MemRef::Priv("p".into()),
+                        KExpr::bin(BinOp::Rem, KExpr::GlobalId(0), KExpr::int(4)),
+                    ),
+                },
+            ],
+            work_dim: 1,
+        };
+        let prep = prepare(&k).unwrap();
+        let run = |engine: Engine| {
+            let out = SharedBuf::new(BufData::from(vec![0.0f32; 48]));
+            let stats = launch_wg_engine(
+                &prep,
+                &[ArgBind::Buf(&out)],
+                &[48],
+                None,
+                ExecMode::Fast,
+                true,
+                128,
+                engine,
+            )
+            .unwrap();
+            (stats, out.data().to_f64_vec())
+        };
+        let (_, to) = run(Engine::Tree);
+        let (vs, vo) = run(Engine::Vector);
+        assert_eq!(vs.backend, Backend::Vector);
+        assert_eq!(to, vo);
+        assert_eq!(vo[13], 39.0);
+    }
+
+    #[test]
+    fn grouped_launch_under_vector_falls_back_to_scalar_tape() {
+        // The vector engine covers flat NDRanges only; a barrier kernel must
+        // transparently run on the scalar tape with identical results.
+        let prep = prepare(&two_phase_lid_kernel()).unwrap();
+        let out = SharedBuf::new(BufData::from(vec![0i32; 64]));
+        let stats = launch_wg_engine(
+            &prep,
+            &[ArgBind::Buf(&out)],
+            &[64],
+            Some(32),
+            ExecMode::Fast,
+            false,
+            128,
+            Engine::Vector,
+        )
+        .unwrap();
+        assert_eq!(stats.backend, Backend::Tape, "grouped launches fall back");
+        assert_eq!(stats.divergent_warps, 0);
+        let o = out.data().to_f64_vec();
+        assert_eq!(o[5], 6.0);
+        assert_eq!(o[37], 6.0);
+    }
+
+    #[test]
+    fn vector_replans_kind_mismatched_buffers_to_tree() {
+        // f64 buffers on f32 params: neither tape engine covers the launch,
+        // so the plan routes it all the way back to the tree-walker.
+        let prep = prepare(&saxpy_kernel()).unwrap();
+        let x = SharedBuf::new(BufData::from(vec![3.0f64; 8]));
+        let y = SharedBuf::new(BufData::from(vec![1.0f64; 8]));
+        let stats = launch_wg_engine(
+            &prep,
+            &[
+                ArgBind::Buf(&x),
+                ArgBind::Buf(&y),
+                ArgBind::Val(Value::F32(2.0)),
+                ArgBind::Val(Value::I32(8)),
+            ],
+            &[8],
+            None,
+            ExecMode::Fast,
+            true,
+            128,
+            Engine::Vector,
+        )
+        .unwrap();
+        assert_eq!(stats.backend, Backend::Tree, "kind mismatch must replan");
+        assert_eq!(y.data().to_f64_vec(), vec![7.0; 8]);
     }
 }

@@ -10,11 +10,14 @@
 //! * [`device::Device`] — buffers + in-order queue with profiling events;
 //! * [`exec`] — kernel preparation and the interpreter (counters, traces,
 //!   race detection);
-//! * [`bytecode`] — flat register-based tapes that kernels compile to; the
-//!   default execution engine. The tree-walker in [`exec`] is kept as the
-//!   reference oracle: select it with `VGPU_ENGINE=tree`, or run both and
-//!   assert bit-identical results with `VGPU_ENGINE=diff` (see
-//!   [`exec::Engine`]);
+//! * [`bytecode`] — flat register-based tapes that kernels compile to. The
+//!   default engine executes the tape *warp-vectorized*: each op is decoded
+//!   once per 32-lane warp and applied across a structure-of-arrays register
+//!   file under an active-lane mask, with divergent branches running both
+//!   sides under complementary masks (`VGPU_ENGINE=vector`). The scalar
+//!   tape (`VGPU_ENGINE=tape`) and the tree-walker reference oracle
+//!   (`VGPU_ENGINE=tree`) remain selectable, and `VGPU_ENGINE=diff` runs
+//!   all of them and asserts bit-identical results (see [`exec::Engine`]);
 //! * [`profile::DeviceProfile`] — the four Table III GPUs;
 //! * [`perfmodel`] — transactions/flops → modeled seconds;
 //! * [`host_exec`] — runs LIFT host programs (`ToGPU`/`OclKernel`/`ToHost`).

@@ -93,7 +93,8 @@ pub enum Event {
         track: TrackId,
         /// Kernel name.
         name: String,
-        /// Backend that executed the launch (`"tape"` or `"tree"`).
+        /// Backend that executed the launch (`"vector"`, `"tape"`, or
+        /// `"tree"`).
         engine: String,
         /// Start of the interpreter run, µs since the epoch.
         ts_us: f64,
@@ -149,12 +150,37 @@ pub enum Event {
     },
     /// The tape compiler could not run a launch and the tree-walker executed
     /// it instead — the structured record that makes VM coverage auditable.
+    /// Deduplicated per (kernel, reason); the `vgpu.tape.fallbacks` counter
+    /// stays truthful per launch.
     TapeFallback {
         /// Kernel name.
         kernel: String,
         /// Why the tape was unusable.
         reason: String,
         /// Time of the launch, µs since the epoch.
+        ts_us: f64,
+    },
+    /// The vector engine did not cover a launch (e.g. a grouped NDRange)
+    /// and the scalar tape executed it instead. Deduplicated per
+    /// (kernel, reason); `vgpu.vector.fallbacks` counts every launch.
+    VectorFallback {
+        /// Kernel name.
+        kernel: String,
+        /// Why the vector engine was unusable.
+        reason: String,
+        /// Time of the launch, µs since the epoch.
+        ts_us: f64,
+    },
+    /// Warps inside a vector launch diverged (active lanes disagreed at a
+    /// branch) and ran the branch sides under divergence masks, reconverging
+    /// at the branch's join. Deduplicated per kernel; `vgpu.warp.divergent`
+    /// counts every divergent warp.
+    WarpDivergence {
+        /// Kernel name.
+        kernel: String,
+        /// What diverged.
+        reason: String,
+        /// Time of the first divergent launch, µs since the epoch.
         ts_us: f64,
     },
 }
@@ -170,7 +196,9 @@ impl Event {
             | Event::Transfer { ts_us, .. }
             | Event::Alloc { ts_us, .. }
             | Event::Free { ts_us, .. }
-            | Event::TapeFallback { ts_us, .. } => Some(*ts_us),
+            | Event::TapeFallback { ts_us, .. }
+            | Event::VectorFallback { ts_us, .. }
+            | Event::WarpDivergence { ts_us, .. } => Some(*ts_us),
         }
     }
 }

@@ -1,13 +1,18 @@
-//! Tape-fallback audit records are deduplicated per (kernel, reason).
+//! Fallback and divergence audit records are deduplicated per
+//! (kernel, reason) while the matching counters stay truthful per launch.
 //!
 //! Runs in its own test binary (hence its own process) because the dedupe
 //! set is process-global: in-crate unit tests that also trigger fallbacks
-//! would race with this one.
+//! would race with this one. The tests here serialise on [`TELEMETRY`]
+//! because the event stream (`take_events`) is process-global too.
 
 use lift::kast::{KExpr, KStmt, Kernel, KernelParam, MemRef};
-use lift::prelude::{ScalarKind, Value};
+use lift::prelude::{BinOp, Lit, ScalarKind, Value};
+use std::sync::Mutex;
 use vgpu::telemetry::{self, Event, TraceMode};
 use vgpu::{Arg, BufData, Device, Engine, ExecMode};
+
+static TELEMETRY: Mutex<()> = Mutex::new(());
 
 /// out[gid] = x[gid] * a — compiled for f32 buffers.
 fn saxpy_ish() -> Kernel {
@@ -29,6 +34,7 @@ fn saxpy_ish() -> Kernel {
 
 #[test]
 fn repeated_fallback_launches_emit_one_record_but_count_every_launch() {
+    let _guard = TELEMETRY.lock().unwrap();
     telemetry::set_mode(TraceMode::Chrome);
     let fallbacks0 = telemetry::registry().counter("vgpu.tape.fallbacks").get();
     let _ = telemetry::take_events();
@@ -61,5 +67,69 @@ fn repeated_fallback_launches_emit_one_record_but_count_every_launch() {
         .filter(|e| matches!(e, Event::TapeFallback { kernel, .. } if kernel == "dedupe_fb"))
         .collect();
     assert_eq!(events.len(), 1, "one TapeFallback event per (kernel, reason): {events:?}");
+    telemetry::set_mode(TraceMode::Off);
+}
+
+/// Even lanes double, odd lanes copy — both arms store, so the branch is
+/// not if-convertible and every mixed warp genuinely diverges.
+fn div_kernel() -> Kernel {
+    let even = KExpr::bin(
+        BinOp::Eq,
+        KExpr::bin(BinOp::Rem, KExpr::GlobalId(0), KExpr::int(2)),
+        KExpr::int(0),
+    );
+    let ld = || KExpr::load(MemRef::Param(0), KExpr::GlobalId(0));
+    Kernel {
+        name: "dedupe_div".into(),
+        params: vec![
+            KernelParam::global_buf("x", ScalarKind::F32),
+            KernelParam::global_buf("out", ScalarKind::F32),
+        ],
+        body: vec![KStmt::If {
+            cond: even,
+            then_: vec![KStmt::Store {
+                mem: MemRef::Param(1),
+                idx: KExpr::GlobalId(0),
+                value: ld() * KExpr::Lit(Lit::f32(2.0)),
+            }],
+            else_: vec![KStmt::Store {
+                mem: MemRef::Param(1),
+                idx: KExpr::GlobalId(0),
+                value: ld(),
+            }],
+        }],
+        work_dim: 1,
+    }
+}
+
+#[test]
+fn repeated_divergence_emits_one_record_but_counts_every_warp() {
+    let _guard = TELEMETRY.lock().unwrap();
+    telemetry::set_mode(TraceMode::Chrome);
+    let divergent0 = telemetry::registry().counter("vgpu.warp.divergent").get();
+    let _ = telemetry::take_events();
+
+    let mut dev = Device::gtx780();
+    dev.set_engine(Engine::Vector);
+    let prep = dev.compile(&div_kernel()).unwrap();
+    let x = dev.upload(BufData::from(vec![1.0f32; 64]));
+    let out = dev.upload(BufData::from(vec![0.0f32; 64]));
+    // 64 items = 2 warps, every one split between even and odd lanes.
+    for _ in 0..3 {
+        dev.launch(&prep, &[Arg::Buf(x), Arg::Buf(out)], &[64], ExecMode::Fast).unwrap();
+    }
+    let want: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 2.0 } else { 1.0 }).collect();
+    assert_eq!(dev.read(out).to_f64_vec(), want);
+
+    // The audit counter records every divergent warp of every launch...
+    let divergent = telemetry::registry().counter("vgpu.warp.divergent").get() - divergent0;
+    assert_eq!(divergent, 6, "2 warps x 3 launches must all count");
+
+    // ...while the trace stream reports the kernel exactly once.
+    let events: Vec<_> = telemetry::take_events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::WarpDivergence { kernel, .. } if kernel == "dedupe_div"))
+        .collect();
+    assert_eq!(events.len(), 1, "one WarpDivergence event per kernel: {events:?}");
     telemetry::set_mode(TraceMode::Off);
 }

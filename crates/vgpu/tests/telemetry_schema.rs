@@ -51,6 +51,16 @@ fn all_variants() -> Vec<Event> {
             reason: "buffer param `x` declared F32 but bound as F64".into(),
             ts_us: 50.0,
         },
+        Event::VectorFallback {
+            kernel: "grouped_scan".into(),
+            reason: "kernel uses workgroup features (barriers/local memory)".into(),
+            ts_us: 55.0,
+        },
+        Event::WarpDivergence {
+            kernel: "fimm_boundary_lift".into(),
+            reason: "active lanes disagreed at a branch".into(),
+            ts_us: 60.0,
+        },
     ]
 }
 
@@ -109,7 +119,7 @@ fn chrome_sink_passes_its_validator() {
     let text = String::from_utf8(buf).unwrap();
     let stats = sink::validate_chrome(&text).expect("emitted trace validates");
 
-    // 8 events + 1 counter sample.
+    // Every variant + 1 counter sample.
     assert_eq!(stats.events, events.len() + 1);
     assert!(stats.track_names.contains("GTX780 #1 kernels"));
     for name in ["LiftSim::step", "fimm_boundary_lift", "volume_handling_lift", "ToGPU(buf2)"] {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Snapshots the dispatch-overhead benchmark into BENCH_dispatch.json at the
+# repo root, stamped with the git revision it was measured at. The committed
+# file is the before/after record behind EXPERIMENTS.md's dispatch-overhead
+# and warp-vectorization entries: re-run this script after perf-relevant
+# changes and commit the diff so regressions show up in review.
+#
+# Usage: scripts/bench_snapshot.sh [cube-edge] [steps]   (defaults 32, 60)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cube="${1:-32}"
+steps="${2:-60}"
+
+cargo build --release -p bench --bin dispatch_bench
+record="$(./target/release/dispatch_bench "$cube" "$steps")"
+
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# Splice provenance fields into the single-line JSON record.
+out="${record%\}},\"git_sha\":\"${sha}\",\"date\":\"${date}\"}"
+echo "$out" | tee BENCH_dispatch.json
