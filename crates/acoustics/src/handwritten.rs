@@ -403,6 +403,13 @@ pub fn fdmm_kernel() -> Kernel {
     }
 }
 
+/// Every hand-written reference kernel of the repro suite (both β-placement
+/// variants of FI-MM), precision-generic — the enumeration the `lift_verify`
+/// driver audits.
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![volume_kernel(), fi_single_kernel(), fimm_kernel(false), fimm_kernel(true), fdmm_kernel()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -339,6 +339,552 @@ impl ArithExpr {
     }
 }
 
+// ---- range reasoning ----
+//
+// The static kernel verifier (`crate::verify`) needs to answer questions of
+// the form "is this index expression provably within `[0, len)` for every
+// work-item?". The machinery below is a small sound-but-incomplete interval
+// calculus over `ArithExpr`:
+//
+// * [`SymRange`] — an inclusive interval whose endpoints are themselves
+//   symbolic expressions (`gid0 ∈ [1, Nx-2]`).
+// * [`RangeEnv`] — per-variable interval facts plus equality defines
+//   (`S := MB·numB`), with a proof oracle `prove_nonneg` built on the
+//   normalising term algebra: to show `e ≥ 0` under `v ≥ lo_v`, shift every
+//   bounded variable by its lower bound (`v := v + lo_v`) and check that the
+//   normal form is a sum of products of (now non-negative) variables with
+//   non-negative coefficients. This proves e.g. `Nx·Ny·Nz − 1 ≥ 0` from
+//   `Nx,Ny,Nz ≥ 1` without any numeric enumeration.
+// * [`RangeEnv::range_of`] — bottom-up interval evaluation with the rules
+//   the bounds checker relies on: monotonicity of affine maps with
+//   provably non-negative coefficients, `(x mod n) ∈ [0, n-1]` for
+//   `x ≥ 0, n ≥ 1`, division by positive divisors, and `min`/`max`
+//   propagation.
+//
+// Everything here treats expressions as exact integers; the verifier
+// documents the (paper-scale) assumption that kernel index arithmetic does
+// not overflow `i32`.
+
+/// An inclusive symbolic interval `[lo, hi]`; `None` means unbounded on
+/// that side.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SymRange {
+    /// Inclusive lower bound (`None` = −∞).
+    pub lo: Option<ArithExpr>,
+    /// Inclusive upper bound (`None` = +∞).
+    pub hi: Option<ArithExpr>,
+}
+
+impl SymRange {
+    /// The unbounded interval.
+    pub fn full() -> Self {
+        SymRange { lo: None, hi: None }
+    }
+
+    /// An interval with both endpoints.
+    pub fn new(lo: ArithExpr, hi: ArithExpr) -> Self {
+        SymRange { lo: Some(lo), hi: Some(hi) }
+    }
+
+    /// The single-point interval `[e, e]`.
+    pub fn point(e: ArithExpr) -> Self {
+        SymRange { lo: Some(e.clone()), hi: Some(e) }
+    }
+
+    /// A constant interval `[a, b]`.
+    pub fn cst(a: i64, b: i64) -> Self {
+        SymRange::new(ArithExpr::Cst(a), ArithExpr::Cst(b))
+    }
+
+    /// `[lo, +∞)`.
+    pub fn at_least(lo: ArithExpr) -> Self {
+        SymRange { lo: Some(lo), hi: None }
+    }
+
+    /// The endpoint both bounds share, if this is a syntactic point
+    /// interval.
+    pub fn as_point(&self) -> Option<&ArithExpr> {
+        match (&self.lo, &self.hi) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SymRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.lo {
+            Some(l) => write!(f, "[{l}, ")?,
+            None => write!(f, "(-inf, ")?,
+        }
+        match &self.hi {
+            Some(h) => write!(f, "{h}]"),
+            None => write!(f, "+inf)"),
+        }
+    }
+}
+
+impl fmt::Debug for SymRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Recursion fuel for the proof oracle; the structural `min`/`max` cases
+/// branch, and index expressions are tiny, so a small bound suffices.
+const PROVE_DEPTH: u32 = 16;
+
+/// Interval facts and equality defines for symbolic variables, with a
+/// sound-but-incomplete proof oracle over them.
+#[derive(Clone, Default)]
+pub struct RangeEnv {
+    ranges: BTreeMap<String, SymRange>,
+    defines: BTreeMap<String, ArithExpr>,
+}
+
+impl RangeEnv {
+    /// An empty environment (every variable unbounded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an interval fact for `name` (replacing any previous fact).
+    pub fn set_range(&mut self, name: impl Into<String>, r: SymRange) {
+        self.ranges.insert(name.into(), r);
+    }
+
+    /// The recorded interval for `name` (unbounded when unknown).
+    pub fn var_range(&self, name: &str) -> SymRange {
+        self.ranges.get(name).cloned().unwrap_or_else(SymRange::full)
+    }
+
+    /// Names of all variables with a recorded interval fact.
+    pub fn bounded_vars(&self) -> Vec<String> {
+        self.ranges.keys().cloned().collect()
+    }
+
+    /// Records the equality `name == value`, substituted into every
+    /// expression before proving (e.g. `S := MB·numB` relates a flat state
+    /// buffer's length to its stride factors).
+    pub fn define(&mut self, name: impl Into<String>, value: ArithExpr) {
+        self.defines.insert(name.into(), value);
+    }
+
+    /// Applies the equality defines to `e`.
+    pub fn resolve(&self, e: &ArithExpr) -> ArithExpr {
+        if self.defines.is_empty() {
+            e.clone()
+        } else {
+            e.subst_all(&self.defines)
+        }
+    }
+
+    /// Tries to prove `e ≥ 0` under the recorded facts. `false` means
+    /// "could not prove", never "false".
+    pub fn prove_nonneg(&self, e: &ArithExpr) -> bool {
+        self.nonneg(&self.resolve(e), PROVE_DEPTH)
+    }
+
+    /// Tries to prove `e ≥ 1`.
+    pub fn prove_pos(&self, e: &ArithExpr) -> bool {
+        self.prove_nonneg(&(e.clone() - ArithExpr::one()))
+    }
+
+    /// Tries to prove `a ≤ b`, descending structurally through `min`/`max`
+    /// endpoints.
+    pub fn prove_le(&self, a: &ArithExpr, b: &ArithExpr) -> bool {
+        self.le(&self.resolve(a), &self.resolve(b), PROVE_DEPTH)
+    }
+
+    /// Tries to prove `a < b` (integers: `a + 1 ≤ b`).
+    pub fn prove_lt(&self, a: &ArithExpr, b: &ArithExpr) -> bool {
+        self.prove_le(&(a.clone() + ArithExpr::one()), b)
+    }
+
+    /// Tries to prove `a == b` (by cancellation in the normal form, or by
+    /// `≤` both ways).
+    pub fn prove_eq(&self, a: &ArithExpr, b: &ArithExpr) -> bool {
+        let d = self.resolve(a) - self.resolve(b);
+        d == ArithExpr::Cst(0) || (self.prove_le(a, b) && self.prove_le(b, a))
+    }
+
+    fn le(&self, a: &ArithExpr, b: &ArithExpr, fuel: u32) -> bool {
+        if fuel == 0 {
+            return false;
+        }
+        if self.nonneg(&(b.clone() - a.clone()), fuel) {
+            return true;
+        }
+        // min(x, y) ≤ b if either arm is; max needs both (and dually on
+        // the right-hand side).
+        match a {
+            ArithExpr::Min(x, y) if self.le(x, b, fuel - 1) || self.le(y, b, fuel - 1) => {
+                return true;
+            }
+            ArithExpr::Max(x, y) if self.le(x, b, fuel - 1) && self.le(y, b, fuel - 1) => {
+                return true;
+            }
+            // For x ≥ 0, y ≥ 1: both `x / y` and `x mod y` are ≤ x, and
+            // `x mod y` is ≤ y − 1.
+            ArithExpr::Div(x, y)
+                if self.nonneg(x, fuel - 1)
+                    && self.nonneg(&((**y).clone() - ArithExpr::one()), fuel - 1)
+                    && self.le(x, b, fuel - 1) =>
+            {
+                return true;
+            }
+            ArithExpr::Mod(x, y)
+                if self.nonneg(x, fuel - 1)
+                    && self.nonneg(&((**y).clone() - ArithExpr::one()), fuel - 1)
+                    && (self.le(x, b, fuel - 1)
+                        || self.le(&((**y).clone() - ArithExpr::one()), b, fuel - 1)) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        match b {
+            ArithExpr::Min(x, y) => self.le(a, x, fuel - 1) && self.le(a, y, fuel - 1),
+            ArithExpr::Max(x, y) => self.le(a, x, fuel - 1) || self.le(a, y, fuel - 1),
+            _ => false,
+        }
+    }
+
+    fn nonneg(&self, e: &ArithExpr, fuel: u32) -> bool {
+        if fuel == 0 {
+            return false;
+        }
+        match e {
+            ArithExpr::Cst(c) => return *c >= 0,
+            ArithExpr::Min(a, b) => return self.nonneg(a, fuel - 1) && self.nonneg(b, fuel - 1),
+            ArithExpr::Max(a, b) => return self.nonneg(a, fuel - 1) || self.nonneg(b, fuel - 1),
+            // C semantics: for `a ≥ 0` and `b ≥ 1` both quotient and
+            // remainder are non-negative.
+            ArithExpr::Div(a, b) | ArithExpr::Mod(a, b) => {
+                return self.nonneg(a, fuel - 1)
+                    && self.nonneg(&((**b).clone() - ArithExpr::one()), fuel - 1)
+            }
+            _ => {}
+        }
+        // Rewrite each bounded variable so that the symbol left behind is
+        // itself non-negative: a variable occurring with a negative
+        // coefficient is replaced through its upper bound (`v := hi − v`,
+        // the slack `hi − v_orig ≥ 0`), otherwise through its lower bound
+        // (`v := v + lo`). Products are expanded over sums first so like
+        // terms cancel (`(Nz−1)·Nx·Ny + (Ny−1)·Nx + (Nx−1)` collapses
+        // against `Nx·Ny·Nz − 1`). After the rewrites, a sum of products of
+        // justified-non-negative symbols with non-negative coefficients is
+        // manifestly non-negative.
+        let mut shifted = expand(e);
+        let mut applied: Vec<String> = Vec::new();
+        while let Some((v, use_hi)) = self.pick_subst(&shifted, &applied) {
+            let r = &self.ranges[&v];
+            let repl = if use_hi {
+                r.hi.clone().expect("picked with hi") - ArithExpr::var(v.as_str())
+            } else {
+                ArithExpr::var(v.as_str()) + r.lo.clone().expect("picked with lo")
+            };
+            shifted = expand(&shifted.subst(&v, &repl));
+            applied.push(v);
+        }
+        let justified = |n: &str| -> bool {
+            applied.iter().any(|a| a == n)
+                || matches!(
+                    self.ranges.get(n).and_then(|r| r.lo.as_ref()),
+                    Some(ArithExpr::Cst(c)) if *c >= 0
+                )
+        };
+        fn term_ok(t: &ArithExpr, justified: &dyn Fn(&str) -> bool) -> bool {
+            match t {
+                ArithExpr::Cst(c) => *c >= 0,
+                ArithExpr::Var(n) => justified(n),
+                ArithExpr::Prod(fs) => fs.iter().all(|f| term_ok(f, justified)),
+                ArithExpr::Sum(ts) => ts.iter().all(|f| term_ok(f, justified)),
+                ArithExpr::Min(a, b) => term_ok(a, justified) && term_ok(b, justified),
+                ArithExpr::Max(a, b) => term_ok(a, justified) || term_ok(b, justified),
+                _ => false,
+            }
+        }
+        match &shifted {
+            ArithExpr::Sum(ts) => ts.iter().all(|t| term_ok(t, &justified)),
+            other => term_ok(other, &justified),
+        }
+    }
+
+    /// Chooses the next variable to rewrite in the non-negativity check:
+    /// `(name, true)` for an upper-bound substitution, `(name, false)` for
+    /// a lower-bound shift. `None` when no further rewrite applies.
+    fn pick_subst(&self, e: &ArithExpr, applied: &[String]) -> Option<(String, bool)> {
+        let terms: Vec<&ArithExpr> = match e {
+            ArithExpr::Sum(ts) => ts.iter().collect(),
+            other => vec![other],
+        };
+        fn coeff(t: &ArithExpr) -> i64 {
+            match t {
+                ArithExpr::Cst(c) => *c,
+                ArithExpr::Prod(fs) => match fs.last() {
+                    Some(ArithExpr::Cst(c)) => *c,
+                    _ => 1,
+                },
+                _ => 1,
+            }
+        }
+        for v in e.free_vars() {
+            if applied.contains(&v) {
+                continue;
+            }
+            let Some(r) = self.ranges.get(&v) else { continue };
+            let neg = terms.iter().any(|t| coeff(t) < 0 && t.free_vars().contains(&v));
+            if neg {
+                if let Some(hi) = &r.hi {
+                    if !hi.free_vars().contains(&v) {
+                        return Some((v, true));
+                    }
+                }
+            }
+            if let Some(lo) = &r.lo {
+                if lo != &ArithExpr::Cst(0) && !lo.free_vars().contains(&v) {
+                    return Some((v, false));
+                }
+            }
+        }
+        None
+    }
+
+    /// The smaller of `a` and `b` when provable, else a symbolic
+    /// [`ArithExpr::min`].
+    pub fn min_of(&self, a: &ArithExpr, b: &ArithExpr) -> ArithExpr {
+        if self.prove_le(a, b) {
+            a.clone()
+        } else if self.prove_le(b, a) {
+            b.clone()
+        } else {
+            ArithExpr::min(a.clone(), b.clone())
+        }
+    }
+
+    /// The larger of `a` and `b` when provable, else a symbolic
+    /// [`ArithExpr::max`].
+    pub fn max_of(&self, a: &ArithExpr, b: &ArithExpr) -> ArithExpr {
+        if self.prove_le(a, b) {
+            b.clone()
+        } else if self.prove_le(b, a) {
+            a.clone()
+        } else {
+            ArithExpr::max(a.clone(), b.clone())
+        }
+    }
+
+    /// Intersection of two intervals (the conjunction of both facts).
+    pub fn intersect(&self, a: &SymRange, b: &SymRange) -> SymRange {
+        let lo = match (&a.lo, &b.lo) {
+            (Some(x), Some(y)) => Some(self.max_of(x, y)),
+            (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+            (None, None) => None,
+        };
+        let hi = match (&a.hi, &b.hi) {
+            (Some(x), Some(y)) => Some(self.min_of(x, y)),
+            (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+            (None, None) => None,
+        };
+        SymRange { lo, hi }
+    }
+
+    /// Convex union of two intervals (the join of two control-flow paths).
+    pub fn union_of(&self, a: &SymRange, b: &SymRange) -> SymRange {
+        let lo = match (&a.lo, &b.lo) {
+            (Some(x), Some(y)) => Some(self.min_of(x, y)),
+            _ => None,
+        };
+        let hi = match (&a.hi, &b.hi) {
+            (Some(x), Some(y)) => Some(self.max_of(x, y)),
+            _ => None,
+        };
+        SymRange { lo, hi }
+    }
+
+    fn mul_range(&self, a: &SymRange, b: &SymRange) -> SymRange {
+        // A constant factor scales the interval directly (sign decides the
+        // orientation).
+        if let Some(ArithExpr::Cst(c)) = b.as_point() {
+            let c = *c;
+            let scale = |e: &ArithExpr| e.clone() * ArithExpr::Cst(c);
+            return if c >= 0 {
+                SymRange { lo: a.lo.as_ref().map(scale), hi: a.hi.as_ref().map(scale) }
+            } else {
+                SymRange { lo: a.hi.as_ref().map(scale), hi: a.lo.as_ref().map(scale) }
+            };
+        }
+        if let Some(ArithExpr::Cst(_)) = a.as_point() {
+            return self.mul_range(b, a);
+        }
+        // Both factors provably non-negative: the product is monotone in
+        // each, so the endpoints multiply.
+        let nonneg = |r: &SymRange| r.lo.as_ref().is_some_and(|lo| self.prove_nonneg(lo));
+        if nonneg(a) && nonneg(b) {
+            let lo = Some(a.lo.clone().unwrap() * b.lo.clone().unwrap());
+            let hi = match (&a.hi, &b.hi) {
+                (Some(x), Some(y)) => Some(x.clone() * y.clone()),
+                _ => None,
+            };
+            return SymRange { lo, hi };
+        }
+        SymRange::full()
+    }
+
+    /// Bottom-up interval evaluation of `e` under the recorded facts.
+    pub fn range_of(&self, e: &ArithExpr) -> SymRange {
+        self.range_rec(&self.resolve(e))
+    }
+
+    fn range_rec(&self, e: &ArithExpr) -> SymRange {
+        match e {
+            ArithExpr::Cst(_) => SymRange::point(e.clone()),
+            // A variable with a two-sided recorded range is *eliminated*
+            // (replaced by its bounds — how work-item ids disappear from
+            // index intervals); any other variable is kept exact as the
+            // point `[v, v]`. One-sided facts (`Nx ≥ 1`) still feed the
+            // proof oracle without widening interval evaluation.
+            ArithExpr::Var(n) => match self.ranges.get(&**n) {
+                Some(r) if r.lo.is_some() && r.hi.is_some() => r.clone(),
+                _ => SymRange::point(e.clone()),
+            },
+            ArithExpr::Sum(ts) => {
+                let mut lo = Some(ArithExpr::Cst(0));
+                let mut hi = Some(ArithExpr::Cst(0));
+                for t in ts.iter() {
+                    let r = self.range_rec(t);
+                    lo = match (lo, r.lo) {
+                        (Some(a), Some(b)) => Some(a + b),
+                        _ => None,
+                    };
+                    hi = match (hi, r.hi) {
+                        (Some(a), Some(b)) => Some(a + b),
+                        _ => None,
+                    };
+                }
+                SymRange { lo, hi }
+            }
+            ArithExpr::Prod(fs) => {
+                let mut acc = SymRange::point(ArithExpr::Cst(1));
+                for f in fs.iter() {
+                    acc = self.mul_range(&acc, &self.range_rec(f));
+                }
+                acc
+            }
+            ArithExpr::Div(a, b) => {
+                let (ra, rb) = (self.range_rec(a), self.range_rec(b));
+                let a_nonneg = ra.lo.as_ref().is_some_and(|lo| self.prove_nonneg(lo));
+                let b_pos = rb.lo.as_ref().is_some_and(|lo| self.prove_pos(lo));
+                if a_nonneg && b_pos {
+                    // Monotone up in the dividend, down in the divisor.
+                    let lo = match &rb.hi {
+                        Some(bh) => ArithExpr::div(ra.lo.clone().unwrap(), bh.clone()),
+                        None => ArithExpr::Cst(0),
+                    };
+                    let hi = ra.hi.map(|ah| ArithExpr::div(ah, rb.lo.clone().unwrap()));
+                    SymRange { lo: Some(lo), hi }
+                } else {
+                    SymRange::full()
+                }
+            }
+            ArithExpr::Mod(a, b) => {
+                let (ra, rb) = (self.range_rec(a), self.range_rec(b));
+                let a_nonneg = ra.lo.as_ref().is_some_and(|lo| self.prove_nonneg(lo));
+                let b_pos = rb.lo.as_ref().is_some_and(|lo| self.prove_pos(lo));
+                if a_nonneg && b_pos {
+                    // `(x mod n) ∈ [0, n-1]`, and never above `x` itself.
+                    let hi = match (&rb.hi, &ra.hi) {
+                        (Some(bh), Some(ah)) => {
+                            Some(self.min_of(&(bh.clone() - ArithExpr::one()), ah))
+                        }
+                        (Some(bh), None) => Some(bh.clone() - ArithExpr::one()),
+                        (None, Some(ah)) => Some(ah.clone()),
+                        (None, None) => None,
+                    };
+                    SymRange { lo: Some(ArithExpr::Cst(0)), hi }
+                } else {
+                    SymRange::full()
+                }
+            }
+            ArithExpr::Min(a, b) => {
+                let (ra, rb) = (self.range_rec(a), self.range_rec(b));
+                let lo = match (&ra.lo, &rb.lo) {
+                    (Some(x), Some(y)) => Some(self.min_of(x, y)),
+                    _ => None,
+                };
+                let hi = match (&ra.hi, &rb.hi) {
+                    (Some(x), Some(y)) => Some(self.min_of(x, y)),
+                    (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+                    (None, None) => None,
+                };
+                SymRange { lo, hi }
+            }
+            ArithExpr::Max(a, b) => {
+                let (ra, rb) = (self.range_rec(a), self.range_rec(b));
+                let lo = match (&ra.lo, &rb.lo) {
+                    (Some(x), Some(y)) => Some(self.max_of(x, y)),
+                    (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+                    (None, None) => None,
+                };
+                let hi = match (&ra.hi, &rb.hi) {
+                    (Some(x), Some(y)) => Some(self.max_of(x, y)),
+                    _ => None,
+                };
+                SymRange { lo, hi }
+            }
+        }
+    }
+}
+
+/// Fully distributes products over sums (recursively), so that the
+/// normalising `add` can cancel like terms across polynomial identities.
+/// `Div`/`Mod`/`Min`/`Max` stay opaque (their operands are expanded).
+pub fn expand(e: &ArithExpr) -> ArithExpr {
+    match e {
+        ArithExpr::Cst(_) | ArithExpr::Var(_) => e.clone(),
+        ArithExpr::Sum(ts) => ArithExpr::add(ts.iter().map(expand).collect()),
+        ArithExpr::Prod(fs) => {
+            // Cross-multiply the terms of every (expanded) factor.
+            let mut acc: Vec<ArithExpr> = vec![ArithExpr::Cst(1)];
+            for f in fs.iter() {
+                let ef = expand(f);
+                let terms: Vec<ArithExpr> = match ef {
+                    ArithExpr::Sum(ts) => ts.to_vec(),
+                    other => vec![other],
+                };
+                let mut next = Vec::with_capacity(acc.len() * terms.len());
+                for a in &acc {
+                    for t in &terms {
+                        next.push(ArithExpr::mul(vec![a.clone(), t.clone()]));
+                    }
+                }
+                acc = next;
+            }
+            // Canonically order each product's factors so `add` can merge
+            // like terms regardless of how the products were built
+            // (`Nz·Nx·Ny` must cancel against `Nx·Ny·Nz`).
+            let acc = acc
+                .into_iter()
+                .map(|t| {
+                    if let ArithExpr::Prod(fs) = &t {
+                        let mut fs = fs.to_vec();
+                        fs.sort_by_key(|f| (f.is_const(), format!("{f}")));
+                        ArithExpr::Prod(Rc::new(fs))
+                    } else {
+                        t
+                    }
+                })
+                .collect();
+            ArithExpr::add(acc)
+        }
+        ArithExpr::Div(a, b) => ArithExpr::div(expand(a), expand(b)),
+        ArithExpr::Mod(a, b) => ArithExpr::rem(expand(a), expand(b)),
+        ArithExpr::Min(a, b) => ArithExpr::min(expand(a), expand(b)),
+        ArithExpr::Max(a, b) => ArithExpr::max(expand(a), expand(b)),
+    }
+}
+
 /// Errors from [`ArithExpr::eval`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArithError {
@@ -588,5 +1134,120 @@ mod tests {
         let s = format!("{e}");
         assert!(s.contains("Nx"), "{s}");
         assert!(s.contains('+'), "{s}");
+    }
+
+    // ---- range reasoning ----
+
+    fn grid_env() -> RangeEnv {
+        let mut env = RangeEnv::new();
+        for d in ["Nx", "Ny", "Nz"] {
+            env.set_range(d, SymRange::at_least(c(1)));
+        }
+        env.set_range("gid0", SymRange::new(c(0), v("Nx") - c(1)));
+        env.set_range("gid1", SymRange::new(c(0), v("Ny") - c(1)));
+        env.set_range("gid2", SymRange::new(c(0), v("Nz") - c(1)));
+        env
+    }
+
+    #[test]
+    fn prove_nonneg_shifts_lower_bounds() {
+        let env = grid_env();
+        // Nx·Ny·Nz − 1 ≥ 0 given Nx,Ny,Nz ≥ 1.
+        assert!(env.prove_nonneg(&(v("Nx") * v("Ny") * v("Nz") - c(1))));
+        // Nx − 2 is not provable from Nx ≥ 1.
+        assert!(!env.prove_nonneg(&(v("Nx") - c(2))));
+        // gid0 ≥ 0 directly.
+        assert!(env.prove_nonneg(&v("gid0")));
+    }
+
+    #[test]
+    fn prove_le_handles_min_max() {
+        let env = grid_env();
+        let n1 = v("Nx") - c(1);
+        assert!(env.prove_le(&ArithExpr::min(v("gid0"), c(3)), &c(3)));
+        assert!(env.prove_le(&ArithExpr::max(v("gid0"), c(0)), &n1));
+        assert!(env.prove_le(&v("gid0"), &ArithExpr::max(n1.clone(), c(7))));
+        assert!(!env.prove_le(&ArithExpr::max(v("gid0"), v("Nx")), &n1));
+    }
+
+    #[test]
+    fn range_of_linearized_index_is_in_bounds() {
+        let env = grid_env();
+        // The canonical row-major linearization of a 3-d grid index.
+        let idx = v("gid2") * v("Nx") * v("Ny") + v("gid1") * v("Nx") + v("gid0");
+        let r = env.range_of(&idx);
+        assert_eq!(r.lo, Some(c(0)));
+        // Telescoping upper bound: Nx·Ny·Nz − 1.
+        let hi = r.hi.expect("bounded");
+        assert!(env.prove_le(&hi, &(v("Nx") * v("Ny") * v("Nz") - c(1))), "hi = {hi}");
+    }
+
+    #[test]
+    fn range_of_mod_rule() {
+        let env = grid_env();
+        let r = env.range_of(&(v("gid0") % v("Nx")));
+        assert_eq!(r.lo, Some(c(0)));
+        let hi = r.hi.expect("bounded");
+        assert!(env.prove_le(&hi, &(v("Nx") - c(1))), "hi = {hi}");
+        // Remainder by an unbounded-but-positive divisor is still capped by
+        // the dividend.
+        let mut env2 = RangeEnv::new();
+        env2.set_range("x", SymRange::new(c(0), c(9)));
+        env2.set_range("n", SymRange::at_least(c(1)));
+        let r2 = env2.range_of(&(v("x") % v("n")));
+        assert_eq!(r2.lo, Some(c(0)));
+        // The cap stays symbolic (min(n-1, 9)) but is provably ≤ 9.
+        assert!(env2.prove_le(r2.hi.as_ref().expect("bounded"), &c(9)));
+    }
+
+    #[test]
+    fn range_of_div_rule() {
+        let mut env = RangeEnv::new();
+        env.set_range("x", SymRange::new(c(0), v("N") - c(1)));
+        env.set_range("N", SymRange::at_least(c(1)));
+        let r = env.range_of(&ArithExpr::div(v("x"), c(4)));
+        assert_eq!(r.lo, Some(c(0)));
+        let hi = r.hi.expect("bounded");
+        assert!(env.prove_le(&hi, &(v("N") - c(1))), "hi = {hi}");
+    }
+
+    #[test]
+    fn range_of_negative_coefficient_flips_bounds() {
+        let env = grid_env();
+        // Nx − 1 − gid0 ∈ [0, Nx − 1] (mirror index).
+        let r = env.range_of(&(v("Nx") - c(1) - v("gid0")));
+        assert!(env.prove_nonneg(r.lo.as_ref().expect("bounded")));
+        assert!(env.prove_le(r.hi.as_ref().expect("bounded"), &(v("Nx") - c(1))));
+    }
+
+    #[test]
+    fn defines_relate_aliased_sizes() {
+        let mut env = RangeEnv::new();
+        env.set_range("MB", SymRange::at_least(c(1)));
+        env.set_range("numB", SymRange::at_least(c(1)));
+        env.define("S", v("MB") * v("numB"));
+        // S − numB ≥ 0 only via the define.
+        assert!(env.prove_nonneg(&(v("S") - v("numB"))));
+    }
+
+    #[test]
+    fn intersect_and_union() {
+        let env = grid_env();
+        let a = SymRange::cst(0, 10);
+        let b = SymRange::new(c(2), v("Nx"));
+        let i = env.intersect(&a, &b);
+        assert_eq!(i.lo, Some(c(2)));
+        let u = env.union_of(&a, &b);
+        assert_eq!(u.lo, Some(c(0)));
+    }
+
+    #[test]
+    fn min_max_resolution() {
+        let env = grid_env();
+        assert_eq!(env.min_of(&v("gid0"), &(v("Nx") + c(5))), v("gid0"));
+        assert_eq!(env.max_of(&v("gid0"), &c(0)), v("gid0"));
+        // Incomparable operands stay symbolic.
+        let m = env.min_of(&v("gid0"), &v("gid1"));
+        assert_eq!(m, ArithExpr::min(v("gid0"), v("gid1")));
     }
 }

@@ -58,6 +58,7 @@ pub mod rewrite;
 pub mod scalar;
 pub mod typecheck;
 pub mod types;
+pub mod verify;
 pub mod view;
 
 /// Convenient re-exports for building and lowering programs.

@@ -599,6 +599,12 @@ pub fn fdmm_program() -> Program {
     }
 }
 
+/// Every generated LIFT program of the repro suite — the enumeration the
+/// `lift_verify` driver lowers and audits.
+pub fn all_programs() -> Vec<Program> {
+    vec![volume_program(), fi_single_program(), fimm_program(), fdmm_program()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,84 @@
+//! Deliberately broken fixture kernels.
+//!
+//! These never ship in a simulation; the `lift_verify` driver runs them
+//! to prove the verifier still *finds* defects — a static-analysis
+//! equivalent of a failing-test canary. One kernel carries a definite
+//! cross-item write-race, the other an off-the-end store; each is clean
+//! with respect to the other analysis so the flagged defect is exactly
+//! the seeded one.
+
+use crate::SuiteEntry;
+use lift::arith::ArithExpr;
+use lift::prelude::*;
+use lift::scalar::BinOp;
+use lift::verify::{Assumptions, BufferFacts};
+
+/// Every work-item stores to `out[3]`: in-bounds under the launch
+/// contract (`N ≥ 4`), but a definite write-race on element 3 as soon as
+/// two work-items run.
+pub fn racy_kernel() -> Kernel {
+    Kernel {
+        name: "fixture_racy".into(),
+        params: vec![
+            KernelParam::global_buf("out", ScalarKind::Real),
+            KernelParam::scalar("N", ScalarKind::I32),
+        ],
+        body: vec![
+            KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(0), KExpr::var("N"))),
+            KStmt::Store { mem: MemRef::Param(0), idx: KExpr::int(3), value: KExpr::real(1.0) },
+        ],
+        work_dim: 1,
+    }
+}
+
+/// The contract [`racy_kernel`] is audited (and dynamically launched)
+/// under: `out` has `N ≥ 4` elements, so the defect is purely the race.
+pub fn racy_assumptions() -> Assumptions {
+    let mut asm = Assumptions { global_size: vec![None], ..Assumptions::default() };
+    asm.size_bounds.push(("N".into(), 4));
+    asm.buffers.insert("out".into(), BufferFacts::sized(ArithExpr::var("N")));
+    asm
+}
+
+/// Each work-item stores to `out[gid0 + 1]` with `out` allocated at `N`
+/// elements and `gid0` ranging to `N − 1`: the map is injective (no
+/// race) but the last work-item writes one element past the end.
+pub fn oob_kernel() -> Kernel {
+    Kernel {
+        name: "fixture_oob".into(),
+        params: vec![
+            KernelParam::global_buf("out", ScalarKind::Real),
+            KernelParam::scalar("N", ScalarKind::I32),
+        ],
+        body: vec![
+            KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(0), KExpr::var("N"))),
+            KStmt::Store {
+                mem: MemRef::Param(0),
+                idx: KExpr::GlobalId(0) + KExpr::int(1),
+                value: KExpr::real(1.0),
+            },
+        ],
+        work_dim: 1,
+    }
+}
+
+/// The contract [`oob_kernel`] is audited under.
+pub fn oob_assumptions() -> Assumptions {
+    let mut asm = Assumptions { global_size: vec![None], ..Assumptions::default() };
+    asm.size_bounds.push(("N".into(), 1));
+    asm.buffers.insert("out".into(), BufferFacts::sized(ArithExpr::var("N")));
+    asm
+}
+
+/// Both fixtures as suite entries (F32-resolved, marked `fixture`).
+pub fn entries() -> Vec<SuiteEntry> {
+    [(racy_kernel(), racy_assumptions()), (oob_kernel(), oob_assumptions())]
+        .into_iter()
+        .map(|(k, assumptions)| SuiteEntry {
+            kernel: k.resolve_real(ScalarKind::F32),
+            precision: ScalarKind::F32,
+            assumptions,
+            fixture: true,
+        })
+        .collect()
+}

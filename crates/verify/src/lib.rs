@@ -1,0 +1,395 @@
+//! Static verification driver for the repro suite.
+//!
+//! Assembles every kernel the repository ships — the four LIFT-generated
+//! kernels (`lift_acoustics::programs::all_programs`) and the five
+//! hand-written references (`room_acoustics::handwritten::all_kernels`) —
+//! pairs each with the launch/allocation contract it is actually run
+//! under (see [`suite`]), and runs the full pass ladder:
+//!
+//! * [`lift::verify::verify_kernel`] — symbolic bounds + static
+//!   write-race analysis over the kernel AST;
+//! * [`vgpu::verify_prepared`] — def-before-use, barrier-uniformity and
+//!   reachability dataflow over the compiled register tape.
+//!
+//! The `lift_verify` binary prints the resulting diagnostics table and
+//! exits nonzero when any non-fixture site is unproven, making the audit
+//! a CI gate. The [`fixtures`] module ships two deliberately broken
+//! kernels (a write-race and an out-of-bounds store) that the driver
+//! requires the verifier to flag — a self-test that the analyses have not
+//! silently gone vacuous.
+
+pub mod fixtures;
+
+use lift::arith::{ArithExpr, SymRange};
+use lift::lower::{ArgSpec, LoweredKernel};
+use lift::prelude::*;
+use lift::verify::{verify_kernel, Assumptions, BufferFacts, KernelReport, RaceVerdict, Verdict};
+use lift_acoustics::programs::{self, Program};
+use room_acoustics::handwritten;
+use vgpu::{Device, TapeReport};
+
+/// One kernel of the audit suite plus the contract it is verified
+/// against.
+pub struct SuiteEntry {
+    /// The kernel, precision-resolved (ready for `verify_kernel` and
+    /// `Device::compile`).
+    pub kernel: Kernel,
+    /// Precision the `Real` literals were resolved at.
+    pub precision: ScalarKind,
+    /// Launch/allocation contract.
+    pub assumptions: Assumptions,
+    /// True for the deliberately broken [`fixtures`] (expected to be
+    /// flagged, not proven).
+    pub fixture: bool,
+}
+
+/// Static + tape verdicts for one [`SuiteEntry`].
+pub struct SuiteReport {
+    /// Kernel name.
+    pub name: String,
+    /// Precision of the verified variant.
+    pub precision: ScalarKind,
+    /// KAST-level bounds/race report.
+    pub kast: KernelReport,
+    /// Tape-level dataflow report (`None` when the kernel did not
+    /// compile to a tape).
+    pub tape: Option<TapeReport>,
+    /// Copied from the entry.
+    pub fixture: bool,
+}
+
+impl SuiteReport {
+    /// True when every bounds site, race map and tape pass is proven.
+    pub fn is_proven(&self) -> bool {
+        self.kast.is_proven() && self.tape.as_ref().is_none_or(|t| t.is_clean())
+    }
+}
+
+/// The shipped kernels (generated + hand-written), each at both
+/// precisions the evaluation runs (F32 and F64).
+pub fn suite() -> Vec<SuiteEntry> {
+    let mut out = Vec::new();
+    for real in [ScalarKind::F32, ScalarKind::F64] {
+        for p in programs::all_programs() {
+            let lowered =
+                p.lower(real).unwrap_or_else(|e| panic!("{} fails to lower: {e}", p.name));
+            let assumptions = generated_assumptions(&p, &lowered);
+            out.push(SuiteEntry {
+                kernel: lowered.kernel,
+                precision: real,
+                assumptions,
+                fixture: false,
+            });
+        }
+        for k in handwritten::all_kernels() {
+            let assumptions = handwritten_assumptions(&k);
+            out.push(SuiteEntry {
+                kernel: k.resolve_real(real),
+                precision: real,
+                assumptions,
+                fixture: false,
+            });
+        }
+    }
+    out
+}
+
+/// [`suite`] plus the deliberately broken [`fixtures`].
+pub fn suite_with_fixtures() -> Vec<SuiteEntry> {
+    let mut out = suite();
+    out.extend(fixtures::entries());
+    out
+}
+
+/// Runs both verification levels over every entry. Tape compilation uses
+/// a scratch device; kernels without a tape (none in the current suite)
+/// report `tape: None`.
+pub fn run_suite(entries: &[SuiteEntry]) -> Vec<SuiteReport> {
+    let dev = Device::gtx780();
+    entries
+        .iter()
+        .map(|e| {
+            let kast = verify_kernel(&e.kernel, &e.assumptions);
+            let tape = dev.compile(&e.kernel).ok().and_then(|prep| vgpu::verify_prepared(&prep));
+            SuiteReport {
+                name: e.kernel.name.clone(),
+                precision: e.precision,
+                kast,
+                tape,
+                fixture: e.fixture,
+            }
+        })
+        .collect()
+}
+
+// ---- contracts ----
+
+/// Derives the contract for a generated kernel from its lowering: the
+/// launch global size, one `≥ 1` bound per size argument, and buffer
+/// lengths from the source program's parameter types (inputs) and the
+/// lowered output type. Content facts for the boundary gather tables are
+/// layered on top by [`boundary_table_facts`].
+fn generated_assumptions(p: &Program, lowered: &LoweredKernel) -> Assumptions {
+    let mut asm = Assumptions {
+        global_size: lowered.global_size.iter().cloned().map(Some).collect(),
+        ..Assumptions::default()
+    };
+    for (param, spec) in lowered.kernel.params.iter().zip(&lowered.args) {
+        match spec {
+            ArgSpec::Size(n) => asm.size_bounds.push((n.clone(), 1)),
+            ArgSpec::Input(pid, _) if param.is_buffer => {
+                let ty = p.params.iter().find(|d| d.id == *pid).and_then(|d| d.ty.clone());
+                if let Some(ty) = ty {
+                    asm.buffers.insert(param.name.clone(), BufferFacts::sized(ty.scalar_count()));
+                }
+            }
+            ArgSpec::Output(_, ty) => {
+                asm.buffers.insert(param.name.clone(), BufferFacts::sized(ty.scalar_count()));
+            }
+            _ => {}
+        }
+    }
+    boundary_table_facts(&mut asm);
+    asm
+}
+
+/// The data invariants of the boundary-handling tables, shared by the
+/// generated and hand-written FI-MM/FD-MM kernels (and cross-checked
+/// dynamically by the differential harness):
+///
+/// * `boundaryIndices` holds pairwise-distinct grid cells in `[0, N−1]`
+///   (each boundary node appears once);
+/// * `material` holds material ids in `[0, NM−1]`;
+/// * the FD-MM aliased sizes satisfy `S = MB·numB` (state arrays) and
+///   `MBM = NM·MB` (coefficient tables).
+fn boundary_table_facts(asm: &mut Assumptions) {
+    if let Some(b) = asm.buffers.get_mut("boundaryIndices") {
+        *b = b
+            .clone()
+            .with_values(SymRange::new(ArithExpr::cst(0), ArithExpr::var("N") - ArithExpr::cst(1)))
+            .with_distinct();
+    }
+    if let Some(b) = asm.buffers.get_mut("material") {
+        *b = b.clone().with_values(SymRange::new(
+            ArithExpr::cst(0),
+            ArithExpr::var("NM") - ArithExpr::cst(1),
+        ));
+    }
+    let has_size = |asm: &Assumptions, n: &str| asm.size_bounds.iter().any(|(s, _)| s == n);
+    if has_size(asm, "S") {
+        asm.defines.push(("S".into(), ArithExpr::var("MB") * ArithExpr::var("numB")));
+    }
+    if has_size(asm, "MBM") {
+        asm.defines.push(("MBM".into(), ArithExpr::var("NM") * ArithExpr::var("MB")));
+    }
+}
+
+/// The contract a hand-written reference kernel is launched under (see
+/// `room_acoustics::vgpu_sim::HandwrittenSim`): global sizes are left
+/// unbounded (`None`) because every kernel guards with an in-kernel
+/// `return_if`, and buffer lengths match the sim's allocations.
+fn handwritten_assumptions(k: &Kernel) -> Assumptions {
+    let mut asm =
+        Assumptions { global_size: vec![None; usize::from(k.work_dim)], ..Assumptions::default() };
+    let dims = || [ArithExpr::var("Nx"), ArithExpr::var("Ny"), ArithExpr::var("Nz")];
+    let n3 = || ArithExpr::var("Nx") * ArithExpr::var("Ny") * ArithExpr::var("Nz");
+    match k.name.as_str() {
+        "volume_handling_hand" => {
+            for b in ["next", "curr", "prev"] {
+                asm.buffers.insert(b.into(), BufferFacts::sized(n3()));
+            }
+            // `nbrs[lin(gid)] > 0` implies the cell is interior: the mask
+            // is built from the 6-neighbour count, which is < 6 on every
+            // face cell and the sim zeroes it outside the room.
+            asm.buffers.insert("nbrs".into(), BufferFacts::sized(n3()).with_interior_mask());
+            asm.interior_dims = dims().to_vec();
+            for d in ["Nx", "Ny", "Nz"] {
+                asm.size_bounds.push((d.into(), 1));
+            }
+        }
+        "fi_single_hand" => {
+            for b in ["next", "curr", "prev"] {
+                asm.buffers.insert(b.into(), BufferFacts::sized(n3()));
+            }
+            // `nbr` starts at 6 and is zeroed by the halo check, so
+            // `nbr > 0` is exactly the interior predicate.
+            asm.interior_guards.push("nbr".into());
+            asm.interior_dims = dims().to_vec();
+            for d in ["Nx", "Ny", "Nz"] {
+                asm.size_bounds.push((d.into(), 1));
+            }
+        }
+        "fimm_boundary_hand" | "fdmm_boundary_hand" => {
+            let n = || ArithExpr::var("N");
+            let num_b = || ArithExpr::var("numB");
+            asm.buffers.insert("boundaryIndices".into(), BufferFacts::sized(num_b()));
+            asm.buffers.insert("nbrs".into(), BufferFacts::sized(n()));
+            asm.buffers.insert("material".into(), BufferFacts::sized(num_b()));
+            asm.buffers.insert("beta".into(), BufferFacts::sized(ArithExpr::var("NM")));
+            asm.buffers.insert("next".into(), BufferFacts::sized(n()));
+            asm.buffers.insert("prev".into(), BufferFacts::sized(n()));
+            for d in ["numB", "N", "NM"] {
+                asm.size_bounds.push((d.into(), 1));
+            }
+            if k.name == "fdmm_boundary_hand" {
+                let mb = || ArithExpr::var("MB");
+                for b in ["BI", "D", "DI", "F"] {
+                    asm.buffers.insert(b.into(), BufferFacts::sized(ArithExpr::var("NM") * mb()));
+                }
+                for b in ["g1", "v1", "v2"] {
+                    asm.buffers.insert(b.into(), BufferFacts::sized(mb() * num_b()));
+                }
+                asm.size_bounds.push(("MB".into(), 1));
+            }
+            boundary_table_facts(&mut asm);
+        }
+        other => panic!("no launch contract registered for hand-written kernel `{other}`"),
+    }
+    asm
+}
+
+// ---- reporting ----
+
+/// Short per-precision label.
+fn prec(k: ScalarKind) -> &'static str {
+    match k {
+        ScalarKind::F32 => "f32",
+        ScalarKind::F64 => "f64",
+        _ => "?",
+    }
+}
+
+/// Renders the diagnostics table: one row per verified kernel variant,
+/// then a deduplicated detail block for every unproven site, unproven
+/// race map and tape finding.
+pub fn render_table(reports: &[SuiteReport]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let wname = reports.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+    let _ = writeln!(
+        s,
+        "{:wname$}  {:4}  {:>7}  {:>7}  {:>4}  verdict",
+        "kernel", "prec", "bounds", "races", "tape"
+    );
+    for r in reports {
+        let sp = r.kast.sites.iter().filter(|x| x.verdict == Verdict::Proven).count();
+        let rp = r.kast.races.iter().filter(|x| x.verdict == RaceVerdict::ProvenDisjoint).count();
+        let tf = r.tape.as_ref().map_or(0, |t| t.findings.len());
+        let verdict = if r.is_proven() {
+            "PROVEN-SAFE".to_string()
+        } else if r.fixture {
+            "FLAGGED (fixture, expected)".to_string()
+        } else {
+            "POTENTIAL".to_string()
+        };
+        let _ = writeln!(
+            s,
+            "{:wname$}  {:4}  {:>7}  {:>7}  {:>4}  {verdict}",
+            r.name,
+            prec(r.precision),
+            format!("{sp}/{}", r.kast.sites.len()),
+            format!("{rp}/{}", r.kast.races.len()),
+            tf,
+        );
+    }
+    let bad_sites = lift::verify::dedupe_sites(
+        reports
+            .iter()
+            .flat_map(|r| r.kast.sites.iter())
+            .filter(|x| x.verdict != Verdict::Proven)
+            .cloned()
+            .collect(),
+    );
+    let bad_races = lift::verify::dedupe_races(
+        reports
+            .iter()
+            .flat_map(|r| r.kast.races.iter())
+            .filter(|x| x.verdict != RaceVerdict::ProvenDisjoint)
+            .cloned()
+            .collect(),
+    );
+    if !bad_sites.is_empty() || !bad_races.is_empty() {
+        let _ = writeln!(s, "\nunproven sites:");
+        for x in &bad_sites {
+            let _ = writeln!(
+                s,
+                "  {}: site {} {} `{}` index {} range {} — {}",
+                x.kernel, x.site, x.kind, x.buffer, x.index, x.range, x.reason
+            );
+        }
+        for x in &bad_races {
+            let what = match &x.verdict {
+                RaceVerdict::Definite { element } => {
+                    format!("definite write-race on element {element}")
+                }
+                _ => "write-race unproven".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "  {}: buffer `{}` sites {:?} — {what}{}{}",
+                x.kernel,
+                x.buffer,
+                x.sites,
+                if x.reason.is_empty() { "" } else { ": " },
+                x.reason
+            );
+        }
+    }
+    let tape_findings: Vec<(String, String)> = reports
+        .iter()
+        .filter_map(|r| r.tape.as_ref())
+        .flat_map(|t| {
+            t.findings
+                .iter()
+                .map(move |f| (t.kernel.clone(), format!("[{}] pc {}: {}", f.pass, f.pc, f.detail)))
+        })
+        .collect();
+    if !tape_findings.is_empty() {
+        let _ = writeln!(s, "\ntape findings:");
+        let mut seen: Vec<&(String, String)> = Vec::new();
+        for x in &tape_findings {
+            if !seen.contains(&x) {
+                seen.push(x);
+                let _ = writeln!(s, "  {}: {}", x.0, x.1);
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shipped_kernel_is_proven() {
+        for r in run_suite(&suite()) {
+            assert!(
+                r.is_proven(),
+                "{} ({}) unproven:\n{:#?}\n{:#?}",
+                r.name,
+                prec(r.precision),
+                r.kast.sites.iter().filter(|s| s.verdict != Verdict::Proven).collect::<Vec<_>>(),
+                r.kast.races
+            );
+        }
+    }
+
+    #[test]
+    fn fixtures_are_flagged() {
+        let reports = run_suite(&fixtures::entries());
+        let racy = reports.iter().find(|r| r.name == "fixture_racy").unwrap();
+        let oob = reports.iter().find(|r| r.name == "fixture_oob").unwrap();
+        // the racy fixture is in-bounds but collides on element 3
+        assert!(racy.kast.sites.iter().all(|s| s.verdict == Verdict::Proven));
+        assert!(racy.kast.races.iter().any(|r| {
+            r.buffer == "out"
+                && matches!(&r.verdict, RaceVerdict::Definite { element } if element == "3")
+        }));
+        // the OOB fixture races nowhere but overruns `out`
+        assert!(oob.kast.races.iter().all(|r| r.verdict == RaceVerdict::ProvenDisjoint));
+        assert!(oob.kast.sites.iter().any(|s| {
+            s.verdict == Verdict::Potential && s.buffer == "out" && s.reason.contains("upper bound")
+        }));
+    }
+}

@@ -33,7 +33,7 @@ use lift::kast::MemSpace;
 use lift::prelude::{BinOp, Intrinsic, ScalarKind, UnOp, Value};
 
 /// Register index.
-type R = u32;
+pub(crate) type R = u32;
 
 /// Statically-known register kind (the bit-pattern interpretation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -910,7 +910,7 @@ fn validate(c: &Compiled) -> bool {
 /// The destination register an op writes, if any. `MaxOne` both reads and
 /// writes its `dst`; callers that need read sets must also consult
 /// [`visit_srcs`].
-fn op_dst(op: &Op) -> Option<R> {
+pub(crate) fn op_dst(op: &Op) -> Option<R> {
     match *op {
         Op::Const { dst, .. }
         | Op::Gid { dst, .. }
@@ -989,7 +989,7 @@ fn op_dst_mut(op: &mut Op) -> Option<&mut R> {
 }
 
 /// Visits every register an op reads.
-fn visit_srcs(op: &Op, f: &mut impl FnMut(R)) {
+pub(crate) fn visit_srcs(op: &Op, f: &mut impl FnMut(R)) {
     match *op {
         Op::Mov { src, .. }
         | Op::Cast { src, .. }

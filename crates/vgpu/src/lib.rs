@@ -62,6 +62,7 @@ pub mod host_exec;
 pub mod perfmodel;
 pub mod profile;
 pub mod telemetry;
+pub mod verify;
 
 pub use buffer::BufData;
 pub use device::{Arg, BufId, Device, KernelEvent};
@@ -70,3 +71,4 @@ pub use host_exec::{run_host_program, HostEnv, HostRun, TransferTotals};
 pub use perfmodel::{modeled_time_s, updates_per_second, ModelInput};
 pub use profile::DeviceProfile;
 pub use telemetry::{TraceMode, TrackId};
+pub use verify::{verify_prepared, TapeFinding, TapePass, TapeReport};
