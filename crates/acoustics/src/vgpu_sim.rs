@@ -111,16 +111,24 @@ impl HandwrittenSim {
         let real = precision.kind();
         let n = setup.dims().total();
         let nb = setup.num_b();
-        let volume = device
-            .compile(&handwritten::volume_kernel().resolve_real(real))
-            .expect("volume kernel compiles");
+        // Compile through the process-wide artifact cache: every room of a
+        // given boundary model and precision uses byte-identical kernels, so
+        // a batch of sims shares one prepared artifact per kernel (and, via
+        // the shared id, one launch plan across all their devices).
+        let volume = (*vgpu::compile_cached(&handwritten::volume_kernel().resolve_real(real))
+            .expect("volume kernel compiles"))
+        .clone();
         let boundary = match boundary_kind {
-            BoundaryKernel::FiMm { beta_constant } => device
-                .compile(&handwritten::fimm_kernel(beta_constant).resolve_real(real))
-                .expect("FI-MM kernel compiles"),
-            BoundaryKernel::FdMm => device
-                .compile(&handwritten::fdmm_kernel().resolve_real(real))
-                .expect("FD-MM kernel compiles"),
+            BoundaryKernel::FiMm { beta_constant } => {
+                (*vgpu::compile_cached(&handwritten::fimm_kernel(beta_constant).resolve_real(real))
+                    .expect("FI-MM kernel compiles"))
+                .clone()
+            }
+            BoundaryKernel::FdMm => {
+                (*vgpu::compile_cached(&handwritten::fdmm_kernel().resolve_real(real))
+                    .expect("FD-MM kernel compiles"))
+                .clone()
+            }
         };
         let prev = device.create_buffer(real, n);
         let curr = device.create_buffer(real, n);

@@ -1,0 +1,59 @@
+//! Interleaving single- and double-precision rooms must not thrash the
+//! launch-plan cache: precision is part of both the artifact fingerprint
+//! (f32 and f64 kernels are distinct artifacts with distinct prepared ids)
+//! and the binding kind signature, so each variant owns its own plan and
+//! fresh rooms adopt plans from the process-wide shared map.
+//!
+//! Regression: plans used to be private per device, so every new room
+//! replanned all its kernels — `vgpu.plan.misses` grew linearly with room
+//! count instead of staying flat after warmup.
+//!
+//! Runs in its own test binary so the counter deltas below only see this
+//! file's launches.
+
+use room_acoustics::{
+    BoundaryKernel, GridDims, HandwrittenSim, Precision, RoomShape, SimConfig, SimSetup,
+};
+use vgpu::{telemetry, Device, ExecMode};
+
+fn room(precision: Precision) -> HandwrittenSim {
+    let setup = SimSetup::new(&SimConfig::fimm(GridDims::cube(9), RoomShape::Box));
+    HandwrittenSim::new(
+        setup,
+        precision,
+        BoundaryKernel::FiMm { beta_constant: false },
+        Device::gtx780(),
+    )
+}
+
+#[test]
+fn interleaved_precisions_keep_plan_misses_flat() {
+    // Warmup: the first single and double rooms resolve (and publish)
+    // their volume and boundary plans.
+    for precision in [Precision::Single, Precision::Double] {
+        let mut sim = room(precision);
+        sim.impulse(4, 4, 4, 1.0);
+        sim.step(ExecMode::Fast);
+    }
+    let reg = telemetry::registry();
+    let misses0 = reg.counter("vgpu.plan.misses").get();
+    let shared0 = reg.counter("vgpu.plan.shared_hits").get();
+
+    // Interleave fresh rooms of alternating precision: every launch either
+    // hits the room's own cache or adopts a shared plan — never replans.
+    for _ in 0..3 {
+        for precision in [Precision::Single, Precision::Double] {
+            let mut sim = room(precision);
+            sim.impulse(4, 4, 4, 1.0);
+            for _ in 0..2 {
+                sim.step(ExecMode::Fast);
+            }
+        }
+    }
+    let misses = reg.counter("vgpu.plan.misses").get() - misses0;
+    assert_eq!(misses, 0, "interleaved f32/f64 rooms must not replan after warmup");
+    assert!(
+        reg.counter("vgpu.plan.shared_hits").get() - shared0 > 0,
+        "fresh rooms adopt plans from the shared map"
+    );
+}

@@ -1,0 +1,309 @@
+//! The job-queue executor: worker threads draining a scenario queue.
+//!
+//! [`BatchExecutor::submit`] enqueues a [`Scenario`] and returns a
+//! [`JobHandle`]; a fixed pool of worker threads pops jobs, runs each room
+//! on its own [`vgpu::Device`], and delivers a [`JobResult`] (impulse
+//! response at the microphone plus run stats) through the handle. Workers
+//! never share mutable simulation state — what they *do* share is the
+//! process-wide artifact cache ([`vgpu::artifact`]), so every room after
+//! the first of a given kernel class skips compilation, launch planning,
+//! and static verification.
+//!
+//! Each job starts with [`vgpu::exec::reset_fallback_dedupe`], so fallback
+//! and divergence audit records are deduplicated *per job*, not once per
+//! process: the first job of a long batch cannot swallow later jobs'
+//! records (the audit counters count every launch regardless).
+//!
+//! Panics inside a job (including the differential engine's bit-exactness
+//! assertions) are caught and reported as that job's error string — one bad
+//! room fails its job, not the batch.
+
+use crate::scenario::Scenario;
+use room_acoustics::{handwritten, HandwrittenSim, SimSetup};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use vgpu::{Device, Engine, ExecMode};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Worker threads draining the queue.
+    pub threads: usize,
+    /// Engine override for every job's device (`None` → `VGPU_ENGINE`).
+    pub engine: Option<Engine>,
+    /// Execution mode for every launch.
+    pub mode: ExecMode,
+    /// Enable the per-launch write-race detector.
+    pub race_check: bool,
+    /// When set, write a per-job telemetry sidecar JSON into this
+    /// directory (`job_<id>.telemetry.json`).
+    pub sidecar_dir: Option<PathBuf>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            threads: 2,
+            engine: None,
+            mode: ExecMode::Fast,
+            race_check: false,
+            sidecar_dir: None,
+        }
+    }
+}
+
+/// What a completed job returns.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// Pressure at the microphone after each step.
+    pub impulse_response: Vec<f64>,
+    /// Field energy after the last step.
+    pub energy: f64,
+    /// Wall-clock of the step loop in milliseconds.
+    pub wall_ms: f64,
+    /// Kernel launches issued (volume + boundary, all steps).
+    pub launches: usize,
+    /// True when the static verifier proved both kernels clean (memoized
+    /// process-wide per kernel artifact).
+    pub verifier_clean: bool,
+    /// Path of the telemetry sidecar, when one was written.
+    pub sidecar: Option<PathBuf>,
+}
+
+/// Result delivered through a [`JobHandle`].
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The scenario the job ran.
+    pub scenario: Scenario,
+    /// Output, or the panic/error message of a failed job.
+    pub outcome: Result<JobOutput, String>,
+}
+
+/// Waitable handle to one submitted job.
+pub struct JobHandle {
+    rx: Receiver<JobResult>,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().expect("worker delivers a result for every job")
+    }
+}
+
+type Job = (Scenario, Sender<JobResult>);
+
+/// Multi-threaded batch executor (see module docs).
+pub struct BatchExecutor {
+    cfg: BatchConfig,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchExecutor {
+    /// Starts `cfg.threads` workers.
+    pub fn new(cfg: BatchConfig) -> BatchExecutor {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.threads.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("batch-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the pop, not the job.
+                        let job = rx.lock().unwrap().recv();
+                        match job {
+                            Ok((scenario, done)) => {
+                                let result = run_job(&cfg, scenario);
+                                // A dropped handle just means nobody waits.
+                                let _ = done.send(result);
+                            }
+                            Err(_) => break, // queue closed: executor dropped
+                        }
+                    })
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        BatchExecutor { cfg, tx: Some(tx), workers }
+    }
+
+    /// The configuration the executor was started with.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// Enqueues a scenario; returns the handle its result arrives on.
+    pub fn submit(&self, scenario: Scenario) -> JobHandle {
+        let (done_tx, done_rx) = channel();
+        self.tx
+            .as_ref()
+            .expect("executor is running")
+            .send((scenario, done_tx))
+            .expect("workers are alive while the executor exists");
+        JobHandle { rx: done_rx }
+    }
+
+    /// Submits every scenario, then waits for all of them (results in
+    /// submission order, regardless of completion order).
+    pub fn run_all(&self, scenarios: Vec<Scenario>) -> Vec<JobResult> {
+        let handles: Vec<JobHandle> = scenarios.into_iter().map(|s| self.submit(s)).collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+}
+
+impl Drop for BatchExecutor {
+    fn drop(&mut self) {
+        self.tx.take(); // close the queue → workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Runs one job on the calling worker thread, converting panics (e.g. the
+/// differential engine's bit-exactness assertion) into job errors.
+fn run_job(cfg: &BatchConfig, scenario: Scenario) -> JobResult {
+    // Job-scoped audit dedupe: this job's fallback/divergence records are
+    // fresh even if an earlier job on this worker reported the same cause.
+    vgpu::exec::reset_fallback_dedupe();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_sim(cfg, &scenario))).unwrap_or_else(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "job panicked".to_string());
+        Err(format!("panic: {msg}"))
+    });
+    JobResult { scenario, outcome }
+}
+
+fn run_sim(cfg: &BatchConfig, sc: &Scenario) -> Result<JobOutput, String> {
+    let setup = SimSetup::new(&sc.config());
+    let mut device = Device::gtx780();
+    if let Some(engine) = cfg.engine {
+        device.set_engine(engine);
+    }
+    device.set_race_check(cfg.race_check);
+
+    // Static-verification gate through the memoized verdict cache: the
+    // lookups below hit the same artifacts `HandwrittenSim::new` compiles,
+    // so a whole batch pays the verifier once per distinct kernel.
+    let real = sc.precision.kind();
+    let mut verifier_clean = true;
+    let volume = vgpu::compile_cached(&handwritten::volume_kernel().resolve_real(real))
+        .map_err(|e| format!("volume kernel: {e:?}"))?;
+    let boundary_kernel = match sc.boundary_kernel() {
+        room_acoustics::BoundaryKernel::FiMm { beta_constant } => {
+            handwritten::fimm_kernel(beta_constant).resolve_real(real)
+        }
+        room_acoustics::BoundaryKernel::FdMm => handwritten::fdmm_kernel().resolve_real(real),
+    };
+    let boundary =
+        vgpu::compile_cached(&boundary_kernel).map_err(|e| format!("boundary kernel: {e:?}"))?;
+    for prep in [&volume, &boundary] {
+        if let Some(report) = vgpu::verify_cached(prep) {
+            verifier_clean &= report.is_clean();
+        }
+    }
+
+    let mut sim = HandwrittenSim::new(setup, sc.precision, sc.boundary_kernel(), device);
+    let (sx, sy, sz) = sc.source;
+    sim.impulse(sx, sy, sz, sc.amp);
+
+    let (mx, my, mz) = sc.mic;
+    let t0 = Instant::now();
+    let mut impulse_response = Vec::with_capacity(sc.steps);
+    for _ in 0..sc.steps {
+        sim.step(cfg.mode);
+        impulse_response.push(sim.sample(mx, my, mz));
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let energy = sim.energy();
+    let launches = sim.device.events().len();
+    let sidecar = cfg.sidecar_dir.as_ref().and_then(|dir| {
+        write_sidecar(dir, sc, &sim, energy, wall_ms, verifier_clean)
+            .map_err(|e| eprintln!("sidecar for {}: {e}", sc.label()))
+            .ok()
+    });
+
+    Ok(JobOutput { impulse_response, energy, wall_ms, launches, verifier_clean, sidecar })
+}
+
+/// Writes the per-job telemetry sidecar: scenario parameters, per-kernel
+/// launch totals from this job's device event log, and the process-wide
+/// artifact-cache occupancy at completion time.
+fn write_sidecar(
+    dir: &std::path::Path,
+    sc: &Scenario,
+    sim: &HandwrittenSim,
+    energy: f64,
+    wall_ms: f64,
+    verifier_clean: bool,
+) -> std::io::Result<PathBuf> {
+    #[derive(Default)]
+    struct KernelAgg {
+        launches: u64,
+        wall_us: f64,
+        flops: u64,
+        bytes_loaded: u64,
+        bytes_stored: u64,
+        modeled_us: f64,
+    }
+    let mut kernels: BTreeMap<String, KernelAgg> = BTreeMap::new();
+    for ev in sim.device.events() {
+        let agg = kernels.entry(ev.name.clone()).or_default();
+        agg.launches += 1;
+        agg.wall_us += ev.stats.wall.as_secs_f64() * 1e6;
+        agg.flops += ev.stats.counters.flops;
+        agg.bytes_loaded += ev.stats.counters.bytes_loaded;
+        agg.bytes_stored += ev.stats.counters.bytes_stored;
+        agg.modeled_us += ev.modeled_s.unwrap_or(0.0) * 1e6;
+    }
+    let (compiled, plans, verdicts) = vgpu::artifact::cache_sizes();
+    let doc = json!({
+        "job": sc.id,
+        "label": sc.label(),
+        "scenario": {
+            "dims": [sc.dims.nx, sc.dims.ny, sc.dims.nz],
+            "shape": format!("{:?}", sc.shape),
+            "boundary": sc.boundary.label(),
+            "precision": sc.precision.label(),
+            "steps": sc.steps,
+            "source": [sc.source.0, sc.source.1, sc.source.2],
+            "mic": [sc.mic.0, sc.mic.1, sc.mic.2],
+            "amp": sc.amp,
+        },
+        "result": {
+            "energy": energy,
+            "wall_ms": wall_ms,
+            "verifier_clean": verifier_clean,
+        },
+        "kernels": kernels.iter().map(|(name, a)| json!({
+            "name": name,
+            "launches": a.launches,
+            "wall_us": a.wall_us,
+            "flops": a.flops,
+            "bytes_loaded": a.bytes_loaded,
+            "bytes_stored": a.bytes_stored,
+            "modeled_us": a.modeled_us,
+        })).collect::<Vec<_>>(),
+        "artifact_cache": {
+            "compiled": compiled,
+            "plans": plans,
+            "verdicts": verdicts,
+        },
+    });
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("job_{}.telemetry.json", sc.id));
+    let text = serde_json::to_string_pretty(&doc).map_err(std::io::Error::from)?;
+    std::fs::write(&path, text)?;
+    Ok(path)
+}

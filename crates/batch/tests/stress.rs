@@ -1,0 +1,67 @@
+//! Threaded stress: parallel jobs sharing the process-wide artifact cache
+//! and counter registry must be bit-identical to a serial run of the same
+//! scenarios, with every launch under the differential engine (tree, tape,
+//! and vector legs asserted bit-equal inside each launch).
+//!
+//! The tests serialise on [`COUNTERS`] because artifact/plan counters are
+//! process-global and both tests read deltas.
+
+use batch::{BatchConfig, BatchExecutor, ScenarioGen};
+use std::sync::Mutex;
+use vgpu::{telemetry, Engine};
+
+static COUNTERS: Mutex<()> = Mutex::new(());
+
+fn diff_config(threads: usize) -> BatchConfig {
+    BatchConfig { threads, engine: Some(Engine::Differential), ..Default::default() }
+}
+
+#[test]
+fn parallel_batch_is_bit_identical_to_serial_under_diff() {
+    let _guard = COUNTERS.lock().unwrap();
+    let scenarios = ScenarioGen::new(2024).take(10);
+
+    let serial = BatchExecutor::new(diff_config(1)).run_all(scenarios.clone());
+    let parallel = BatchExecutor::new(diff_config(4)).run_all(scenarios);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        let label = s.scenario.label();
+        let so = s.outcome.as_ref().unwrap_or_else(|e| panic!("serial {label}: {e}"));
+        let po = p.outcome.as_ref().unwrap_or_else(|e| panic!("parallel {label}: {e}"));
+        // Bit-identical, not approximately equal: same kernels, same plans,
+        // same engines — threading must not change a single ulp.
+        assert!(
+            so.impulse_response == po.impulse_response,
+            "{label}: parallel impulse response diverged from serial"
+        );
+        assert_eq!(so.energy.to_bits(), po.energy.to_bits(), "{label}: energy diverged");
+        assert!(
+            so.impulse_response.iter().any(|v| *v != 0.0),
+            "{label}: impulse response is silent — mic never heard the source"
+        );
+        assert!(so.verifier_clean, "{label}: static verifier flagged a shipped kernel");
+    }
+}
+
+#[test]
+fn concurrent_rooms_share_compiled_artifacts() {
+    let _guard = COUNTERS.lock().unwrap();
+    let reg = telemetry::registry();
+    let hits0 = reg.counter("vgpu.artifact.hits").get();
+    let misses0 = reg.counter("vgpu.artifact.misses").get();
+
+    let results = BatchExecutor::new(diff_config(3)).run_all(ScenarioGen::new(7).take(16));
+    for r in &results {
+        assert!(r.outcome.is_ok(), "{}: {:?}", r.scenario.label(), r.outcome);
+    }
+
+    let hits = reg.counter("vgpu.artifact.hits").get() - hits0;
+    let misses = reg.counter("vgpu.artifact.misses").get() - misses0;
+    // 16 rooms × (volume + boundary + the executor's verifier lookups):
+    // only the first sighting of each kernel class may miss.
+    assert!(
+        hits as f64 / (hits + misses) as f64 >= 0.8,
+        "cross-room artifact hit rate too low: {hits} hits / {misses} misses"
+    );
+}

@@ -1,0 +1,106 @@
+//! Throughput and cache-effectiveness benchmark for the batched multi-room
+//! service, and the CI batch smoke gate.
+//!
+//! Runs a seeded mixed batch (shapes × boundaries × precisions) through
+//! [`batch::BatchExecutor`] with the write-race detector on, prints one
+//! JSON record (rooms/sec, cross-room artifact-cache hit rate, plan-cache
+//! traffic, provenance fields), and exits nonzero on any regression a
+//! batch must never ship with:
+//!
+//! * a failed job (includes differential-engine mismatches and write races);
+//! * a static-verifier finding on a shipped kernel;
+//! * any tape/vector fallback — the handwritten kernels must stay on the
+//!   vectorized engine;
+//! * a cross-room artifact hit rate below 90% (batches of ≥ 32 rooms).
+//!
+//! With `VGPU_TRACE` set, per-job telemetry sidecars land in
+//! `results/batch/`. Usage: `batch_bench [rooms] [threads] [seed]`
+//! (defaults 64, 4, 42).
+
+use batch::{BatchConfig, BatchExecutor, ScenarioGen};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use vgpu::telemetry::{self, TraceMode};
+use vgpu::ExecMode;
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/batch")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rooms: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let engine = bench::provenance::engine_label();
+    let vgpu_threads = bench::provenance::threads();
+    let plan_cache = bench::provenance::plan_cache_state();
+
+    let reg = telemetry::registry();
+    let counter = |name: &str| reg.counter(name).get();
+    let art_hits0 = counter("vgpu.artifact.hits");
+    let art_misses0 = counter("vgpu.artifact.misses");
+    let plan_misses0 = counter("vgpu.plan.misses");
+    let shared0 = counter("vgpu.plan.shared_hits");
+    let fallbacks0 = counter("vgpu.tape.fallbacks") + counter("vgpu.vector.fallbacks");
+
+    let scenarios = ScenarioGen::new(seed).take(rooms);
+    let exec = BatchExecutor::new(BatchConfig {
+        threads,
+        engine: None, // VGPU_ENGINE, like every other bench
+        mode: ExecMode::Fast,
+        race_check: true,
+        sidecar_dir: (telemetry::mode() != TraceMode::Off).then(results_dir),
+    });
+    let t0 = Instant::now();
+    let results = exec.run_all(scenarios);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|r| r.outcome.as_ref().err().map(|e| format!("{}: {e}", r.scenario.label())))
+        .collect();
+    let verifier_clean =
+        results.iter().filter_map(|r| r.outcome.as_ref().ok()).all(|o| o.verifier_clean);
+
+    let art_hits = counter("vgpu.artifact.hits") - art_hits0;
+    let art_misses = counter("vgpu.artifact.misses") - art_misses0;
+    let hit_rate = art_hits as f64 / (art_hits + art_misses).max(1) as f64;
+    let fallbacks = counter("vgpu.tape.fallbacks") + counter("vgpu.vector.fallbacks") - fallbacks0;
+
+    println!(
+        "{{\"bench\":\"batch\",\"rooms\":{rooms},\"threads\":{threads},\"seed\":{seed},\
+         \"engine\":\"{engine}\",\"vgpu_threads\":{vgpu_threads},\"plan_cache\":\"{plan_cache}\",\
+         \"wall_s\":{wall_s:.3},\"rooms_per_sec\":{:.2},\
+         \"artifact_hits\":{art_hits},\"artifact_misses\":{art_misses},\
+         \"artifact_hit_rate\":{hit_rate:.4},\
+         \"plan_misses\":{},\"plan_shared_hits\":{},\
+         \"fallbacks\":{fallbacks},\"failures\":{},\"verifier_clean\":{verifier_clean}}}",
+        rooms as f64 / wall_s,
+        counter("vgpu.plan.misses") - plan_misses0,
+        counter("vgpu.plan.shared_hits") - shared0,
+        failures.len(),
+    );
+
+    let mut bad = false;
+    for f in &failures {
+        eprintln!("FAIL job: {f}");
+        bad = true;
+    }
+    if !verifier_clean {
+        eprintln!("FAIL: static verifier flagged a shipped kernel");
+        bad = true;
+    }
+    if fallbacks > 0 {
+        eprintln!("FAIL: {fallbacks} engine fallbacks — handwritten kernels must stay vectorized");
+        bad = true;
+    }
+    if rooms >= 32 && hit_rate < 0.9 {
+        eprintln!("FAIL: cross-room artifact hit rate {hit_rate:.3} < 0.9");
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

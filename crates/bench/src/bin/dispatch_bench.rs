@@ -83,6 +83,12 @@ fn main() {
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
     let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
 
+    // Provenance: captured before any launch so the snapshot records what
+    // the measured loops actually saw (this bin drives both tape engines
+    // explicitly, so the engine field is fixed, not `VGPU_ENGINE`).
+    let plan_cache = bench::provenance::plan_cache_state();
+    let threads = bench::provenance::threads();
+
     let fast = fi_run(n, Engine::Tape).measure(steps, ExecMode::Fast);
     let model = fi_run(n, Engine::Tape).measure(steps, ExecMode::Model { sample_stride: 1 });
     let reg = telemetry::registry();
@@ -92,6 +98,7 @@ fn main() {
     let divergent = reg.counter("vgpu.warp.divergent").get() - divergent0;
     println!(
         "{{\"bench\":\"dispatch\",\"cube\":{n},\"steps\":{steps},\
+         \"engine\":\"tape+vector\",\"threads\":{threads},\"plan_cache\":\"{plan_cache}\",\
          \"fast_ms_per_step\":{fast:.4},\"model_ms_per_step\":{model:.4},\
          \"vector_fast_ms_per_step\":{vfast:.4},\"vector_model_ms_per_step\":{vmodel:.4},\
          \"divergent_warps\":{divergent},\

@@ -22,6 +22,7 @@
 
 pub mod measure;
 pub mod paper;
+pub mod provenance;
 pub mod report;
 pub mod table;
 pub mod trace;

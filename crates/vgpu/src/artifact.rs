@@ -1,0 +1,170 @@
+//! Process-wide compiled-artifact cache (DESIGN.md §10).
+//!
+//! A batched multi-room run compiles the same handful of kernels over and
+//! over: every room of a given boundary model and precision lowers to a
+//! byte-identical kernel AST, but [`exec::prepare`] hands each caller a
+//! [`Prepared`] with a fresh `id`, so the per-device launch-plan caches
+//! (keyed on that id) never line up across rooms and every job replans and
+//! re-verifies from scratch. This module deduplicates that work at the
+//! process level, across devices and worker threads:
+//!
+//! * [`compile_cached`] — content-fingerprinted `Kernel` → `Arc<Prepared>`.
+//!   Identical kernels share one `Prepared` (and therefore one `id`), which
+//!   is what makes the downstream plan and verdict caches effective.
+//! * a shared launch-plan map keyed `(prep id, binding kind signature)` that
+//!   [`Device::launch_wg`](crate::device::Device) consults after a
+//!   per-device miss, so a plan computed on one worker's device is adopted
+//!   by every other device launching the same prepared kernel.
+//! * [`verify_cached`] — memoized static-verifier verdicts
+//!   ([`verify_prepared`]) per prepared id, so a batch gate re-checking
+//!   every job pays for each distinct kernel once.
+//!
+//! Counters: `vgpu.artifact.hits` / `vgpu.artifact.misses` (compile cache),
+//! `vgpu.plan.shared_hits` (plan adopted from the shared map — the adopting
+//! device bumps neither `vgpu.plan.hits` nor `vgpu.plan.misses` for that
+//! launch), and `vgpu.verify.hits` / `vgpu.verify.misses` (verdict cache).
+//!
+//! The caches are append-only for the life of the process: entries are tiny
+//! (a `Prepared`, a `LaunchPlan`, a `TapeReport`) and the population is
+//! bounded by the number of distinct kernels the process compiles, so no
+//! eviction is needed.
+
+use crate::exec::{self, ExecError, LaunchPlan, Prepared};
+use crate::telemetry;
+use crate::verify::{verify_prepared, TapeReport};
+use lift::kast::Kernel;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Key of the shared plan map: (prepared-kernel id, binding kind signature).
+pub type PlanKey = (u64, Vec<u8>);
+
+fn compiled() -> &'static Mutex<HashMap<u64, Arc<Prepared>>> {
+    static M: OnceLock<Mutex<HashMap<u64, Arc<Prepared>>>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn plans() -> &'static Mutex<HashMap<PlanKey, Arc<LaunchPlan>>> {
+    static M: OnceLock<Mutex<HashMap<PlanKey, Arc<LaunchPlan>>>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn verdicts() -> &'static Mutex<HashMap<u64, Option<Arc<TapeReport>>>> {
+    static M: OnceLock<Mutex<HashMap<u64, Option<Arc<TapeReport>>>>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Content fingerprint of a kernel AST. Two kernels that print identically
+/// under `{:?}` (same name, params, body, work_dim — which is everything a
+/// [`Kernel`] holds) get the same fingerprint; distinct precisions resolve
+/// to distinct ASTs and therefore distinct fingerprints.
+pub fn fingerprint(kernel: &Kernel) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{kernel:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Compiles `kernel` through the process-wide artifact cache: returns the
+/// shared [`Prepared`] for its content fingerprint, preparing it on first
+/// sight. All callers handed the same `Arc` share one prepared id, so their
+/// devices' launch-plan caches (and the shared plan map) line up.
+///
+/// Preparation *errors* are not cached — a failing kernel re-fails on every
+/// call, which keeps error paths identical to [`exec::prepare`].
+pub fn compile_cached(kernel: &Kernel) -> Result<Arc<Prepared>, ExecError> {
+    let fp = fingerprint(kernel);
+    let reg = telemetry::registry();
+    if let Some(p) = compiled().lock().unwrap().get(&fp) {
+        reg.counter("vgpu.artifact.hits").inc();
+        return Ok(p.clone());
+    }
+    // Prepare outside the lock: compilation is the slow part, and a worker
+    // compiling one kernel must not serialize workers compiling others.
+    // If two workers race on the same kernel, the first insert wins so
+    // every caller still agrees on a single id; the loser's work is
+    // discarded and its miss is counted (two compilations really happened).
+    let prep = Arc::new(exec::prepare(kernel)?);
+    reg.counter("vgpu.artifact.misses").inc();
+    Ok(compiled().lock().unwrap().entry(fp).or_insert(prep).clone())
+}
+
+/// Runs the static kernel verifier through the process-wide verdict cache,
+/// keyed on the prepared id. `None` means what [`verify_prepared`] means:
+/// the kernel has no tape to verify.
+pub fn verify_cached(prep: &Prepared) -> Option<Arc<TapeReport>> {
+    let reg = telemetry::registry();
+    if let Some(v) = verdicts().lock().unwrap().get(&prep.id()) {
+        reg.counter("vgpu.verify.hits").inc();
+        return v.clone();
+    }
+    let verdict = verify_prepared(prep).map(Arc::new);
+    reg.counter("vgpu.verify.misses").inc();
+    verdicts().lock().unwrap().entry(prep.id()).or_insert(verdict).clone()
+}
+
+/// Looks up a launch plan in the shared map. Called by
+/// [`Device::launch_wg`](crate::device::Device) after a per-device miss.
+pub(crate) fn lookup_plan(key: &PlanKey) -> Option<Arc<LaunchPlan>> {
+    plans().lock().unwrap().get(key).cloned()
+}
+
+/// Publishes a freshly computed launch plan so other devices can adopt it.
+pub(crate) fn publish_plan(key: PlanKey, plan: Arc<LaunchPlan>) {
+    plans().lock().unwrap().entry(key).or_insert(plan);
+}
+
+/// Sizes of the three process-wide caches: `(compiled kernels, launch
+/// plans, verifier verdicts)`. For telemetry sidecars and tests.
+pub fn cache_sizes() -> (usize, usize, usize) {
+    (
+        compiled().lock().unwrap().len(),
+        plans().lock().unwrap().len(),
+        verdicts().lock().unwrap().len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift::kast::{KExpr, KStmt, KernelParam, MemRef};
+    use lift::prelude::ScalarKind;
+
+    fn copy_kernel(name: &str, kind: ScalarKind) -> Kernel {
+        Kernel {
+            name: name.into(),
+            params: vec![KernelParam::global_buf("x", kind), KernelParam::global_buf("out", kind)],
+            body: vec![KStmt::Store {
+                mem: MemRef::Param(1),
+                idx: KExpr::GlobalId(0),
+                value: KExpr::load(MemRef::Param(0), KExpr::GlobalId(0)),
+            }],
+            work_dim: 1,
+        }
+    }
+
+    #[test]
+    fn identical_kernels_share_one_prepared() {
+        let a = compile_cached(&copy_kernel("artifact_share", ScalarKind::F32)).unwrap();
+        let b = compile_cached(&copy_kernel("artifact_share", ScalarKind::F32)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same content must yield the same Arc");
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn precision_variants_get_distinct_artifacts() {
+        let f32 = compile_cached(&copy_kernel("artifact_prec", ScalarKind::F32)).unwrap();
+        let f64 = compile_cached(&copy_kernel("artifact_prec", ScalarKind::F64)).unwrap();
+        assert_ne!(f32.id(), f64.id(), "f32 and f64 variants are distinct artifacts");
+    }
+
+    #[test]
+    fn verifier_verdicts_are_memoized() {
+        let prep = compile_cached(&copy_kernel("artifact_verify", ScalarKind::F32)).unwrap();
+        let a = verify_cached(&prep).expect("kernel has a tape");
+        let b = verify_cached(&prep).expect("kernel has a tape");
+        assert!(Arc::ptr_eq(&a, &b), "second verify must return the cached report");
+        assert!(a.is_clean(), "trivial copy kernel verifies clean");
+    }
+}

@@ -7,6 +7,7 @@
 //! command), which matches how the paper measures kernels via the OpenCL
 //! profiling API.
 
+use crate::artifact;
 use crate::buffer::{BufData, SharedBuf};
 use crate::exec::{self, ArgBind, Engine, ExecError, ExecMode, LaunchPlan, LaunchStats, Prepared};
 use crate::perfmodel::{modeled_time_s, ModelInput};
@@ -16,7 +17,7 @@ use lift::kast::Kernel;
 use lift::prelude::{ScalarKind, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Handle to a device buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,8 +89,11 @@ pub struct Device {
     /// Launch plans memoised per (kernel id, binding signature); see
     /// [`Device::binding_sig`]. A stepping simulation re-launching the same
     /// kernel resolves argument matching and the tape-fallback decision
-    /// once instead of per step.
-    plans: HashMap<(u64, Vec<u8>), LaunchPlan>,
+    /// once instead of per step. Plans are `Arc`-shared with the
+    /// process-wide [`crate::artifact`] map, so a fresh device launching a
+    /// kernel another device already planned adopts that plan instead of
+    /// replanning.
+    plans: HashMap<(u64, Vec<u8>), Arc<LaunchPlan>>,
 }
 
 /// Bytes occupied by a buffer's payload.
@@ -133,14 +137,17 @@ impl Device {
 
     /// One byte per argument describing the launch signature a cached
     /// [`LaunchPlan`] depends on: the bound buffer's *current* element kind
-    /// for buffer args (0xFF for scalars). [`Device::write`] may change a
-    /// buffer's kind, which flips the tape-fallback decision — keying on
-    /// the kinds keeps stale plans unreachable.
+    /// for buffer args, and `0xF0 | kind` for scalar values. [`Device::write`]
+    /// may change a buffer's kind, which flips the tape-fallback decision —
+    /// keying on the kinds keeps stale plans unreachable. Scalar kinds are
+    /// part of the signature too: a plan records each scalar slot's kind, so
+    /// launches alternating single/double scalar arguments must resolve to
+    /// distinct plans rather than thrash one cache entry.
     fn binding_sig(&self, args: &[Arg]) -> Vec<u8> {
         args.iter()
             .map(|a| match a {
                 Arg::Buf(id) => self.buffers[id.0].kind() as u8,
-                Arg::Val(_) => 0xFF,
+                Arg::Val(v) => 0xF0 | v.kind() as u8,
             })
             .collect()
     }
@@ -324,20 +331,32 @@ impl Device {
             .collect();
         let reg = telemetry::registry();
         let key = (prep.id, self.binding_sig(args));
-        let plan = match self.plans.entry(key) {
+        // Two-level plan lookup: this device's own cache first, then the
+        // process-wide shared map (another device may have planned the same
+        // prepared kernel already — `vgpu.plan.shared_hits`), and only then
+        // a fresh `plan_launch`, published for other devices to adopt.
+        let plan: Arc<LaunchPlan> = match self.plans.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 reg.counter("vgpu.plan.hits").inc();
-                e.into_mut()
+                e.into_mut().clone()
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                reg.counter("vgpu.plan.misses").inc();
-                e.insert(exec::plan_launch(prep, &binds)?)
-            }
+            std::collections::hash_map::Entry::Vacant(e) => match artifact::lookup_plan(e.key()) {
+                Some(shared) => {
+                    reg.counter("vgpu.plan.shared_hits").inc();
+                    e.insert(shared).clone()
+                }
+                None => {
+                    reg.counter("vgpu.plan.misses").inc();
+                    let plan = Arc::new(exec::plan_launch(prep, &binds)?);
+                    artifact::publish_plan(e.key().clone(), plan.clone());
+                    e.insert(plan).clone()
+                }
+            },
         };
         let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
         let stats = exec::launch_planned(
             prep,
-            plan,
+            &plan,
             &binds,
             global,
             local,

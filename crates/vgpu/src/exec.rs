@@ -231,6 +231,13 @@ impl Prepared {
     pub fn has_tape(&self) -> bool {
         self.tape.is_some()
     }
+
+    /// The process-unique prepared-kernel id. Clones (including clones of a
+    /// shared [`crate::artifact::compile_cached`] artifact) share it, which
+    /// is what lets launch-plan and verdict caches line up across devices.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 struct PrepCtx {
@@ -1046,30 +1053,46 @@ fn tape_usable(prep: &Prepared, bufs: &[Option<&SharedBuf>]) -> bool {
 /// One reported fallback/divergence cause: (event, kernel, reason).
 type FallbackKey = (&'static str, String, String);
 
-/// [`FallbackKey`]s already reported by [`note_fallback_record`], so a
-/// long-running simulation that launches the same non-compilable (or
-/// divergent) kernel thousands of times emits exactly one stderr record and
-/// one trace event per distinct cause.
-static FALLBACKS_SEEN: std::sync::OnceLock<
-    std::sync::Mutex<std::collections::HashSet<FallbackKey>>,
-> = std::sync::OnceLock::new();
+thread_local! {
+    /// [`FallbackKey`]s already reported by [`note_fallback_record`] on this
+    /// thread, so a long-running simulation that launches the same
+    /// non-compilable (or divergent) kernel thousands of times emits exactly
+    /// one stderr record and one trace event per distinct cause.
+    ///
+    /// The set is thread-local, not process-global: every `note_*` audit runs
+    /// on the launching thread (never inside rayon workers), so a batch
+    /// executor whose worker threads each run one job at a time gets
+    /// per-worker dedupe for free, and one job's records can never swallow a
+    /// concurrent job's. [`reset_fallback_dedupe`] rescopes it per job.
+    static FALLBACKS_SEEN: std::cell::RefCell<std::collections::HashSet<FallbackKey>> =
+        std::cell::RefCell::new(std::collections::HashSet::new());
+}
+
+/// Clears the calling thread's fallback/divergence dedupe set, so the next
+/// launch that falls back (or diverges) emits a fresh audit record even for
+/// a (kernel, reason) pair already reported earlier on this thread.
+///
+/// Call this at the start of each logical simulation/job: dedupe is meant to
+/// collapse the thousands of identical records *within* one run, not to
+/// let the first job of a long-running batch swallow every later job's
+/// records. Audit counters are unaffected — they count every launch/warp
+/// regardless of dedupe state.
+pub fn reset_fallback_dedupe() {
+    FALLBACKS_SEEN.with(|seen| seen.borrow_mut().clear());
+}
 
 /// The shared dedupe half of every engine-fallback audit: when tracing is
 /// on, records a [`telemetry::Event::TapeFallback`] and prints a one-line
 /// structured record to stderr — but only the *first* time each
-/// (event, kernel, reason) triple is seen in this process. Counters are the
-/// caller's job and stay truthful per launch/warp.
+/// (event, kernel, reason) triple is seen since this thread's last
+/// [`reset_fallback_dedupe`]. Counters are the caller's job and stay
+/// truthful per launch/warp.
 fn note_fallback_record(ev: &'static str, kernel: &str, reason: &str) {
     if !telemetry::enabled() {
         return;
     }
-    let seen =
-        FALLBACKS_SEEN.get_or_init(|| std::sync::Mutex::new(std::collections::HashSet::new()));
-    let first = seen.lock().expect("fallback dedupe set poisoned").insert((
-        ev,
-        kernel.to_string(),
-        reason.to_string(),
-    ));
+    let first = FALLBACKS_SEEN
+        .with(|seen| seen.borrow_mut().insert((ev, kernel.to_string(), reason.to_string())));
     if first {
         let ts_us = telemetry::now_us();
         eprintln!("{{\"ev\":{ev:?},\"kernel\":{kernel:?},\"reason\":{reason:?}}}");

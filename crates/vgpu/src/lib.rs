@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod buffer;
 pub mod bytecode;
 pub mod device;
@@ -64,6 +65,7 @@ pub mod profile;
 pub mod telemetry;
 pub mod verify;
 
+pub use artifact::{compile_cached, verify_cached};
 pub use buffer::BufData;
 pub use device::{Arg, BufId, Device, KernelEvent};
 pub use exec::{Backend, Counters, Engine, ExecError, ExecMode, LaunchPlan, LaunchStats, Prepared};

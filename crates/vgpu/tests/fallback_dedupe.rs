@@ -70,6 +70,48 @@ fn repeated_fallback_launches_emit_one_record_but_count_every_launch() {
     telemetry::set_mode(TraceMode::Off);
 }
 
+/// Dedupe is scoped per job, not per process: a batch executor calls
+/// [`vgpu::exec::reset_fallback_dedupe`] at each job start, so two
+/// back-to-back simulations that hit the same fallback cause *both* emit a
+/// record — the first job cannot swallow the second's — while the counter
+/// still counts every launch of both jobs.
+#[test]
+fn back_to_back_jobs_each_emit_their_own_record() {
+    let _guard = TELEMETRY.lock().unwrap();
+    telemetry::set_mode(TraceMode::Chrome);
+    let fallbacks0 = telemetry::registry().counter("vgpu.tape.fallbacks").get();
+    let _ = telemetry::take_events();
+
+    for _job in 0..2 {
+        vgpu::exec::reset_fallback_dedupe();
+        let mut dev = Device::gtx780();
+        dev.set_engine(Engine::Tape);
+        let prep = dev.compile(&saxpy_ish()).unwrap();
+        let x = dev.upload(BufData::from(vec![1.0f64, 2.0, 3.0, 4.0]));
+        let out = dev.upload(BufData::from(vec![0.0f64; 4]));
+        // Two fallback launches per job: deduped to one record within the
+        // job, but never across jobs.
+        for _ in 0..2 {
+            dev.launch(
+                &prep,
+                &[Arg::Buf(x), Arg::Buf(out), Arg::Val(Value::F32(2.0))],
+                &[4],
+                ExecMode::Fast,
+            )
+            .unwrap();
+        }
+    }
+
+    let fallbacks = telemetry::registry().counter("vgpu.tape.fallbacks").get() - fallbacks0;
+    assert_eq!(fallbacks, 4, "counter records every launch of both jobs");
+    let events: Vec<_> = telemetry::take_events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::TapeFallback { kernel, .. } if kernel == "dedupe_fb"))
+        .collect();
+    assert_eq!(events.len(), 2, "one record per job, not one per process: {events:?}");
+    telemetry::set_mode(TraceMode::Off);
+}
+
 /// Even lanes double, odd lanes copy — both arms store, so the branch is
 /// not if-convertible and every mixed warp genuinely diverges.
 fn div_kernel() -> Kernel {

@@ -1,23 +1,35 @@
 #!/usr/bin/env bash
-# Snapshots the dispatch-overhead benchmark into BENCH_dispatch.json at the
-# repo root, stamped with the git revision it was measured at. The committed
-# file is the before/after record behind EXPERIMENTS.md's dispatch-overhead
-# and warp-vectorization entries: re-run this script after perf-relevant
-# changes and commit the diff so regressions show up in review.
+# Snapshots the perf-tracking benchmarks into BENCH_*.json at the repo
+# root, stamped with the git revision they were measured at. The committed
+# files are the before/after records behind EXPERIMENTS.md's
+# dispatch-overhead, warp-vectorization, and batch-throughput entries:
+# re-run this script after perf-relevant changes and commit the diff so
+# regressions show up in review. Every record carries provenance fields
+# (engine, threads, warm/cold plan-cache state) — see
+# crates/bench/src/provenance.rs.
 #
-# Usage: scripts/bench_snapshot.sh [cube-edge] [steps]   (defaults 32, 60)
+# Usage: scripts/bench_snapshot.sh [cube-edge] [steps] [rooms] [batch-threads]
+#        (defaults 32, 60, 64, 4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cube="${1:-32}"
 steps="${2:-60}"
-
-cargo build --release -p bench --bin dispatch_bench
-record="$(./target/release/dispatch_bench "$cube" "$steps")"
+rooms="${3:-64}"
+batch_threads="${4:-4}"
 
 sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-# Splice provenance fields into the single-line JSON record.
-out="${record%\}},\"git_sha\":\"${sha}\",\"date\":\"${date}\"}"
-echo "$out" | tee BENCH_dispatch.json
+# Splices provenance fields into a single-line JSON record and writes it.
+snapshot() {
+  local record="$1" out_file="$2"
+  local out="${record%\}},\"git_sha\":\"${sha}\",\"date\":\"${date}\"}"
+  echo "$out" | tee "$out_file"
+}
+
+cargo build --release -p bench --bin dispatch_bench --bin batch_bench
+
+snapshot "$(./target/release/dispatch_bench "$cube" "$steps")" BENCH_dispatch.json
+# Each bench runs in its own process, so both records start plan-cold.
+snapshot "$(./target/release/batch_bench "$rooms" "$batch_threads")" BENCH_batch.json

@@ -1,0 +1,165 @@
+//! Offline shim for `criterion` 0.5: enough API for the workspace's
+//! `harness = false` bench targets to compile and produce useful output.
+//! Each `Bencher::iter` call runs a short warmup, then times a fixed number
+//! of iterations and prints mean wall-clock time per iteration — no
+//! statistical analysis, plots, or CLI.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{id}"), 10, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&label, self.sample_size, |bench| f(bench, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with an attached parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: format!("{function}"), parameter: format!("{parameter}") }
+    }
+
+    /// Parameter-only id (`from_parameter` in real criterion).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: String::new(), parameter: format!("{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+#[derive(Default)]
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, accumulating into this bencher.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup, then the timed run.
+        black_box(f());
+        let start = Instant::now();
+        black_box(f());
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+    }
+
+    fn report<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut run: F) {
+        for _ in 0..samples.saturating_sub(1) {
+            run(self);
+        }
+        if self.iters > 0 {
+            let mean_ns = self.total_ns / self.iters as u128;
+            println!("{label}: mean {:.3} ms/iter ({} iters)", mean_ns as f64 / 1e6, self.iters);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher::default();
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+    }
+    if b.iters > 0 {
+        let mean_ns = b.total_ns / b.iters as u128;
+        println!("{label}: mean {:.3} ms/iter ({} iters)", mean_ns as f64 / 1e6, b.iters);
+    }
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,586 @@
+//! Offline shim for `proptest`: strategies are deterministic seeded samplers
+//! (seeded from the test function's name, so runs are reproducible) and the
+//! `proptest!` macro drives N cases per test. No shrinking — a failing case
+//! panics with the case number so it can be re-run under a debugger; the
+//! workspace's properties are cheap enough that raw counterexamples are
+//! readable without minimisation.
+//!
+//! Covered surface: range strategies (ints and floats, half-open), `Just`,
+//! tuple strategies to 5 elements, `prop_map`, `prop_recursive`, `boxed`,
+//! `prop_oneof!`, `prop::collection::{vec, btree_set}`, `prop::array::
+//! uniform4`, `proptest::bool::ANY`, `ProptestConfig::with_cases`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+
+pub mod test_runner {
+    /// Deterministic RNG (SplitMix64) seeded from a label.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG whose stream is a pure function of `label`.
+        pub fn deterministic(label: &str) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Why a generated case did not complete.
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject,
+    /// `prop_assert!`-style failure with a rendered message.
+    Fail(String),
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A generator of values of type `Value`. Object-safe core (`gen_value`);
+    /// combinators are `Sized`-gated.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Builds recursive values: applies `recurse` to the strategy `depth`
+        /// times, starting from `self` as the leaf. The `_desired_size` and
+        /// `_expected_branch_size` hints are accepted for API compatibility
+        /// and ignored (depth alone bounds this sampler).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = recurse(strat).boxed();
+            }
+            strat
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `arms` (picked uniformly).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let x = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + x) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let x = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (lo as i128 + x) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($t:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($t,)+) = self;
+                    ($($t.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// `bool`-valued strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform `true`/`false`.
+    pub const ANY: Any = Any;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A collection size: a half-open range or an exact count.
+    #[derive(Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            self.0.clone().gen_value(rng)
+        }
+    }
+
+    /// `Vec<T>` with a length drawn from `len` and elements from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet<T>` with a target size drawn from `len`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// Builds a [`BTreeSetStrategy`].
+    pub fn btree_set<S>(elem: S, len: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, len: len.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.len.draw(rng);
+            let mut out = BTreeSet::new();
+            // Duplicate draws shrink the set; bounded retries top it back up
+            // without risking a spin when the element domain is small.
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.elem.gen_value(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `[T; 4]` with elements drawn from `elem`.
+    pub struct Uniform4<S>(S);
+
+    /// Builds a [`Uniform4`].
+    pub fn uniform4<S: Strategy>(elem: S) -> Uniform4<S> {
+        Uniform4(elem)
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn gen_value(&self, rng: &mut TestRng) -> [S::Value; 4] {
+            [
+                self.0.gen_value(rng),
+                self.0.gen_value(rng),
+                self.0.gen_value(rng),
+                self.0.gen_value(rng),
+            ]
+        }
+    }
+}
+
+/// Convenience re-exports matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use super::{ProptestConfig, TestCaseError};
+
+    /// The `prop::` module alias the real prelude exports.
+    pub mod prop {
+        pub use crate::{array, bool, collection, strategy};
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest case (fails the case, not the process, so the
+/// runner can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (the runner draws fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case_no: u64 = 0;
+            while passed < cfg.cases {
+                case_no += 1;
+                let __strat = ($($strat,)+);
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::gen_value(&__strat, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 4096,
+                            "proptest shim: too many prop_assume! rejections in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} of `{}` failed: {}",
+                            case_no, stringify!($name), msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn tree_strategy() -> impl Strategy<Value = Tree> {
+        let leaf = prop_oneof![(-10i64..10).prop_map(Tree::Leaf), Just(Tree::Leaf(0))];
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+                inner,
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(
+            a in 3usize..9,
+            x in -2.5f64..4.0,
+            flag in crate::bool::ANY,
+            arr in prop::array::uniform4(-5i64..5),
+            v in prop::collection::vec(0u32..100, 2..6),
+            s in prop::collection::btree_set(0usize..40, 1..8),
+        ) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2.5..4.0).contains(&x));
+            let _ = flag;
+            prop_assert!(arr.iter().all(|e| (-5..5).contains(e)));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 8);
+        }
+
+        #[test]
+        fn recursion_is_bounded(t in tree_strategy()) {
+            prop_assert!(depth(&t) <= 3, "depth {} too deep: {:?}", depth(&t), t);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0usize..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (0u64..1000, 0u64..1000);
+        let mut r1 = crate::test_runner::TestRng::deterministic("x");
+        let mut r2 = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..50 {
+            assert_eq!(s.gen_value(&mut r1), s.gen_value(&mut r2));
+        }
+    }
+}

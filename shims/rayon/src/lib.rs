@@ -1,0 +1,323 @@
+//! Offline shim for `rayon`: the data-parallel surface this workspace uses
+//! (`par_chunks`, `par_chunks_mut().enumerate()`, range `into_par_iter`,
+//! `map`/`for_each`/`collect`, the global-pool thread count), implemented
+//! with `std::thread::scope`.
+//!
+//! Semantics preserved from rayon for the covered surface:
+//! - `map(..).collect()` keeps input order;
+//! - closures run concurrently on up to [`current_num_threads`] workers, so
+//!   they must be `Sync` and items `Send` (same bounds rayon demands);
+//! - `ThreadPoolBuilder::num_threads(n).build_global()` pins the worker
+//!   count once per process (first call wins, like rayon's global pool).
+//!
+//! Work is split into one contiguous run per worker rather than
+//! work-stolen. With the small launch grids this repo dispatches the
+//! difference is noise, and on a single-CPU host everything runs inline
+//! with zero thread overhead.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = not yet fixed; otherwise the pinned global worker count.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of worker threads parallel operations fan out over.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (the shim never
+/// actually fails; rayon errors on double initialisation, we keep first-wins
+/// semantics and report success).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialised")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global pool; only the thread count is configurable.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = auto).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Installs this configuration as the global pool. First call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        let _ = GLOBAL_THREADS.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Runs `f` over `n` items split into one contiguous run per worker,
+/// invoking `f(start..end, w)` on worker `w`. Returns per-worker results in
+/// worker order.
+fn split_runs<R: Send>(n: usize, f: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+    let workers = current_num_threads().max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return vec![f(0..n)];
+    }
+    let per = n.div_ceil(workers);
+    let ranges: Vec<Range<usize>> =
+        (0..workers).map(|w| (w * per).min(n)..((w + 1) * per).min(n)).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                s.spawn(move || f(r))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon-shim worker panicked")).collect()
+    })
+}
+
+/// Subset of rayon's `ParallelIterator`: the adapters this workspace calls.
+pub mod iter {
+    use super::split_runs;
+    use std::ops::Range;
+
+    /// Parallel iterator over immutable chunks of a slice.
+    pub struct ParChunks<'a, T> {
+        pub(crate) slice: &'a [T],
+        pub(crate) size: usize,
+    }
+
+    /// [`ParChunks`] with a mapping function applied.
+    pub struct ParChunksMap<'a, T, F> {
+        chunks: ParChunks<'a, T>,
+        f: F,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Applies `f` to every chunk.
+        pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a [T]) -> R + Sync,
+        {
+            ParChunksMap { chunks: self, f }
+        }
+
+        /// Runs `f` on every chunk.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a [T]) + Sync,
+        {
+            let _ = self.map(|c| f(c)).collect::<Vec<()>>();
+        }
+    }
+
+    impl<'a, T: Sync, R: Send, F: Fn(&'a [T]) -> R + Sync> ParChunksMap<'a, T, F> {
+        /// Collects results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let ParChunksMap { chunks, f } = self;
+            let slice = chunks.slice;
+            let size = chunks.size.max(1);
+            let nchunks = slice.len().div_ceil(size);
+            let runs = split_runs(nchunks, |r: Range<usize>| {
+                r.map(|i| f(&slice[i * size..((i + 1) * size).min(slice.len())]))
+                    .collect::<Vec<R>>()
+            });
+            runs.into_iter().flatten().collect()
+        }
+    }
+
+    /// Parallel iterator over mutable chunks of a slice.
+    pub struct ParChunksMut<'a, T> {
+        pub(crate) slice: &'a mut [T],
+        pub(crate) size: usize,
+    }
+
+    /// [`ParChunksMut`] with chunk indices attached.
+    pub struct ParChunksMutEnumerate<'a, T> {
+        inner: ParChunksMut<'a, T>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pairs every chunk with its index.
+        pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+            ParChunksMutEnumerate { inner: self }
+        }
+
+        /// Runs `f` on every chunk.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            self.enumerate().for_each(|(_, c)| f(c));
+        }
+    }
+
+    impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+        /// Runs `f` on every `(index, chunk)` pair.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            let size = self.inner.size.max(1);
+            // Pre-split into disjoint &mut chunks so workers never alias.
+            let chunks: Vec<(usize, &mut [T])> =
+                self.inner.slice.chunks_mut(size).enumerate().collect();
+            let cells: Vec<std::sync::Mutex<Option<(usize, &mut [T])>>> =
+                chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect();
+            let _ = split_runs(cells.len(), |r: Range<usize>| {
+                for i in r {
+                    let item = cells[i].lock().unwrap().take().expect("chunk taken twice");
+                    f(item);
+                }
+            });
+        }
+    }
+
+    /// Parallel iterator over a `Range<usize>`.
+    pub struct ParRange {
+        pub(crate) range: Range<usize>,
+    }
+
+    /// [`ParRange`] with a mapping function applied.
+    pub struct ParRangeMap<F> {
+        range: Range<usize>,
+        f: F,
+    }
+
+    impl ParRange {
+        /// Applies `f` to every index.
+        pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+        where
+            R: Send,
+            F: Fn(usize) -> R + Sync,
+        {
+            ParRangeMap { range: self.range, f }
+        }
+
+        /// Runs `f` on every index.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(usize) + Sync,
+        {
+            let _ = self.map(|i| f(i)).collect::<Vec<()>>();
+        }
+    }
+
+    impl<R: Send, F: Fn(usize) -> R + Sync> ParRangeMap<F> {
+        /// Collects results in index order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let ParRangeMap { range, f } = self;
+            let lo = range.start;
+            let runs =
+                split_runs(range.len(), |r: Range<usize>| r.map(|i| f(lo + i)).collect::<Vec<R>>());
+            runs.into_iter().flatten().collect()
+        }
+    }
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    use super::iter::{ParChunks, ParChunksMut, ParRange};
+    use std::ops::Range;
+
+    /// `slice.par_chunks(n)` (rayon's `ParallelSlice`).
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over `n`-sized chunks.
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+            ParChunks { slice: self, size }
+        }
+    }
+
+    /// `slice.par_chunks_mut(n)` (rayon's `ParallelSliceMut`).
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over mutable `n`-sized chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut { slice: self, size }
+        }
+    }
+
+    /// `range.into_par_iter()` (rayon's `IntoParallelIterator`).
+    pub trait IntoParallelIterator {
+        /// The parallel iterator type.
+        type Iter;
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_map_collect_preserves_order() {
+        let v: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u64> = v.par_chunks(7).map(|c| c.iter().map(|&x| x as u64).sum()).collect();
+        let want: Vec<u64> = v.chunks(7).map(|c| c.iter().map(|&x| x as u64).sum()).collect();
+        assert_eq!(sums, want);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjoint() {
+        let mut v = vec![0usize; 100];
+        v.par_chunks_mut(9).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 9);
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let sq: Vec<usize> = (0..64usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq[63], 63 * 63);
+        assert_eq!(sq.len(), 64);
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
