@@ -122,7 +122,14 @@ impl BatchExecutor {
                         let job = rx.lock().unwrap().recv();
                         match job {
                             Ok((scenario, done)) => {
+                                let reg = vgpu::telemetry::registry();
+                                reg.gauge("batch.queue.depth").add(-1);
+                                let in_flight = reg.gauge("batch.jobs.in_flight");
+                                in_flight.add(1);
+                                let t0 = Instant::now();
                                 let result = run_job(&cfg, scenario);
+                                record_job_latency(&result.scenario, t0.elapsed());
+                                in_flight.add(-1);
                                 // A dropped handle just means nobody waits.
                                 let _ = done.send(result);
                             }
@@ -143,6 +150,7 @@ impl BatchExecutor {
     /// Enqueues a scenario; returns the handle its result arrives on.
     pub fn submit(&self, scenario: Scenario) -> JobHandle {
         let (done_tx, done_rx) = channel();
+        vgpu::telemetry::registry().gauge("batch.queue.depth").add(1);
         self.tx
             .as_ref()
             .expect("executor is running")
@@ -166,6 +174,23 @@ impl Drop for BatchExecutor {
             let _ = w.join();
         }
     }
+}
+
+/// Records one completed job's end-to-end latency into the unlabeled
+/// `batch.job.latency_us` histogram and its class-labeled variant
+/// `batch.job.latency_us.<boundary>.<precision>` (the registry keys metrics
+/// by name, so the label rides in the name). Snapshots expose p50/p95/p99
+/// per class.
+fn record_job_latency(sc: &Scenario, elapsed: std::time::Duration) {
+    let us = elapsed.as_micros() as u64;
+    let reg = vgpu::telemetry::registry();
+    reg.histogram("batch.job.latency_us").record(us);
+    reg.histogram(&format!(
+        "batch.job.latency_us.{}.{}",
+        sc.boundary.label(),
+        sc.precision.label()
+    ))
+    .record(us);
 }
 
 /// Runs one job on the calling worker thread, converting panics (e.g. the
@@ -268,6 +293,19 @@ fn write_sidecar(
         agg.modeled_us += ev.modeled_s.unwrap_or(0.0) * 1e6;
     }
     let (compiled, plans, verdicts) = vgpu::artifact::cache_sizes();
+    // Job-scoped trace attribution: the process-wide telemetry buffer mixes
+    // events from every concurrently-running job, but each job's device
+    // records on its own tracks — filter to them so a sidecar never carries
+    // another job's kernel events. Empty when tracing is off (the device
+    // then allocated no tracks).
+    let tracks = sim.device.telemetry_tracks();
+    let trace_events: Vec<vgpu::telemetry::Event> = match tracks {
+        Some(tracks) => vgpu::telemetry::events_snapshot()
+            .into_iter()
+            .filter(|ev| ev.track().is_some_and(|t| tracks.contains(&t)))
+            .collect(),
+        None => Vec::new(),
+    };
     let doc = json!({
         "job": sc.id,
         "label": sc.label(),
@@ -299,6 +337,17 @@ fn write_sidecar(
             "compiled": compiled,
             "plans": plans,
             "verdicts": verdicts,
+        },
+        // Only this job's tracks: events from concurrently-running jobs are
+        // filtered out (they live on their own devices' tracks).
+        "trace": {
+            "tracks": tracks.map(|ts| ts.iter().map(|t| t.0).collect::<Vec<u32>>())
+                .unwrap_or_default(),
+            "kernel_events": trace_events
+                .iter()
+                .filter(|e| matches!(e, vgpu::telemetry::Event::Kernel { .. }))
+                .count(),
+            "events": trace_events,
         },
     });
     std::fs::create_dir_all(dir)?;

@@ -1,0 +1,79 @@
+//! Regression: per-job telemetry sidecars must be *job-scoped*.
+//!
+//! The telemetry event buffer is process-global, so two jobs running on
+//! different worker threads interleave their events in it. Each job's device
+//! records on its own lazily-allocated tracks, and the sidecar writer
+//! filters the shared buffer down to those tracks — a sidecar must never
+//! carry another job's kernel events, no matter how the scheduler
+//! interleaved the work.
+
+use batch::{BatchConfig, BatchExecutor, ScenarioGen};
+use serde_json::Value;
+use std::collections::BTreeSet;
+use vgpu::telemetry;
+
+#[test]
+fn two_thread_sidecars_carry_only_their_own_jobs_events() {
+    // Enable event recording without a sink (events stay in the buffer).
+    telemetry::set_mode(telemetry::TraceMode::Json);
+    let dir = std::env::temp_dir().join(format!("vgpu_sidecar_scope_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = BatchConfig { threads: 2, sidecar_dir: Some(dir.clone()), ..Default::default() };
+    let results = BatchExecutor::new(cfg).run_all(ScenarioGen::new(99).take(6));
+
+    let mut all_tracks: BTreeSet<u64> = BTreeSet::new();
+    for r in &results {
+        let label = r.scenario.label();
+        let out = r.outcome.as_ref().unwrap_or_else(|e| panic!("{label}: {e}"));
+        let path = out.sidecar.as_ref().unwrap_or_else(|| panic!("{label}: no sidecar written"));
+        let text = std::fs::read_to_string(path).unwrap();
+        let doc: Value = serde_json::from_str(&text).unwrap();
+
+        // Each job ran on its own device → its own fresh tracks; the sets
+        // must be pairwise disjoint across jobs.
+        let tracks: BTreeSet<u64> = doc
+            .pointer("/trace/tracks")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| panic!("{label}: sidecar has no trace.tracks"))
+            .iter()
+            .map(|t| t.as_u64().unwrap())
+            .collect();
+        assert!(!tracks.is_empty(), "{label}: tracing was on but no tracks recorded");
+        assert!(
+            all_tracks.is_disjoint(&tracks),
+            "{label}: sidecar shares tracks with another job's sidecar"
+        );
+        all_tracks.extend(&tracks);
+
+        // Every embedded event must sit on one of this job's tracks…
+        let events = doc
+            .pointer("/trace/events")
+            .and_then(Value::as_array)
+            .unwrap_or_else(|| panic!("{label}: sidecar has no trace.events"));
+        let mut kernel_events = 0u64;
+        for ev in events {
+            let track = ev
+                .pointer("/track")
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("{label}: embedded event without a track: {ev:?}"));
+            assert!(tracks.contains(&track), "{label}: foreign event leaked into sidecar");
+            if ev.get("ev").and_then(Value::as_str) == Some("kernel") {
+                kernel_events += 1;
+            }
+        }
+        // …and the kernel-event count must equal the launches this job
+        // itself issued. An unfiltered global buffer would exceed it as
+        // soon as two jobs overlap.
+        assert_eq!(
+            doc.pointer("/trace/kernel_events").and_then(Value::as_u64),
+            Some(kernel_events),
+            "{label}: kernel_events disagrees with embedded events"
+        );
+        assert_eq!(
+            kernel_events, out.launches as u64,
+            "{label}: sidecar kernel events != this job's launches"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -69,7 +69,7 @@ fn main() {
     let hit_rate = art_hits as f64 / (art_hits + art_misses).max(1) as f64;
     let fallbacks = counter("vgpu.tape.fallbacks") + counter("vgpu.vector.fallbacks") - fallbacks0;
 
-    println!(
+    let record = format!(
         "{{\"bench\":\"batch\",\"rooms\":{rooms},\"threads\":{threads},\"seed\":{seed},\
          \"engine\":\"{engine}\",\"vgpu_threads\":{vgpu_threads},\"plan_cache\":\"{plan_cache}\",\
          \"wall_s\":{wall_s:.3},\"rooms_per_sec\":{:.2},\
@@ -82,6 +82,13 @@ fn main() {
         counter("vgpu.plan.shared_hits") - shared0,
         failures.len(),
     );
+    println!("{record}");
+    match serde_json::from_str(&record) {
+        Ok(value) => {
+            bench::run_report::emit("batch_bench", value);
+        }
+        Err(e) => eprintln!("cannot parse own record for run report: {e}"),
+    }
 
     let mut bad = false;
     for f in &failures {

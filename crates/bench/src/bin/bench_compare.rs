@@ -1,0 +1,111 @@
+//! Snapshot regression checker for `BENCH_*.json` and run-report files.
+//!
+//! Two modes:
+//!
+//! * `bench_compare --check <report.json>` — validate that the file is a
+//!   well-formed run report at the supported schema version (CI's
+//!   `profile-smoke` schema gate);
+//! * `bench_compare <baseline.json> <current.json> [--threshold PCT]
+//!   [--warn-only]` — diff two snapshots and exit 1 when any
+//!   direction-gated metric regressed by more than PCT percent
+//!   (default 25). `--warn-only` prints the same report but always
+//!   exits 0, for informational CI steps.
+//!
+//! Snapshots may be one-line `BENCH_*.json` records or full run reports;
+//! run reports are unwrapped to their embedded bench `record` so the two
+//! forms are comparable.
+
+use bench::compare;
+use serde_json::Value;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare --check <report.json>\n\
+         \x20      bench_compare <baseline.json> <current.json> [--threshold PCT] [--warn-only]"
+    );
+    exit(2)
+}
+
+fn read_json(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(2)
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not valid JSON: {e}");
+        exit(2)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut threshold_pct = 25.0;
+    let mut warn_only = false;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--warn-only" => warn_only = true,
+            "--threshold" => {
+                threshold_pct = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ => files.push(a.clone()),
+        }
+    }
+
+    if check {
+        let [path] = files.as_slice() else { usage() };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2)
+        });
+        match compare::validate_run_report(&text) {
+            Ok(report) => {
+                println!(
+                    "ok: {path} is a valid run report (schema v{}, name {}, {} kernel profiles, \
+                     residual {})",
+                    report.schema_version,
+                    report.name,
+                    report.kernels.len(),
+                    if report.residual.is_some() { "present" } else { "absent" },
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let [base_path, cur_path] = files.as_slice() else { usage() };
+    let baseline = read_json(base_path);
+    let current = read_json(cur_path);
+    let threshold = threshold_pct / 100.0;
+    let out = compare::compare(&baseline, &current, threshold);
+    println!("baseline {base_path}\ncurrent  {cur_path}");
+    print!("{}", out.render(threshold));
+    if out.deltas.is_empty() {
+        eprintln!("FAIL: snapshots share no numeric keys — nothing was compared");
+        exit(1);
+    }
+    if !out.regressions.is_empty() {
+        for r in &out.regressions {
+            eprintln!(
+                "{}: {} regressed {:+.1}% ({} -> {})",
+                if warn_only { "warning" } else { "FAIL" },
+                r.key,
+                r.rel * 100.0,
+                r.base,
+                r.cur
+            );
+        }
+        if !warn_only {
+            exit(1);
+        }
+    }
+}

@@ -96,7 +96,7 @@ fn main() {
     let vfast = fi_run(n, Engine::Vector).measure(steps, ExecMode::Fast);
     let vmodel = fi_run(n, Engine::Vector).measure(steps, ExecMode::Model { sample_stride: 1 });
     let divergent = reg.counter("vgpu.warp.divergent").get() - divergent0;
-    println!(
+    let record = format!(
         "{{\"bench\":\"dispatch\",\"cube\":{n},\"steps\":{steps},\
          \"engine\":\"tape+vector\",\"threads\":{threads},\"plan_cache\":\"{plan_cache}\",\
          \"fast_ms_per_step\":{fast:.4},\"model_ms_per_step\":{model:.4},\
@@ -106,4 +106,11 @@ fn main() {
         reg.counter("vgpu.plan.hits").get(),
         reg.counter("vgpu.plan.misses").get(),
     );
+    println!("{record}");
+    match serde_json::from_str(&record) {
+        Ok(value) => {
+            bench::run_report::emit("dispatch_bench", value);
+        }
+        Err(e) => eprintln!("cannot parse own record for run report: {e}"),
+    }
 }

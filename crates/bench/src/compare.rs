@@ -1,0 +1,275 @@
+//! Snapshot regression checking: diffs two `BENCH_*.json` / run-report
+//! snapshots and flags metric movements beyond a threshold.
+//!
+//! Comparison is *direction-aware*: a key is only gated when its name
+//! implies an ordering — wall/latency/miss/failure counts must not grow,
+//! throughput/hit rates must not shrink. Everything else (dimensions, step
+//! counts, provenance) is reported informationally but never fails a diff,
+//! so snapshots from differently-sized runs produce noisy-but-honest
+//! reports instead of false gates. The CLI (`bench_compare`) exits nonzero
+//! on any regression past the threshold unless `--warn-only`.
+
+use crate::run_report::{RunReport, SCHEMA_VERSION};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// How a metric's name orders "better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (times, misses, failures).
+    LowerBetter,
+    /// Larger is better (throughput, hit rates).
+    HigherBetter,
+    /// No ordering implied — informational only.
+    Neutral,
+}
+
+/// Infers the gate direction from the final segment of a dotted key path.
+pub fn direction(key: &str) -> Direction {
+    let leaf = key.rsplit('.').next().unwrap_or(key);
+    const LOWER: &[&str] = &[
+        "wall",
+        "_ms",
+        "ms_per",
+        "_us",
+        "_ns",
+        "misses",
+        "fallback",
+        "failures",
+        "divergent",
+        "latency",
+        "residual",
+    ];
+    const HIGHER: &[&str] = &["per_sec", "hit_rate", "hits", "updates_per"];
+    if HIGHER.iter().any(|p| leaf.contains(p)) {
+        Direction::HigherBetter
+    } else if LOWER.iter().any(|p| leaf.contains(p)) {
+        Direction::LowerBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// Collects every numeric leaf of a JSON tree into dotted-path keys.
+/// Arrays are skipped (histogram buckets and per-kernel lists are not
+/// stable across runs); so are provenance strings.
+pub fn flatten_numeric(value: &Value, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Object(entries) => {
+            for (k, v) in entries {
+                let key = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten_numeric(v, &key, out);
+            }
+        }
+        Value::Number(n) => {
+            out.insert(prefix.to_string(), n.as_f64());
+        }
+        _ => {}
+    }
+}
+
+/// When the snapshot is a run report, comparison targets its embedded
+/// bench `record` (the run-to-run comparable part); raw `BENCH_*.json`
+/// snapshots are compared whole.
+pub fn comparable_root(snapshot: &Value) -> &Value {
+    match snapshot.get("record") {
+        Some(rec) if snapshot.get("schema_version").is_some() => rec,
+        _ => snapshot,
+    }
+}
+
+/// One key's movement between two snapshots.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Dotted key path.
+    pub key: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// Relative change `(cur - base) / |base|` (`cur - base` when the
+    /// baseline is 0).
+    pub rel: f64,
+    /// Gate direction for the key.
+    pub dir: Direction,
+}
+
+/// Outcome of a snapshot diff.
+#[derive(Debug, Clone)]
+pub struct CompareOutcome {
+    /// Gated keys that moved the *bad* way beyond the threshold.
+    pub regressions: Vec<Delta>,
+    /// Gated keys that moved the *good* way beyond the threshold.
+    pub improvements: Vec<Delta>,
+    /// Every common numeric key's movement, key-ordered.
+    pub deltas: Vec<Delta>,
+    /// Keys present on one side only.
+    pub unmatched: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// Plain-text rendering of the diff.
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "compared {} numeric keys (threshold {:.0}%)\n",
+            self.deltas.len(),
+            threshold * 100.0
+        ));
+        for d in &self.deltas {
+            let gate = match d.dir {
+                Direction::Neutral => " ",
+                _ if self.regressions.iter().any(|r| r.key == d.key) => "✗",
+                _ if self.improvements.iter().any(|r| r.key == d.key) => "+",
+                _ => "·",
+            };
+            out.push_str(&format!(
+                "{gate} {:<44} {:>14.4} -> {:>14.4} ({:+.1}%)\n",
+                d.key,
+                d.base,
+                d.cur,
+                d.rel * 100.0
+            ));
+        }
+        if !self.unmatched.is_empty() {
+            out.push_str(&format!("unmatched keys (not compared): {:?}\n", self.unmatched));
+        }
+        out.push_str(&format!(
+            "{} regression(s), {} improvement(s)\n",
+            self.regressions.len(),
+            self.improvements.len()
+        ));
+        out
+    }
+}
+
+/// Diffs two snapshots (see module docs). `threshold` is the relative
+/// movement a gated key may make before it counts as a regression or
+/// improvement.
+pub fn compare(baseline: &Value, current: &Value, threshold: f64) -> CompareOutcome {
+    let mut base = BTreeMap::new();
+    let mut cur = BTreeMap::new();
+    flatten_numeric(comparable_root(baseline), "", &mut base);
+    flatten_numeric(comparable_root(current), "", &mut cur);
+    let mut deltas = Vec::new();
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    let mut unmatched: Vec<String> =
+        base.keys().filter(|k| !cur.contains_key(*k)).cloned().collect();
+    unmatched.extend(cur.keys().filter(|k| !base.contains_key(*k)).cloned());
+    for (key, &b) in &base {
+        let Some(&c) = cur.get(key) else { continue };
+        let rel = if b != 0.0 { (c - b) / b.abs() } else { c - b };
+        let dir = direction(key);
+        let d = Delta { key: key.clone(), base: b, cur: c, rel, dir };
+        let bad = match dir {
+            Direction::LowerBetter => rel > threshold,
+            Direction::HigherBetter => rel < -threshold,
+            Direction::Neutral => false,
+        };
+        let good = match dir {
+            Direction::LowerBetter => rel < -threshold,
+            Direction::HigherBetter => rel > threshold,
+            Direction::Neutral => false,
+        };
+        if bad {
+            regressions.push(d.clone());
+        } else if good {
+            improvements.push(d.clone());
+        }
+        deltas.push(d);
+    }
+    CompareOutcome { regressions, improvements, deltas, unmatched }
+}
+
+/// Parses and validates a run report: well-formed JSON, matching schema
+/// version, non-empty identity fields, and internally consistent residual
+/// rows. Used by CI's `profile-smoke` schema gate.
+pub fn validate_run_report(text: &str) -> Result<RunReport, String> {
+    let report: RunReport =
+        serde_json::from_str(text).map_err(|e| format!("not a run report: {e}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} != supported {}",
+            report.schema_version, SCHEMA_VERSION
+        ));
+    }
+    if report.name.is_empty() || report.engine.is_empty() {
+        return Err("empty name/engine".to_string());
+    }
+    for k in &report.kernels {
+        if k.launches == 0 {
+            return Err(format!("kernel {} profiled with zero launches", k.kernel));
+        }
+        if k.modeled_launches > k.launches {
+            return Err(format!("kernel {}: modeled_launches > launches", k.kernel));
+        }
+    }
+    if let Some(r) = &report.residual {
+        if !r.calibration.is_finite() || r.calibration <= 0.0 {
+            return Err(format!("non-positive residual calibration {}", r.calibration));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn directions_from_key_names() {
+        assert_eq!(direction("fast_ms_per_step"), Direction::LowerBetter);
+        assert_eq!(direction("record.rooms_per_sec"), Direction::HigherBetter);
+        assert_eq!(direction("plan_misses"), Direction::LowerBetter);
+        assert_eq!(direction("artifact_hit_rate"), Direction::HigherBetter);
+        assert_eq!(direction("steps"), Direction::Neutral);
+    }
+
+    #[test]
+    fn regression_and_improvement_detection() {
+        let base = json!({"fast_ms_per_step": 5.0, "rooms_per_sec": 100.0, "steps": 40});
+        let worse = json!({"fast_ms_per_step": 6.5, "rooms_per_sec": 70.0, "steps": 80});
+        let out = compare(&base, &worse, 0.15);
+        // Both gated keys moved badly past 15%; `steps` is neutral and
+        // never gates even though it doubled.
+        assert_eq!(out.regressions.len(), 2, "{:?}", out.regressions);
+        assert!(out.improvements.is_empty());
+        let better = json!({"fast_ms_per_step": 4.0, "rooms_per_sec": 130.0, "steps": 40});
+        let out = compare(&base, &better, 0.15);
+        assert!(out.regressions.is_empty());
+        assert_eq!(out.improvements.len(), 2);
+    }
+
+    #[test]
+    fn within_threshold_is_quiet() {
+        let base = json!({"fast_ms_per_step": 5.0});
+        let cur = json!({"fast_ms_per_step": 5.4});
+        let out = compare(&base, &cur, 0.15);
+        assert!(out.regressions.is_empty() && out.improvements.is_empty());
+        assert_eq!(out.deltas.len(), 1);
+    }
+
+    #[test]
+    fn run_reports_compare_their_records() {
+        let wrap = |ms: f64| {
+            json!({
+                "schema_version": 1,
+                "name": "dispatch_bench",
+                "record": {"fast_ms_per_step": ms},
+            })
+        };
+        let out = compare(&wrap(5.0), &wrap(7.0), 0.15);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].key, "fast_ms_per_step");
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_accepts_built_reports() {
+        assert!(validate_run_report("{\"not\": \"a report\"}").is_err());
+        let report = crate::run_report::build("unit", json!({"x": 1}));
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        validate_run_report(&text).expect("freshly built report validates");
+    }
+}

@@ -20,10 +20,12 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod measure;
 pub mod paper;
 pub mod provenance;
 pub mod report;
+pub mod run_report;
 pub mod table;
 pub mod trace;
 

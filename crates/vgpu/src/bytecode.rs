@@ -29,8 +29,10 @@
 
 use crate::buffer::SharedBuf;
 use crate::exec::{Counters, PExpr, PMem, PStmt, Prepared, WriteRec, WARP};
+use crate::profiler::OpProf;
 use lift::kast::MemSpace;
 use lift::prelude::{BinOp, Intrinsic, ScalarKind, UnOp, Value};
+use std::time::Instant;
 
 /// Register index.
 pub(crate) type R = u32;
@@ -244,6 +246,93 @@ pub(crate) enum Op {
     Ret,
     /// End of phase.
     Halt,
+}
+
+/// Number of [`Op`] variants — sizes the profiler's per-opcode tally arrays
+/// ([`crate::profiler::OpProf`]).
+pub(crate) const NOPCODES: usize = 33;
+
+/// Opcode display names, parallel to [`op_index`].
+const OP_NAMES: [&str; NOPCODES] = [
+    "Const",
+    "Gid",
+    "Gsz",
+    "Lid",
+    "Lsz",
+    "Grp",
+    "Mov",
+    "Cast",
+    "AsI64",
+    "MaxOne",
+    "I64ToI32",
+    "AddI64",
+    "JgeI64",
+    "Neg",
+    "Not",
+    "Bin",
+    "Logic",
+    "MinMax",
+    "Intr1",
+    "Sel",
+    "LdG",
+    "StG",
+    "LdP",
+    "StP",
+    "LdL",
+    "StL",
+    "DeclPriv",
+    "DeclLocal",
+    "Flops",
+    "Jmp",
+    "Jz",
+    "Ret",
+    "Halt",
+];
+
+/// Display name of the opcode with dense index `i` (see [`op_index`]).
+pub(crate) fn op_name(i: usize) -> &'static str {
+    OP_NAMES[i]
+}
+
+/// Dense index of an op's variant (declaration order), used by the per-op
+/// profiler to tally counts/time in fixed arrays without hashing.
+#[inline(always)]
+pub(crate) fn op_index(op: &Op) -> usize {
+    match op {
+        Op::Const { .. } => 0,
+        Op::Gid { .. } => 1,
+        Op::Gsz { .. } => 2,
+        Op::Lid { .. } => 3,
+        Op::Lsz { .. } => 4,
+        Op::Grp { .. } => 5,
+        Op::Mov { .. } => 6,
+        Op::Cast { .. } => 7,
+        Op::AsI64 { .. } => 8,
+        Op::MaxOne { .. } => 9,
+        Op::I64ToI32 { .. } => 10,
+        Op::AddI64 { .. } => 11,
+        Op::JgeI64 { .. } => 12,
+        Op::Neg { .. } => 13,
+        Op::Not { .. } => 14,
+        Op::Bin { .. } => 15,
+        Op::Logic { .. } => 16,
+        Op::MinMax { .. } => 17,
+        Op::Intr1 { .. } => 18,
+        Op::Sel { .. } => 19,
+        Op::LdG { .. } => 20,
+        Op::StG { .. } => 21,
+        Op::LdP { .. } => 22,
+        Op::StP { .. } => 23,
+        Op::LdL { .. } => 24,
+        Op::StL { .. } => 25,
+        Op::DeclPriv { .. } => 26,
+        Op::DeclLocal { .. } => 27,
+        Op::Flops { .. } => 28,
+        Op::Jmp { .. } => 29,
+        Op::Jz { .. } => 30,
+        Op::Ret => 31,
+        Op::Halt => 32,
+    }
 }
 
 /// A compiled kernel tape: one instruction stream with an entry point per
@@ -1735,6 +1824,19 @@ pub(crate) struct TapeCtx<'a> {
     pub lid: usize,
     pub group: usize,
     pub lsize: usize,
+    /// Per-opcode time tally (`VGPU_PROFILE=op` only). `None` selects the
+    /// unprofiled interpreter instantiation — the hot loop is unchanged.
+    pub prof: Option<&'a mut OpProf>,
+}
+
+/// Closes a pending per-op attribution: charges `pending`'s opcode with the
+/// time elapsed since its dispatch started. Called at every interpreter exit
+/// point of a profiled (`PROF = true`) run.
+#[inline]
+fn flush_pending(prof: &mut Option<&mut OpProf>, pending: &mut Option<(usize, Instant)>) {
+    if let (Some((idx, start)), Some(p)) = (pending.take(), prof.as_deref_mut()) {
+        p.add(idx, start.elapsed());
+    }
 }
 
 /// Executes one phase of a compiled tape for one work-item. Returns `true`
@@ -1793,15 +1895,24 @@ pub(crate) fn exec_phase_from(
     locals: &mut [Vec<u64>],
     t: &mut TapeCtx<'_>,
 ) -> bool {
-    exec_scalar::<false>(c, entry, usize::MAX, regs, privs, locals, t) == ScalarRun::Ret
+    let run = if t.prof.is_some() {
+        exec_scalar::<false, true>(c, entry, usize::MAX, regs, privs, locals, t)
+    } else {
+        exec_scalar::<false, false>(c, entry, usize::MAX, regs, privs, locals, t)
+    };
+    run == ScalarRun::Ret
 }
 
 /// The scalar interpreter loop. `BOUNDED` is a compile-time switch: `false`
 /// instantiates the unbounded hot path (no per-op `until` compare), `true`
 /// the warp interpreter's per-lane continuation, which stops *before*
 /// executing the op at `until` so the lane can rejoin vectorized execution
-/// there.
-fn exec_scalar<const BOUNDED: bool>(
+/// there. `PROF` switches per-opcode time attribution on: like `BOUNDED` it
+/// is a const generic, so the unprofiled instantiation carries no timing
+/// code at all — the same licensing discipline structural validation uses
+/// for unchecked register access.
+#[inline(never)] // keep the two PROF instantiations from inlining side by side
+fn exec_scalar<const BOUNDED: bool, const PROF: bool>(
     c: &Compiled,
     entry: usize,
     until: usize,
@@ -1814,9 +1925,25 @@ fn exec_scalar<const BOUNDED: bool>(
     assert!(entry < c.ops.len(), "entry pc outside the tape");
     let ops = &c.ops[..];
     let mut pc = entry;
+    // Pending per-op attribution: the opcode whose dispatch started at
+    // `Instant`. One timer read per iteration both closes the previous op's
+    // span and opens the next — control-flow ops are charged until their
+    // target's first dispatch, which is exactly their interpretation cost.
+    let mut pending: Option<(usize, Instant)> = None;
     loop {
         if BOUNDED && pc == until {
+            if PROF {
+                flush_pending(&mut t.prof, &mut pending);
+            }
             return ScalarRun::Until;
+        }
+        if PROF {
+            let now = Instant::now();
+            if let (Some((idx, start)), Some(p)) = (pending.take(), t.prof.as_deref_mut()) {
+                p.add(idx, now - start);
+            }
+            // SAFETY: as for the fetch below — `pc` is in bounds.
+            pending = Some((op_index(unsafe { ops.get_unchecked(pc) }), now));
         }
         // SAFETY: `validate` checked that every jump target and phase entry
         // is inside the tape and that the tape ends in `Ret`/`Halt`, so by
@@ -1976,8 +2103,18 @@ fn exec_scalar<const BOUNDED: bool>(
                     continue;
                 }
             }
-            Op::Ret => return ScalarRun::Ret,
-            Op::Halt => return ScalarRun::Halt,
+            Op::Ret => {
+                if PROF {
+                    flush_pending(&mut t.prof, &mut pending);
+                }
+                return ScalarRun::Ret;
+            }
+            Op::Halt => {
+                if PROF {
+                    flush_pending(&mut t.prof, &mut pending);
+                }
+                return ScalarRun::Halt;
+            }
         }
         pc += 1;
     }
@@ -2227,6 +2364,9 @@ pub(crate) struct WarpCtx<'a> {
     pub gids: &'a [[usize; 3]],
     /// Global NDRange sizes.
     pub gsize: [usize; 3],
+    /// Per-opcode time tally (`VGPU_PROFILE=op` only); `None` selects the
+    /// unprofiled warp-interpreter instantiation.
+    pub prof: Option<&'a mut OpProf>,
 }
 
 /// Executes one phase of a compiled tape for a whole warp at once: `nact`
@@ -2250,8 +2390,17 @@ pub(crate) fn exec_phase_warp(
     assert!((1..=WARP).contains(&nact), "active lanes out of range");
     assert!(lane_privs.len() >= nact && w.items.len() >= nact && w.gids.len() >= nact);
     assert_eq!(c.joins.len(), c.ops.len(), "tape compiled without join metadata");
-    let mut ex = WarpExec { c, vregs, lane_privs, w, scratch: Vec::new(), diverged: false };
-    ex.run(c.phase_starts[phase] as usize, c.ops.len(), prefix_mask(nact), 0);
+    let prof_on = w.prof.is_some();
+    let mut ex =
+        WarpExec { c, vregs, lane_privs, w, scratch: Vec::new(), diverged: false, pending: None };
+    let (entry, end, mask) = (c.phase_starts[phase] as usize, c.ops.len(), prefix_mask(nact));
+    if prof_on {
+        ex.run::<true>(entry, end, mask, 0);
+        // Close the final op's span (the `Ret`/`Halt` that ended the phase).
+        ex.flush_pending();
+    } else {
+        ex.run::<false>(entry, end, mask, 0);
+    }
     ex.diverged
 }
 
@@ -2274,19 +2423,47 @@ struct WarpExec<'e, 'w> {
     /// Scalar register file for the per-lane bailout; sized on first use.
     scratch: Vec<u64>,
     diverged: bool,
+    /// Profiled runs only: the opcode whose warp-wide dispatch is open and
+    /// its start time. A *field* (not a `run` local) so reconvergence
+    /// recursion attributes seamlessly: a child region's first iteration
+    /// closes the parent's branch-op span, and nothing is double-counted.
+    pending: Option<(usize, Instant)>,
 }
 
 impl WarpExec<'_, '_> {
+    /// Closes the open per-op attribution span, if any (profiled runs).
+    #[inline]
+    fn flush_pending(&mut self) {
+        flush_pending(&mut self.w.prof, &mut self.pending);
+    }
+
     /// Executes ops from `pc` until the active lanes reach the
     /// reconvergence pc `until` (`c.ops.len()` means "run to `Ret`/`Halt`").
     /// Returns the mask of lanes parked at `until`, without executing it;
     /// lanes that hit `Ret`/`Halt` first are dropped. `mask` starts
-    /// non-empty.
-    fn run(&mut self, mut pc: usize, until: usize, mut mask: u32, depth: u32) -> u32 {
+    /// non-empty. `PROF` compiles per-opcode time attribution in; see
+    /// [`exec_scalar`].
+    fn run<const PROF: bool>(
+        &mut self,
+        mut pc: usize,
+        until: usize,
+        mut mask: u32,
+        depth: u32,
+    ) -> u32 {
         let ops = &self.c.ops[..];
         loop {
             if pc == until {
                 return mask;
+            }
+            if PROF {
+                let now = Instant::now();
+                if let (Some((idx, start)), Some(p)) =
+                    (self.pending.take(), self.w.prof.as_deref_mut())
+                {
+                    p.add(idx, now - start);
+                }
+                // SAFETY: as for the fetch below — `pc` is in bounds.
+                self.pending = Some((op_index(unsafe { ops.get_unchecked(pc) }), now));
             }
             let vregs = &mut *self.vregs;
             // SAFETY: same induction as `exec_phase` — `validate` bounds
@@ -2345,7 +2522,7 @@ impl WarpExec<'_, '_> {
                             jmask |= 1 << l;
                         }
                     });
-                    match self.branch(pc, target as usize, jmask, mask, until, depth) {
+                    match self.branch::<PROF>(pc, target as usize, jmask, mask, until, depth) {
                         Branch::Goto(p, m) => {
                             pc = p;
                             mask = m;
@@ -2552,7 +2729,7 @@ impl WarpExec<'_, '_> {
                             jmask |= 1 << l;
                         }
                     });
-                    match self.branch(pc, target as usize, jmask, mask, until, depth) {
+                    match self.branch::<PROF>(pc, target as usize, jmask, mask, until, depth) {
                         Branch::Goto(p, m) => {
                             pc = p;
                             mask = m;
@@ -2573,7 +2750,7 @@ impl WarpExec<'_, '_> {
     /// and reconverge at the branch's join (its immediate postdominator);
     /// when no join is usable the lanes finish on the bounded scalar
     /// interpreter instead, parked at the enclosing region's `until`.
-    fn branch(
+    fn branch<const PROF: bool>(
         &mut self,
         pc: usize,
         target: usize,
@@ -2592,8 +2769,8 @@ impl WarpExec<'_, '_> {
         let join = self.c.joins[pc];
         if join != NO_JOIN && depth < MAX_DIVERGE_DEPTH {
             let j = join as usize;
-            let fell = self.run(pc + 1, j, mask & !jmask, depth + 1);
-            let jumped = self.run(target, j, jmask, depth + 1);
+            let fell = self.run::<PROF>(pc + 1, j, mask & !jmask, depth + 1);
+            let jumped = self.run::<PROF>(target, j, jmask, depth + 1);
             let m = fell | jumped;
             // The join may lie past `until` when one arm returns early (the
             // sides then ran to `Ret` inside the recursion): no lane is left
@@ -2602,6 +2779,11 @@ impl WarpExec<'_, '_> {
                 return Branch::Reached(0);
             }
             return Branch::Goto(j, m);
+        }
+        if PROF {
+            // The scalar bailout attributes per op itself; close the branch
+            // op's span first so its time is not double-counted.
+            self.flush_pending();
         }
         Branch::Reached(self.scalar_lanes(pc, until, mask))
     }
@@ -2637,10 +2819,30 @@ impl WarpExec<'_, '_> {
                 lid: 0,
                 group: (w.items[l] / WARP as u64) as usize,
                 lsize: 1,
+                prof: w.prof.as_deref_mut(),
             };
-            if exec_scalar::<true>(c, pc, until, scratch, &mut lane_privs[l], no_locals, &mut t)
-                == ScalarRun::Until
-            {
+            let lane_run = if t.prof.is_some() {
+                exec_scalar::<true, true>(
+                    c,
+                    pc,
+                    until,
+                    scratch,
+                    &mut lane_privs[l],
+                    no_locals,
+                    &mut t,
+                )
+            } else {
+                exec_scalar::<true, false>(
+                    c,
+                    pc,
+                    until,
+                    scratch,
+                    &mut lane_privs[l],
+                    no_locals,
+                    &mut t,
+                )
+            };
+            if lane_run == ScalarRun::Until {
                 reached |= 1 << l;
                 for r in 0..nregs {
                     vregs[r * WARP + l] = scratch[r];

@@ -381,6 +381,22 @@ impl Device {
             exec::Backend::Tape => reg.counter("vgpu.launches.tape").inc(),
             exec::Backend::Tree => reg.counter("vgpu.launches.tree").inc(),
         }
+        // Kernel-level profiling: one map update per launch when enabled
+        // (`VGPU_PROFILE=kernel|op`), one relaxed load when off. The per-op
+        // tally, when present, was merged across interpreter chunks by the
+        // backend and rides along on `stats`.
+        if crate::profiler::enabled() {
+            crate::profiler::record_launch(
+                &prep.name,
+                stats.backend.label(),
+                if double { "f64" } else { "f32" },
+                stats.wall,
+                modeled_s,
+                stats.counters.flops,
+                stats.transaction_bytes,
+                stats.op_profile.as_deref(),
+            );
+        }
         // Differential launches also ran the tree-walker as an oracle.
         // Count that leg separately (the logical launch above is counted
         // once) and trace it as its own span under a distinct name, so
@@ -445,6 +461,15 @@ impl Device {
         }
         self.events.push(KernelEvent { name: prep.name.clone(), stats: stats.clone(), modeled_s });
         Ok(stats)
+    }
+
+    /// The trace track ids this device records kernel/transfer/modeled
+    /// events on — `None` until the first traced operation lazily allocates
+    /// them. Multi-device harnesses (the batch service) use these to
+    /// attribute global trace-buffer events back to the device, and hence
+    /// the job, that produced them.
+    pub fn telemetry_tracks(&self) -> Option<[TrackId; 3]> {
+        self.tele.get().map(|t| [t.kernel_track, t.transfer_track, t.modeled_track])
     }
 
     /// The profiling event log, oldest first.

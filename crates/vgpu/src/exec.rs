@@ -649,6 +649,10 @@ pub struct LaunchStats {
     /// traces attribute the oracle's extra execution instead of silently
     /// folding it into the reported launch.
     pub oracle_wall: Option<std::time::Duration>,
+    /// Per-opcode time attribution merged across the launch's interpreter
+    /// chunks. Populated by the tape/vector backends under `VGPU_PROFILE=op`
+    /// only; never part of differential comparison (timing is not a result).
+    pub op_profile: Option<Box<crate::profiler::OpProf>>,
 }
 
 /// One buffer binding or scalar argument.
@@ -1611,6 +1615,8 @@ fn finish(
         divergent_warps: 0,
         // Set by `run_differential` when an oracle leg also ran.
         oracle_wall: None,
+        // Set by `run_flat_tape` / `run_flat_vector` when `VGPU_PROFILE=op`.
+        op_profile: None,
     })
 }
 
@@ -1753,8 +1759,11 @@ fn run_flat_tape(
     let gx = gsize[0] as u64;
     let gy = gsize[1] as u64;
 
+    // Per-op profiling allocates one tally per rayon chunk, merged after the
+    // parallel section — no shared state inside the hot loop.
+    let prof_on = crate::profiler::op_enabled();
     let start = std::time::Instant::now();
-    let results: Vec<(Counters, u64, Vec<WriteRec>)> = warp_ids
+    let results: Vec<ProfChunkResult> = warp_ids
         .par_chunks(chunk)
         .map(|ws| {
             // One rayon task per chunk of warps: the register file, private
@@ -1768,6 +1777,8 @@ fn run_flat_tape(
             let mut ends: Vec<usize> = Vec::new();
             let mut writes: Vec<WriteRec> = Vec::new();
             let mut tbytes = 0u64;
+            let mut prof: Option<Box<crate::profiler::OpProf>> =
+                prof_on.then(Box::<crate::profiler::OpProf>::default);
             for &w in ws {
                 regs.fill(0);
                 for (slot, b) in &init_bits {
@@ -1804,6 +1815,7 @@ fn run_flat_tape(
                         lid: 0,
                         group,
                         lsize: 1,
+                        prof: prof.as_deref_mut(),
                     };
                     bytecode::exec_phase(tape, 0, &mut regs, &mut privs, &mut no_locals, &mut t);
                     if trace_on {
@@ -1816,12 +1828,44 @@ fn run_flat_tape(
                     ends.clear();
                 }
             }
-            (counters, tbytes, writes)
+            (counters, tbytes, writes, prof)
         })
         .collect();
     let wall = start.elapsed();
+    let (results, op_profile) = merge_op_profiles(results);
     let scale = flat_sample_scale(total, &warp_ids);
-    finish(prep, results, race_check, trace_on, scale, wall, total)
+    let mut stats = finish(prep, results, race_check, trace_on, scale, wall, total)?;
+    stats.op_profile = op_profile;
+    Ok(stats)
+}
+
+/// The per-chunk result triple [`finish`] aggregates.
+type ChunkResult = (Counters, u64, Vec<WriteRec>);
+
+/// [`ChunkResult`] plus the chunk's op-profile tally (present only when
+/// `VGPU_PROFILE=op` was active for the launch).
+type ProfChunkResult = (Counters, u64, Vec<WriteRec>, Option<Box<crate::profiler::OpProf>>);
+
+/// Strips per-chunk op-profile tallies off backend results, merging them
+/// into one launch-wide [`crate::profiler::OpProf`] (`None` when profiling
+/// was off for the launch).
+fn merge_op_profiles(
+    results: Vec<ProfChunkResult>,
+) -> (Vec<ChunkResult>, Option<Box<crate::profiler::OpProf>>) {
+    let mut merged: Option<Box<crate::profiler::OpProf>> = None;
+    let results = results
+        .into_iter()
+        .map(|(c, t, w, p)| {
+            if let Some(p) = p {
+                match merged.as_deref_mut() {
+                    Some(m) => m.merge(&p),
+                    None => merged = Some(p),
+                }
+            }
+            (c, t, w)
+        })
+        .collect();
+    (results, merged)
 }
 
 /// Warp-vectorized execution of a barrier-free NDRange: each tape op is
@@ -1866,8 +1910,10 @@ fn run_flat_vector(
     bytecode::exec_pre(tape, &mut regs0, gsize);
     let (bcast_once, bcast_warp) = bytecode::warp_init_regs(tape, prep.nslots);
 
+    let prof_on = crate::profiler::op_enabled();
     let start = std::time::Instant::now();
-    let results: Vec<(Counters, u64, Vec<WriteRec>, u64)> = warp_ids
+    type VecChunk = (Counters, u64, Vec<WriteRec>, u64, Option<Box<crate::profiler::OpProf>>);
+    let results: Vec<VecChunk> = warp_ids
         .par_chunks(chunk)
         .map(|ws| {
             // One rayon task per chunk of warps; the SoA register file and
@@ -1884,6 +1930,8 @@ fn run_flat_vector(
             let mut writes: Vec<WriteRec> = Vec::new();
             let mut tbytes = 0u64;
             let mut divergent = 0u64;
+            let mut prof: Option<Box<crate::profiler::OpProf>> =
+                prof_on.then(Box::<crate::profiler::OpProf>::default);
             let mut items: Vec<u64> = Vec::with_capacity(WARP);
             let mut gids: Vec<[usize; 3]> = Vec::with_capacity(WARP);
             for &w in ws {
@@ -1935,6 +1983,7 @@ fn run_flat_vector(
                     items: &items,
                     gids: &gids,
                     gsize,
+                    prof: prof.as_deref_mut(),
                 };
                 if bytecode::exec_phase_warp(tape, 0, nact, &mut vregs, &mut lane_privs, &mut wc) {
                     divergent += 1;
@@ -1946,20 +1995,22 @@ fn run_flat_vector(
                     }
                 }
             }
-            (counters, tbytes, writes, divergent)
+            (counters, tbytes, writes, divergent, prof)
         })
         .collect();
     let wall = start.elapsed();
     let mut divergent = 0u64;
-    let results: Vec<(Counters, u64, Vec<WriteRec>)> = results
+    let results: Vec<ProfChunkResult> = results
         .into_iter()
-        .map(|(c, t, w, d)| {
+        .map(|(c, t, w, d, p)| {
             divergent += d;
-            (c, t, w)
+            (c, t, w, p)
         })
         .collect();
+    let (results, op_profile) = merge_op_profiles(results);
     let scale = flat_sample_scale(total, &warp_ids);
     let mut stats = finish(prep, results, race_check, trace_on, scale, wall, total)?;
+    stats.op_profile = op_profile;
     stats.divergent_warps = divergent;
     if divergent > 0 {
         note_warp_divergence(&prep.name, divergent);
@@ -2044,6 +2095,10 @@ fn run_grouped_tape(
                             lid,
                             group: g,
                             lsize,
+                            // Grouped (barrier) launches profile at kernel
+                            // granularity only; the flat runners carry the
+                            // per-op tallies.
+                            prof: None,
                         };
                         if bytecode::exec_phase(
                             tape,

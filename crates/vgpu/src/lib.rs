@@ -62,6 +62,7 @@ pub mod exec;
 pub mod host_exec;
 pub mod perfmodel;
 pub mod profile;
+pub mod profiler;
 pub mod telemetry;
 pub mod verify;
 
@@ -72,5 +73,6 @@ pub use exec::{Backend, Counters, Engine, ExecError, ExecMode, LaunchPlan, Launc
 pub use host_exec::{run_host_program, HostEnv, HostRun, TransferTotals};
 pub use perfmodel::{modeled_time_s, updates_per_second, ModelInput};
 pub use profile::DeviceProfile;
+pub use profiler::{KernelProfileSnapshot, ProfileMode, ResidualReport};
 pub use telemetry::{TraceMode, TrackId};
 pub use verify::{verify_prepared, TapeFinding, TapePass, TapeReport};

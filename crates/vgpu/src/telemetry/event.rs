@@ -186,6 +186,25 @@ pub enum Event {
 }
 
 impl Event {
+    /// The track the event is attributed to, when it has one. Process-wide
+    /// records (allocations, fallback/divergence audits) carry no track.
+    /// Multi-device harnesses use this to split the shared event buffer by
+    /// originating device — the batch service's job-scoped sidecar filter.
+    pub fn track(&self) -> Option<TrackId> {
+        match self {
+            Event::TrackName { track, .. }
+            | Event::Span { track, .. }
+            | Event::Kernel { track, .. }
+            | Event::ModeledKernel { track, .. }
+            | Event::Transfer { track, .. } => Some(*track),
+            Event::Alloc { .. }
+            | Event::Free { .. }
+            | Event::TapeFallback { .. }
+            | Event::VectorFallback { .. }
+            | Event::WarpDivergence { .. } => None,
+        }
+    }
+
     /// The event's timestamp in µs, when it has one (`TrackName` does not).
     pub fn ts_us(&self) -> Option<f64> {
         match self {

@@ -86,6 +86,50 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
     }
+
+    /// Estimated value at quantile `q ∈ [0, 1]` from the power-of-two
+    /// buckets; `None` when the histogram is empty. See
+    /// [`quantile_from_buckets`] for the estimation rule.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        quantile_from_buckets(&counts, q)
+    }
+}
+
+/// Quantile estimation over power-of-two bucket counts (`counts[i]` holds
+/// samples in `[2^(i-1), 2^i)`; `counts[0]` holds zeros).
+///
+/// The estimate locates the 1-based rank `ceil(q × total)` (clamped to at
+/// least 1) and linearly interpolates at *mid-rank* within the containing
+/// bucket's range: a bucket holding one sample reports its midpoint, not an
+/// edge. Two exactnesses hold by construction: bucket 0 yields exactly
+/// `0.0`, and the top bucket's upper edge saturates at `u64::MAX` (its
+/// nominal bound `2^64` is unrepresentable). Returns `None` for an empty
+/// histogram.
+pub fn quantile_from_buckets(counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if cum + c >= target {
+            if i == 0 {
+                return Some(0.0);
+            }
+            let lo = (1u128 << (i - 1)) as f64;
+            let hi = if i >= 64 { u64::MAX as f64 } else { (1u64 << i) as f64 };
+            let frac = ((target - cum) as f64 - 0.5) / c as f64;
+            return Some(lo + frac * (hi - lo));
+        }
+        cum += c;
+    }
+    unreachable!("rank {target} beyond cumulative count {total}")
 }
 
 enum Slot {
@@ -116,6 +160,13 @@ pub enum MetricValue {
         sum: u64,
         /// Non-empty buckets as `(lower_bound, count)` pairs.
         buckets: Vec<(u64, u64)>,
+        /// Estimated median (see [`quantile_from_buckets`]); `None` when
+        /// empty.
+        p50: Option<f64>,
+        /// Estimated 95th percentile.
+        p95: Option<f64>,
+        /// Estimated 99th percentile.
+        p99: Option<f64>,
     },
 }
 
@@ -198,8 +249,10 @@ impl Registry {
                     Slot::Gauge(g) => MetricValue::Gauge { value: g.load(Ordering::Relaxed) },
                     Slot::Histogram(h) => {
                         let mut buckets = Vec::new();
+                        let mut counts = [0u64; BUCKETS];
                         for (i, b) in h.buckets.iter().enumerate() {
                             let c = b.load(Ordering::Relaxed);
+                            counts[i] = c;
                             if c > 0 {
                                 let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
                                 buckets.push((lo, c));
@@ -209,6 +262,9 @@ impl Registry {
                             count: h.count.load(Ordering::Relaxed),
                             sum: h.sum.load(Ordering::Relaxed),
                             buckets,
+                            p50: quantile_from_buckets(&counts, 0.50),
+                            p95: quantile_from_buckets(&counts, 0.95),
+                            p99: quantile_from_buckets(&counts, 0.99),
                         }
                     }
                 },
@@ -255,9 +311,12 @@ mod tests {
         assert_eq!(snap[0].name, "c");
         assert_eq!(snap[0].value, MetricValue::Counter { value: 5 });
         match &snap[2].value {
-            MetricValue::Histogram { count: 3, sum: 1001, buckets } => {
+            MetricValue::Histogram { count: 3, sum: 1001, buckets, p50, .. } => {
                 // 0 → bucket 0; 1 → [1,2); 1000 → [512,1024)
                 assert_eq!(buckets, &vec![(0, 1), (1, 1), (512, 1)]);
+                // Median rank 2 of 3 lands in the [1,2) bucket.
+                let p50 = p50.expect("non-empty histogram has a median");
+                assert!((1.0..2.0).contains(&p50), "p50 = {p50}");
             }
             other => panic!("unexpected snapshot {other:?}"),
         }
@@ -269,5 +328,88 @@ mod tests {
         let r = Registry::new();
         r.counter("x");
         r.gauge("x");
+    }
+
+    #[test]
+    fn quantile_exact_single_bucket() {
+        // One sample at 1 → bucket [1,2); every quantile is its mid-rank
+        // interpolation, the bucket midpoint.
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.record(1);
+        assert_eq!(h.quantile(0.5), Some(1.5));
+        assert_eq!(h.quantile(0.99), Some(1.5));
+        assert_eq!(h.quantile(0.0), Some(1.5)); // rank clamps to 1
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // Two samples in [4,8): p50 hits rank 1 (quarter point), p99 rank 2
+        // (three-quarter point).
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.record(4);
+        h.record(7);
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.quantile(0.99), Some(7.0));
+    }
+
+    #[test]
+    fn quantile_zero_bucket_is_exact() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.record(0);
+        h.record(0);
+        h.record(1 << 20);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        // Rank 3 of 3 falls in the [2^20, 2^21) bucket.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(((1u64 << 20) as f64..(1u64 << 21) as f64).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        assert_eq!(h.quantile(0.5), None);
+        match &r.snapshot()[0].value {
+            MetricValue::Histogram { count: 0, p50: None, p95: None, p99: None, .. } => {}
+            other => panic!("unexpected snapshot {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantile_top_bucket_saturates() {
+        // u64::MAX lands in the top bucket, whose nominal upper bound 2^64
+        // is unrepresentable — the estimate must stay finite and within
+        // [2^63, u64::MAX].
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.record(u64::MAX);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50.is_finite());
+        assert!(p50 >= (1u64 << 63) as f64 && p50 <= u64::MAX as f64, "p50 = {p50}");
+    }
+
+    #[test]
+    fn reset_detaches_live_histogram_handles() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.record(10);
+        r.reset();
+        // The live handle keeps its (detached) storage usable...
+        h.record(20);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), Some(12.0)); // rank 1 of 2 in [8,16)
+                                                 // ...but the registry starts fresh: re-registering the name yields
+                                                 // new zeroed storage, and snapshots carry no stale state.
+        assert!(r.snapshot().is_empty());
+        let h2 = r.histogram("h");
+        assert_eq!(h2.count(), 0);
+        assert_eq!(h2.quantile(0.5), None);
+        h2.record(1);
+        // The detached handle and the re-registered one stay independent.
+        assert_eq!(h.count(), 2);
+        assert_eq!(h2.count(), 1);
     }
 }

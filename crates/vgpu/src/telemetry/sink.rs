@@ -353,8 +353,12 @@ pub fn render_summary(events: &[Event], metrics: &[MetricSnapshot]) -> String {
                 MetricValue::Gauge { value } => {
                     out.push_str(&format!("{:<40} {value}\n", m.name));
                 }
-                MetricValue::Histogram { count, sum, .. } => {
-                    out.push_str(&format!("{:<40} n={count} sum={sum}\n", m.name));
+                MetricValue::Histogram { count, sum, p50, p95, p99, .. } => {
+                    out.push_str(&format!("{:<40} n={count} sum={sum}", m.name));
+                    if let (Some(p50), Some(p95), Some(p99)) = (p50, p95, p99) {
+                        out.push_str(&format!(" p50={p50:.0} p95={p95:.0} p99={p99:.0}"));
+                    }
+                    out.push('\n');
                 }
             }
         }

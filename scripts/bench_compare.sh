@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regression-checks two benchmark snapshots (committed BENCH_*.json files
+# or results/run_report.json run reports) with the direction-aware
+# bench_compare tool: timing/miss/failure metrics must not grow, and
+# throughput/hit-rate metrics must not shrink, by more than the threshold.
+# Exits nonzero on any regression — wire it between "before" and "after"
+# snapshots when reviewing perf-relevant changes, or pass --warn-only for
+# informational CI steps. See DESIGN.md §11.
+#
+# Usage: scripts/bench_compare.sh <baseline.json> <current.json>
+#            [--threshold PCT] [--warn-only]
+#        scripts/bench_compare.sh --check <report.json>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin bench_compare >/dev/null
+exec ./target/release/bench_compare "$@"

@@ -21,11 +21,17 @@ batch_threads="${4:-4}"
 sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-# Splices provenance fields into a single-line JSON record and writes it.
+# Splices provenance fields into a single-line JSON record, writes it, and
+# appends it to BENCH_history.jsonl — an append-only log of every snapshot
+# ever taken on this machine. The committed BENCH_*.json files only ever
+# show the latest numbers; the history line (same record, same git_sha/date
+# provenance) is what lets `bench_compare` diff against *any* past
+# revision, not just the previous commit.
 snapshot() {
   local record="$1" out_file="$2"
   local out="${record%\}},\"git_sha\":\"${sha}\",\"date\":\"${date}\"}"
   echo "$out" | tee "$out_file"
+  echo "$out" >> BENCH_history.jsonl
 }
 
 cargo build --release -p bench --bin dispatch_bench --bin batch_bench

@@ -131,7 +131,7 @@ pub mod iter {
         where
             F: Fn(&'a [T]) + Sync,
         {
-            let _ = self.map(|c| f(c)).collect::<Vec<()>>();
+            let _ = self.map(f).collect::<Vec<()>>();
         }
     }
 
@@ -176,6 +176,9 @@ pub mod iter {
         }
     }
 
+    /// A taken-once cell handing one disjoint `&mut` chunk to a worker.
+    type ChunkCell<'a, T> = std::sync::Mutex<Option<(usize, &'a mut [T])>>;
+
     impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
         /// Runs `f` on every `(index, chunk)` pair.
         pub fn for_each<F>(self, f: F)
@@ -186,7 +189,7 @@ pub mod iter {
             // Pre-split into disjoint &mut chunks so workers never alias.
             let chunks: Vec<(usize, &mut [T])> =
                 self.inner.slice.chunks_mut(size).enumerate().collect();
-            let cells: Vec<std::sync::Mutex<Option<(usize, &mut [T])>>> =
+            let cells: Vec<ChunkCell<'_, T>> =
                 chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect();
             let _ = split_runs(cells.len(), |r: Range<usize>| {
                 for i in r {
@@ -223,7 +226,7 @@ pub mod iter {
         where
             F: Fn(usize) + Sync,
         {
-            let _ = self.map(|i| f(i)).collect::<Vec<()>>();
+            let _ = self.map(f).collect::<Vec<()>>();
         }
     }
 

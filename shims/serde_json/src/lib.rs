@@ -134,6 +134,10 @@ macro_rules! json_internal {
 }
 
 #[cfg(test)]
+// `json!` object expansion is one `push` per literal entry; only this
+// crate's own tests see the expansion as local code, so the lint is
+// allowed here (downstream crates get the external-macro exemption).
+#[allow(clippy::vec_init_then_push)]
 mod tests {
     use super::*;
 
