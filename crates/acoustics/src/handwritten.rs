@@ -97,6 +97,17 @@ pub fn volume_kernel() -> Kernel {
     }
 }
 
+/// The slab-placed volume kernel for domain sharding: [`volume_kernel`]
+/// with every `get_global_id(2)` shifted by +1, so a launch of
+/// `[Nx, Ny, owned]` work-items covers local planes `[1, owned+1)` of a
+/// per-device slab allocation whose plane 0 and plane `owned+1` are halo
+/// planes. The `Nz` scalar must be bound to the *local* plane count
+/// (`owned + 2`); the shifted `z >= Nz` guard then never fires for the
+/// launched range, exactly like the unsharded launch.
+pub fn volume_slab_kernel() -> Kernel {
+    volume_kernel().shift_gid(2, 1, "_slab")
+}
+
 /// Listing 1 — the naive one-kernel FI simulation (stencil + uniform-β
 /// boundary, box rooms, `nbr` computed from coordinates).
 ///
@@ -407,7 +418,14 @@ pub fn fdmm_kernel() -> Kernel {
 /// variants of FI-MM), precision-generic — the enumeration the `lift_verify`
 /// driver audits.
 pub fn all_kernels() -> Vec<Kernel> {
-    vec![volume_kernel(), fi_single_kernel(), fimm_kernel(false), fimm_kernel(true), fdmm_kernel()]
+    vec![
+        volume_kernel(),
+        volume_slab_kernel(),
+        fi_single_kernel(),
+        fimm_kernel(false),
+        fimm_kernel(true),
+        fdmm_kernel(),
+    ]
 }
 
 #[cfg(test)]

@@ -38,11 +38,13 @@ pub mod geometry;
 pub mod handwritten;
 pub mod materials;
 pub mod reference;
+pub mod shard_sim;
 pub mod sim;
 pub mod vgpu_sim;
 
 pub use boundary::{MaterialAssignment, RoomModel};
 pub use geometry::{GridDims, RoomShape};
 pub use materials::{courant, courant_sq, FdCoeffs, Material};
+pub use shard_sim::{boundary_cut_planes, boundary_cuts, ShardedSim};
 pub use sim::{BoundaryModel, ReferenceSim, SimConfig, SimSetup};
 pub use vgpu_sim::{BoundaryKernel, HandwrittenSim, Precision};

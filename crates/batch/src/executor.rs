@@ -211,6 +211,12 @@ fn run_job(cfg: &BatchConfig, scenario: Scenario) -> JobResult {
 }
 
 fn run_sim(cfg: &BatchConfig, sc: &Scenario) -> Result<JobOutput, String> {
+    // `VGPU_DEVICES > 1` routes the job through the Z-slab sharded backend
+    // (bit-identical to this single-device path; see DESIGN.md §12).
+    let shards = vgpu::device_count_from_env();
+    if shards > 1 {
+        return run_sim_sharded(cfg, sc, shards);
+    }
     let setup = SimSetup::new(&sc.config());
     let mut device = Device::gtx780();
     if let Some(engine) = cfg.engine {
@@ -260,6 +266,60 @@ fn run_sim(cfg: &BatchConfig, sc: &Scenario) -> Result<JobOutput, String> {
     });
 
     Ok(JobOutput { impulse_response, energy, wall_ms, launches, verifier_clean, sidecar })
+}
+
+/// The sharded leg of [`run_sim`]: the same scenario over `shards` Z-slab
+/// devices ([`room_acoustics::ShardedSim`]). The verifier gate covers the
+/// gid-shifted slab volume kernel instead of the whole-grid one; sidecars
+/// are skipped (per-kernel attribution spans several devices — the
+/// process-wide profiler still sees every launch).
+fn run_sim_sharded(cfg: &BatchConfig, sc: &Scenario, shards: usize) -> Result<JobOutput, String> {
+    let setup = SimSetup::new(&sc.config());
+    let devices: Vec<Device> = (0..shards)
+        .map(|_| {
+            let mut d = Device::gtx780();
+            if let Some(engine) = cfg.engine {
+                d.set_engine(engine);
+            }
+            d.set_race_check(cfg.race_check);
+            d
+        })
+        .collect();
+
+    let real = sc.precision.kind();
+    let mut verifier_clean = true;
+    let volume = vgpu::compile_cached(&handwritten::volume_slab_kernel().resolve_real(real))
+        .map_err(|e| format!("slab volume kernel: {e:?}"))?;
+    let boundary_kernel = match sc.boundary_kernel() {
+        room_acoustics::BoundaryKernel::FiMm { beta_constant } => {
+            handwritten::fimm_kernel(beta_constant).resolve_real(real)
+        }
+        room_acoustics::BoundaryKernel::FdMm => handwritten::fdmm_kernel().resolve_real(real),
+    };
+    let boundary =
+        vgpu::compile_cached(&boundary_kernel).map_err(|e| format!("boundary kernel: {e:?}"))?;
+    for prep in [&volume, &boundary] {
+        if let Some(report) = vgpu::verify_cached(prep) {
+            verifier_clean &= report.is_clean();
+        }
+    }
+
+    let mut sim =
+        room_acoustics::ShardedSim::new(setup, sc.precision, sc.boundary_kernel(), devices);
+    let (sx, sy, sz) = sc.source;
+    sim.impulse(sx, sy, sz, sc.amp);
+
+    let (mx, my, mz) = sc.mic;
+    let t0 = Instant::now();
+    let mut impulse_response = Vec::with_capacity(sc.steps);
+    for _ in 0..sc.steps {
+        sim.step(cfg.mode);
+        impulse_response.push(sim.sample(mx, my, mz));
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let energy = sim.energy();
+    let launches = sim.devices().iter().map(|d| d.events().len()).sum();
+    Ok(JobOutput { impulse_response, energy, wall_ms, launches, verifier_clean, sidecar: None })
 }
 
 /// Writes the per-job telemetry sidecar: scenario parameters, per-kernel

@@ -1,0 +1,39 @@
+//! `VGPU_DEVICES` routes batch jobs through the Z-slab sharded backend,
+//! bit-identically to the single-device path.
+//!
+//! Own test binary with a single test: `VGPU_DEVICES` is process-global
+//! state, so nothing else may read it concurrently.
+
+use batch::{BatchConfig, BatchExecutor, ScenarioGen};
+use vgpu::Engine;
+
+#[test]
+fn sharded_jobs_are_bit_identical_to_single_device() {
+    let scenarios = ScenarioGen::new(99).take(6);
+    let config =
+        || BatchConfig { threads: 2, engine: Some(Engine::Differential), ..Default::default() };
+
+    std::env::remove_var("VGPU_DEVICES");
+    let single = BatchExecutor::new(config()).run_all(scenarios.clone());
+    std::env::set_var("VGPU_DEVICES", "3");
+    let sharded = BatchExecutor::new(config()).run_all(scenarios);
+    std::env::remove_var("VGPU_DEVICES");
+
+    assert_eq!(single.len(), sharded.len());
+    for (a, b) in single.iter().zip(&sharded) {
+        let label = a.scenario.label();
+        let ao = a.outcome.as_ref().unwrap_or_else(|e| panic!("single {label}: {e}"));
+        let bo = b.outcome.as_ref().unwrap_or_else(|e| panic!("sharded {label}: {e}"));
+        assert_eq!(ao.impulse_response.len(), bo.impulse_response.len());
+        for (i, (x, y)) in ao.impulse_response.iter().zip(&bo.impulse_response).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{label}: impulse response diverges at step {i}: {x} vs {y}"
+            );
+        }
+        assert_eq!(ao.energy.to_bits(), bo.energy.to_bits(), "{label}: energy");
+        assert!(bo.verifier_clean, "{label}: slab kernels must verify clean");
+        // The sharded job issues at least one launch per device per step.
+        assert!(bo.launches >= ao.launches, "{label}: launches {} < {}", bo.launches, ao.launches);
+    }
+}

@@ -36,6 +36,7 @@ fn main() {
     let engine = bench::provenance::engine_label();
     let vgpu_threads = bench::provenance::threads();
     let plan_cache = bench::provenance::plan_cache_state();
+    let devices = bench::provenance::device_count();
 
     let reg = telemetry::registry();
     let counter = |name: &str| reg.counter(name).get();
@@ -71,7 +72,8 @@ fn main() {
 
     let record = format!(
         "{{\"bench\":\"batch\",\"rooms\":{rooms},\"threads\":{threads},\"seed\":{seed},\
-         \"engine\":\"{engine}\",\"vgpu_threads\":{vgpu_threads},\"plan_cache\":\"{plan_cache}\",\
+         \"engine\":\"{engine}\",\"vgpu_threads\":{vgpu_threads},\"devices\":{devices},\
+         \"plan_cache\":\"{plan_cache}\",\
          \"wall_s\":{wall_s:.3},\"rooms_per_sec\":{:.2},\
          \"artifact_hits\":{art_hits},\"artifact_misses\":{art_misses},\
          \"artifact_hit_rate\":{hit_rate:.4},\

@@ -9,7 +9,9 @@
 //!   [--warn-only]` — diff two snapshots and exit 1 when any
 //!   direction-gated metric regressed by more than PCT percent
 //!   (default 25). `--warn-only` prints the same report but always
-//!   exits 0, for informational CI steps.
+//!   exits 0, for informational CI steps. Keys present in only one
+//!   snapshot (a new bench metric, or one that vanished) are warnings —
+//!   pass `--strict` to fail on schema asymmetry too.
 //!
 //! Snapshots may be one-line `BENCH_*.json` records or full run reports;
 //! run reports are unwrapped to their embedded bench `record` so the two
@@ -22,7 +24,7 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: bench_compare --check <report.json>\n\
-         \x20      bench_compare <baseline.json> <current.json> [--threshold PCT] [--warn-only]"
+         \x20      bench_compare <baseline.json> <current.json> [--threshold PCT] [--warn-only] [--strict]"
     );
     exit(2)
 }
@@ -43,12 +45,14 @@ fn main() {
     let mut files = Vec::new();
     let mut threshold_pct = 25.0;
     let mut warn_only = false;
+    let mut strict = false;
     let mut check = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--check" => check = true,
             "--warn-only" => warn_only = true,
+            "--strict" => strict = true,
             "--threshold" => {
                 threshold_pct = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
@@ -92,6 +96,20 @@ fn main() {
     if out.deltas.is_empty() {
         eprintln!("FAIL: snapshots share no numeric keys — nothing was compared");
         exit(1);
+    }
+    // Added/removed keys are expected when the bench schema grows: warn by
+    // default, gate only under --strict.
+    if !out.added.is_empty() || !out.removed.is_empty() {
+        let label = if strict && !warn_only { "FAIL" } else { "warning" };
+        for k in &out.added {
+            eprintln!("{label}: key {k} exists only in the current snapshot");
+        }
+        for k in &out.removed {
+            eprintln!("{label}: key {k} exists only in the baseline snapshot");
+        }
+        if strict && !warn_only {
+            exit(1);
+        }
     }
     if !out.regressions.is_empty() {
         for r in &out.regressions {

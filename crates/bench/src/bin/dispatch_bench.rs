@@ -88,6 +88,7 @@ fn main() {
     // explicitly, so the engine field is fixed, not `VGPU_ENGINE`).
     let plan_cache = bench::provenance::plan_cache_state();
     let threads = bench::provenance::threads();
+    let devices = bench::provenance::device_count();
 
     let fast = fi_run(n, Engine::Tape).measure(steps, ExecMode::Fast);
     let model = fi_run(n, Engine::Tape).measure(steps, ExecMode::Model { sample_stride: 1 });
@@ -98,7 +99,8 @@ fn main() {
     let divergent = reg.counter("vgpu.warp.divergent").get() - divergent0;
     let record = format!(
         "{{\"bench\":\"dispatch\",\"cube\":{n},\"steps\":{steps},\
-         \"engine\":\"tape+vector\",\"threads\":{threads},\"plan_cache\":\"{plan_cache}\",\
+         \"engine\":\"tape+vector\",\"threads\":{threads},\"devices\":{devices},\
+         \"plan_cache\":\"{plan_cache}\",\
          \"fast_ms_per_step\":{fast:.4},\"model_ms_per_step\":{model:.4},\
          \"vector_fast_ms_per_step\":{vfast:.4},\"vector_model_ms_per_step\":{vmodel:.4},\
          \"divergent_warps\":{divergent},\

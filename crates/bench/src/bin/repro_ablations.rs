@@ -25,7 +25,7 @@ use vgpu::{Arg, Device, DeviceProfile, ExecMode, ModelInput};
 
 fn modeled_ms(txn: u64, flops: u64, double: bool) -> f64 {
     vgpu::modeled_time_s(
-        &ModelInput { transaction_bytes: txn, flops, double_precision: double },
+        &ModelInput { transaction_bytes: txn, flops, double_precision: double, halo_bytes: 0 },
         &DeviceProfile::gtx780(),
     ) * 1e3
 }

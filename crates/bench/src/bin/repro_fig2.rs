@@ -22,8 +22,10 @@ struct Row {
 }
 
 fn modeled_ms(txn: u64, flops: u64, double: bool, p: &DeviceProfile) -> f64 {
-    vgpu::modeled_time_s(&ModelInput { transaction_bytes: txn, flops, double_precision: double }, p)
-        * 1e3
+    vgpu::modeled_time_s(
+        &ModelInput { transaction_bytes: txn, flops, double_precision: double, halo_bytes: 0 },
+        p,
+    ) * 1e3
 }
 
 fn main() {

@@ -62,6 +62,7 @@ fn measure(lk: &lift::lower::LoweredKernel, profile: &DeviceProfile) -> Row {
             transaction_bytes: stats.transaction_bytes.unwrap(),
             flops: stats.counters.flops,
             double_precision: false,
+            halo_bytes: 0,
         },
         profile,
     );

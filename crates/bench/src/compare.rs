@@ -103,8 +103,12 @@ pub struct CompareOutcome {
     pub improvements: Vec<Delta>,
     /// Every common numeric key's movement, key-ordered.
     pub deltas: Vec<Delta>,
-    /// Keys present on one side only.
-    pub unmatched: Vec<String>,
+    /// Keys present only in the current snapshot (new metrics). A growing
+    /// bench schema is expected — these warn, they never gate, unless the
+    /// CLI opts in with `--strict`.
+    pub added: Vec<String>,
+    /// Keys present only in the baseline (metrics that disappeared).
+    pub removed: Vec<String>,
 }
 
 impl CompareOutcome {
@@ -131,8 +135,17 @@ impl CompareOutcome {
                 d.rel * 100.0
             ));
         }
-        if !self.unmatched.is_empty() {
-            out.push_str(&format!("unmatched keys (not compared): {:?}\n", self.unmatched));
+        if !self.added.is_empty() {
+            out.push_str(&format!(
+                "warning: keys only in current (new metrics): {:?}\n",
+                self.added
+            ));
+        }
+        if !self.removed.is_empty() {
+            out.push_str(&format!(
+                "warning: keys only in baseline (vanished): {:?}\n",
+                self.removed
+            ));
         }
         out.push_str(&format!(
             "{} regression(s), {} improvement(s)\n",
@@ -154,9 +167,8 @@ pub fn compare(baseline: &Value, current: &Value, threshold: f64) -> CompareOutc
     let mut deltas = Vec::new();
     let mut regressions = Vec::new();
     let mut improvements = Vec::new();
-    let mut unmatched: Vec<String> =
-        base.keys().filter(|k| !cur.contains_key(*k)).cloned().collect();
-    unmatched.extend(cur.keys().filter(|k| !base.contains_key(*k)).cloned());
+    let removed: Vec<String> = base.keys().filter(|k| !cur.contains_key(*k)).cloned().collect();
+    let added: Vec<String> = cur.keys().filter(|k| !base.contains_key(*k)).cloned().collect();
     for (key, &b) in &base {
         let Some(&c) = cur.get(key) else { continue };
         let rel = if b != 0.0 { (c - b) / b.abs() } else { c - b };
@@ -179,7 +191,7 @@ pub fn compare(baseline: &Value, current: &Value, threshold: f64) -> CompareOutc
         }
         deltas.push(d);
     }
-    CompareOutcome { regressions, improvements, deltas, unmatched }
+    CompareOutcome { regressions, improvements, deltas, added, removed }
 }
 
 /// Parses and validates a run report: well-formed JSON, matching schema
@@ -249,6 +261,23 @@ mod tests {
         let out = compare(&base, &cur, 0.15);
         assert!(out.regressions.is_empty() && out.improvements.is_empty());
         assert_eq!(out.deltas.len(), 1);
+    }
+
+    #[test]
+    fn asymmetric_snapshots_warn_but_still_compare_shared_keys() {
+        // A new bench metric must not break comparison against an older
+        // committed baseline: the shared key still gates, the extra key is
+        // reported as added, not as a failure.
+        let base = json!({"fast_ms_per_step": 5.0, "old_only": 1.0});
+        let cur = json!({"fast_ms_per_step": 9.0, "halo_bytes_per_step": 4096.0});
+        let out = compare(&base, &cur, 0.15);
+        assert_eq!(out.deltas.len(), 1, "only the shared key is compared");
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.added, vec!["halo_bytes_per_step".to_string()]);
+        assert_eq!(out.removed, vec!["old_only".to_string()]);
+        let rendered = out.render(0.15);
+        assert!(rendered.contains("only in current"), "{rendered}");
+        assert!(rendered.contains("only in baseline"), "{rendered}");
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl Measurement {
                 transaction_bytes: self.txn_bytes,
                 flops: self.counters.flops,
                 double_precision: self.double,
+                halo_bytes: 0,
             },
             profile,
         ) * 1e3
@@ -90,6 +91,10 @@ pub fn measure_fimm(
     precision: Precision,
     which: Impl,
 ) -> Measurement {
+    // Each measurement is one logical simulation: rescope the fallback/
+    // divergence dedupe so a repro bin running many sims in one process
+    // gets every sim's audit records, not just the first's.
+    vgpu::exec::reset_fallback_dedupe();
     let setup = SimSetup::new(&SimConfig::fimm(dims, shape));
     let updates = setup.num_b() as u64;
     // Boundary traffic is value-independent (no data-dependent branches),
@@ -131,6 +136,7 @@ pub fn measure_fdmm(
     precision: Precision,
     which: Impl,
 ) -> Measurement {
+    vgpu::exec::reset_fallback_dedupe(); // one sim = one dedupe scope
     let setup = SimSetup::new(&SimConfig::fdmm(dims, shape));
     let updates = setup.num_b() as u64;
     let stats = match which {
@@ -169,6 +175,7 @@ pub fn measure_fi_single(
     which: Impl,
     sample_stride: usize,
 ) -> Measurement {
+    vgpu::exec::reset_fallback_dedupe(); // one sim = one dedupe scope
     let cfg = SimConfig {
         dims,
         shape: RoomShape::Box,

@@ -36,3 +36,10 @@ pub fn plan_cache_state() -> &'static str {
         "warm"
     }
 }
+
+/// Virtual device count the run shards across (`VGPU_DEVICES`, default 1).
+/// Sharded and unsharded snapshots are value-comparable but not
+/// wall-clock-comparable, so every record carries the count.
+pub fn device_count() -> usize {
+    vgpu::device_count_from_env()
+}

@@ -36,6 +36,10 @@ pub struct RunReport {
     pub threads: usize,
     /// `"cold"`/`"warm"` launch-plan cache at emission time.
     pub plan_cache: String,
+    /// Virtual device count the run sharded across (`VGPU_DEVICES`);
+    /// defaults to 1 so pre-sharding reports still parse.
+    #[serde(default = "default_devices")]
+    pub devices: usize,
     /// Active `VGPU_PROFILE` mode during the run.
     pub profile_mode: String,
     /// The binary's own result record (its one-line JSON, as a tree).
@@ -48,6 +52,10 @@ pub struct RunReport {
     pub residual: Option<vgpu::ResidualReport>,
     /// Metric-registry snapshot, histogram percentiles included.
     pub metrics: Vec<MetricSnapshot>,
+}
+
+fn default_devices() -> usize {
+    1
 }
 
 fn results_dir() -> PathBuf {
@@ -65,6 +73,7 @@ pub fn build(name: &str, record: Value) -> RunReport {
         engine: provenance::engine_label(),
         threads: provenance::threads(),
         plan_cache: provenance::plan_cache_state().to_string(),
+        devices: provenance::device_count(),
         profile_mode: profiler::mode().label().to_string(),
         record,
         kernels,
@@ -78,8 +87,13 @@ pub fn build(name: &str, record: Value) -> RunReport {
 /// digest.
 pub fn render(report: &RunReport) -> String {
     let mut out = format!(
-        "== run report: {} (engine {}, {} threads, plan cache {}, profile {}) ==\n",
-        report.name, report.engine, report.threads, report.plan_cache, report.profile_mode
+        "== run report: {} (engine {}, {} threads, {} device(s), plan cache {}, profile {}) ==\n",
+        report.name,
+        report.engine,
+        report.threads,
+        report.devices,
+        report.plan_cache,
+        report.profile_mode
     );
     if report.kernels.is_empty() {
         out.push_str("(no kernel profiles — set VGPU_PROFILE=kernel|op to attribute time)\n");

@@ -385,6 +385,93 @@ impl Kernel {
             work_dim: self.work_dim,
         }
     }
+
+    /// Returns a copy in which every `get_global_id(dim)` is replaced by
+    /// `get_global_id(dim) + offset`, renamed with `suffix` appended.
+    ///
+    /// This is the slab-placement rewrite for domain sharding: a kernel
+    /// written against global grid coordinates is re-targeted to a
+    /// sub-grid whose work-items start `offset` planes into the local
+    /// allocation (e.g. one halo plane below the first owned plane). The
+    /// substitution is uniform — guards comparing `get_global_id(dim)`
+    /// against a size scalar shift with it, so callers must bind that
+    /// scalar to the *local* extent (owned planes + halo).
+    pub fn shift_gid(&self, dim: u8, offset: i32, suffix: &str) -> Kernel {
+        fn sx(e: &KExpr, dim: u8, offset: i32) -> KExpr {
+            match e {
+                KExpr::GlobalId(d) if *d == dim => {
+                    KExpr::bin(BinOp::Add, KExpr::GlobalId(dim), KExpr::int(offset))
+                }
+                KExpr::Lit(_)
+                | KExpr::Var(_)
+                | KExpr::GlobalId(_)
+                | KExpr::GlobalSize(_)
+                | KExpr::LocalId(_)
+                | KExpr::LocalSize(_)
+                | KExpr::GroupId(_) => e.clone(),
+                KExpr::Load { mem, idx } => {
+                    KExpr::Load { mem: mem.clone(), idx: Box::new(sx(idx, dim, offset)) }
+                }
+                KExpr::Bin(op, a, b) => KExpr::bin(*op, sx(a, dim, offset), sx(b, dim, offset)),
+                KExpr::Un(op, a) => KExpr::Un(*op, Box::new(sx(a, dim, offset))),
+                KExpr::Select(c, t, f) => {
+                    KExpr::select(sx(c, dim, offset), sx(t, dim, offset), sx(f, dim, offset))
+                }
+                KExpr::Call(i, args) => {
+                    KExpr::Call(*i, args.iter().map(|a| sx(a, dim, offset)).collect())
+                }
+                KExpr::Cast(k, a) => KExpr::Cast(*k, Box::new(sx(a, dim, offset))),
+            }
+        }
+        fn ss(s: &KStmt, dim: u8, offset: i32) -> KStmt {
+            match s {
+                KStmt::DeclScalar { name, kind, init } => KStmt::DeclScalar {
+                    name: name.clone(),
+                    kind: *kind,
+                    init: init.as_ref().map(|e| sx(e, dim, offset)),
+                },
+                KStmt::DeclPrivArray { name, kind, len } => KStmt::DeclPrivArray {
+                    name: name.clone(),
+                    kind: *kind,
+                    len: sx(len, dim, offset),
+                },
+                KStmt::DeclLocalArray { name, kind, len } => KStmt::DeclLocalArray {
+                    name: name.clone(),
+                    kind: *kind,
+                    len: sx(len, dim, offset),
+                },
+                KStmt::Barrier => KStmt::Barrier,
+                KStmt::Assign { name, value } => {
+                    KStmt::Assign { name: name.clone(), value: sx(value, dim, offset) }
+                }
+                KStmt::Store { mem, idx, value } => KStmt::Store {
+                    mem: mem.clone(),
+                    idx: sx(idx, dim, offset),
+                    value: sx(value, dim, offset),
+                },
+                KStmt::For { var, begin, end, step, body } => KStmt::For {
+                    var: var.clone(),
+                    begin: sx(begin, dim, offset),
+                    end: sx(end, dim, offset),
+                    step: sx(step, dim, offset),
+                    body: body.iter().map(|s| ss(s, dim, offset)).collect(),
+                },
+                KStmt::If { cond, then_, else_ } => KStmt::If {
+                    cond: sx(cond, dim, offset),
+                    then_: then_.iter().map(|s| ss(s, dim, offset)).collect(),
+                    else_: else_.iter().map(|s| ss(s, dim, offset)).collect(),
+                },
+                KStmt::Return => KStmt::Return,
+                KStmt::Comment(c) => KStmt::Comment(c.clone()),
+            }
+        }
+        Kernel {
+            name: format!("{}{suffix}", self.name),
+            params: self.params.clone(),
+            body: self.body.iter().map(|s| ss(s, dim, offset)).collect(),
+            work_dim: self.work_dim,
+        }
+    }
 }
 
 impl fmt::Display for Kernel {
@@ -446,6 +533,27 @@ mod tests {
         };
         assert_eq!(k.param_index("n"), Some(1));
         assert_eq!(k.param_index("zz"), None);
+    }
+
+    #[test]
+    fn shift_gid_rewrites_only_target_dim() {
+        let k = Kernel {
+            name: "t".into(),
+            params: vec![KernelParam::global_buf("a", ScalarKind::F32)],
+            body: vec![KStmt::Store {
+                mem: MemRef::Param(0),
+                idx: KExpr::GlobalId(2) * KExpr::int(4) + KExpr::GlobalId(0),
+                value: KExpr::real(0.0),
+            }],
+            work_dim: 3,
+        };
+        let s = k.shift_gid(2, 1, "_slab");
+        assert_eq!(s.name, "t_slab");
+        let KStmt::Store { idx, .. } = &s.body[0] else { panic!() };
+        // gid2 occurrences become (gid2 + 1); gid0 is untouched.
+        let shifted = KExpr::bin(BinOp::Add, KExpr::GlobalId(2), KExpr::int(1)) * KExpr::int(4)
+            + KExpr::GlobalId(0);
+        assert_eq!(*idx, shifted);
     }
 
     #[test]

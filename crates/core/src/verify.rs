@@ -105,6 +105,19 @@ pub struct Assumptions {
     /// and by the canonical linearization an interior mask is indexed
     /// with. Empty when no interior facts apply.
     pub interior_dims: Vec<ArithExpr>,
+    /// Per-dimension constant offset the kernel adds to each work-item id
+    /// (slab-placed kernels produced by `Kernel::shift_gid` index their
+    /// grid at `gid_d + offset_d`). The canonical linearization and the
+    /// interior refinement shift with it: the interior fact becomes
+    /// `gid_d + offset_d ∈ [1, dim_d−2]`. Missing entries are 0.
+    pub gid_offsets: Vec<i64>,
+}
+
+impl Assumptions {
+    /// The constant gid offset for dimension `d` (0 when unset).
+    fn gid_offset(&self, d: usize) -> i64 {
+        self.gid_offsets.get(d).copied().unwrap_or(0)
+    }
 }
 
 /// Whether an access site reads or writes.
@@ -580,23 +593,27 @@ fn is_zero_lit(e: &KExpr) -> bool {
 }
 
 /// Canonical row-major linearization the interior mask is indexed with:
-/// `gid0 + gid1·d0 + gid2·d0·d1`.
-fn canonical_lin(dims: &[ArithExpr]) -> ArithExpr {
+/// `(gid0+o0) + (gid1+o1)·d0 + (gid2+o2)·d0·d1`, where `o_d` is the
+/// per-dimension gid offset of a slab-placed kernel (0 by default).
+fn canonical_lin(dims: &[ArithExpr], asm: &Assumptions) -> ArithExpr {
     let mut stride = ArithExpr::one();
     let mut terms = Vec::new();
     for (d, ext) in dims.iter().enumerate() {
-        terms.push(ArithExpr::var(gid_atom(d as u8)) * stride.clone());
+        let gid = ArithExpr::var(gid_atom(d as u8)) + ArithExpr::Cst(asm.gid_offset(d));
+        terms.push(gid * stride.clone());
         stride = stride * ext.clone();
     }
     ArithExpr::add(terms)
 }
 
-/// Narrows every work-item id to the grid interior `[1, dim−2]`.
+/// Narrows every work-item id so the *offset* id lies in the grid
+/// interior: `gid_d + o_d ∈ [1, dim−2]`, i.e. `gid_d ∈ [1−o, dim−2−o]`.
 fn interior_refine(st: &mut St, out: &Out) {
     for (d, ext) in out.asm.interior_dims.iter().enumerate() {
         let atom = gid_atom(d as u8);
+        let off = out.asm.gid_offset(d);
         let cur = st.renv.var_range(&atom);
-        let tight = SymRange::new(ArithExpr::one(), ext.clone() - ArithExpr::Cst(2));
+        let tight = SymRange::new(ArithExpr::Cst(1 - off), ext.clone() - ArithExpr::Cst(2 + off));
         let refined = st.renv.intersect(&cur, &tight);
         st.renv.set_range(atom, refined);
     }
@@ -650,7 +667,7 @@ fn interior_trigger(x: &KExpr, st: &mut St, out: &mut Out) -> bool {
         return false;
     }
     let arg = info.arg.clone();
-    let lin = canonical_lin(&out.asm.interior_dims);
+    let lin = canonical_lin(&out.asm.interior_dims, out.asm);
     st.renv.prove_eq(&arg, &lin)
 }
 

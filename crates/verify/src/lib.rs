@@ -194,7 +194,7 @@ fn handwritten_assumptions(k: &Kernel) -> Assumptions {
     let dims = || [ArithExpr::var("Nx"), ArithExpr::var("Ny"), ArithExpr::var("Nz")];
     let n3 = || ArithExpr::var("Nx") * ArithExpr::var("Ny") * ArithExpr::var("Nz");
     match k.name.as_str() {
-        "volume_handling_hand" => {
+        "volume_handling_hand" | "volume_handling_hand_slab" => {
             for b in ["next", "curr", "prev"] {
                 asm.buffers.insert(b.into(), BufferFacts::sized(n3()));
             }
@@ -205,6 +205,13 @@ fn handwritten_assumptions(k: &Kernel) -> Assumptions {
             asm.interior_dims = dims().to_vec();
             for d in ["Nx", "Ny", "Nz"] {
                 asm.size_bounds.push((d.into(), 1));
+            }
+            if k.name.ends_with("_slab") {
+                // The sharded launch runs the gid2+1 slab rewrite against
+                // a local slab allocation of Nz planes (owned + 2 halo):
+                // interior masking and the canonical linearization shift
+                // by one plane (see `Kernel::shift_gid`).
+                asm.gid_offsets = vec![0, 0, 1];
             }
         }
         "fi_single_hand" => {

@@ -111,6 +111,26 @@ impl BufData {
             BufData::I32(v) => v.iter().map(|&x| x as f64).collect(),
         }
     }
+
+    /// Copies out the element range `[off, off+len)` (bounds-checked).
+    pub fn slice(&self, off: usize, len: usize) -> BufData {
+        match self {
+            BufData::F32(v) => BufData::F32(v[off..off + len].to_vec()),
+            BufData::F64(v) => BufData::F64(v[off..off + len].to_vec()),
+            BufData::I32(v) => BufData::I32(v[off..off + len].to_vec()),
+        }
+    }
+
+    /// Overwrites elements `[off, off+src.len())` from `src`, which must
+    /// have the same element kind.
+    pub fn copy_from(&mut self, off: usize, src: &BufData) {
+        match (self, src) {
+            (BufData::F32(d), BufData::F32(s)) => d[off..off + s.len()].copy_from_slice(s),
+            (BufData::F64(d), BufData::F64(s)) => d[off..off + s.len()].copy_from_slice(s),
+            (BufData::I32(d), BufData::I32(s)) => d[off..off + s.len()].copy_from_slice(s),
+            (d, s) => panic!("region copy kind mismatch: {:?} <- {:?}", d.kind(), s.kind()),
+        }
+    }
 }
 
 impl From<Vec<f32>> for BufData {

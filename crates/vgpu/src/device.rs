@@ -197,6 +197,17 @@ impl Device {
                 reg.counter("vgpu.xfer.to_host.bytes").add(bytes);
                 reg.counter("vgpu.xfer.to_host.transfers").inc();
             }
+            // Sharding traffic is accounted apart from `vgpu.xfer.*` so a
+            // sharded run's host-transfer totals stay bit-comparable with
+            // the single-device leg (DESIGN.md §12).
+            TransferDir::DevToDev => {
+                reg.counter("vgpu.halo.bytes").add(bytes);
+                reg.counter("vgpu.halo.copies").inc();
+            }
+            TransferDir::Replicate => {
+                reg.counter("vgpu.halo.replicate.bytes").add(bytes);
+                reg.counter("vgpu.halo.replicate.transfers").inc();
+            }
         }
         if let Some(ts_us) = t0 {
             let tele = self.tele();
@@ -284,11 +295,69 @@ impl Device {
         data
     }
 
+    /// Overwrites the element range `[off, off+data.len())` of a buffer
+    /// from host data (`enqueueWriteBuffer` with an offset). Accounted as
+    /// one `ToGPU` transfer of exactly the region's bytes — the
+    /// slab-upload primitive of domain sharding, where each device
+    /// receives only its owned planes of a host array.
+    pub fn write_region(&mut self, id: BufId, off: usize, data: BufData) {
+        assert!(off + data.len() <= self.buffers[id.0].len(), "region write out of range");
+        let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
+        let bytes = byte_len(data.len(), data.elem_bytes());
+        self.buffers[id.0].data_mut().copy_from(off, &data);
+        self.note_transfer(TransferDir::ToGpu, id, bytes, t0);
+    }
+
+    /// Reads the element range `[off, off+len)` back to the host
+    /// (`enqueueReadBuffer` with an offset). Accounted as one `ToHost`
+    /// transfer of exactly the region's bytes.
+    pub fn read_region(&self, id: BufId, off: usize, len: usize) -> BufData {
+        let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
+        let data = self.buffers[id.0].data().slice(off, len);
+        self.note_transfer(TransferDir::ToHost, id, byte_len(len, data.elem_bytes()), t0);
+        data
+    }
+
+    /// Overwrites a region from a neighbouring device's owned plane — the
+    /// halo-exchange receive of domain sharding. Accounted exactly once,
+    /// here on the destination device, as a `DevToDev` transfer under
+    /// `vgpu.halo.{bytes,copies}` (the source side is read unaccounted via
+    /// [`Device::peek_region`]); never touches `vgpu.xfer.*`.
+    pub fn write_halo_region(&mut self, id: BufId, off: usize, data: BufData) {
+        assert!(off + data.len() <= self.buffers[id.0].len(), "halo write out of range");
+        let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
+        let bytes = byte_len(data.len(), data.elem_bytes());
+        self.buffers[id.0].data_mut().copy_from(off, &data);
+        self.note_transfer(TransferDir::DevToDev, id, bytes, t0);
+    }
+
+    /// Creates a buffer from host data that is a *replica* of an upload
+    /// already accounted on another device of a shard set (β tables,
+    /// FD-MM coefficient tables). Accounted as one allocation plus one
+    /// `Replicate` transfer under `vgpu.halo.replicate.*`, keeping
+    /// `vgpu.xfer.to_gpu.*` totals identical to the single-device leg.
+    pub fn upload_replica(&mut self, data: BufData) -> BufId {
+        let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
+        let bytes = byte_len(data.len(), data.elem_bytes());
+        self.buffers.push(SharedBuf::new(data));
+        let id = BufId(self.buffers.len() - 1);
+        self.note_alloc(id, bytes);
+        self.note_transfer(TransferDir::Replicate, id, bytes, t0);
+        id
+    }
+
     /// Inspects a buffer *without* transfer accounting — for harness-side
     /// checks and debugging, where a counted `ToHost` would distort the
     /// transfer totals. Simulated host code should use [`Device::read`].
     pub fn peek(&self, id: BufId) -> BufData {
         self.buffers[id.0].data().clone()
+    }
+
+    /// Inspects an element range without transfer accounting — the send
+    /// side of a halo exchange (the receive side accounts the copy once,
+    /// see [`Device::write_halo_region`]).
+    pub fn peek_region(&self, id: BufId, off: usize, len: usize) -> BufData {
+        self.buffers[id.0].data().slice(off, len)
     }
 
     /// Buffer length in elements.
@@ -372,6 +441,7 @@ impl Device {
                     transaction_bytes: tb,
                     flops: stats.counters.flops,
                     double_precision: double,
+                    halo_bytes: 0,
                 },
                 &self.profile,
             )

@@ -63,6 +63,7 @@ pub mod host_exec;
 pub mod perfmodel;
 pub mod profile;
 pub mod profiler;
+pub mod shard;
 pub mod telemetry;
 pub mod verify;
 
@@ -70,9 +71,10 @@ pub use artifact::{compile_cached, verify_cached};
 pub use buffer::BufData;
 pub use device::{Arg, BufId, Device, KernelEvent};
 pub use exec::{Backend, Counters, Engine, ExecError, ExecMode, LaunchPlan, LaunchStats, Prepared};
-pub use host_exec::{run_host_program, HostEnv, HostRun, TransferTotals};
-pub use perfmodel::{modeled_time_s, updates_per_second, ModelInput};
+pub use host_exec::{run_host_program, run_host_program_on, HostEnv, HostRun, TransferTotals};
+pub use perfmodel::{modeled_sharded_step_s, modeled_time_s, updates_per_second, ModelInput};
 pub use profile::DeviceProfile;
 pub use profiler::{KernelProfileSnapshot, ProfileMode, ResidualReport};
+pub use shard::{device_count_from_env, halo_exchange, HaloTotals, SlabPartition};
 pub use telemetry::{TraceMode, TrackId};
 pub use verify::{verify_prepared, TapeFinding, TapePass, TapeReport};

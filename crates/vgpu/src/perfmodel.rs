@@ -25,6 +25,18 @@ pub struct ModelInput {
     pub flops: u64,
     /// True when the kernel's float traffic is double precision.
     pub double_precision: bool,
+    /// Halo-exchange bytes crossing the inter-device link before this
+    /// work can run (0 for unsharded launches). Charged serially at
+    /// [`DeviceProfile::link_bw_gbs`] — neighbour exchanges cannot
+    /// overlap the stencil that consumes them.
+    pub halo_bytes: u64,
+}
+
+impl ModelInput {
+    /// A single-device input (no communication term).
+    pub fn local(transaction_bytes: u64, flops: u64, double_precision: bool) -> Self {
+        ModelInput { transaction_bytes, flops, double_precision, halo_bytes: 0 }
+    }
 }
 
 /// Modeled kernel time in seconds.
@@ -33,7 +45,26 @@ pub fn modeled_time_s(input: &ModelInput, profile: &DeviceProfile) -> f64 {
     let mem_s = input.transaction_bytes as f64 / bw;
     let peak = profile.gflops(input.double_precision) * 1e9;
     let comp_s = input.flops as f64 / peak;
-    mem_s.max(comp_s) + profile.launch_overhead_us * 1e-6
+    let comm_s = input.halo_bytes as f64 / (profile.link_bw_gbs * 1e9);
+    mem_s.max(comp_s) + comm_s + profile.launch_overhead_us * 1e-6
+}
+
+/// Modeled time per step for a Z-slab sharded run: every device computes
+/// its slab concurrently (the slowest slab gates the step) after the halo
+/// exchange crossed the link. `per_device` holds each slab's local
+/// compute/traffic input; `halo_bytes` is the total bytes exchanged per
+/// step across all seams.
+pub fn modeled_sharded_step_s(
+    per_device: &[ModelInput],
+    halo_bytes: u64,
+    profile: &DeviceProfile,
+) -> f64 {
+    let slowest = per_device
+        .iter()
+        .map(|i| modeled_time_s(&ModelInput { halo_bytes: 0, ..*i }, profile))
+        .fold(0.0, f64::max);
+    let comm_s = halo_bytes as f64 / (profile.link_bw_gbs * 1e9);
+    slowest + comm_s
 }
 
 /// Throughput in the paper's metric: million updates (elements) per second.
@@ -49,7 +80,12 @@ mod tests {
     fn memory_bound_kernel_uses_bandwidth() {
         let p = DeviceProfile::gtx780();
         let t = modeled_time_s(
-            &ModelInput { transaction_bytes: 288_000_000, flops: 1, double_precision: false },
+            &ModelInput {
+                transaction_bytes: 288_000_000,
+                flops: 1,
+                double_precision: false,
+                halo_bytes: 0,
+            },
             &p,
         );
         // 288 MB at 288 GB/s × 0.75 ≈ 1.33 ms (plus overhead)
@@ -60,11 +96,21 @@ mod tests {
     fn compute_bound_kernel_uses_flops() {
         let p = DeviceProfile::gtx780();
         let sp = modeled_time_s(
-            &ModelInput { transaction_bytes: 1, flops: 3_977_000_000, double_precision: false },
+            &ModelInput {
+                transaction_bytes: 1,
+                flops: 3_977_000_000,
+                double_precision: false,
+                halo_bytes: 0,
+            },
             &p,
         );
         let dp = modeled_time_s(
-            &ModelInput { transaction_bytes: 1, flops: 3_977_000_000, double_precision: true },
+            &ModelInput {
+                transaction_bytes: 1,
+                flops: 3_977_000_000,
+                double_precision: true,
+                halo_bytes: 0,
+            },
             &p,
         );
         assert!(dp > sp * 20.0, "Kepler consumer DP should be ~24x slower: sp={sp}, dp={dp}");
@@ -74,7 +120,12 @@ mod tests {
     fn overhead_dominates_tiny_kernels() {
         let p = DeviceProfile::gtx780();
         let t = modeled_time_s(
-            &ModelInput { transaction_bytes: 128, flops: 10, double_precision: false },
+            &ModelInput {
+                transaction_bytes: 128,
+                flops: 10,
+                double_precision: false,
+                halo_bytes: 0,
+            },
             &p,
         );
         assert!(t >= 6e-6);

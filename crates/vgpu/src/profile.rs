@@ -28,6 +28,17 @@ pub struct DeviceProfile {
     /// Memory transaction (cache line) size in bytes — 128 B on all four
     /// GPUs' L1/texture path.
     pub transaction_bytes: u64,
+    /// Inter-device link bandwidth in GB/s, charged for halo-exchange
+    /// bytes when a grid is sharded across devices (PCIe 3.0 x16
+    /// peer-to-peer class; none of the Table III platforms had NVLink).
+    /// Defaults for profiles serialized before sharding existed.
+    #[serde(default = "default_link_bw_gbs")]
+    pub link_bw_gbs: f64,
+}
+
+/// Serde default for [`DeviceProfile::link_bw_gbs`].
+fn default_link_bw_gbs() -> f64 {
+    12.0
 }
 
 impl DeviceProfile {
@@ -50,6 +61,7 @@ impl DeviceProfile {
             bw_efficiency: 0.75,
             launch_overhead_us: 6.0,
             transaction_bytes: 128,
+            link_bw_gbs: 12.0,
         }
     }
 
@@ -63,6 +75,7 @@ impl DeviceProfile {
             bw_efficiency: 0.7,
             launch_overhead_us: 8.0,
             transaction_bytes: 128,
+            link_bw_gbs: 12.0,
         }
     }
 
@@ -76,6 +89,7 @@ impl DeviceProfile {
             bw_efficiency: 0.75,
             launch_overhead_us: 6.0,
             transaction_bytes: 128,
+            link_bw_gbs: 12.0,
         }
     }
 
@@ -89,6 +103,7 @@ impl DeviceProfile {
             bw_efficiency: 0.7,
             launch_overhead_us: 8.0,
             transaction_bytes: 128,
+            link_bw_gbs: 12.0,
         }
     }
 

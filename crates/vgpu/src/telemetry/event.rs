@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TrackId(pub u32);
 
-/// Direction of a host⇄device transfer.
+/// Direction of a host⇄device or device⇄device transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum TransferDir {
@@ -28,6 +28,16 @@ pub enum TransferDir {
     ToGpu,
     /// Device → host (`enqueueReadBuffer`, the paper's `ToHost`).
     ToHost,
+    /// Device → device halo-exchange copy between slab neighbours
+    /// (domain sharding, DESIGN.md §12). Accounted once, on the
+    /// destination device, under `vgpu.halo.*` — never under
+    /// `vgpu.xfer.*`.
+    DevToDev,
+    /// Host → device upload of a buffer already uploaded to another
+    /// device of the shard set (β/coefficient tables every slab needs).
+    /// Accounted under `vgpu.halo.replicate.*` so per-run `vgpu.xfer.*`
+    /// totals stay comparable with the single-device leg.
+    Replicate,
 }
 
 impl TransferDir {
@@ -36,6 +46,8 @@ impl TransferDir {
         match self {
             TransferDir::ToGpu => "ToGPU",
             TransferDir::ToHost => "ToHost",
+            TransferDir::DevToDev => "DevToDev",
+            TransferDir::Replicate => "Replicate",
         }
     }
 }

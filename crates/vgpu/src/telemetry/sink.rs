@@ -297,17 +297,21 @@ pub struct TransferSummary {
 pub fn transfer_summaries(events: &[Event]) -> Vec<TransferSummary> {
     let mut to_gpu = TransferSummary { dir: TransferDir::ToGpu, transfers: 0, bytes: 0 };
     let mut to_host = TransferSummary { dir: TransferDir::ToHost, transfers: 0, bytes: 0 };
+    let mut halo = TransferSummary { dir: TransferDir::DevToDev, transfers: 0, bytes: 0 };
+    let mut replica = TransferSummary { dir: TransferDir::Replicate, transfers: 0, bytes: 0 };
     for ev in events {
         if let Event::Transfer { dir, bytes, .. } = ev {
             let s = match dir {
                 TransferDir::ToGpu => &mut to_gpu,
                 TransferDir::ToHost => &mut to_host,
+                TransferDir::DevToDev => &mut halo,
+                TransferDir::Replicate => &mut replica,
             };
             s.transfers += 1;
             s.bytes += bytes;
         }
     }
-    vec![to_gpu, to_host]
+    vec![to_gpu, to_host, halo, replica]
 }
 
 /// Renders the human-readable end-of-run summary: per-kernel totals,

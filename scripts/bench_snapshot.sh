@@ -8,6 +8,11 @@
 # (engine, threads, warm/cold plan-cache state) — see
 # crates/bench/src/provenance.rs.
 #
+# Every record also carries the virtual device count (VGPU_DEVICES, via
+# crates/bench/src/provenance.rs) — sharded and unsharded numbers are not
+# wall-clock-comparable — and the shard_bench leg snapshots the full
+# device-scaling curve (ms/step and vgpu.halo.* bytes at 1/2/4 devices).
+#
 # Usage: scripts/bench_snapshot.sh [cube-edge] [steps] [rooms] [batch-threads]
 #        (defaults 32, 60, 64, 4)
 set -euo pipefail
@@ -34,8 +39,10 @@ snapshot() {
   echo "$out" >> BENCH_history.jsonl
 }
 
-cargo build --release -p bench --bin dispatch_bench --bin batch_bench
+cargo build --release -p bench --bin dispatch_bench --bin batch_bench --bin shard_bench
 
 snapshot "$(./target/release/dispatch_bench "$cube" "$steps")" BENCH_dispatch.json
-# Each bench runs in its own process, so both records start plan-cold.
+# Each bench runs in its own process, so all records start plan-cold.
 snapshot "$(./target/release/batch_bench "$rooms" "$batch_threads")" BENCH_batch.json
+# Device-scaling curve: smaller cube, the sweep runs 12 configurations.
+snapshot "$(./target/release/shard_bench "$((cube / 2))" "$steps")" BENCH_shard.json

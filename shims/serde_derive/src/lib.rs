@@ -23,11 +23,15 @@ struct SerdeAttrs {
     tag: Option<String>,
     rename_all: bool,
     flatten: bool,
+    default: Option<String>,
 }
 
 struct Field {
     name: String,
     flatten: bool,
+    /// Path of a `fn() -> T` supplying the value when the key is absent
+    /// (`#[serde(default = "path")]`).
+    default: Option<String>,
 }
 
 enum VariantKind {
@@ -116,6 +120,7 @@ fn parse_attr_group(stream: TokenStream, out: &mut SerdeAttrs) {
                 out.rename_all = true;
             }
             ("flatten", None) => out.flatten = true,
+            ("default", Some(v)) => out.default = Some(v),
             (k, _) => panic!(
                 "serde shim: unsupported #[serde({k})] — extend shims/serde_derive to cover it"
             ),
@@ -172,7 +177,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             t => panic!("serde shim: expected `:` after field `{name}`, got {t}"),
         }
         skip_type_and_comma(&toks, &mut i);
-        fields.push(Field { name, flatten: attrs.flatten });
+        fields.push(Field { name, flatten: attrs.flatten, default: attrs.default });
     }
     fields
 }
@@ -399,6 +404,13 @@ fn de_field_expr(f: &Field, obj: &str, whole: &str) -> String {
     let n = &f.name;
     if f.flatten {
         format!("{n}: ::serde::Deserialize::from_json({whole})?")
+    } else if let Some(path) = &f.default {
+        format!(
+            "{n}: match ::serde::json::obj_get({obj}, \"{n}\") {{ \
+               Some(x) => ::serde::Deserialize::from_json(x)?, \
+               None => {path}(), \
+             }}"
+        )
     } else {
         format!(
             "{n}: match ::serde::json::obj_get({obj}, \"{n}\") {{ \

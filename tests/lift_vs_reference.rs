@@ -185,6 +185,66 @@ fn host_program_step_matches_reference_step() {
     assert_close(&out, &rf.curr, 1e-13, "host program step");
 }
 
+#[test]
+fn sharded_host_program_matches_single_device() {
+    // Tentpole identity: the Z-slab sharded host program (per-device slabs,
+    // halo DevCopies, replicated tables, assembling read-back) must be
+    // bit-identical to the single-device Listing 5 program, with equal
+    // host-transfer *byte* totals and all extra traffic under vgpu.halo.*.
+    for shape in [RoomShape::Box, RoomShape::Dome] {
+        let s = fimm_setup(shape);
+        let mut rf = ReferenceSim::<f64>::new(s.clone());
+        rf.impulse(7, 6, 4, 1.0);
+        let curr = rf.curr.clone();
+        let prev = rf.prev.clone();
+        let mut dev = Device::gtx780();
+        let (single, t1) = lift_acoustics::hostprog::run_fimm_step_traced(
+            &s,
+            Precision::Double,
+            &curr,
+            &prev,
+            &mut dev,
+            vgpu::ExecMode::Fast,
+        )
+        .expect("single-device host program runs");
+        let plane = s.dims().nx * s.dims().ny;
+        for ndev in [2usize, 3] {
+            let mut devices: Vec<Device> = (0..ndev).map(|_| Device::gtx780()).collect();
+            let (sharded, t2) = lift_acoustics::hostprog::run_fimm_step_sharded(
+                &s,
+                Precision::Double,
+                &curr,
+                &prev,
+                &mut devices,
+                vgpu::ExecMode::Fast,
+            )
+            .expect("sharded host program runs");
+            assert_eq!(sharded.len(), single.len());
+            for (i, (a, b)) in sharded.iter().zip(&single).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{shape:?} x{ndev}: bit mismatch at {i}: {a} vs {b}"
+                );
+            }
+            // Host transfers account exactly once: byte totals match the
+            // unsharded program even though the transfer *count* scales
+            // with the device count.
+            assert_eq!(t2.to_gpu_bytes, t1.to_gpu_bytes, "{shape:?} x{ndev}: to_gpu bytes");
+            assert_eq!(t2.to_host_bytes, t1.to_host_bytes, "{shape:?} x{ndev}: to_host bytes");
+            assert!(t2.to_gpu_transfers > t1.to_gpu_transfers);
+            // Halo traffic: one plane in each direction per seam.
+            assert_eq!(t2.halo_bytes, (2 * (ndev - 1) * plane * 8) as u64);
+            assert_eq!(t2.halo_copies, (2 * (ndev - 1)) as u64);
+            // The beta table is re-uploaded once per extra device that owns
+            // boundary points.
+            assert!(t2.replicate_transfers >= 1);
+            assert_eq!(t2.replicate_bytes, t2.replicate_transfers * (s.betas.len() * 8) as u64);
+            assert_eq!(t1.replicate_bytes, 0);
+            assert_eq!(t1.halo_bytes, 0);
+        }
+    }
+}
+
 /// Small helper since `f64: Real` uses the method name `f64`.
 trait F64Of {
     fn f64_of(&self) -> f64;
