@@ -1,0 +1,145 @@
+//! Launch contracts for the hand-written reference kernels.
+//!
+//! A *launch contract* is the [`lift::verify::Assumptions`] value that every
+//! shipped launch of a kernel satisfies: buffer-length relations in terms of
+//! the scalar size arguments, interior-guard facts, and the data invariants
+//! of the boundary gather tables. The contracts live here — next to the
+//! sims that own the allocations they describe — and serve two consumers:
+//!
+//! * the `verify` crate's audit suite pairs each kernel with its contract
+//!   and requires the static bounds/race passes to return PROVEN-SAFE
+//!   (the CI gate that keeps a contract honest);
+//! * [`register_all`] hands the same contracts to
+//!   [`vgpu::register_launch_contract`], where the compiled tape engine
+//!   (`VGPU_ENGINE=compiled`) merges them with each launch's concrete
+//!   shape and elides per-access bounds checks at sites the verifier
+//!   proves (DESIGN.md §13).
+//!
+//! Both consumers reading one definition is the point: the facts the
+//! compiled engine trusts are exactly the facts CI re-proves against the
+//! kernel sources on every run.
+
+use lift::arith::{ArithExpr, SymRange};
+use lift::kast::Kernel;
+use lift::verify::{Assumptions, BufferFacts};
+
+use crate::handwritten;
+
+/// The data invariants of the boundary-handling tables, shared by the
+/// generated and hand-written FI-MM/FD-MM kernels (and cross-checked
+/// dynamically by the differential harness):
+///
+/// * `boundaryIndices` holds pairwise-distinct grid cells in `[0, N−1]`
+///   (each boundary node appears once);
+/// * `material` holds material ids in `[0, NM−1]`;
+/// * the FD-MM aliased sizes satisfy `S = MB·numB` (state arrays) and
+///   `MBM = NM·MB` (coefficient tables).
+pub fn boundary_table_facts(asm: &mut Assumptions) {
+    if let Some(b) = asm.buffers.get_mut("boundaryIndices") {
+        *b = b
+            .clone()
+            .with_values(SymRange::new(ArithExpr::cst(0), ArithExpr::var("N") - ArithExpr::cst(1)))
+            .with_distinct();
+    }
+    if let Some(b) = asm.buffers.get_mut("material") {
+        *b = b.clone().with_values(SymRange::new(
+            ArithExpr::cst(0),
+            ArithExpr::var("NM") - ArithExpr::cst(1),
+        ));
+    }
+    let has_size = |asm: &Assumptions, n: &str| asm.size_bounds.iter().any(|(s, _)| s == n);
+    if has_size(asm, "S") {
+        asm.defines.push(("S".into(), ArithExpr::var("MB") * ArithExpr::var("numB")));
+    }
+    if has_size(asm, "MBM") {
+        asm.defines.push(("MBM".into(), ArithExpr::var("NM") * ArithExpr::var("MB")));
+    }
+}
+
+/// The contract a hand-written reference kernel is launched under (see
+/// [`crate::vgpu_sim::HandwrittenSim`]): global sizes are left unbounded
+/// (`None`) because every kernel guards with an in-kernel `return_if`, and
+/// buffer lengths match the sim's allocations.
+///
+/// Panics on a kernel name outside [`handwritten::all_kernels`] — adding a
+/// reference kernel without writing its contract is a bug the audit suite
+/// should fail loudly on.
+pub fn launch_contract(k: &Kernel) -> Assumptions {
+    let mut asm =
+        Assumptions { global_size: vec![None; usize::from(k.work_dim)], ..Assumptions::default() };
+    let dims = || [ArithExpr::var("Nx"), ArithExpr::var("Ny"), ArithExpr::var("Nz")];
+    let n3 = || ArithExpr::var("Nx") * ArithExpr::var("Ny") * ArithExpr::var("Nz");
+    match k.name.as_str() {
+        "volume_handling_hand" | "volume_handling_hand_slab" => {
+            for b in ["next", "curr", "prev"] {
+                asm.buffers.insert(b.into(), BufferFacts::sized(n3()));
+            }
+            // `nbrs[lin(gid)] > 0` implies the cell is interior: the mask
+            // is built from the 6-neighbour count, which is < 6 on every
+            // face cell and the sim zeroes it outside the room.
+            asm.buffers.insert("nbrs".into(), BufferFacts::sized(n3()).with_interior_mask());
+            asm.interior_dims = dims().to_vec();
+            for d in ["Nx", "Ny", "Nz"] {
+                asm.size_bounds.push((d.into(), 1));
+            }
+            if k.name.ends_with("_slab") {
+                // The sharded launch runs the gid2+1 slab rewrite against
+                // a local slab allocation of Nz planes (owned + 2 halo):
+                // interior masking and the canonical linearization shift
+                // by one plane (see `Kernel::shift_gid`).
+                asm.gid_offsets = vec![0, 0, 1];
+            }
+        }
+        "fi_single_hand" => {
+            for b in ["next", "curr", "prev"] {
+                asm.buffers.insert(b.into(), BufferFacts::sized(n3()));
+            }
+            // `nbr` starts at 6 and is zeroed by the halo check, so
+            // `nbr > 0` is exactly the interior predicate.
+            asm.interior_guards.push("nbr".into());
+            asm.interior_dims = dims().to_vec();
+            for d in ["Nx", "Ny", "Nz"] {
+                asm.size_bounds.push((d.into(), 1));
+            }
+        }
+        "fimm_boundary_hand" | "fdmm_boundary_hand" => {
+            let n = || ArithExpr::var("N");
+            let num_b = || ArithExpr::var("numB");
+            asm.buffers.insert("boundaryIndices".into(), BufferFacts::sized(num_b()));
+            asm.buffers.insert("nbrs".into(), BufferFacts::sized(n()));
+            asm.buffers.insert("material".into(), BufferFacts::sized(num_b()));
+            asm.buffers.insert("beta".into(), BufferFacts::sized(ArithExpr::var("NM")));
+            asm.buffers.insert("next".into(), BufferFacts::sized(n()));
+            asm.buffers.insert("prev".into(), BufferFacts::sized(n()));
+            for d in ["numB", "N", "NM"] {
+                asm.size_bounds.push((d.into(), 1));
+            }
+            if k.name == "fdmm_boundary_hand" {
+                let mb = || ArithExpr::var("MB");
+                for b in ["BI", "D", "DI", "F"] {
+                    asm.buffers.insert(b.into(), BufferFacts::sized(ArithExpr::var("NM") * mb()));
+                }
+                for b in ["g1", "v1", "v2"] {
+                    asm.buffers.insert(b.into(), BufferFacts::sized(mb() * num_b()));
+                }
+                asm.size_bounds.push(("MB".into(), 1));
+            }
+            boundary_table_facts(&mut asm);
+        }
+        other => panic!("no launch contract registered for hand-written kernel `{other}`"),
+    }
+    asm
+}
+
+/// Registers every hand-written kernel's [`launch_contract`] with the vgpu
+/// compiled engine. Idempotent and cheap after the first call; the sims
+/// and bench drivers call it before compiling kernels so proof-licensed
+/// check elision is available regardless of entry point.
+pub fn register_all() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        for k in handwritten::all_kernels() {
+            vgpu::register_launch_contract(&k.name, launch_contract(&k));
+        }
+    });
+}

@@ -34,6 +34,7 @@
 
 pub mod analysis;
 pub mod boundary;
+pub mod contracts;
 pub mod geometry;
 pub mod handwritten;
 pub mod materials;

@@ -152,8 +152,9 @@ pub fn boundary_cut_planes(
         // previous cut and nz − (remaining slabs still need a plane each)
         let lo = cuts[d - 1] + 1;
         let hi = nz - (devices - d);
-        let best =
-            (lo..=hi).filter(|&z| prefix[z].is_multiple_of(WARP)).min_by_key(|&z| z.abs_diff(ideal))?;
+        let best = (lo..=hi)
+            .filter(|&z| prefix[z].is_multiple_of(WARP))
+            .min_by_key(|&z| z.abs_diff(ideal))?;
         cuts.push(best);
     }
     cuts.push(nz);
@@ -187,6 +188,7 @@ impl ShardedSim {
     ) -> Self {
         assert_eq!(devices.len(), part.device_count(), "one device per slab");
         assert_eq!(part.nz(), setup.dims().nz, "partition must cover the grid");
+        crate::contracts::register_all();
         let real = precision.kind();
         let dims = *setup.dims();
         let plane = dims.nx * dims.ny;

@@ -108,6 +108,7 @@ impl HandwrittenSim {
         boundary_kind: BoundaryKernel,
         mut device: Device,
     ) -> Self {
+        crate::contracts::register_all();
         let real = precision.kind();
         let n = setup.dims().total();
         let nb = setup.num_b();

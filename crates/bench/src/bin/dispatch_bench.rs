@@ -3,9 +3,10 @@
 //! Criterion benches don't time under the offline stub harness, so this bin
 //! is the measurement behind the dispatch-overhead numbers in
 //! EXPERIMENTS.md: it runs the same leap-frog launch loop the sims run and
-//! prints ms/step for fast and modeled execution on both the scalar tape
-//! and the warp-vectorized engine, plus the launch-plan cache hit counters
-//! and the divergent-warp audit, as one JSON record.
+//! prints ms/step for fast and modeled execution on the scalar tape, the
+//! warp-vectorized engine, and the compiled superinstruction engine, plus
+//! the launch-plan cache hit counters and the divergent-warp /
+//! compiled-fallback audits, as one JSON record.
 //!
 //! Usage: `dispatch_bench [cube-edge] [steps]` (defaults 32, 60).
 
@@ -32,6 +33,7 @@ fn fi_run(n: usize, engine: Engine) -> FiRun {
         assignment: MaterialAssignment::Uniform,
         boundary: BoundaryModel::Fi { beta: 0.1 },
     });
+    room_acoustics::contracts::register_all();
     let mut dev = Device::gtx780();
     dev.set_engine(engine);
     let prep = dev.compile(&handwritten::fi_single_kernel().resolve_real(ScalarKind::F32)).unwrap();
@@ -97,14 +99,29 @@ fn main() {
     let vfast = fi_run(n, Engine::Vector).measure(steps, ExecMode::Fast);
     let vmodel = fi_run(n, Engine::Vector).measure(steps, ExecMode::Model { sample_stride: 1 });
     let divergent = reg.counter("vgpu.warp.divergent").get() - divergent0;
+    // The compiled engine must cover the FI kernel outright: any fallback
+    // to a lower rung means the measurement below is not what it claims.
+    let cfallback0 = reg.counter("vgpu.compiled.fallbacks").get();
+    let cfast = fi_run(n, Engine::Compiled).measure(steps, ExecMode::Fast);
+    let cmodel = fi_run(n, Engine::Compiled).measure(steps, ExecMode::Model { sample_stride: 1 });
+    let cfallbacks = reg.counter("vgpu.compiled.fallbacks").get() - cfallback0;
+    if cfallbacks > 0 {
+        eprintln!("dispatch_bench: {cfallbacks} compiled-engine fallbacks during measurement");
+        std::process::exit(1);
+    }
     let record = format!(
         "{{\"bench\":\"dispatch\",\"cube\":{n},\"steps\":{steps},\
-         \"engine\":\"tape+vector\",\"threads\":{threads},\"devices\":{devices},\
+         \"engine\":\"tape+vector+compiled\",\"ladder\":\"compiled\",\
+         \"threads\":{threads},\"devices\":{devices},\
          \"plan_cache\":\"{plan_cache}\",\
          \"fast_ms_per_step\":{fast:.4},\"model_ms_per_step\":{model:.4},\
          \"vector_fast_ms_per_step\":{vfast:.4},\"vector_model_ms_per_step\":{vmodel:.4},\
+         \"compiled_fast_ms_per_step\":{cfast:.4},\"compiled_model_ms_per_step\":{cmodel:.4},\
          \"divergent_warps\":{divergent},\
+         \"sites_proven\":{},\"sites_checked\":{},\
          \"plan_hits\":{},\"plan_misses\":{}}}",
+        reg.counter("vgpu.compiled.sites_proven").get(),
+        reg.counter("vgpu.compiled.sites_checked").get(),
         reg.counter("vgpu.plan.hits").get(),
         reg.counter("vgpu.plan.misses").get(),
     );

@@ -105,6 +105,7 @@ fn main() {
     let plan_cache = bench::provenance::plan_cache_state();
     let threads = bench::provenance::threads();
     let engine = bench::provenance::engine_label();
+    let ladder = bench::provenance::ladder_leg();
 
     let mut rows = Vec::new();
     for (shape, label) in [(RoomShape::Box, "box"), (RoomShape::Dome, "dome")] {
@@ -146,7 +147,8 @@ fn main() {
     curve.push('}');
 
     let record = format!(
-        "{{\"bench\":\"shard\",\"cube\":{n},\"steps\":{steps},\"engine\":\"{engine}\",\
+        "{{\"bench\":\"shard\",\"cube\":{n},\"steps\":{steps},\
+         \"engine\":\"{engine}\",\"ladder\":\"{ladder}\",\
          \"threads\":{threads},\"devices_swept\":[1,2,4],\"plan_cache\":\"{plan_cache}\",\
          \"scaling\":{curve}}}"
     );

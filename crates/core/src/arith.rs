@@ -15,14 +15,17 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+// `Arc`, not `Rc`: expressions travel inside `verify::Assumptions` values
+// held by process-wide launch-contract registries, so the shared nodes must
+// be `Send + Sync`. They are immutable either way; only clone cost differs.
+use std::sync::Arc as Rc;
 
 /// A symbolic integer expression.
 ///
 /// Construct via the smart constructors ([`ArithExpr::add`], [`ArithExpr::mul`],
 /// …) or the `std::ops` impls, which normalise as they build. `Cst`, `Var`
-/// and the composite nodes are immutable and cheaply clonable (`Rc` inside
-/// composite nodes).
+/// and the composite nodes are immutable and cheaply clonable (shared
+/// pointers inside composite nodes).
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub enum ArithExpr {
     /// Integer constant.

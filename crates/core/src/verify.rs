@@ -215,6 +215,46 @@ impl KernelReport {
         self.sites.iter().all(|s| s.verdict == Verdict::Proven)
             && self.races.iter().all(|r| r.verdict == RaceVerdict::ProvenDisjoint)
     }
+
+    /// Per-site proof table for executors that want to elide dynamic
+    /// bounds checks. A site is proven only when *every* report for it is
+    /// [`Verdict::Proven`] (per-material or per-loop revisits of one site
+    /// take the meet); sites with no report — e.g. in statically dead
+    /// code the checker skipped — stay unproven.
+    pub fn proof_table(&self) -> ProofTable {
+        let max = self.sites.iter().map(|s| s.site + 1).max().unwrap_or(0);
+        let mut proven = vec![false; max as usize];
+        let mut seen = vec![false; max as usize];
+        for s in &self.sites {
+            let i = s.site as usize;
+            let p = s.verdict == Verdict::Proven;
+            proven[i] = if seen[i] { proven[i] && p } else { p };
+            seen[i] = true;
+        }
+        ProofTable { proven }
+    }
+}
+
+/// Dense per-access-site bounds-proof bits, indexed by the interpreter's
+/// site numbering. Built by [`KernelReport::proof_table`]; consumed by
+/// executors that elide per-access bounds checks at proven sites.
+#[derive(Clone, Debug, Default)]
+pub struct ProofTable {
+    proven: Vec<bool>,
+}
+
+impl ProofTable {
+    /// True when the bounds at `site` were proven for every work-item.
+    /// Unknown sites (beyond the table) are conservatively unproven.
+    pub fn proven(&self, site: u32) -> bool {
+        self.proven.get(site as usize).copied().unwrap_or(false)
+    }
+
+    /// `(proven, potential)` counts over the sites the table covers.
+    pub fn counts(&self) -> (usize, usize) {
+        let p = self.proven.iter().filter(|&&b| b).count();
+        (p, self.proven.len() - p)
+    }
 }
 
 /// Drops duplicate site records, keeping one per `(kernel, site, reason)`

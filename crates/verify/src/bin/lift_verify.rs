@@ -3,8 +3,10 @@
 //! Runs the symbolic bounds checker and the static write-race detector
 //! over the KAST of every generated and hand-written kernel (both
 //! precisions), plus the dataflow passes over each compiled tape, prints
-//! the diagnostics table, and exits nonzero if any non-fixture site is
-//! unproven — or if the deliberately broken fixtures are *not* flagged.
+//! the diagnostics table and the per-kernel PROVEN vs POTENTIAL site
+//! summary (what `VGPU_ENGINE=compiled` may elide vs must keep checking),
+//! and exits nonzero if any non-fixture site is unproven — or if the
+//! deliberately broken fixtures are *not* flagged.
 
 use lift::verify::{RaceVerdict, Verdict};
 
@@ -12,6 +14,7 @@ fn main() {
     let entries = verify::suite_with_fixtures();
     let reports = verify::run_suite(&entries);
     print!("{}", verify::render_table(&reports));
+    print!("\n{}", verify::render_site_summary(&reports));
 
     let mut failures = 0usize;
     for r in &reports {

@@ -20,12 +20,11 @@
 
 pub mod fixtures;
 
-use lift::arith::{ArithExpr, SymRange};
 use lift::lower::{ArgSpec, LoweredKernel};
 use lift::prelude::*;
 use lift::verify::{verify_kernel, Assumptions, BufferFacts, KernelReport, RaceVerdict, Verdict};
 use lift_acoustics::programs::{self, Program};
-use room_acoustics::handwritten;
+use room_acoustics::{contracts, handwritten};
 use vgpu::{Device, TapeReport};
 
 /// One kernel of the audit suite plus the contract it is verified
@@ -82,7 +81,7 @@ pub fn suite() -> Vec<SuiteEntry> {
             });
         }
         for k in handwritten::all_kernels() {
-            let assumptions = handwritten_assumptions(&k);
+            let assumptions = contracts::launch_contract(&k);
             out.push(SuiteEntry {
                 kernel: k.resolve_real(real),
                 precision: real,
@@ -128,7 +127,7 @@ pub fn run_suite(entries: &[SuiteEntry]) -> Vec<SuiteReport> {
 /// launch global size, one `≥ 1` bound per size argument, and buffer
 /// lengths from the source program's parameter types (inputs) and the
 /// lowered output type. Content facts for the boundary gather tables are
-/// layered on top by [`boundary_table_facts`].
+/// layered on top by [`contracts::boundary_table_facts`].
 fn generated_assumptions(p: &Program, lowered: &LoweredKernel) -> Assumptions {
     let mut asm = Assumptions {
         global_size: lowered.global_size.iter().cloned().map(Some).collect(),
@@ -149,109 +148,7 @@ fn generated_assumptions(p: &Program, lowered: &LoweredKernel) -> Assumptions {
             _ => {}
         }
     }
-    boundary_table_facts(&mut asm);
-    asm
-}
-
-/// The data invariants of the boundary-handling tables, shared by the
-/// generated and hand-written FI-MM/FD-MM kernels (and cross-checked
-/// dynamically by the differential harness):
-///
-/// * `boundaryIndices` holds pairwise-distinct grid cells in `[0, N−1]`
-///   (each boundary node appears once);
-/// * `material` holds material ids in `[0, NM−1]`;
-/// * the FD-MM aliased sizes satisfy `S = MB·numB` (state arrays) and
-///   `MBM = NM·MB` (coefficient tables).
-fn boundary_table_facts(asm: &mut Assumptions) {
-    if let Some(b) = asm.buffers.get_mut("boundaryIndices") {
-        *b = b
-            .clone()
-            .with_values(SymRange::new(ArithExpr::cst(0), ArithExpr::var("N") - ArithExpr::cst(1)))
-            .with_distinct();
-    }
-    if let Some(b) = asm.buffers.get_mut("material") {
-        *b = b.clone().with_values(SymRange::new(
-            ArithExpr::cst(0),
-            ArithExpr::var("NM") - ArithExpr::cst(1),
-        ));
-    }
-    let has_size = |asm: &Assumptions, n: &str| asm.size_bounds.iter().any(|(s, _)| s == n);
-    if has_size(asm, "S") {
-        asm.defines.push(("S".into(), ArithExpr::var("MB") * ArithExpr::var("numB")));
-    }
-    if has_size(asm, "MBM") {
-        asm.defines.push(("MBM".into(), ArithExpr::var("NM") * ArithExpr::var("MB")));
-    }
-}
-
-/// The contract a hand-written reference kernel is launched under (see
-/// `room_acoustics::vgpu_sim::HandwrittenSim`): global sizes are left
-/// unbounded (`None`) because every kernel guards with an in-kernel
-/// `return_if`, and buffer lengths match the sim's allocations.
-fn handwritten_assumptions(k: &Kernel) -> Assumptions {
-    let mut asm =
-        Assumptions { global_size: vec![None; usize::from(k.work_dim)], ..Assumptions::default() };
-    let dims = || [ArithExpr::var("Nx"), ArithExpr::var("Ny"), ArithExpr::var("Nz")];
-    let n3 = || ArithExpr::var("Nx") * ArithExpr::var("Ny") * ArithExpr::var("Nz");
-    match k.name.as_str() {
-        "volume_handling_hand" | "volume_handling_hand_slab" => {
-            for b in ["next", "curr", "prev"] {
-                asm.buffers.insert(b.into(), BufferFacts::sized(n3()));
-            }
-            // `nbrs[lin(gid)] > 0` implies the cell is interior: the mask
-            // is built from the 6-neighbour count, which is < 6 on every
-            // face cell and the sim zeroes it outside the room.
-            asm.buffers.insert("nbrs".into(), BufferFacts::sized(n3()).with_interior_mask());
-            asm.interior_dims = dims().to_vec();
-            for d in ["Nx", "Ny", "Nz"] {
-                asm.size_bounds.push((d.into(), 1));
-            }
-            if k.name.ends_with("_slab") {
-                // The sharded launch runs the gid2+1 slab rewrite against
-                // a local slab allocation of Nz planes (owned + 2 halo):
-                // interior masking and the canonical linearization shift
-                // by one plane (see `Kernel::shift_gid`).
-                asm.gid_offsets = vec![0, 0, 1];
-            }
-        }
-        "fi_single_hand" => {
-            for b in ["next", "curr", "prev"] {
-                asm.buffers.insert(b.into(), BufferFacts::sized(n3()));
-            }
-            // `nbr` starts at 6 and is zeroed by the halo check, so
-            // `nbr > 0` is exactly the interior predicate.
-            asm.interior_guards.push("nbr".into());
-            asm.interior_dims = dims().to_vec();
-            for d in ["Nx", "Ny", "Nz"] {
-                asm.size_bounds.push((d.into(), 1));
-            }
-        }
-        "fimm_boundary_hand" | "fdmm_boundary_hand" => {
-            let n = || ArithExpr::var("N");
-            let num_b = || ArithExpr::var("numB");
-            asm.buffers.insert("boundaryIndices".into(), BufferFacts::sized(num_b()));
-            asm.buffers.insert("nbrs".into(), BufferFacts::sized(n()));
-            asm.buffers.insert("material".into(), BufferFacts::sized(num_b()));
-            asm.buffers.insert("beta".into(), BufferFacts::sized(ArithExpr::var("NM")));
-            asm.buffers.insert("next".into(), BufferFacts::sized(n()));
-            asm.buffers.insert("prev".into(), BufferFacts::sized(n()));
-            for d in ["numB", "N", "NM"] {
-                asm.size_bounds.push((d.into(), 1));
-            }
-            if k.name == "fdmm_boundary_hand" {
-                let mb = || ArithExpr::var("MB");
-                for b in ["BI", "D", "DI", "F"] {
-                    asm.buffers.insert(b.into(), BufferFacts::sized(ArithExpr::var("NM") * mb()));
-                }
-                for b in ["g1", "v1", "v2"] {
-                    asm.buffers.insert(b.into(), BufferFacts::sized(mb() * num_b()));
-                }
-                asm.size_bounds.push(("MB".into(), 1));
-            }
-            boundary_table_facts(&mut asm);
-        }
-        other => panic!("no launch contract registered for hand-written kernel `{other}`"),
-    }
+    contracts::boundary_table_facts(&mut asm);
     asm
 }
 
@@ -364,9 +261,46 @@ pub fn render_table(reports: &[SuiteReport]) -> String {
     s
 }
 
+/// Renders the compiled-engine elision eligibility summary: per kernel
+/// variant, how many bounds sites come back PROVEN — eligible for
+/// proof-licensed check elision under `VGPU_ENGINE=compiled` — versus
+/// POTENTIAL, which the compiled engine keeps on the dynamic-check path
+/// (see `vgpu::register_launch_contract`).
+pub fn render_site_summary(reports: &[SuiteReport]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("-- compiled-engine elision eligibility (bounds sites) --\n");
+    let wname = reports.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+    for r in reports {
+        let proven = r.kast.sites.iter().filter(|x| x.verdict == Verdict::Proven).count();
+        let potential = r.kast.sites.len() - proven;
+        let _ = writeln!(
+            s,
+            "{:wname$}  {:4}  {proven:>3} PROVEN  {potential:>3} POTENTIAL{}",
+            r.name,
+            prec(r.precision),
+            if potential > 0 { "  (checked at run time)" } else { "" },
+        );
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn site_summary_lists_every_kernel_with_counts() {
+        let reports = run_suite(&suite_with_fixtures());
+        let summary = render_site_summary(&reports);
+        for r in &reports {
+            assert!(summary.contains(&r.name), "summary must list {}", r.name);
+        }
+        // The OOB fixture's overrun site must show up as POTENTIAL.
+        assert!(
+            summary.lines().any(|l| l.starts_with("fixture_oob") && l.contains("1 POTENTIAL")),
+            "summary must count the fixture's unproven site:\n{summary}"
+        );
+    }
 
     #[test]
     fn every_shipped_kernel_is_proven() {

@@ -97,6 +97,43 @@ fn racy_fixture_flagged_statically_and_dynamically() {
     assert!(msg.contains("site(s) [0]"), "dynamic report names the site: {msg}");
 }
 
+/// The compiled engine must *refuse* proof-licensed elision for the OOB
+/// fixture: no contract is registered for it, the launch-concrete facts
+/// cannot prove the off-the-end store, so the site stays on the checked
+/// path (`vgpu.compiled.sites_checked` grows) and the overrun dies on the
+/// release-mode bounds assert — a clean panic, not an unchecked write.
+#[test]
+fn oob_fixture_refuses_proof_licensed_elision() {
+    let entries = fixtures::entries();
+    let oob = entries.iter().find(|e| e.kernel.name == "fixture_oob").unwrap();
+    let reg = vgpu::telemetry::registry();
+    let checked0 = reg.counter("vgpu.compiled.sites_checked").get();
+    let proven0 = reg.counter("vgpu.compiled.sites_proven").get();
+
+    let mut dev = Device::gtx780();
+    dev.set_engine(vgpu::Engine::Compiled);
+    let prep = dev.compile(&oob.kernel).expect("fixture compiles");
+    let out = dev.create_buffer(ScalarKind::F32, 32);
+    // gid 31 survives the `gid >= N` guard and stores out[32] — one past
+    // the end. The checked path must catch it.
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ =
+            dev.launch(&prep, &[Arg::Buf(out), Arg::Val(Value::I32(32))], &[32], ExecMode::Fast);
+    }))
+    .expect_err("the overrun must panic on the dynamic check");
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("store out of bounds"), "clean bounds panic, got: {msg}");
+
+    let checked = reg.counter("vgpu.compiled.sites_checked").get() - checked0;
+    let proven = reg.counter("vgpu.compiled.sites_proven").get() - proven0;
+    assert!(checked > 0, "the unprovable store site must keep its check");
+    assert_eq!(proven, 0, "nothing about this launch is provable without a contract");
+}
+
 /// The OOB fixture is a *static-only* catch: the release-mode
 /// interpreter trusts the bounds contract (its checks are debug
 /// assertions), which is exactly why the bounds checker must flag the

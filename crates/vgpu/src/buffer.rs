@@ -149,6 +149,22 @@ impl From<Vec<i32>> for BufData {
     }
 }
 
+/// Raw typed base pointer of a buffer's storage, for the compiled engine's
+/// gather/scatter lane loops: the element-kind dispatch happens once per
+/// superinstruction instead of once per lane, and element access compiles
+/// to a plain indexed load/store. Every dereference must satisfy both the
+/// bounds discipline of the access site (asserted, or statically proven)
+/// and [`SharedBuf`]'s disjointness contract.
+#[derive(Clone, Copy)]
+pub(crate) enum BufPtr {
+    /// 32-bit float storage.
+    F32(*mut f32),
+    /// 64-bit float storage.
+    F64(*mut f64),
+    /// 32-bit int storage.
+    I32(*mut i32),
+}
+
 /// Shared-storage wrapper enabling concurrent disjoint writes during a
 /// launch. See the module docs for the safety contract.
 pub struct SharedBuf {
@@ -209,6 +225,20 @@ impl SharedBuf {
     /// No other thread may be reading or writing element `i` concurrently.
     pub unsafe fn set(&self, i: usize, val: Value) {
         (*self.data.get()).set(i, val)
+    }
+
+    /// The raw typed base pointer of the storage (see [`BufPtr`]). The
+    /// pointer stays valid for the whole launch — buffer storage is never
+    /// reallocated while kernels run — and reads/writes through it carry
+    /// the same per-element contract as [`Self::get_bits`]/[`Self::set`].
+    pub(crate) fn ptr(&self) -> BufPtr {
+        // SAFETY: momentary exclusive view only to take the base pointer,
+        // exactly like the per-element accessors above.
+        match unsafe { &mut *self.data.get() } {
+            BufData::F32(v) => BufPtr::F32(v.as_mut_ptr()),
+            BufData::F64(v) => BufPtr::F64(v.as_mut_ptr()),
+            BufData::I32(v) => BufPtr::I32(v.as_mut_ptr()),
+        }
     }
 
     /// Exclusive access (requires `&mut`, hence no concurrent kernels).

@@ -27,7 +27,7 @@
 //! tree-walker, which remains the reference oracle (see
 //! [`crate::exec::Engine`]).
 
-use crate::buffer::SharedBuf;
+use crate::buffer::{BufPtr, SharedBuf};
 use crate::exec::{Counters, PExpr, PMem, PStmt, Prepared, WriteRec, WARP};
 use crate::profiler::OpProf;
 use lift::kast::MemSpace;
@@ -333,6 +333,158 @@ pub(crate) fn op_index(op: &Op) -> usize {
         Op::Ret => 31,
         Op::Halt => 32,
     }
+}
+
+// ---- superinstructions (the compiled engine's fused op set) ----
+//
+// The compiled engine (`VGPU_ENGINE=compiled`, see `compile.rs`) re-lowers a
+// validated tape into basic blocks of *superinstructions*: the op sequences
+// the acoustics kernels actually emit — index-arithmetic → `AsI64` → `LdG`
+// stencil gathers with a trailing accumulate, `Bin`·`Bin` multiply-add
+// chains, and the compare → `Sel` / compare → `Jz` diamonds produced by
+// if-conversion — each collapsed into one fused op. A fused op skips the
+// writes of its *globally single-use* intermediate registers (their only
+// reader is the fused op itself), which is what makes fusion profitable on
+// the SoA register file: every elided intermediate saves a 32-lane column
+// round-trip. Arithmetic inside fused ops goes through the exact same
+// bit-level helpers as the interpreters ([`bin_bits`], [`to_i64`], …) in the
+// exact same operand order, so results stay bit-identical lane for lane.
+
+/// The accumulate tail of a fused global load: `dst = src ⊕ loaded` (or
+/// `loaded ⊕ src` when `rev`), with `⊕` ∈ {Add, Sub} at kind `k`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Acc {
+    pub(crate) dst: R,
+    pub(crate) src: R,
+    pub(crate) k: K,
+    pub(crate) sub: bool,
+    pub(crate) rev: bool,
+}
+
+/// One superinstruction of the compiled engine. Every variant's observable
+/// effects (registers written, counters bumped) equal the op sequence it
+/// replaced, minus the writes of fused-away single-use intermediates.
+#[derive(Debug, Clone)]
+pub(crate) enum FOp {
+    /// An op the fuser left alone, executed with dense-prefix lane loops.
+    Base(Op),
+    /// `Bin{t,a,b,Mul,k}; Bin{dst,…,…,Add|Sub,k}` with `t` single-use:
+    /// `dst = (a*b) ⊕ c` (or `c ⊕ (a*b)` when `rev`). The multiply and the
+    /// add/sub stay two distinct roundings — never contracted to an FMA.
+    MulAdd { dst: R, a: R, b: R, c: R, k: K, sub: bool, rev: bool },
+    /// `Bin{t,a,b,cmp,k}; Sel{dst,t,Bool,tr,fl}` with `t` single-use:
+    /// `dst = if a cmp b { tr } else { fl }` (lane-wise register pick).
+    CmpSel { dst: R, a: R, b: R, op: BinOp, k: K, tr: R, fl: R },
+    /// Fused global load: `[Bin{t,base,off,±,I32};] AsI64{t2,t|base,I32};
+    /// LdG{dst,buf,t2,site} [; Bin acc]` with every intermediate single-use.
+    /// The i32 index math wraps exactly like [`bin_bits`].
+    LdGFused {
+        dst: R,
+        buf: u16,
+        base: R,
+        off: Option<(R, bool)>,
+        acc: Option<Acc>,
+        site: u32,
+        constant: bool,
+    },
+    /// `AsI64{t2,base,I32}; StG{buf,t2,val,vk,site}` with `t2` single-use.
+    StGAt { buf: u16, base: R, val: R, vk: K, site: u32 },
+}
+
+/// Number of fused-op kinds with their own profiler index (Base ops tally
+/// under their inner opcode; the fused compare-branch terminator gets the
+/// last slot).
+pub(crate) const NFOPS: usize = 5;
+
+/// Fused-op display names, parallel to [`fop_index`]; index `NFOPS - 1` is
+/// the `CmpJz` terminator.
+const FOP_NAMES: [&str; NFOPS] = ["F.MulAdd", "F.CmpSel", "F.LdGFused", "F.StGAt", "F.CmpJz"];
+
+/// Display name of the fused op with dense index `i` (see [`fop_index`]).
+pub(crate) fn fop_name(i: usize) -> &'static str {
+    FOP_NAMES[i]
+}
+
+/// Dense profiler index of a fused op, offset past the base opcodes: tally
+/// slot is `NOPCODES + fop_index(..)`. `Base` ops report `None` and tally
+/// under [`op_index`] of the inner op.
+#[inline(always)]
+pub(crate) fn fop_index(fop: &FOp) -> Option<usize> {
+    match fop {
+        FOp::Base(_) => None,
+        FOp::MulAdd { .. } => Some(0),
+        FOp::CmpSel { .. } => Some(1),
+        FOp::LdGFused { .. } => Some(2),
+        FOp::StGAt { .. } => Some(3),
+    }
+}
+
+/// Profiler index of the fused compare-branch block terminator.
+pub(crate) const FOP_CMPJZ: usize = 4;
+
+/// A basic-block terminator of the compiled engine. Conditional terminators
+/// carry the pc of the first op they fused (`orig_pc`): when the active
+/// lanes disagree, the whole warp is delegated to the vector interpreter
+/// *at that pc*, which re-evaluates the (pure) condition and handles
+/// divergence with its mask/reconvergence machinery.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FTerm {
+    /// `Ret` / `Halt`: the phase is done for every active lane.
+    Halt,
+    Jmp {
+        block: u32,
+    },
+    /// `Jz{cond,k,target}`: lanes where `cond` is falsy go to `on_zero`.
+    Jz {
+        cond: R,
+        k: K,
+        on_zero: u32,
+        on_nonzero: u32,
+        orig_pc: u32,
+    },
+    /// `Bin{t,a,b,cmp,k}; Jz{t,Bool,target}` with `t` single-use: lanes
+    /// where `a cmp b` is false go to `on_zero`.
+    CmpJz {
+        a: R,
+        b: R,
+        op: BinOp,
+        k: K,
+        on_zero: u32,
+        on_nonzero: u32,
+        orig_pc: u32,
+    },
+    /// `JgeI64{a,b,target}`: lanes where `a >= b` go to `on_ge`.
+    JgeI64 {
+        a: R,
+        b: R,
+        on_ge: u32,
+        on_lt: u32,
+        orig_pc: u32,
+    },
+}
+
+/// One basic block of fused ops plus its terminator.
+#[derive(Debug, Clone)]
+pub(crate) struct FBlock {
+    pub(crate) ops: Vec<FOp>,
+    pub(crate) term: FTerm,
+}
+
+/// A tape re-lowered into superinstruction basic blocks for the compiled
+/// engine. Built by [`crate::compile::lower`]; executed by
+/// [`exec_fused_warp`]. The original [`Compiled`] tape stays alongside as
+/// the divergence-delegation target.
+#[derive(Debug, Clone)]
+pub struct Fused {
+    pub(crate) blocks: Vec<FBlock>,
+    /// Entry block per phase, parallel to [`Compiled::phase_starts`].
+    pub(crate) entries: Vec<u32>,
+    /// Raw tape ops absorbed into superinstructions (beyond the first of
+    /// each window). Feeds `vgpu.compiled.fused_ops`.
+    pub(crate) fused_ops: u32,
+    /// Number of global access sites (`max site + 1`) — sizes the per-site
+    /// bounds-check table the executor receives.
+    pub(crate) nsites: u32,
 }
 
 /// A compiled kernel tape: one instruction stream with an entry point per
@@ -2205,6 +2357,28 @@ fn contiguous(mask: u32) -> Option<(usize, usize)> {
     }
 }
 
+/// Runs `$body` with `$l` bound to each active lane of `$mask`: a fixed
+/// 32-trip loop for full warps, a dense range for contiguous masks, a
+/// bit-scan otherwise. The fused executor's lane loops all come through
+/// here so the hot (uniform / contiguous) paths present LLVM with plain
+/// counted loops over monomorphic bodies.
+macro_rules! for_mask {
+    ($mask:expr, $l:ident, $body:block) => {{
+        let m: u32 = $mask;
+        if m == FULL_MASK {
+            for $l in 0..WARP {
+                $body
+            }
+        } else if let Some((lo, hi)) = contiguous(m) {
+            for $l in lo..hi {
+                $body
+            }
+        } else {
+            for_lanes!(m, $l, $body);
+        }
+    }};
+}
+
 /// Lane-wise unary register op over the active mask. Contiguous masks — the
 /// overwhelmingly common case, see [`contiguous`] — get a dense loop that
 /// LLVM can autovectorize.
@@ -2251,6 +2425,17 @@ fn vmap2(vregs: &mut [u64], dst: R, a: R, b: R, mask: u32, f: impl Fn(u64, u64) 
             vs(vregs, dst, l, f(x, y));
         });
     }
+}
+
+/// Lane-wise ternary register op over the active mask; see [`vmap1`].
+#[inline(always)]
+fn vmap3(vregs: &mut [u64], dst: R, a: R, b: R, c: R, mask: u32, f: impl Fn(u64, u64, u64) -> u64) {
+    for_mask!(mask, l, {
+        let x = vg(vregs, a, l);
+        let y = vg(vregs, b, l);
+        let z = vg(vregs, c, l);
+        vs(vregs, dst, l, f(x, y, z));
+    });
 }
 
 /// Registers the flat vector dispatcher must broadcast into every lane of a
@@ -2402,6 +2587,759 @@ pub(crate) fn exec_phase_warp(
         ex.run::<false>(entry, end, mask, 0);
     }
     ex.diverged
+}
+
+// ---- fused-block executor (the compiled engine's inner loop) ----
+//
+// `exec_fused_warp` is the compiled counterpart of `exec_phase_warp`: it
+// walks superinstruction basic blocks instead of decoding one op at a time,
+// under a lane mask. Uniform terminators just pick the next block.
+// Divergent terminators resolve in place where the block graph allows it:
+// a halt-only successor (an early-return guard) retires its lanes from the
+// mask, and single-block diamond/triangle arms run if-converted under
+// complementary masks before reconverging at the join. Only shapes outside
+// those patterns — divergent loop trip counts, multi-block arms — hand the
+// warp to the vector interpreter at the terminator's original tape pc
+// (`exec_warp_from`), whose general reconvergence machinery finishes the
+// phase. Conditions are pure register reads, so re-evaluating them after
+// the hand-off neither skips nor doubles any effect. All lane loops go
+// through `for_mask!`, which presents LLVM with constant-trip (full warp)
+// or dense-range (contiguous mask) counted loops over monomorphic bodies.
+//
+// Bounds discipline: the executor receives a per-site `checked` table
+// (true ⇒ keep the dynamic check). Sites the static verifier proved in
+// bounds for every work-item run raw unchecked pointer accesses
+// ([`BufPtr`]) — the proof-licensed elision the compiled engine exists
+// for, audited by a debug-build assert pass; POTENTIAL sites keep a
+// release-mode `assert!` and fail with a clean panic instead of undefined
+// behaviour.
+
+/// Resumes the vector interpreter at tape pc `pc` under the given active
+/// mask and runs the phase to completion. Divergence-delegation entry for
+/// the compiled engine — the fallback for control-flow shapes the masked
+/// fused executor does not handle in place (divergent loop trip counts,
+/// multi-block diamond arms).
+fn exec_warp_from(
+    c: &Compiled,
+    pc: usize,
+    mask: u32,
+    vregs: &mut [u64],
+    lane_privs: &mut [Vec<Vec<u64>>],
+    w: &mut WarpCtx<'_>,
+) {
+    let prof_on = w.prof.is_some();
+    let mut ex =
+        WarpExec { c, vregs, lane_privs, w, scratch: Vec::new(), diverged: false, pending: None };
+    let end = c.ops.len();
+    if prof_on {
+        ex.run::<true>(pc, end, mask, 0);
+        ex.flush_pending();
+    } else {
+        ex.run::<false>(pc, end, mask, 0);
+    }
+}
+
+/// Executes one phase of a fused tape for a whole warp: the active lanes
+/// advance block by block under a lane mask. Divergent branches are
+/// resolved in place where the block graph allows it — early-return guards
+/// retire their lanes from the mask, and single-block diamond/triangle
+/// arms run if-converted under complementary masks — so the monomorphic
+/// superinstruction loops keep running; only shapes outside those patterns
+/// (divergent loop trips, nested arms) delegate the warp to the vector
+/// interpreter. Returns `true` when the warp diverged — the same condition
+/// ([`WarpExec::branch`]'s lanes-disagree test) the vector engine reports,
+/// so `vgpu.warp.divergent` stays bit-identical across engine legs. The
+/// caller must have tracing and race recording off; those modes run the
+/// vector engine wholesale instead.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_fused_warp(
+    f: &Fused,
+    c: &Compiled,
+    phase: usize,
+    nact: usize,
+    vregs: &mut [u64],
+    lane_privs: &mut [Vec<Vec<u64>>],
+    w: &mut WarpCtx<'_>,
+    checked: &[bool],
+) -> bool {
+    assert!(vregs.len() >= c.nregs * WARP, "SoA register file smaller than tape nregs");
+    assert!((1..=WARP).contains(&nact), "active lanes out of range");
+    assert!(lane_privs.len() >= nact && w.items.len() >= nact && w.gids.len() >= nact);
+    debug_assert!(!w.trace_on && !w.race_on, "tracing/race modes run the vector engine");
+    if w.prof.is_some() {
+        run_fused::<true>(f, c, phase, nact, vregs, lane_privs, w, checked)
+    } else {
+        run_fused::<false>(f, c, phase, nact, vregs, lane_privs, w, checked)
+    }
+}
+
+/// True for a block that only retires its lanes: no ops, `Halt` terminator.
+/// The early-return guards of the acoustics kernels branch to exactly this
+/// shape, so a divergent guard just masks the returning lanes out.
+#[inline(always)]
+fn halt_only(b: &FBlock) -> bool {
+    b.ops.is_empty() && matches!(b.term, FTerm::Halt)
+}
+
+/// The block `b` jumps to unconditionally, if its terminator is a `Jmp`.
+#[inline(always)]
+fn jmp_exit(f: &Fused, b: u32) -> Option<u32> {
+    match f.blocks[b as usize].term {
+        FTerm::Jmp { block } => Some(block),
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fused<const PROF: bool>(
+    f: &Fused,
+    c: &Compiled,
+    phase: usize,
+    nact: usize,
+    vregs: &mut [u64],
+    lane_privs: &mut [Vec<Vec<u64>>],
+    w: &mut WarpCtx<'_>,
+    checked: &[bool],
+) -> bool {
+    let mut mask = prefix_mask(nact);
+    let mut diverged = false;
+    let mut bi = f.entries[phase] as usize;
+    loop {
+        let blk = &f.blocks[bi];
+        exec_block_ops::<PROF>(&blk.ops, mask, vregs, lane_privs, w, checked);
+        let t0 = if PROF { Some(Instant::now()) } else { None };
+        // `zmask` collects the active lanes taking the `on_zero` side.
+        let (zmask, on_zero, on_nonzero, orig_pc, prof_idx) = match blk.term {
+            FTerm::Halt => return diverged,
+            FTerm::Jmp { block } => {
+                bi = block as usize;
+                continue;
+            }
+            FTerm::Jz { cond, k, on_zero, on_nonzero, orig_pc } => {
+                let mut zm = 0u32;
+                for_mask!(mask, l, {
+                    if !truthy(k, vg(vregs, cond, l)) {
+                        zm |= 1 << l;
+                    }
+                });
+                (zm, on_zero, on_nonzero, orig_pc, 30usize)
+            }
+            FTerm::CmpJz { a, b, op, k, on_zero, on_nonzero, orig_pc } => {
+                let mut zm = 0u32;
+                match (k, op) {
+                    (K::I32, BinOp::Ge) => for_mask!(mask, l, {
+                        if i32v(vg(vregs, a, l)) < i32v(vg(vregs, b, l)) {
+                            zm |= 1 << l;
+                        }
+                    }),
+                    (K::I32, BinOp::Lt) => for_mask!(mask, l, {
+                        if i32v(vg(vregs, a, l)) >= i32v(vg(vregs, b, l)) {
+                            zm |= 1 << l;
+                        }
+                    }),
+                    (K::I32, BinOp::Eq) => for_mask!(mask, l, {
+                        if i32v(vg(vregs, a, l)) != i32v(vg(vregs, b, l)) {
+                            zm |= 1 << l;
+                        }
+                    }),
+                    (K::I32, BinOp::Ne) => for_mask!(mask, l, {
+                        if i32v(vg(vregs, a, l)) == i32v(vg(vregs, b, l)) {
+                            zm |= 1 << l;
+                        }
+                    }),
+                    _ => for_mask!(mask, l, {
+                        if !truthy(K::Bool, bin_bits(op, k, vg(vregs, a, l), vg(vregs, b, l))) {
+                            zm |= 1 << l;
+                        }
+                    }),
+                }
+                (zm, on_zero, on_nonzero, orig_pc, NOPCODES + FOP_CMPJZ)
+            }
+            FTerm::JgeI64 { a, b, on_ge, on_lt, orig_pc } => {
+                let mut zm = 0u32;
+                for_mask!(mask, l, {
+                    if i64v(vg(vregs, a, l)) < i64v(vg(vregs, b, l)) {
+                        zm |= 1 << l;
+                    }
+                });
+                (zm, on_lt, on_ge, orig_pc, 12usize)
+            }
+        };
+        if PROF {
+            if let Some(p) = w.prof.as_deref_mut() {
+                p.add(prof_idx, t0.expect("prof start").elapsed());
+            }
+        }
+        let m1 = mask & !zmask;
+        bi = if zmask == 0 {
+            on_nonzero as usize
+        } else if m1 == 0 {
+            on_zero as usize
+        } else {
+            // The lanes disagree — the exact condition [`WarpExec::branch`]
+            // reports as divergence, so flag it identically, then resolve
+            // the split in place when the block shape allows.
+            diverged = true;
+            if halt_only(&f.blocks[on_zero as usize]) {
+                mask = m1;
+                on_nonzero as usize
+            } else if halt_only(&f.blocks[on_nonzero as usize]) {
+                mask = zmask;
+                on_zero as usize
+            } else {
+                let ez = jmp_exit(f, on_zero);
+                let enz = jmp_exit(f, on_nonzero);
+                if enz == Some(on_zero) {
+                    // Triangle: the nonzero side is a single-block arm
+                    // rejoining at `on_zero`.
+                    exec_block_ops::<PROF>(
+                        &f.blocks[on_nonzero as usize].ops,
+                        m1,
+                        vregs,
+                        lane_privs,
+                        w,
+                        checked,
+                    );
+                    on_zero as usize
+                } else if ez == Some(on_nonzero) {
+                    exec_block_ops::<PROF>(
+                        &f.blocks[on_zero as usize].ops,
+                        zmask,
+                        vregs,
+                        lane_privs,
+                        w,
+                        checked,
+                    );
+                    on_nonzero as usize
+                } else if let Some(join) = ez.filter(|&j| enz == Some(j)) {
+                    // Diamond: both arms are single blocks jumping to one
+                    // join. Run each under its side's mask (fall-through
+                    // side first, like the interpreter) and reconverge.
+                    // Writes are per-lane and work-items are disjoint, so
+                    // arm order cannot change any observable result.
+                    exec_block_ops::<PROF>(
+                        &f.blocks[on_nonzero as usize].ops,
+                        m1,
+                        vregs,
+                        lane_privs,
+                        w,
+                        checked,
+                    );
+                    exec_block_ops::<PROF>(
+                        &f.blocks[on_zero as usize].ops,
+                        zmask,
+                        vregs,
+                        lane_privs,
+                        w,
+                        checked,
+                    );
+                    join as usize
+                } else {
+                    exec_warp_from(c, orig_pc as usize, mask, vregs, lane_privs, w);
+                    return true;
+                }
+            }
+        };
+    }
+}
+
+/// Executes a block's superinstructions under `mask`, attributing per-op
+/// time when `PROF` (fused kinds tally in their `F.*` slots, `Base` ops
+/// under their inner opcode).
+fn exec_block_ops<const PROF: bool>(
+    ops: &[FOp],
+    mask: u32,
+    vregs: &mut [u64],
+    lane_privs: &mut [Vec<Vec<u64>>],
+    w: &mut WarpCtx<'_>,
+    checked: &[bool],
+) {
+    for fop in ops {
+        if PROF {
+            let t0 = Instant::now();
+            exec_fop(fop, mask, vregs, lane_privs, w, checked);
+            let idx = match fop_index(fop) {
+                Some(i) => NOPCODES + i,
+                None => match fop {
+                    FOp::Base(op) => op_index(op),
+                    _ => unreachable!(),
+                },
+            };
+            if let Some(p) = w.prof.as_deref_mut() {
+                p.add(idx, t0.elapsed());
+            }
+        } else {
+            exec_fop(fop, mask, vregs, lane_privs, w, checked);
+        }
+    }
+}
+
+/// Gathers `b[idx[l]]` for the active lanes into `vals` as raw register
+/// bits, through the buffer's typed base pointer: the element-kind dispatch
+/// happens once per superinstruction and each lane-loop body is a plain
+/// indexed load LLVM can vectorize.
+///
+/// The caller must have established bounds for every active index — by the
+/// site's release-mode assert, or by the static verifier's PROVEN verdict
+/// (audited by a debug-build assert pass).
+#[inline(always)]
+fn gather_lanes(b: &SharedBuf, idx: &[i64; WARP], mask: u32, vals: &mut [u64; WARP]) {
+    // SAFETY (all arms): index in bounds per the function contract; reads
+    // race only with disjoint writes per the launch contract.
+    match b.ptr() {
+        BufPtr::F32(p) => for_mask!(mask, l, {
+            vals[l] = unsafe { (*p.add(idx[l] as usize)).to_bits() as u64 };
+        }),
+        BufPtr::F64(p) => for_mask!(mask, l, {
+            vals[l] = unsafe { (*p.add(idx[l] as usize)).to_bits() };
+        }),
+        BufPtr::I32(p) => for_mask!(mask, l, {
+            vals[l] = unsafe { *p.add(idx[l] as usize) as u32 as u64 };
+        }),
+    }
+}
+
+/// Scatters register `val` (kind `vk`) to `b[idx[l]]` for the active lanes.
+/// The matched-kind arms replicate [`crate::buffer::BufData::set`]'s cast
+/// exactly (identity for same-kind stores); mixed kinds — which the
+/// acoustics kernels never emit — keep the generic per-element path. Same
+/// bounds contract as [`gather_lanes`], plus write disjointness.
+#[inline(always)]
+fn scatter_lanes(b: &SharedBuf, vk: K, idx: &[i64; WARP], mask: u32, vregs: &[u64], val: R) {
+    // SAFETY (all arms): index in bounds per the function contract; the
+    // launch contract gives element disjointness across work-items.
+    match (b.ptr(), vk) {
+        (BufPtr::F32(p), K::F32) => for_mask!(mask, l, {
+            unsafe { *p.add(idx[l] as usize) = f32v(vg(vregs, val, l)) };
+        }),
+        (BufPtr::F64(p), K::F64) => for_mask!(mask, l, {
+            unsafe { *p.add(idx[l] as usize) = f64v(vg(vregs, val, l)) };
+        }),
+        (BufPtr::I32(p), K::I32) => for_mask!(mask, l, {
+            unsafe { *p.add(idx[l] as usize) = i32v(vg(vregs, val, l)) };
+        }),
+        _ => for_mask!(mask, l, {
+            unsafe { b.set(idx[l] as usize, bits_value(vk, vg(vregs, val, l))) };
+        }),
+    }
+}
+
+/// Executes one superinstruction over the active lanes of `mask`. Counter
+/// bumps and arithmetic are bit-identical to the op sequence the fused op
+/// replaced, minus the register writes of fused-away single-use
+/// intermediates (which nothing else ever reads). The fused kinds dispatch
+/// on their operand kind **once** and run monomorphic lane loops — the
+/// scalar-helper compositions below reproduce [`bin_bits`]'s arms exactly,
+/// operand order included (float addition is not bitwise-commutative around
+/// NaN payloads).
+fn exec_fop(
+    fop: &FOp,
+    mask: u32,
+    vregs: &mut [u64],
+    lane_privs: &mut [Vec<Vec<u64>>],
+    w: &mut WarpCtx<'_>,
+    checked: &[bool],
+) {
+    match *fop {
+        FOp::Base(ref op) => exec_base_dense(op, mask, vregs, lane_privs, w, checked),
+        FOp::MulAdd { dst, a, b, c, k, sub, rev } => {
+            macro_rules! fma {
+                ($v:ident, $bk:ident) => {
+                    match (sub, rev) {
+                        (false, false) => {
+                            vmap3(vregs, dst, a, b, c, mask, |x, y, z| $bk($v(x) * $v(y) + $v(z)))
+                        }
+                        (false, true) => {
+                            vmap3(vregs, dst, a, b, c, mask, |x, y, z| $bk($v(z) + $v(x) * $v(y)))
+                        }
+                        (true, false) => {
+                            vmap3(vregs, dst, a, b, c, mask, |x, y, z| $bk($v(x) * $v(y) - $v(z)))
+                        }
+                        (true, true) => {
+                            vmap3(vregs, dst, a, b, c, mask, |x, y, z| $bk($v(z) - $v(x) * $v(y)))
+                        }
+                    }
+                };
+            }
+            match k {
+                K::F32 => fma!(f32v, b32),
+                K::F64 => fma!(f64v, b64),
+                K::I32 => match (sub, rev) {
+                    (false, false) => vmap3(vregs, dst, a, b, c, mask, |x, y, z| {
+                        bi32(i32v(x).wrapping_mul(i32v(y)).wrapping_add(i32v(z)))
+                    }),
+                    (false, true) => vmap3(vregs, dst, a, b, c, mask, |x, y, z| {
+                        bi32(i32v(z).wrapping_add(i32v(x).wrapping_mul(i32v(y))))
+                    }),
+                    (true, false) => vmap3(vregs, dst, a, b, c, mask, |x, y, z| {
+                        bi32(i32v(x).wrapping_mul(i32v(y)).wrapping_sub(i32v(z)))
+                    }),
+                    (true, true) => vmap3(vregs, dst, a, b, c, mask, |x, y, z| {
+                        bi32(i32v(z).wrapping_sub(i32v(x).wrapping_mul(i32v(y))))
+                    }),
+                },
+                K::Bool => unreachable!("mul/add never fuses at bool kind"),
+            }
+        }
+        FOp::CmpSel { dst, a, b, op, k, tr, fl } => {
+            macro_rules! cmpsel {
+                ($v:ident, $cmp:tt) => {
+                    for_mask!(mask, l, {
+                        let pick = if $v(vg(vregs, a, l)) $cmp $v(vg(vregs, b, l)) {
+                            tr
+                        } else {
+                            fl
+                        };
+                        vs(vregs, dst, l, vg(vregs, pick, l));
+                    })
+                };
+            }
+            match (k, op) {
+                (K::F32, BinOp::Lt) => cmpsel!(f32v, <),
+                (K::F32, BinOp::Le) => cmpsel!(f32v, <=),
+                (K::F32, BinOp::Gt) => cmpsel!(f32v, >),
+                (K::F32, BinOp::Ge) => cmpsel!(f32v, >=),
+                (K::F32, BinOp::Eq) => cmpsel!(f32v, ==),
+                (K::F32, BinOp::Ne) => cmpsel!(f32v, !=),
+                (K::F64, BinOp::Lt) => cmpsel!(f64v, <),
+                (K::F64, BinOp::Le) => cmpsel!(f64v, <=),
+                (K::F64, BinOp::Gt) => cmpsel!(f64v, >),
+                (K::F64, BinOp::Ge) => cmpsel!(f64v, >=),
+                (K::F64, BinOp::Eq) => cmpsel!(f64v, ==),
+                (K::F64, BinOp::Ne) => cmpsel!(f64v, !=),
+                (K::I32, BinOp::Lt) => cmpsel!(i32v, <),
+                (K::I32, BinOp::Le) => cmpsel!(i32v, <=),
+                (K::I32, BinOp::Gt) => cmpsel!(i32v, >),
+                (K::I32, BinOp::Ge) => cmpsel!(i32v, >=),
+                (K::I32, BinOp::Eq) => cmpsel!(i32v, ==),
+                (K::I32, BinOp::Ne) => cmpsel!(i32v, !=),
+                _ => for_mask!(mask, l, {
+                    let t = truthy(K::Bool, bin_bits(op, k, vg(vregs, a, l), vg(vregs, b, l)));
+                    let pick = if t { tr } else { fl };
+                    vs(vregs, dst, l, vg(vregs, pick, l));
+                }),
+            }
+        }
+        FOp::LdGFused { dst, buf, base, off, acc, site, constant } => {
+            let b = w.bufs[buf as usize].expect("buffer bound");
+            let n = mask.count_ones() as u64;
+            let eb = b.elem_bytes() as u64;
+            if constant {
+                w.counters.loads_constant += n;
+            } else {
+                w.counters.loads_global += n;
+                w.counters.bytes_loaded += eb * n;
+            }
+            let check = checked.get(site as usize).copied().unwrap_or(true);
+            let len = b.len();
+            let mut idx = [0i64; WARP];
+            match off {
+                Some((o, false)) => for_mask!(mask, l, {
+                    idx[l] = i32v(vg(vregs, base, l)).wrapping_add(i32v(vg(vregs, o, l))) as i64;
+                }),
+                Some((o, true)) => for_mask!(mask, l, {
+                    idx[l] = i32v(vg(vregs, base, l)).wrapping_sub(i32v(vg(vregs, o, l))) as i64;
+                }),
+                None => for_mask!(mask, l, {
+                    idx[l] = i32v(vg(vregs, base, l)) as i64;
+                }),
+            }
+            if check || cfg!(debug_assertions) {
+                for_mask!(mask, l, {
+                    let i = idx[l];
+                    assert!(
+                        i >= 0 && (i as usize) < len,
+                        "load out of bounds: param {buf}[{i}] (len {len})"
+                    );
+                });
+            }
+            let mut vals = [0u64; WARP];
+            gather_lanes(b, &idx, mask, &mut vals);
+            match acc {
+                Some(Acc { dst: ad, src, k, sub, rev }) => {
+                    macro_rules! accw {
+                        ($v:ident, $bk:ident) => {
+                            match (sub, rev) {
+                                (false, false) => for_mask!(mask, l, {
+                                    let s = vg(vregs, src, l);
+                                    vs(vregs, ad, l, $bk($v(s) + $v(vals[l])));
+                                }),
+                                (false, true) => for_mask!(mask, l, {
+                                    let s = vg(vregs, src, l);
+                                    vs(vregs, ad, l, $bk($v(vals[l]) + $v(s)));
+                                }),
+                                (true, false) => for_mask!(mask, l, {
+                                    let s = vg(vregs, src, l);
+                                    vs(vregs, ad, l, $bk($v(s) - $v(vals[l])));
+                                }),
+                                (true, true) => for_mask!(mask, l, {
+                                    let s = vg(vregs, src, l);
+                                    vs(vregs, ad, l, $bk($v(vals[l]) - $v(s)));
+                                }),
+                            }
+                        };
+                    }
+                    match k {
+                        K::F32 => accw!(f32v, b32),
+                        K::F64 => accw!(f64v, b64),
+                        K::I32 => {
+                            let op2 = if sub { BinOp::Sub } else { BinOp::Add };
+                            for_mask!(mask, l, {
+                                let s = vg(vregs, src, l);
+                                let r = if rev {
+                                    bin_bits(op2, k, vals[l], s)
+                                } else {
+                                    bin_bits(op2, k, s, vals[l])
+                                };
+                                vs(vregs, ad, l, r);
+                            });
+                        }
+                        K::Bool => unreachable!("load accumulate never fuses at bool kind"),
+                    }
+                }
+                None => for_mask!(mask, l, {
+                    vs(vregs, dst, l, vals[l]);
+                }),
+            }
+        }
+        FOp::StGAt { buf, base, val, vk, site } => {
+            let b = w.bufs[buf as usize].expect("buffer bound");
+            let eb = b.elem_bytes() as u64;
+            let n = mask.count_ones() as u64;
+            w.counters.stores_global += n;
+            w.counters.bytes_stored += eb * n;
+            let check = checked.get(site as usize).copied().unwrap_or(true);
+            let len = b.len();
+            let mut idx = [0i64; WARP];
+            for_mask!(mask, l, {
+                idx[l] = i32v(vg(vregs, base, l)) as i64;
+            });
+            if check || cfg!(debug_assertions) {
+                for_mask!(mask, l, {
+                    let i = idx[l];
+                    assert!(
+                        i >= 0 && (i as usize) < len,
+                        "store out of bounds: param {buf}[{i}] (len {len})"
+                    );
+                });
+            }
+            scatter_lanes(b, vk, &idx, mask, vregs, val);
+        }
+    }
+}
+
+/// Masked execution of an unfused op: the vector interpreter's arms under
+/// the fused executor's lane mask, plus the compiled engine's per-site
+/// bounds discipline on `LdG`/`StG`. The hot arms of the acoustics tapes
+/// (i32 index arithmetic, comparisons, `AsI64` from i32, bool logic/select)
+/// are monomorphised so the lane loops carry no per-lane kind dispatch.
+/// Control-flow ops never appear here — they are block terminators.
+fn exec_base_dense(
+    op: &Op,
+    mask: u32,
+    vregs: &mut [u64],
+    lane_privs: &mut [Vec<Vec<u64>>],
+    w: &mut WarpCtx<'_>,
+    checked: &[bool],
+) {
+    match *op {
+        Op::Const { dst, bits } => {
+            for_mask!(mask, l, {
+                vs(vregs, dst, l, bits);
+            });
+        }
+        Op::Gid { dst, dim } => {
+            for_mask!(mask, l, {
+                vs(vregs, dst, l, bi32(w.gids[l][dim as usize] as i32));
+            });
+        }
+        Op::Gsz { dst, dim } => {
+            let bits = bi32(w.gsize[dim as usize] as i32);
+            for_mask!(mask, l, {
+                vs(vregs, dst, l, bits);
+            });
+        }
+        Op::Lid { dst, .. } => {
+            for_mask!(mask, l, {
+                vs(vregs, dst, l, bi32(0));
+            });
+        }
+        Op::Lsz { dst, .. } => {
+            for_mask!(mask, l, {
+                vs(vregs, dst, l, bi32(1));
+            });
+        }
+        Op::Grp { dst, dim } => {
+            for_mask!(mask, l, {
+                let g = if dim == 0 { (w.items[l] / WARP as u64) as i32 } else { 0 };
+                vs(vregs, dst, l, bi32(g));
+            });
+        }
+        Op::Mov { dst, src } => vmap1(vregs, dst, src, mask, |x| x),
+        Op::Cast { dst, src, from, to } => vmap1(vregs, dst, src, mask, |x| cast_bits(from, to, x)),
+        Op::AsI64 { dst, src, from } => match from {
+            K::I32 => vmap1(vregs, dst, src, mask, |x| bi64(i32v(x) as i64)),
+            _ => vmap1(vregs, dst, src, mask, |x| bi64(to_i64(from, x))),
+        },
+        Op::MaxOne { dst } => vmap1(vregs, dst, dst, mask, |x| bi64(i64v(x).max(1))),
+        Op::I64ToI32 { dst, src } => vmap1(vregs, dst, src, mask, |x| bi32(i64v(x) as i32)),
+        Op::AddI64 { dst, a, b } => vmap2(vregs, dst, a, b, mask, |x, y| bi64(i64v(x) + i64v(y))),
+        Op::Neg { dst, src, k } => match k {
+            K::F32 => vmap1(vregs, dst, src, mask, |x| b32(-f32v(x))),
+            K::F64 => vmap1(vregs, dst, src, mask, |x| b64(-f64v(x))),
+            K::I32 => vmap1(vregs, dst, src, mask, |x| bi32(-i32v(x))),
+            K::Bool => vmap1(vregs, dst, src, mask, |x| bi32(-((x != 0) as i32))),
+        },
+        Op::Not { dst, src, k } => vmap1(vregs, dst, src, mask, |x| bb(!truthy(k, x))),
+        Op::Bin { dst, a, b, op, k } => match (k, op) {
+            (K::F32, BinOp::Add) => vmap2(vregs, dst, a, b, mask, |x, y| b32(f32v(x) + f32v(y))),
+            (K::F32, BinOp::Sub) => vmap2(vregs, dst, a, b, mask, |x, y| b32(f32v(x) - f32v(y))),
+            (K::F32, BinOp::Mul) => vmap2(vregs, dst, a, b, mask, |x, y| b32(f32v(x) * f32v(y))),
+            (K::F64, BinOp::Add) => vmap2(vregs, dst, a, b, mask, |x, y| b64(f64v(x) + f64v(y))),
+            (K::F64, BinOp::Sub) => vmap2(vregs, dst, a, b, mask, |x, y| b64(f64v(x) - f64v(y))),
+            (K::F64, BinOp::Mul) => vmap2(vregs, dst, a, b, mask, |x, y| b64(f64v(x) * f64v(y))),
+            (K::I32, BinOp::Add) => {
+                vmap2(vregs, dst, a, b, mask, |x, y| bi32(i32v(x).wrapping_add(i32v(y))))
+            }
+            (K::I32, BinOp::Sub) => {
+                vmap2(vregs, dst, a, b, mask, |x, y| bi32(i32v(x).wrapping_sub(i32v(y))))
+            }
+            (K::I32, BinOp::Mul) => {
+                vmap2(vregs, dst, a, b, mask, |x, y| bi32(i32v(x).wrapping_mul(i32v(y))))
+            }
+            (K::I32, BinOp::Lt) => vmap2(vregs, dst, a, b, mask, |x, y| bb(i32v(x) < i32v(y))),
+            (K::I32, BinOp::Le) => vmap2(vregs, dst, a, b, mask, |x, y| bb(i32v(x) <= i32v(y))),
+            (K::I32, BinOp::Gt) => vmap2(vregs, dst, a, b, mask, |x, y| bb(i32v(x) > i32v(y))),
+            (K::I32, BinOp::Ge) => vmap2(vregs, dst, a, b, mask, |x, y| bb(i32v(x) >= i32v(y))),
+            (K::I32, BinOp::Eq) => vmap2(vregs, dst, a, b, mask, |x, y| bb(i32v(x) == i32v(y))),
+            (K::I32, BinOp::Ne) => vmap2(vregs, dst, a, b, mask, |x, y| bb(i32v(x) != i32v(y))),
+            (K::F32, BinOp::Lt) => vmap2(vregs, dst, a, b, mask, |x, y| bb(f32v(x) < f32v(y))),
+            (K::F32, BinOp::Le) => vmap2(vregs, dst, a, b, mask, |x, y| bb(f32v(x) <= f32v(y))),
+            (K::F32, BinOp::Gt) => vmap2(vregs, dst, a, b, mask, |x, y| bb(f32v(x) > f32v(y))),
+            (K::F32, BinOp::Ge) => vmap2(vregs, dst, a, b, mask, |x, y| bb(f32v(x) >= f32v(y))),
+            _ => vmap2(vregs, dst, a, b, mask, |x, y| bin_bits(op, k, x, y)),
+        },
+        Op::Logic { dst, a, b, ka, kb, or } => match (ka, kb, or) {
+            (K::Bool, K::Bool, false) => vmap2(vregs, dst, a, b, mask, |x, y| bb(x != 0 && y != 0)),
+            (K::Bool, K::Bool, true) => vmap2(vregs, dst, a, b, mask, |x, y| bb(x != 0 || y != 0)),
+            _ => vmap2(vregs, dst, a, b, mask, |x, y| {
+                let (p, q) = (truthy(ka, x), truthy(kb, y));
+                bb(if or { p || q } else { p && q })
+            }),
+        },
+        Op::MinMax { dst, a, b, k, max } => match k {
+            K::F32 => vmap2(vregs, dst, a, b, mask, |x, y| {
+                let (p, q) = (f32v(x) as f64, f32v(y) as f64);
+                b32((if max { p.max(q) } else { p.min(q) }) as f32)
+            }),
+            K::F64 => vmap2(vregs, dst, a, b, mask, |x, y| {
+                let (p, q) = (f64v(x), f64v(y));
+                b64(if max { p.max(q) } else { p.min(q) })
+            }),
+            K::I32 => vmap2(vregs, dst, a, b, mask, |x, y| {
+                let (p, q) = (i32v(x) as i64, i32v(y) as i64);
+                bi32((if max { p.max(q) } else { p.min(q) }) as i32)
+            }),
+            K::Bool => unreachable!("min/max never promotes to bool"),
+        },
+        Op::Intr1 { dst, src, intr, k } => match k {
+            K::F32 => vmap1(vregs, dst, src, mask, |x| b32(intr1_f32(intr, f32v(x)))),
+            _ => vmap1(vregs, dst, src, mask, |x| b64(intr1_f64(intr, f64v(x)))),
+        },
+        Op::Sel { dst, cond, ck, t, f } => match ck {
+            K::Bool => for_mask!(mask, l, {
+                let pick = if vg(vregs, cond, l) != 0 { t } else { f };
+                vs(vregs, dst, l, vg(vregs, pick, l));
+            }),
+            _ => for_mask!(mask, l, {
+                let pick = if truthy(ck, vg(vregs, cond, l)) { t } else { f };
+                vs(vregs, dst, l, vg(vregs, pick, l));
+            }),
+        },
+        Op::LdG { dst, buf, idx, site, constant } => {
+            let b = w.bufs[buf as usize].expect("buffer bound");
+            let n = mask.count_ones() as u64;
+            let eb = b.elem_bytes() as u64;
+            if constant {
+                w.counters.loads_constant += n;
+            } else {
+                w.counters.loads_global += n;
+                w.counters.bytes_loaded += eb * n;
+            }
+            let check = checked.get(site as usize).copied().unwrap_or(true);
+            let len = b.len();
+            let mut ixs = [0i64; WARP];
+            for_mask!(mask, l, {
+                ixs[l] = i64v(vg(vregs, idx, l));
+            });
+            if check || cfg!(debug_assertions) {
+                for_mask!(mask, l, {
+                    let i = ixs[l];
+                    assert!(
+                        i >= 0 && (i as usize) < len,
+                        "load out of bounds: param {buf}[{i}] (len {len})"
+                    );
+                });
+            }
+            let mut vals = [0u64; WARP];
+            gather_lanes(b, &ixs, mask, &mut vals);
+            for_mask!(mask, l, {
+                vs(vregs, dst, l, vals[l]);
+            });
+        }
+        Op::StG { buf, idx, val, vk, site } => {
+            let b = w.bufs[buf as usize].expect("buffer bound");
+            let eb = b.elem_bytes() as u64;
+            let n = mask.count_ones() as u64;
+            w.counters.stores_global += n;
+            w.counters.bytes_stored += eb * n;
+            let check = checked.get(site as usize).copied().unwrap_or(true);
+            let len = b.len();
+            let mut ixs = [0i64; WARP];
+            for_mask!(mask, l, {
+                ixs[l] = i64v(vg(vregs, idx, l));
+            });
+            if check || cfg!(debug_assertions) {
+                for_mask!(mask, l, {
+                    let i = ixs[l];
+                    assert!(
+                        i >= 0 && (i as usize) < len,
+                        "store out of bounds: param {buf}[{i}] (len {len})"
+                    );
+                });
+            }
+            scatter_lanes(b, vk, &ixs, mask, vregs, val);
+        }
+        Op::LdP { dst, arr, idx } => {
+            for_mask!(mask, l, {
+                let i = i64v(vg(vregs, idx, l)) as usize;
+                vs(vregs, dst, l, lane_privs[l][arr as usize][i]);
+            });
+        }
+        Op::StP { arr, idx, val, vk, k } => {
+            for_mask!(mask, l, {
+                let i = i64v(vg(vregs, idx, l)) as usize;
+                lane_privs[l][arr as usize][i] = cast_bits(vk, k, vg(vregs, val, l));
+            });
+        }
+        Op::DeclPriv { arr, len } => {
+            for_mask!(mask, l, {
+                let n = i64v(vg(vregs, len, l)) as usize;
+                let p = &mut lane_privs[l][arr as usize];
+                p.clear();
+                p.resize(n, 0);
+            });
+        }
+        Op::Flops { n } => {
+            w.counters.flops += n as u64 * mask.count_ones() as u64;
+        }
+        Op::LdL { .. } | Op::StL { .. } | Op::DeclLocal { .. } => {
+            unreachable!("local-memory tapes never lower to fused form")
+        }
+        Op::Jmp { .. } | Op::Jz { .. } | Op::JgeI64 { .. } | Op::Ret | Op::Halt => {
+            unreachable!("control flow is a block terminator, never a block op")
+        }
+    }
 }
 
 /// Outcome of resolving a conditional branch for the active mask.

@@ -223,6 +223,17 @@ pub struct Prepared {
     /// Why the tape compiler rejected the kernel (`None` when `tape` is
     /// `Some`). Surfaced through the telemetry fallback record.
     pub(crate) tape_err: Option<String>,
+    /// Superinstruction lowering of `tape` for the compiled engine
+    /// (`VGPU_ENGINE=compiled`); `None` when the tape is absent or failed
+    /// structural lowering (see `fused_err`).
+    pub(crate) fused: Option<bytecode::Fused>,
+    /// Why superinstruction lowering was rejected. Surfaced through the
+    /// `compiled_fallback` telemetry record.
+    pub(crate) fused_err: Option<String>,
+    /// The source kernel AST, retained so the compiled engine can run the
+    /// static bounds verifier against the concrete shape of each launch
+    /// (the per-site PROVEN/POTENTIAL table that licenses check elision).
+    pub(crate) source: Option<std::sync::Arc<Kernel>>,
 }
 
 impl Prepared {
@@ -315,6 +326,9 @@ pub fn prepare(kernel: &Kernel) -> Result<Prepared, ExecError> {
         phases,
         tape: None,
         tape_err: None,
+        fused: None,
+        fused_err: None,
+        source: Some(std::sync::Arc::new(kernel.clone())),
     };
     match bytecode::compile(&prep) {
         Ok(tape) => {
@@ -322,6 +336,17 @@ pub fn prepare(kernel: &Kernel) -> Result<Prepared, ExecError> {
                 telemetry::registry()
                     .counter("vgpu.tape.optimized_ops")
                     .add(tape.optimized_ops as u64);
+            }
+            match crate::compile::lower(&tape) {
+                Ok(fused) => {
+                    if fused.fused_ops > 0 {
+                        telemetry::registry()
+                            .counter("vgpu.compiled.fused_ops")
+                            .add(fused.fused_ops as u64);
+                    }
+                    prep.fused = Some(fused);
+                }
+                Err(e) => prep.fused_err = Some(e),
             }
             prep.tape = Some(tape);
         }
@@ -577,14 +602,25 @@ pub enum Engine {
     /// the tree-walker — both transparently.
     #[default]
     Vector,
+    /// Superinstruction engine: the validated tape is re-lowered into basic
+    /// blocks of fused ops (`compile::lower`) executed through dense
+    /// fixed-width lane-chunk kernels, with per-access bounds checks elided
+    /// at sites the static verifier proves safe for the concrete launch
+    /// shape (POTENTIAL sites keep a release-mode check). Tapes that fail
+    /// structural lowering fall back to the vector engine
+    /// (`vgpu.compiled.fallbacks`); grouped launches and traced/race-checked
+    /// modes run the vector path as on [`Engine::Vector`]. Divergent warps
+    /// are delegated wholesale to the vector interpreter at the branch pc.
+    Compiled,
     /// Flat bytecode tape, one lane at a time (kernels the compiler rejects
     /// fall back to the tree-walker transparently).
     Tape,
     /// Reference tree-walking interpreter.
     Tree,
     /// Run the tree-walker, snapshot its outputs, restore inputs, run the
-    /// scalar tape and then the vector engine, and fail unless buffers are
-    /// bit-identical and counters and transaction bytes are equal.
+    /// scalar tape, the vector engine, and — when the tape lowered — the
+    /// compiled engine, and fail unless buffers are bit-identical and
+    /// counters and transaction bytes are equal.
     Differential,
 }
 
@@ -594,6 +630,7 @@ impl Engine {
         match std::env::var("VGPU_ENGINE").as_deref() {
             Ok("tree") => Engine::Tree,
             Ok("tape") => Engine::Tape,
+            Ok("compiled") => Engine::Compiled,
             Ok("diff") | Ok("differential") => Engine::Differential,
             _ => Engine::Vector,
         }
@@ -605,6 +642,9 @@ impl Engine {
 /// tree-walker when the kernel has no usable tape).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
+    /// The fused-superinstruction engine (basic blocks of fused ops over
+    /// the SoA register file, proof-licensed bounds elision).
+    Compiled,
     /// The warp-vectorized tape VM (SoA register file, one decode per warp).
     Vector,
     /// The flat bytecode tape VM.
@@ -614,10 +654,11 @@ pub enum Backend {
 }
 
 impl Backend {
-    /// Display label (`"vector"` / `"tape"` / `"tree"`), as used in
-    /// telemetry events.
+    /// Display label (`"compiled"` / `"vector"` / `"tape"` / `"tree"`), as
+    /// used in telemetry events.
     pub fn label(self) -> &'static str {
         match self {
+            Backend::Compiled => "compiled",
             Backend::Vector => "vector",
             Backend::Tape => "tape",
             Backend::Tree => "tree",
@@ -641,7 +682,8 @@ pub struct LaunchStats {
     pub backend: Backend,
     /// Warps whose active lanes disagreed at one or more branches and ran
     /// them under divergence masks (reconverging at each branch's join).
-    /// Always 0 outside [`Backend::Vector`].
+    /// Always 0 outside [`Backend::Vector`] and [`Backend::Compiled`]
+    /// (whose divergent warps are delegated to the vector interpreter).
     pub divergent_warps: u64,
     /// Wall-clock time of the tree-walker *oracle* leg when the launch ran
     /// under [`Engine::Differential`] (`wall` then covers only the tape
@@ -1103,6 +1145,7 @@ fn note_fallback_record(ev: &'static str, kernel: &str, reason: &str) {
         let (kernel, reason) = (kernel.to_string(), reason.to_string());
         telemetry::record(match ev {
             "vector_fallback" => telemetry::Event::VectorFallback { kernel, reason, ts_us },
+            "compiled_fallback" => telemetry::Event::CompiledFallback { kernel, reason, ts_us },
             "warp_divergence" => telemetry::Event::WarpDivergence { kernel, reason, ts_us },
             _ => telemetry::Event::TapeFallback { kernel, reason, ts_us },
         });
@@ -1125,9 +1168,12 @@ fn note_vector_fallback(kernel: &str, reason: &str) {
     note_fallback_record("vector_fallback", kernel, reason);
 }
 
-/// Audits warp divergence inside a vector launch: `vgpu.warp.divergent`
-/// counts every divergent warp, while the stderr/trace record is deduped
-/// per kernel.
+/// Audits warp divergence inside a vector (or compiled) launch:
+/// `vgpu.warp.divergent` counts every divergent warp, while the
+/// stderr/trace record is deduped per kernel. Called exactly once per
+/// launch from [`run_launch`], off the backend's reported
+/// `divergent_warps` — the single structural accounting site for every
+/// backend, so no fallback or delegation path can double-count.
 fn note_warp_divergence(kernel: &str, warps: u64) {
     telemetry::registry().counter("vgpu.warp.divergent").add(warps);
     note_fallback_record(
@@ -1136,6 +1182,139 @@ fn note_warp_divergence(kernel: &str, warps: u64) {
         "active lanes disagreed at a branch; both sides ran under divergence masks and \
          reconverged at the branch join",
     );
+}
+
+/// Audits one compiled-engine fallback (a tape that failed structural
+/// lowering reroutes to the vector engine; a grouped NDRange outside the
+/// flat fused executor's coverage reroutes to the scalar tape): bumps
+/// `vgpu.compiled.fallbacks` once per launch, deduped record as above.
+fn note_compiled_fallback(kernel: &str, reason: &str) {
+    telemetry::registry().counter("vgpu.compiled.fallbacks").inc();
+    note_fallback_record("compiled_fallback", kernel, reason);
+}
+
+// ---- proof-licensed bounds elision (the compiled engine's check table) ----
+
+type ContractMap = HashMap<String, lift::verify::Assumptions>;
+
+fn launch_contracts() -> &'static std::sync::Mutex<ContractMap> {
+    static CONTRACTS: std::sync::OnceLock<std::sync::Mutex<ContractMap>> =
+        std::sync::OnceLock::new();
+    CONTRACTS.get_or_init(|| std::sync::Mutex::new(HashMap::new()))
+}
+
+/// Registers the documented launch contract for `kernel`: the
+/// [`lift::verify::Assumptions`] every shipped launch of that kernel
+/// satisfies (buffer-length relations, interior guards, gather-table value
+/// facts). The compiled engine merges the contract with the concrete shape
+/// of each launch and elides per-access bounds checks only at sites the
+/// static verifier then returns PROVEN for.
+///
+/// Soundness: a contract is *trusted* — registering facts the launches do
+/// not actually satisfy voids the proof, exactly like handing the verifier
+/// wrong assumptions (see the soundness caveats on `lift::verify`). Shipped
+/// contracts are cross-checked by the `verify` CI gate and the
+/// differential/race harnesses. Kernels without a contract get
+/// launch-concrete assumptions only (global size, buffer lengths, scalar
+/// values), which is always sound; sites the verifier cannot prove from
+/// those keep their dynamic check.
+pub fn register_launch_contract(kernel: &str, asm: lift::verify::Assumptions) {
+    launch_contracts().lock().unwrap().insert(kernel.to_string(), asm);
+}
+
+/// (kernel id, global size, per-param buffer length or scalar bits).
+type ProofKey = (u64, [usize; 3], Vec<u64>);
+
+fn proof_cache() -> &'static std::sync::Mutex<HashMap<ProofKey, std::sync::Arc<Vec<bool>>>> {
+    static CACHE: std::sync::OnceLock<
+        std::sync::Mutex<HashMap<ProofKey, std::sync::Arc<Vec<bool>>>>,
+    > = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()))
+}
+
+/// The compiled engine's per-site check table for one launch shape:
+/// `checked[site]` keeps the dynamic bounds check, `!checked[site]` means
+/// the static verifier proved the access in bounds for every work-item of
+/// *this* shape. Memoized process-wide per [`ProofKey`]; each distinct
+/// shape runs the verifier once and bumps
+/// `vgpu.compiled.sites_{proven,checked}`.
+fn compiled_checked_sites(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    nsites: u32,
+) -> std::sync::Arc<Vec<bool>> {
+    let mut sig = Vec::with_capacity(prep.params.len());
+    for (i, p) in prep.params.iter().enumerate() {
+        sig.push(match bufs[i] {
+            Some(b) => b.len() as u64,
+            None => scalar_arg_value(prep, init_slots, i).map(bytecode::bits_of_value).unwrap_or(0),
+        });
+        let _ = p;
+    }
+    let key = (prep.id, gsize, sig);
+    if let Some(hit) = proof_cache().lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    let checked = std::sync::Arc::new(build_checked_sites(prep, bufs, init_slots, gsize, nsites));
+    let kept = checked.iter().filter(|&&c| c).count() as u64;
+    let reg = telemetry::registry();
+    reg.counter("vgpu.compiled.sites_proven").add(checked.len() as u64 - kept);
+    reg.counter("vgpu.compiled.sites_checked").add(kept);
+    proof_cache().lock().unwrap().insert(key, checked.clone());
+    checked
+}
+
+/// The value bound to scalar parameter `i`, recovered from the initial
+/// slot assignments (already cast to the declared kind).
+fn scalar_arg_value(prep: &Prepared, init_slots: &[(usize, Value)], i: usize) -> Option<Value> {
+    let slot = prep.scalar_slots.get(i).copied().flatten()?;
+    init_slots.iter().find(|(s, _)| *s == slot).map(|(_, v)| *v)
+}
+
+/// Builds the check table: the kernel's registered contract (if any) merged
+/// with the concrete launch shape, run through the static bounds verifier.
+/// Unset global-size dims become the launch's constants, unbound i32
+/// scalars become equality defines with their bound values, and buffers
+/// without contract facts get their concrete lengths. No source AST — no
+/// proof: every site keeps its check.
+fn build_checked_sites(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    nsites: u32,
+) -> Vec<bool> {
+    use lift::arith::ArithExpr;
+    let Some(src) = prep.source.as_deref() else {
+        return vec![true; nsites as usize];
+    };
+    let mut asm = launch_contracts().lock().unwrap().get(&prep.name).cloned().unwrap_or_default();
+    let wd = (prep.work_dim as usize).max(1);
+    if asm.global_size.len() < wd {
+        asm.global_size.resize(wd, None);
+    }
+    for (slot, gs) in asm.global_size.iter_mut().zip(gsize).take(wd) {
+        if slot.is_none() {
+            *slot = Some(ArithExpr::cst(gs as i64));
+        }
+    }
+    for (i, p) in prep.params.iter().enumerate() {
+        if p.is_buffer {
+            if let Some(b) = bufs[i] {
+                asm.buffers.entry(p.name.clone()).or_insert_with(|| {
+                    lift::verify::BufferFacts::sized(ArithExpr::cst(b.len() as i64))
+                });
+            }
+        } else if p.kind == ScalarKind::I32 && !asm.defines.iter().any(|(n, _)| n == &p.name) {
+            if let Some(Value::I32(x)) = scalar_arg_value(prep, init_slots, i) {
+                asm.defines.push((p.name.clone(), ArithExpr::cst(x as i64)));
+            }
+        }
+    }
+    let table = lift::verify::verify_kernel(src, &asm).proof_table();
+    (0..nsites).map(|s| !table.proven(s)).collect()
 }
 
 /// The launch-invariant part of argument validation, resolved once per
@@ -1322,6 +1501,27 @@ pub fn launch_planned(
                 Backend::Vector
             }
         }
+        Engine::Compiled => {
+            if let Some(reason) = &plan.tape_fallback {
+                note_tape_fallback(&prep.name, reason);
+                Backend::Tree
+            } else if let Some(reason) = &plan.vector_fallback {
+                // Grouped launches: same coverage boundary as the vector
+                // engine, but audited as a compiled fallback so the
+                // `vgpu.compiled.fallbacks` counter reflects it.
+                note_compiled_fallback(&prep.name, reason);
+                Backend::Tape
+            } else if prep.fused.is_none() {
+                let reason = prep
+                    .fused_err
+                    .clone()
+                    .unwrap_or_else(|| "tape failed superinstruction lowering".to_string());
+                note_compiled_fallback(&prep.name, &reason);
+                Backend::Vector
+            } else {
+                Backend::Compiled
+            }
+        }
         Engine::Differential => {
             return run_differential(
                 prep,
@@ -1395,8 +1595,8 @@ fn run_launch(
             race_check,
             transaction_size,
         ),
-        (Some(_), Backend::Vector) => {
-            unreachable!("vector backend is never selected for grouped launches")
+        (Some(_), Backend::Vector | Backend::Compiled) => {
+            unreachable!("vector/compiled backends are never selected for grouped launches")
         }
         (None, Backend::Tree) => run_flat_tree(
             prep,
@@ -1431,15 +1631,30 @@ fn run_launch(
             race_check,
             transaction_size,
         ),
+        (None, Backend::Compiled) => run_flat_compiled(
+            prep,
+            bufs,
+            init_slots,
+            gsize,
+            total,
+            stride,
+            trace_on,
+            race_check,
+            transaction_size,
+        ),
     };
     result.map(|mut stats| {
         stats.backend = backend;
+        if stats.divergent_warps > 0 {
+            note_warp_divergence(&prep.name, stats.divergent_warps);
+        }
         stats
     })
 }
 
 /// Runs the tree-walker, snapshots its output, then for each fast engine
-/// (scalar tape, then — on flat NDRanges — the warp-vectorized tape)
+/// (scalar tape, then — on flat NDRanges — the warp-vectorized tape, then
+/// — when lowering succeeded — the compiled superinstruction engine)
 /// restores the inputs, re-runs the launch, and fails unless the engine
 /// produced bit-identical buffers and identical counters and transaction
 /// bytes. Returns the last (fastest) leg's stats, tagged with the oracle's
@@ -1516,7 +1731,27 @@ fn run_differential(
     )?;
     vector.oracle_wall = Some(tree.wall);
     diff_check(prep, bufs, &tree_out, &tree, &vector, "vector")?;
-    Ok(vector)
+    if prep.fused.is_none() {
+        // Structural lowering rejected the tape; the vector engine is the
+        // fastest leg that exists for this kernel.
+        return Ok(vector);
+    }
+    restore(&snaps);
+    let mut compiled = run_launch(
+        prep,
+        bufs,
+        init_slots,
+        gsize,
+        total,
+        lsize,
+        mode,
+        race_check,
+        transaction_size,
+        Backend::Compiled,
+    )?;
+    compiled.oracle_wall = Some(tree.wall);
+    diff_check(prep, bufs, &tree_out, &tree, &compiled, "compiled")?;
+    Ok(compiled)
 }
 
 /// One differential-leg comparison: current buffer contents against the
@@ -2012,9 +2247,160 @@ fn run_flat_vector(
     let mut stats = finish(prep, results, race_check, trace_on, scale, wall, total)?;
     stats.op_profile = op_profile;
     stats.divergent_warps = divergent;
-    if divergent > 0 {
-        note_warp_divergence(&prep.name, divergent);
+    Ok(stats)
+}
+
+/// Compiled superinstruction execution of a barrier-free NDRange
+/// (`VGPU_ENGINE=compiled`): the warp loop of [`run_flat_vector`] driving
+/// [`bytecode::exec_fused_warp`] over the pre-lowered basic-block form,
+/// with per-access bounds checks elided at sites the static verifier
+/// proved in bounds for this launch shape (see [`compiled_checked_sites`]).
+/// Modeled/traced and race-checked launches need the per-lane access
+/// traces only the vector interpreter produces, so those run
+/// [`run_flat_vector`] wholesale — the engines are bit-identical, and
+/// tracing launches are sampled/infrequent by construction.
+#[allow(clippy::too_many_arguments)]
+fn run_flat_compiled(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    total: u64,
+    stride: usize,
+    trace_on: bool,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
+    if trace_on || race_check {
+        return run_flat_vector(
+            prep,
+            bufs,
+            init_slots,
+            gsize,
+            total,
+            stride,
+            trace_on,
+            race_check,
+            transaction_size,
+        );
     }
+    let tape = prep.tape.as_ref().expect("tape checked by caller");
+    let fused = prep.fused.as_ref().expect("fused form checked by caller");
+    let checked = compiled_checked_sites(prep, bufs, init_slots, gsize, fused.nsites);
+    let init_bits: Vec<(usize, u64)> =
+        init_slots.iter().map(|(s, v)| (*s, bytecode::bits_of_value(*v))).collect();
+    let warps_total = total.div_ceil(WARP as u64);
+    let warp_ids: Vec<u64> = (0..warps_total).step_by(stride).collect();
+    let chunk = dispatch_chunk(warp_ids.len());
+    let gx = gsize[0] as u64;
+    let gy = gsize[1] as u64;
+
+    let mut regs0 = vec![0u64; tape.nregs];
+    for (slot, b) in &init_bits {
+        regs0[*slot] = *b;
+    }
+    bytecode::exec_pre(tape, &mut regs0, gsize);
+    let (bcast_once, bcast_warp) = bytecode::warp_init_regs(tape, prep.nslots);
+
+    let prof_on = crate::profiler::op_enabled();
+    let start = std::time::Instant::now();
+    type VecChunk = (Counters, u64, Vec<WriteRec>, u64, Option<Box<crate::profiler::OpProf>>);
+    let results: Vec<VecChunk> = warp_ids
+        .par_chunks(chunk)
+        .map(|ws| {
+            let mut vregs = vec![0u64; tape.nregs * WARP];
+            for &r in &bcast_once {
+                let row = r as usize * WARP;
+                vregs[row..row + WARP].fill(regs0[r as usize]);
+            }
+            let mut lane_privs: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); prep.npriv]; WARP];
+            let mut lane_traces: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); WARP];
+            let mut counters = Counters::default();
+            let mut writes: Vec<WriteRec> = Vec::new();
+            let mut divergent = 0u64;
+            let mut prof: Option<Box<crate::profiler::OpProf>> =
+                prof_on.then(Box::<crate::profiler::OpProf>::default);
+            let mut items: Vec<u64> = Vec::with_capacity(WARP);
+            let mut gids: Vec<[usize; 3]> = Vec::with_capacity(WARP);
+            for &w in ws {
+                let begin = w * WARP as u64;
+                let end = (begin + WARP as u64).min(total);
+                let nact = (end - begin) as usize;
+                items.clear();
+                gids.clear();
+                let mut gid = [
+                    (begin % gx) as usize,
+                    ((begin / gx) % gy) as usize,
+                    (begin / (gx * gy)) as usize,
+                ];
+                for item in begin..end {
+                    items.push(item);
+                    gids.push(gid);
+                    gid[0] += 1;
+                    if gid[0] as u64 == gx {
+                        gid[0] = 0;
+                        gid[1] += 1;
+                        if gid[1] as u64 == gy {
+                            gid[1] = 0;
+                            gid[2] += 1;
+                        }
+                    }
+                }
+                for &r in &bcast_warp {
+                    let row = r as usize * WARP;
+                    vregs[row..row + WARP].fill(regs0[r as usize]);
+                }
+                if prep.npriv > 0 {
+                    for lp in lane_privs[..nact].iter_mut() {
+                        for p in lp.iter_mut() {
+                            p.clear();
+                        }
+                    }
+                }
+                counters.work_items += nact as u64;
+                bytecode::exec_item_pre_warp(tape, &mut vregs, nact, &gids, &items);
+                let mut wc = bytecode::WarpCtx {
+                    bufs,
+                    counters: &mut counters,
+                    traces: &mut lane_traces,
+                    trace_on: false,
+                    writes: &mut writes,
+                    race_on: false,
+                    items: &items,
+                    gids: &gids,
+                    gsize,
+                    prof: prof.as_deref_mut(),
+                };
+                if bytecode::exec_fused_warp(
+                    fused,
+                    tape,
+                    0,
+                    nact,
+                    &mut vregs,
+                    &mut lane_privs,
+                    &mut wc,
+                    &checked,
+                ) {
+                    divergent += 1;
+                }
+            }
+            (counters, 0u64, writes, divergent, prof)
+        })
+        .collect();
+    let wall = start.elapsed();
+    let mut divergent = 0u64;
+    let results: Vec<ProfChunkResult> = results
+        .into_iter()
+        .map(|(c, t, w, d, p)| {
+            divergent += d;
+            (c, t, w, p)
+        })
+        .collect();
+    let (results, op_profile) = merge_op_profiles(results);
+    let scale = flat_sample_scale(total, &warp_ids);
+    let mut stats = finish(prep, results, race_check, trace_on, scale, wall, total)?;
+    stats.op_profile = op_profile;
+    stats.divergent_warps = divergent;
     Ok(stats)
 }
 

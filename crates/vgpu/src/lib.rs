@@ -57,6 +57,7 @@
 pub mod artifact;
 pub mod buffer;
 pub mod bytecode;
+pub(crate) mod compile;
 pub mod device;
 pub mod exec;
 pub mod host_exec;
@@ -70,7 +71,10 @@ pub mod verify;
 pub use artifact::{compile_cached, verify_cached};
 pub use buffer::BufData;
 pub use device::{Arg, BufId, Device, KernelEvent};
-pub use exec::{Backend, Counters, Engine, ExecError, ExecMode, LaunchPlan, LaunchStats, Prepared};
+pub use exec::{
+    register_launch_contract, Backend, Counters, Engine, ExecError, ExecMode, LaunchPlan,
+    LaunchStats, Prepared,
+};
 pub use host_exec::{run_host_program, run_host_program_on, HostEnv, HostRun, TransferTotals};
 pub use perfmodel::{modeled_sharded_step_s, modeled_time_s, updates_per_second, ModelInput};
 pub use profile::DeviceProfile;

@@ -28,7 +28,7 @@
 //! incomparable (the repo-wide "compare shapes, not absolutes" rule,
 //! DESIGN.md §3).
 
-use crate::bytecode::{op_name, NOPCODES};
+use crate::bytecode::{fop_name, op_name, NFOPS, NOPCODES};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -115,19 +115,25 @@ pub fn set_mode(m: ProfileMode) {
     MODE.store(m as u8, Ordering::Relaxed);
 }
 
+/// Number of attribution slots: base opcodes first
+/// ([`crate::bytecode::op_index`]), then the compiled engine's
+/// superinstructions at `NOPCODES + fop index`.
+const NSLOTS: usize = NOPCODES + NFOPS;
+
 /// Per-opcode execution tally for one launch (or one interpreter chunk):
 /// dispatch counts and attributed nanoseconds, indexed by
-/// [`crate::bytecode::op_index`]. Cheap to allocate per rayon chunk and to
-/// merge per launch — two fixed `u64` arrays, no heap.
+/// [`crate::bytecode::op_index`] (base tape ops) or `NOPCODES +` the fused
+/// superinstruction index (compiled engine). Cheap to allocate per rayon
+/// chunk and to merge per launch — two fixed `u64` arrays, no heap.
 #[derive(Debug, Clone)]
 pub struct OpProf {
-    pub(crate) counts: [u64; NOPCODES],
-    pub(crate) nanos: [u64; NOPCODES],
+    pub(crate) counts: [u64; NSLOTS],
+    pub(crate) nanos: [u64; NSLOTS],
 }
 
 impl Default for OpProf {
     fn default() -> Self {
-        OpProf { counts: [0; NOPCODES], nanos: [0; NOPCODES] }
+        OpProf { counts: [0; NSLOTS], nanos: [0; NSLOTS] }
     }
 }
 
@@ -141,7 +147,7 @@ impl OpProf {
 
     /// Folds another tally (a parallel chunk's) into this one.
     pub(crate) fn merge(&mut self, other: &OpProf) {
-        for i in 0..NOPCODES {
+        for i in 0..NSLOTS {
             self.counts[i] += other.counts[i];
             self.nanos[i] += other.nanos[i];
         }
@@ -159,9 +165,12 @@ impl OpProf {
 
     /// Non-empty entries as `(opcode name, count, nanos)`, hottest first.
     pub fn entries(&self) -> Vec<(&'static str, u64, u64)> {
-        let mut v: Vec<(&'static str, u64, u64)> = (0..NOPCODES)
+        let mut v: Vec<(&'static str, u64, u64)> = (0..NSLOTS)
             .filter(|&i| self.counts[i] > 0)
-            .map(|i| (op_name(i), self.counts[i], self.nanos[i]))
+            .map(|i| {
+                let name = if i < NOPCODES { op_name(i) } else { fop_name(i - NOPCODES) };
+                (name, self.counts[i], self.nanos[i])
+            })
             .collect();
         v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
         v
@@ -243,7 +252,7 @@ pub struct OpEntry {
 pub struct KernelProfileSnapshot {
     /// Kernel name.
     pub kernel: String,
-    /// Backend that executed (`vector` / `tape` / `tree`).
+    /// Backend that executed (`compiled` / `vector` / `tape` / `tree`).
     pub engine: String,
     /// Float precision of the kernel's buffer traffic (`f32` / `f64`).
     pub precision: String,

@@ -183,6 +183,18 @@ pub enum Event {
         /// Time of the launch, µs since the epoch.
         ts_us: f64,
     },
+    /// The compiled superinstruction engine did not cover a launch (the
+    /// tape failed structural lowering, or a grouped NDRange) and the
+    /// vector engine or scalar tape executed it instead. Deduplicated per
+    /// (kernel, reason); `vgpu.compiled.fallbacks` counts every launch.
+    CompiledFallback {
+        /// Kernel name.
+        kernel: String,
+        /// Why the compiled engine was unusable.
+        reason: String,
+        /// Time of the launch, µs since the epoch.
+        ts_us: f64,
+    },
     /// Warps inside a vector launch diverged (active lanes disagreed at a
     /// branch) and ran the branch sides under divergence masks, reconverging
     /// at the branch's join. Deduplicated per kernel; `vgpu.warp.divergent`
@@ -213,6 +225,7 @@ impl Event {
             | Event::Free { .. }
             | Event::TapeFallback { .. }
             | Event::VectorFallback { .. }
+            | Event::CompiledFallback { .. }
             | Event::WarpDivergence { .. } => None,
         }
     }
@@ -229,6 +242,7 @@ impl Event {
             | Event::Free { ts_us, .. }
             | Event::TapeFallback { ts_us, .. }
             | Event::VectorFallback { ts_us, .. }
+            | Event::CompiledFallback { ts_us, .. }
             | Event::WarpDivergence { ts_us, .. } => Some(*ts_us),
         }
     }

@@ -1,0 +1,270 @@
+//! Compiled-engine behaviour: bit-identity on the control-flow shapes the
+//! masked fused executor resolves in place (partial final warps, divergent
+//! early-return guards, if-converted diamonds), lane-dependent private
+//! indexing, the POTENTIAL-site checked path, and the divergence-accounting
+//! regression for grouped launches that fall back to the scalar tape.
+//!
+//! Counter-based tests serialise on [`TELEMETRY`] because the metric
+//! registry is process-global.
+
+use lift::kast::{KExpr, KStmt, Kernel, KernelParam, MemRef};
+use lift::prelude::{BinOp, Lit, ScalarKind, Value};
+use std::sync::Mutex;
+use vgpu::{Arg, Backend, BufData, Device, Engine, ExecMode};
+
+static TELEMETRY: Mutex<()> = Mutex::new(());
+
+fn gid() -> KExpr {
+    KExpr::GlobalId(0)
+}
+
+/// Guard + diamond, the acoustics boundary shape: items past `N` return
+/// early; survivors split on parity, both arms storing.
+///
+/// ```text
+/// if (gid >= N) return;
+/// if (gid % 2 == 0) out[gid] = x[gid] * 2; else out[gid] = x[gid] + 1;
+/// ```
+fn guard_diamond_kernel() -> Kernel {
+    let even = KExpr::bin(BinOp::Eq, KExpr::bin(BinOp::Rem, gid(), KExpr::int(2)), KExpr::int(0));
+    let ld = || KExpr::load(MemRef::Param(0), gid());
+    Kernel {
+        name: "ce_guard_diamond".into(),
+        params: vec![
+            KernelParam::global_buf("x", ScalarKind::F32),
+            KernelParam::global_buf("out", ScalarKind::F32),
+            KernelParam::scalar("N", ScalarKind::I32),
+        ],
+        body: vec![
+            KStmt::return_if(KExpr::bin(BinOp::Ge, gid(), KExpr::var("N"))),
+            KStmt::If {
+                cond: even,
+                then_: vec![KStmt::Store {
+                    mem: MemRef::Param(1),
+                    idx: gid(),
+                    value: ld() * KExpr::Lit(Lit::f32(2.0)),
+                }],
+                else_: vec![KStmt::Store {
+                    mem: MemRef::Param(1),
+                    idx: gid(),
+                    value: ld() + KExpr::Lit(Lit::f32(1.0)),
+                }],
+            },
+        ],
+        work_dim: 1,
+    }
+}
+
+/// Runs `kernel` on a fresh device under `engine` and returns the output
+/// buffer plus the launch stats. `x` seeds param 0; params are
+/// `(x, out, N)` with `out` zero-filled at `x`'s length.
+fn run_guard_diamond(
+    engine: Engine,
+    n: i32,
+    gsize: usize,
+    mode: ExecMode,
+) -> (BufData, vgpu::LaunchStats) {
+    let mut dev = Device::gtx780();
+    dev.set_engine(engine);
+    let prep = dev.compile(&guard_diamond_kernel()).unwrap();
+    let xs: Vec<f32> = (0..gsize).map(|i| i as f32 * 0.25 - 3.0).collect();
+    let x = dev.upload(BufData::from(xs));
+    let out = dev.upload(BufData::from(vec![0.0f32; gsize]));
+    let stats = dev
+        .launch(&prep, &[Arg::Buf(x), Arg::Buf(out), Arg::Val(Value::I32(n))], &[gsize], mode)
+        .unwrap();
+    (dev.read(out), stats)
+}
+
+/// A partial final warp (45 items over 2 warps: 32 + 13) with the guard
+/// diverging inside the last warp and the diamond diverging in every warp:
+/// the compiled leg must stay on its own backend, report the same
+/// divergent-warp count as the vector leg, and produce bit-identical
+/// buffers and counters.
+#[test]
+fn partial_final_warp_and_divergence_bit_identical() {
+    let (tree, tstats) = run_guard_diamond(Engine::Tree, 45, 64, ExecMode::Fast);
+    let (vect, vstats) = run_guard_diamond(Engine::Vector, 45, 64, ExecMode::Fast);
+    let (comp, cstats) = run_guard_diamond(Engine::Compiled, 45, 64, ExecMode::Fast);
+    assert_eq!(comp, tree, "compiled buffers must match the tree oracle");
+    assert_eq!(comp, vect);
+    assert_eq!(cstats.counters, tstats.counters);
+    assert_eq!(cstats.backend, Backend::Compiled, "must not fall back");
+    assert_eq!(vstats.backend, Backend::Vector);
+    // Both warps diverge (warp 0 at the diamond, warp 1 at guard and
+    // diamond), and the compiled engine's lanes-disagree test must agree
+    // with the vector engine's warp for warp.
+    assert_eq!(vstats.divergent_warps, 2);
+    assert_eq!(cstats.divergent_warps, vstats.divergent_warps);
+}
+
+/// The modeled path (counters + warp transaction bytes) under the
+/// differential engine: all four legs cross-checked internally, on a
+/// partial-warp divergent launch.
+#[test]
+fn differential_model_mode_covers_compiled_leg() {
+    let (_, stats) =
+        run_guard_diamond(Engine::Differential, 45, 64, ExecMode::Model { sample_stride: 1 });
+    assert!(stats.transaction_bytes.is_some());
+}
+
+/// Lane-dependent private indexing: each lane fills a private array in a
+/// loop, then reads it back at a lane-dependent index.
+///
+/// ```text
+/// int t[4];
+/// for (int i = 0; i < 4; i++) t[i] = gid * 4 + i;
+/// out[gid] = t[gid % 4];
+/// ```
+#[test]
+fn lane_dependent_private_indexing_matches_tree() {
+    let k = Kernel {
+        name: "ce_priv_idx".into(),
+        params: vec![KernelParam::global_buf("out", ScalarKind::I32)],
+        body: vec![
+            KStmt::DeclPrivArray { name: "t".into(), kind: ScalarKind::I32, len: KExpr::int(4) },
+            KStmt::For {
+                var: "i".into(),
+                begin: KExpr::int(0),
+                end: KExpr::int(4),
+                step: KExpr::int(1),
+                body: vec![KStmt::Store {
+                    mem: MemRef::Priv("t".into()),
+                    idx: KExpr::var("i"),
+                    value: gid() * KExpr::int(4) + KExpr::var("i"),
+                }],
+            },
+            KStmt::Store {
+                mem: MemRef::Param(0),
+                idx: gid(),
+                value: KExpr::load(
+                    MemRef::Priv("t".into()),
+                    KExpr::bin(BinOp::Rem, gid(), KExpr::int(4)),
+                ),
+            },
+        ],
+        work_dim: 1,
+    };
+    let run = |engine: Engine| {
+        let mut dev = Device::gtx780();
+        dev.set_engine(engine);
+        let prep = dev.compile(&k).unwrap();
+        let out = dev.upload(BufData::from(vec![0i32; 50]));
+        let stats = dev.launch(&prep, &[Arg::Buf(out)], &[50], ExecMode::Fast).unwrap();
+        (dev.read(out), stats)
+    };
+    let (tree, _) = run(Engine::Tree);
+    let (comp, cstats) = run(Engine::Compiled);
+    assert_eq!(comp, tree);
+    assert_eq!(cstats.backend, Backend::Compiled, "must not fall back");
+    let want: Vec<f64> = (0..50).map(|g| (g * 4 + g % 4) as f64).collect();
+    assert_eq!(comp.to_f64_vec(), want);
+}
+
+/// A data-dependent gather (`out[gid] = x[t[gid]]`) has no static proof —
+/// the table's *values* are unknown to the verifier — so its site must stay
+/// on the checked path (`vgpu.compiled.sites_checked` grows) while results
+/// stay bit-identical to the tree oracle.
+#[test]
+fn potential_site_keeps_dynamic_check() {
+    let _guard = TELEMETRY.lock().unwrap();
+    let k = Kernel {
+        name: "ce_gather".into(),
+        params: vec![
+            KernelParam::global_buf("t", ScalarKind::I32),
+            KernelParam::global_buf("x", ScalarKind::F32),
+            KernelParam::global_buf("out", ScalarKind::F32),
+        ],
+        body: vec![KStmt::Store {
+            mem: MemRef::Param(2),
+            idx: gid(),
+            value: KExpr::load(MemRef::Param(1), KExpr::load(MemRef::Param(0), gid())),
+        }],
+        work_dim: 1,
+    };
+    let reg = vgpu::telemetry::registry();
+    let checked0 = reg.counter("vgpu.compiled.sites_checked").get();
+    let run = |engine: Engine| {
+        let mut dev = Device::gtx780();
+        dev.set_engine(engine);
+        let prep = dev.compile(&k).unwrap();
+        let t = dev.upload(BufData::from((0..32).rev().collect::<Vec<i32>>()));
+        let x = dev.upload(BufData::from((0..32).map(|i| i as f32 * 1.5).collect::<Vec<f32>>()));
+        let out = dev.upload(BufData::from(vec![0.0f32; 32]));
+        let stats = dev
+            .launch(&prep, &[Arg::Buf(t), Arg::Buf(x), Arg::Buf(out)], &[32], ExecMode::Fast)
+            .unwrap();
+        (dev.read(out), stats)
+    };
+    let (tree, _) = run(Engine::Tree);
+    let (comp, cstats) = run(Engine::Compiled);
+    assert_eq!(comp, tree);
+    assert_eq!(cstats.backend, Backend::Compiled);
+    let checked = reg.counter("vgpu.compiled.sites_checked").get() - checked0;
+    assert!(checked > 0, "the value-dependent gather site must stay checked");
+}
+
+/// Regression (divergence over-counting): a grouped (barrier) launch falls
+/// back to the scalar tape, which has no warps — `vgpu.warp.divergent`
+/// must not move, even though the kernel branches per item, while the
+/// engine's own fallback counter records the rerouted launch.
+#[test]
+fn grouped_fallback_counts_no_warp_divergence() {
+    let _guard = TELEMETRY.lock().unwrap();
+    let even = KExpr::bin(BinOp::Eq, KExpr::bin(BinOp::Rem, gid(), KExpr::int(2)), KExpr::int(0));
+    let ld = || KExpr::load(MemRef::Param(0), gid());
+    let k = Kernel {
+        name: "ce_grouped_div".into(),
+        params: vec![KernelParam::global_buf("out", ScalarKind::I32)],
+        body: vec![
+            KStmt::Store { mem: MemRef::Param(0), idx: gid(), value: KExpr::LocalId(0) },
+            KStmt::Barrier,
+            KStmt::If {
+                cond: even,
+                then_: vec![KStmt::Store {
+                    mem: MemRef::Param(0),
+                    idx: gid(),
+                    value: ld() * KExpr::int(2),
+                }],
+                else_: vec![KStmt::Store {
+                    mem: MemRef::Param(0),
+                    idx: gid(),
+                    value: ld() + KExpr::int(1),
+                }],
+            },
+        ],
+        work_dim: 1,
+    };
+    let reg = vgpu::telemetry::registry();
+    for (engine, fallback_counter) in
+        [(Engine::Vector, "vgpu.vector.fallbacks"), (Engine::Compiled, "vgpu.compiled.fallbacks")]
+    {
+        let divergent0 = reg.counter("vgpu.warp.divergent").get();
+        let fallbacks0 = reg.counter(fallback_counter).get();
+        let mut dev = Device::gtx780();
+        dev.set_engine(engine);
+        let prep = dev.compile(&k).unwrap();
+        let out = dev.upload(BufData::from(vec![0i32; 64]));
+        let stats =
+            dev.launch_wg(&prep, &[Arg::Buf(out)], &[64], Some(32), ExecMode::Fast).unwrap();
+        assert_eq!(
+            stats.backend,
+            Backend::Tape,
+            "{engine:?}: grouped launches run the scalar tape"
+        );
+        assert_eq!(stats.divergent_warps, 0, "{engine:?}: the scalar tape has no warps");
+        let want: Vec<f64> =
+            (0..64).map(|g| if g % 2 == 0 { (g % 32) * 2 } else { g % 32 + 1 } as f64).collect();
+        assert_eq!(dev.read(out).to_f64_vec(), want);
+        assert_eq!(
+            reg.counter("vgpu.warp.divergent").get() - divergent0,
+            0,
+            "{engine:?}: scalar-tape fallback must not count warp divergence"
+        );
+        assert_eq!(
+            reg.counter(fallback_counter).get() - fallbacks0,
+            1,
+            "{engine:?}: the fallback itself is audited once per launch"
+        );
+    }
+}
