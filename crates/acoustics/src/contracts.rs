@@ -131,6 +131,42 @@ pub fn launch_contract(k: &Kernel) -> Assumptions {
     asm
 }
 
+/// Buffer parameters laid out over the canonical row-major simulation
+/// grid. Halo reasoning for domain-sharded launches is about exactly
+/// these: state-table buffers (`g1`, `v1`, …) and per-boundary tables are
+/// partitioned by boundary node, not by grid plane, and never need halo
+/// exchange.
+pub const GRID_BUFFERS: &[&str] = &["next", "curr", "prev", "nbrs", "out"];
+
+/// Proves the halo width `kernel` requires along the slab (z) axis:
+/// `(below, above)` planes of remote data any work-item may touch on the
+/// [`GRID_BUFFERS`] beyond its own cell, derived from the kernel's static
+/// access footprints (`lift::footprint`). Errs when any grid-buffer site
+/// has no per-axis footprint — such a kernel must not be sharded.
+pub fn grid_halo(kernel: &Kernel, asm: &Assumptions) -> Result<(usize, usize), String> {
+    lift::verify::verify_kernel(kernel, asm).footprints.required_halo(GRID_BUFFERS, 2)
+}
+
+/// Shard-time gate: proves `kernel`'s z-reach and checks it against the
+/// `(below, above)` halo planes the slab layout actually provides,
+/// returning the proven reach or a diagnostic naming the shortfall. The
+/// sharded sims call this instead of assuming a one-plane halo.
+pub fn check_slab_halo(
+    kernel: &Kernel,
+    asm: &Assumptions,
+    halo: (usize, usize),
+) -> Result<(usize, usize), String> {
+    let (lo, hi) = grid_halo(kernel, asm)?;
+    if lo > halo.0 || hi > halo.1 {
+        return Err(format!(
+            "kernel `{}` provably reaches ({lo}, {hi}) z planes beyond its cell but the slab \
+             layout provides only ({}, {}) halo planes",
+            kernel.name, halo.0, halo.1
+        ));
+    }
+    Ok((lo, hi))
+}
+
 /// Registers every hand-written kernel's [`launch_contract`] with the vgpu
 /// compiled engine. Idempotent and cheap after the first call; the sims
 /// and bench drivers call it before compiling kernels so proof-licensed

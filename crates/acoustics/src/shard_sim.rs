@@ -120,6 +120,10 @@ pub struct ShardedSim {
 /// returns `device_count + 1` offsets `c` with slab `d` owning list range
 /// `c[d]..c[d+1]` (a boundary point belongs to the slab owning its
 /// z-plane).
+///
+/// This split is only *valid* when every point's kernel footprint stays
+/// within its slab's local coverage — use [`checked_boundary_cuts`] with
+/// the kernel's proven z-reach to enforce that instead of assuming it.
 pub fn boundary_cuts(part: &SlabPartition, plane: usize, boundary_indices: &[i32]) -> Vec<usize> {
     let mut c = Vec::with_capacity(part.device_count() + 1);
     c.push(0);
@@ -128,6 +132,45 @@ pub fn boundary_cuts(part: &SlabPartition, plane: usize, boundary_indices: &[i32
         c.push(boundary_indices.partition_point(|&i| (i as usize) < end));
     }
     c
+}
+
+/// [`boundary_cuts`], validated against a proven kernel footprint: a
+/// boundary point at z-plane `z` assigned to slab `d` may touch planes
+/// `[z − reach.0, z + reach.1]` (clamped to the grid), all of which must
+/// lie within the slab's local coverage — its owned planes plus `halo`
+/// exchanged planes per side. Errs naming the first violating point, so
+/// cut planes landing exactly on a stencil-reachable plane of a
+/// wider-than-halo kernel are rejected instead of silently accepted.
+pub fn checked_boundary_cuts(
+    part: &SlabPartition,
+    plane: usize,
+    boundary_indices: &[i32],
+    reach: (usize, usize),
+    halo: (usize, usize),
+) -> Result<Vec<usize>, String> {
+    let cuts = boundary_cuts(part, plane, boundary_indices);
+    let nz = part.nz();
+    for d in 0..part.device_count() {
+        let cover_lo = part.cuts()[d].saturating_sub(halo.0);
+        let cover_hi = ((part.cuts()[d + 1] - 1) + halo.1).min(nz - 1);
+        for &i in &boundary_indices[cuts[d]..cuts[d + 1]] {
+            let z = (i as usize) / plane;
+            let lo = z.saturating_sub(reach.0);
+            let hi = (z + reach.1).min(nz - 1);
+            if lo < cover_lo || hi > cover_hi {
+                return Err(format!(
+                    "boundary point {i} (z-plane {z}) on slab {d} provably reaches planes \
+                     [{lo}, {hi}] but the slab only covers [{cover_lo}, {cover_hi}] \
+                     (owned planes {}..{} plus ({}, {}) halo)",
+                    part.cuts()[d],
+                    part.cuts()[d + 1],
+                    halo.0,
+                    halo.1
+                ));
+            }
+        }
+    }
+    Ok(cuts)
 }
 
 /// Searches for interior cut planes whose boundary-list prefix counts are
@@ -193,6 +236,31 @@ impl ShardedSim {
         let dims = *setup.dims();
         let plane = dims.nx * dims.ny;
         let nb = setup.num_b();
+        // Proof-licensed halo widths (DESIGN.md §9): the slab layout
+        // provides exactly one exchanged plane per side, so the volume
+        // kernel's statically proven z-reach must fit one plane and the
+        // boundary kernel must be a pure gather (zero reach). A kernel
+        // with a wider stencil is rejected here, at shard time, instead
+        // of silently reading stale halo data.
+        let volume_src = handwritten::volume_slab_kernel().resolve_real(real);
+        crate::contracts::check_slab_halo(
+            &volume_src,
+            &crate::contracts::launch_contract(&volume_src),
+            (1, 1),
+        )
+        .unwrap_or_else(|e| panic!("slab volume kernel fails the halo proof: {e}"));
+        let boundary_src = match boundary_kind {
+            BoundaryKernel::FiMm { beta_constant } => {
+                handwritten::fimm_kernel(beta_constant).resolve_real(real)
+            }
+            BoundaryKernel::FdMm => handwritten::fdmm_kernel().resolve_real(real),
+        };
+        let boundary_reach = crate::contracts::check_slab_halo(
+            &boundary_src,
+            &crate::contracts::launch_contract(&boundary_src),
+            (1, 1),
+        )
+        .unwrap_or_else(|e| panic!("boundary kernel fails the halo proof: {e}"));
         // Same process-wide artifact cache as the single-device path: all
         // devices share one Arc'd prepared artifact per kernel.
         let volume = (*vgpu::compile_cached(&handwritten::volume_slab_kernel().resolve_real(real))
@@ -210,7 +278,14 @@ impl ShardedSim {
                 .clone()
             }
         };
-        let bcuts = boundary_cuts(&part, plane, &setup.room.boundary_indices);
+        let bcuts = checked_boundary_cuts(
+            &part,
+            plane,
+            &setup.room.boundary_indices,
+            boundary_reach,
+            (1, 1),
+        )
+        .unwrap_or_else(|e| panic!("boundary list split fails the footprint check: {e}"));
         let fa: Option<FdArrays<f64>> = match boundary_kind {
             BoundaryKernel::FdMm => {
                 Some(FdArrays::from_coeffs(setup.fd.as_ref().expect("FD-MM coefficients")))
@@ -223,13 +298,13 @@ impl ShardedSim {
             let local = part.local_planes(d) * plane;
             let owned = part.owned(d) * plane;
             let start = part.first_owned(d) * plane;
-            let prev = dev.create_buffer(real, local);
-            let curr = dev.create_buffer(real, local);
-            let next = dev.create_buffer(real, local);
+            let prev = dev.create_buffer_zeroed(real, local);
+            let curr = dev.create_buffer_zeroed(real, local);
+            let next = dev.create_buffer_zeroed(real, local);
             // Owned nbrs planes move through an accounted region write (the
             // slices sum to the unsharded upload); the halo planes stay
             // zero — the slab volume kernel never reads them.
-            let nbrs = dev.create_buffer(lift::prelude::ScalarKind::I32, local);
+            let nbrs = dev.create_buffer_zeroed(lift::prelude::ScalarKind::I32, local);
             dev.write_region(
                 nbrs,
                 plane,
@@ -277,9 +352,9 @@ impl ShardedSim {
                         d: dd,
                         di,
                         f,
-                        g1: dev.create_buffer(real, state),
-                        v1: dev.create_buffer(real, state),
-                        v2: dev.create_buffer(real, state),
+                        g1: dev.create_buffer_zeroed(real, state),
+                        v1: dev.create_buffer_zeroed(real, state),
+                        v2: dev.create_buffer_zeroed(real, state),
                         stride,
                     }
                 });
@@ -499,6 +574,29 @@ mod tests {
 
     fn devices(n: usize) -> Vec<Device> {
         (0..n).map(|_| Device::gtx780()).collect()
+    }
+
+    #[test]
+    fn boundary_cut_on_stencil_reachable_plane_is_proof_gated() {
+        // 2×2×8 grid cut at z = 4; one boundary point on the last plane
+        // of slab 0 and one on the first plane of slab 1 — each exactly
+        // one stencil step from the seam.
+        let part = SlabPartition::from_cuts(8, vec![0, 4, 8]);
+        let plane = 4;
+        let bidx: Vec<i32> = vec![3 * 4, 4 * 4];
+        let checked = checked_boundary_cuts(&part, plane, &bidx, (1, 1), (1, 1))
+            .expect("one-plane reach fits the one-plane halo");
+        assert_eq!(checked, boundary_cuts(&part, plane, &bidx));
+        // A two-plane stencil overruns the one-plane halo at the same
+        // cut: the proof-routed split must reject it, not silently
+        // accept cuts that land on a stencil-reachable plane.
+        let err = checked_boundary_cuts(&part, plane, &bidx, (2, 2), (1, 1))
+            .expect_err("two-plane reach overruns the one-plane halo");
+        assert!(err.contains("halo"), "diagnostic names the halo shortfall: {err}");
+        // Away from any seam the same wide stencil is fine.
+        let interior: Vec<i32> = vec![2 * 4, 6 * 4];
+        checked_boundary_cuts(&part, plane, &interior, (2, 2), (1, 1))
+            .expect("interior points never overrun");
     }
 
     #[test]

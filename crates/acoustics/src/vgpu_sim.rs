@@ -131,9 +131,9 @@ impl HandwrittenSim {
                 .clone()
             }
         };
-        let prev = device.create_buffer(real, n);
-        let curr = device.create_buffer(real, n);
-        let next = device.create_buffer(real, n);
+        let prev = device.create_buffer_zeroed(real, n);
+        let curr = device.create_buffer_zeroed(real, n);
+        let next = device.create_buffer_zeroed(real, n);
         let nbrs = device.upload(BufData::from(setup.room.nbrs.clone()));
         let bidx = device.upload(BufData::from(setup.room.boundary_indices.clone()));
         let material = device.upload(BufData::from(setup.room.material.clone()));
@@ -148,9 +148,9 @@ impl HandwrittenSim {
                     d: device.upload(precision.buf(&fa.d)),
                     di: device.upload(precision.buf(&fa.di)),
                     f: device.upload(precision.buf(&fa.f)),
-                    g1: device.create_buffer(real, state),
-                    v1: device.create_buffer(real, state),
-                    v2: device.create_buffer(real, state),
+                    g1: device.create_buffer_zeroed(real, state),
+                    v1: device.create_buffer_zeroed(real, state),
+                    v2: device.create_buffer_zeroed(real, state),
                 })
             }
             _ => None,

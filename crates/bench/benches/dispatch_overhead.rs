@@ -40,9 +40,9 @@ fn fi_run(n: usize, engine: Engine) -> FiRun {
     let prep = dev.compile(&handwritten::fi_single_kernel().resolve_real(ScalarKind::F32)).unwrap();
     let total = dims.total();
     let bufs = [
-        dev.create_buffer(ScalarKind::F32, total),
-        dev.create_buffer(ScalarKind::F32, total),
-        dev.create_buffer(ScalarKind::F32, total),
+        dev.create_buffer_zeroed(ScalarKind::F32, total),
+        dev.create_buffer_zeroed(ScalarKind::F32, total),
+        dev.create_buffer_zeroed(ScalarKind::F32, total),
     ];
     let scalars = vec![
         Arg::Val(Value::F32(setup.l as f32)),

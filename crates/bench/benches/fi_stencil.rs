@@ -40,9 +40,9 @@ fn bench_fi(c: &mut Criterion) {
             .resolve_real(lift::types::ScalarKind::F32);
         let prep = device.compile(&kernel).unwrap();
         let total = dims.total();
-        let prev = device.create_buffer(lift::types::ScalarKind::F32, total);
-        let curr = device.create_buffer(lift::types::ScalarKind::F32, total);
-        let next = device.create_buffer(lift::types::ScalarKind::F32, total);
+        let prev = device.create_buffer_zeroed(lift::types::ScalarKind::F32, total);
+        let curr = device.create_buffer_zeroed(lift::types::ScalarKind::F32, total);
+        let next = device.create_buffer_zeroed(lift::types::ScalarKind::F32, total);
         let args = [
             vgpu::Arg::Buf(next),
             vgpu::Arg::Buf(curr),
@@ -82,9 +82,9 @@ fn bench_engines(c: &mut Criterion) {
             .resolve_real(lift::types::ScalarKind::F32);
         let prep = device.compile(&kernel).unwrap();
         let total = dims.total();
-        let prev = device.create_buffer(lift::types::ScalarKind::F32, total);
-        let curr = device.create_buffer(lift::types::ScalarKind::F32, total);
-        let next = device.create_buffer(lift::types::ScalarKind::F32, total);
+        let prev = device.create_buffer_zeroed(lift::types::ScalarKind::F32, total);
+        let curr = device.create_buffer_zeroed(lift::types::ScalarKind::F32, total);
+        let next = device.create_buffer_zeroed(lift::types::ScalarKind::F32, total);
         let args = [
             vgpu::Arg::Buf(next),
             vgpu::Arg::Buf(curr),

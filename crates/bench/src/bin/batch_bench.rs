@@ -38,6 +38,7 @@ fn main() {
     let vgpu_threads = bench::provenance::threads();
     let plan_cache = bench::provenance::plan_cache_state();
     let devices = bench::provenance::device_count();
+    let sanitize = bench::provenance::sanitize_label();
 
     let reg = telemetry::registry();
     let counter = |name: &str| reg.counter(name).get();
@@ -80,7 +81,7 @@ fn main() {
         "{{\"bench\":\"batch\",\"rooms\":{rooms},\"threads\":{threads},\"seed\":{seed},\
          \"engine\":\"{engine}\",\"ladder\":\"{ladder}\",\
          \"vgpu_threads\":{vgpu_threads},\"devices\":{devices},\
-         \"plan_cache\":\"{plan_cache}\",\
+         \"plan_cache\":\"{plan_cache}\",\"sanitize\":\"{sanitize}\",\
          \"wall_s\":{wall_s:.3},\"rooms_per_sec\":{:.2},\
          \"artifact_hits\":{art_hits},\"artifact_misses\":{art_misses},\
          \"artifact_hit_rate\":{hit_rate:.4},\

@@ -39,9 +39,9 @@ fn fi_run(n: usize, engine: Engine) -> FiRun {
     let prep = dev.compile(&handwritten::fi_single_kernel().resolve_real(ScalarKind::F32)).unwrap();
     let total = dims.total();
     let bufs = [
-        dev.create_buffer(ScalarKind::F32, total),
-        dev.create_buffer(ScalarKind::F32, total),
-        dev.create_buffer(ScalarKind::F32, total),
+        dev.create_buffer_zeroed(ScalarKind::F32, total),
+        dev.create_buffer_zeroed(ScalarKind::F32, total),
+        dev.create_buffer_zeroed(ScalarKind::F32, total),
     ];
     let scalars = vec![
         Arg::Val(Value::F32(setup.l as f32)),
@@ -91,6 +91,7 @@ fn main() {
     let plan_cache = bench::provenance::plan_cache_state();
     let threads = bench::provenance::threads();
     let devices = bench::provenance::device_count();
+    let sanitize = bench::provenance::sanitize_label();
 
     let fast = fi_run(n, Engine::Tape).measure(steps, ExecMode::Fast);
     let model = fi_run(n, Engine::Tape).measure(steps, ExecMode::Model { sample_stride: 1 });
@@ -113,7 +114,7 @@ fn main() {
         "{{\"bench\":\"dispatch\",\"cube\":{n},\"steps\":{steps},\
          \"engine\":\"tape+vector+compiled\",\"ladder\":\"compiled\",\
          \"threads\":{threads},\"devices\":{devices},\
-         \"plan_cache\":\"{plan_cache}\",\
+         \"plan_cache\":\"{plan_cache}\",\"sanitize\":\"{sanitize}\",\
          \"fast_ms_per_step\":{fast:.4},\"model_ms_per_step\":{model:.4},\
          \"vector_fast_ms_per_step\":{vfast:.4},\"vector_model_ms_per_step\":{vmodel:.4},\
          \"compiled_fast_ms_per_step\":{cfast:.4},\"compiled_model_ms_per_step\":{cmodel:.4},\

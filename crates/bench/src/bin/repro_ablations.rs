@@ -121,7 +121,8 @@ fn main() {
         let k = room_acoustics::handwritten::fi_single_kernel().resolve_real(ScalarKind::F32);
         let prep = device.compile(&k).unwrap();
         let n = dims.total();
-        let bufs: Vec<_> = (0..3).map(|_| device.create_buffer(ScalarKind::F32, n)).collect();
+        let bufs: Vec<_> =
+            (0..3).map(|_| device.create_buffer_zeroed(ScalarKind::F32, n)).collect();
         let args = [
             Arg::Buf(bufs[0]),
             Arg::Buf(bufs[1]),
@@ -185,8 +186,8 @@ fn main() {
         let prep = device.compile(&k).unwrap();
         let n = dims.total();
         let nbrs = device.upload(vgpu::BufData::from(setup.room.nbrs.clone()));
-        let next = device.create_buffer(ScalarKind::F32, n);
-        let prev = device.create_buffer(ScalarKind::F32, n);
+        let next = device.create_buffer_zeroed(ScalarKind::F32, n);
+        let prev = device.create_buffer_zeroed(ScalarKind::F32, n);
         let args = [
             Arg::Buf(nbrs),
             Arg::Buf(next),

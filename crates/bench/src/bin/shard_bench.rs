@@ -106,6 +106,7 @@ fn main() {
     let threads = bench::provenance::threads();
     let engine = bench::provenance::engine_label();
     let ladder = bench::provenance::ladder_leg();
+    let sanitize = bench::provenance::sanitize_label();
 
     let mut rows = Vec::new();
     for (shape, label) in [(RoomShape::Box, "box"), (RoomShape::Dome, "dome")] {
@@ -150,7 +151,7 @@ fn main() {
         "{{\"bench\":\"shard\",\"cube\":{n},\"steps\":{steps},\
          \"engine\":\"{engine}\",\"ladder\":\"{ladder}\",\
          \"threads\":{threads},\"devices_swept\":[1,2,4],\"plan_cache\":\"{plan_cache}\",\
-         \"scaling\":{curve}}}"
+         \"sanitize\":\"{sanitize}\",\"scaling\":{curve}}}"
     );
     println!("{record}");
     match serde_json::from_str(&record) {

@@ -193,9 +193,9 @@ pub fn measure_fi_single(
             let kernel = room_acoustics::handwritten::fi_single_kernel().resolve_real(real);
             let prep = device.compile(&kernel).expect("fi kernel");
             let n = dims.total();
-            let prev = device.create_buffer(real, n);
-            let curr = device.create_buffer(real, n);
-            let next = device.create_buffer(real, n);
+            let prev = device.create_buffer_zeroed(real, n);
+            let curr = device.create_buffer_zeroed(real, n);
+            let next = device.create_buffer_zeroed(real, n);
             // impulse
             let idx = dims.idx(src.0, src.1, src.2);
             for b in [curr, prev] {

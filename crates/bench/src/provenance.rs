@@ -58,3 +58,15 @@ pub fn plan_cache_state() -> &'static str {
 pub fn device_count() -> usize {
     vgpu::device_count_from_env()
 }
+
+/// The shadow-memory sanitizer mode the run executed under
+/// (`VGPU_SANITIZE`, default `off`). Shadow-mode numbers pay per-access
+/// classification and are not wall-clock-comparable with `off` records,
+/// so every snapshot carries the label.
+pub fn sanitize_label() -> &'static str {
+    if vgpu::sanitize::shadow_on() {
+        "shadow"
+    } else {
+        "off"
+    }
+}

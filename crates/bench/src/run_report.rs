@@ -46,6 +46,10 @@ pub struct RunReport {
     pub devices: usize,
     /// Active `VGPU_PROFILE` mode during the run.
     pub profile_mode: String,
+    /// Shadow-memory sanitizer mode (`VGPU_SANITIZE`); defaults to `off`
+    /// so pre-sanitizer reports still parse.
+    #[serde(default = "default_sanitize")]
+    pub sanitize: String,
     /// The binary's own result record (its one-line JSON, as a tree).
     pub record: Value,
     /// Kernel profiles accumulated during the run (empty when profiling
@@ -60,6 +64,10 @@ pub struct RunReport {
 
 fn default_devices() -> usize {
     1
+}
+
+fn default_sanitize() -> String {
+    "off".to_string()
 }
 
 fn results_dir() -> PathBuf {
@@ -80,6 +88,7 @@ pub fn build(name: &str, record: Value) -> RunReport {
         plan_cache: provenance::plan_cache_state().to_string(),
         devices: provenance::device_count(),
         profile_mode: profiler::mode().label().to_string(),
+        sanitize: provenance::sanitize_label().to_string(),
         record,
         kernels,
         residual,
@@ -94,14 +103,15 @@ pub fn render(report: &RunReport) -> String {
     let ladder = if report.ladder.is_empty() { "?" } else { &report.ladder };
     let mut out = format!(
         "== run report: {} (engine {}, ladder leg {}, {} threads, {} device(s), plan cache {}, \
-         profile {}) ==\n",
+         profile {}, sanitize {}) ==\n",
         report.name,
         report.engine,
         ladder,
         report.threads,
         report.devices,
         report.plan_cache,
-        report.profile_mode
+        report.profile_mode,
+        report.sanitize
     );
     if report.kernels.is_empty() {
         out.push_str("(no kernel profiles — set VGPU_PROFILE=kernel|op to attribute time)\n");

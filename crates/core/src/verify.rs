@@ -35,6 +35,7 @@
 //! two work-items.
 
 use crate::arith::{expand, ArithExpr, RangeEnv, SymRange};
+use crate::footprint::{classify_kernel, AccessRecord, KernelFootprints};
 use crate::kast::{KExpr, KStmt, Kernel, MemRef, MemSpace};
 use crate::scalar::{BinOp, Intrinsic, Lit, UnOp};
 use crate::types::ScalarKind;
@@ -207,6 +208,9 @@ pub struct KernelReport {
     pub sites: Vec<SiteReport>,
     /// Race verdicts, one per stored-to global buffer.
     pub races: Vec<RaceReport>,
+    /// Per-site access footprints on global/constant buffer parameters
+    /// (see [`crate::footprint`]).
+    pub footprints: KernelFootprints,
 }
 
 impl KernelReport {
@@ -308,11 +312,11 @@ fn is_atom(name: &str) -> bool {
     name.starts_with('%')
 }
 
-fn is_gid_atom(name: &str) -> bool {
+pub(crate) fn is_gid_atom(name: &str) -> bool {
     name.starts_with("%gid")
 }
 
-fn is_load_atom(name: &str) -> bool {
+pub(crate) fn is_load_atom(name: &str) -> bool {
     name.starts_with("%ld:")
 }
 
@@ -349,6 +353,9 @@ struct Out<'k> {
     /// Lengths of private/local arrays, recorded at their declaration.
     decl_lens: BTreeMap<String, ArithExpr>,
     loop_counter: u32,
+    /// Raw access records on buffer parameters, handed to the footprint
+    /// classifier after traversal.
+    records: Vec<AccessRecord>,
 }
 
 #[derive(Clone)]
@@ -422,15 +429,18 @@ pub fn verify_kernel(kernel: &Kernel, asm: &Assumptions) -> KernelReport {
         atoms: BTreeMap::new(),
         decl_lens: BTreeMap::new(),
         loop_counter: 0,
+        records: Vec::new(),
     };
     let mut st = St { renv, scalars, dead: false };
     run_stmts(&kernel.body, &mut st, &mut out);
 
     let races = race_pass(kernel, &out.stores);
+    let footprints = classify_kernel(&kernel.name, asm, &out.records);
     KernelReport {
         kernel: kernel.name.clone(),
         sites: dedupe_sites(out.sites),
         races: dedupe_races(races),
+        footprints,
     }
 }
 
@@ -583,6 +593,15 @@ fn check_bounds(
         return;
     }
     let buffer = buf_name(out.kernel, mem);
+    if matches!(mem, MemRef::Param(_)) {
+        out.records.push(AccessRecord {
+            site,
+            kind,
+            buffer: buffer.clone(),
+            sym: idx_sym.clone(),
+            renv: st.renv.clone(),
+        });
+    }
     let len = buf_len(out, mem);
     let (verdict, index, range, reason) = match (idx_sym, len) {
         (None, _) => (
@@ -950,7 +969,7 @@ fn race_verdict(group: &[&StoreDesc], work_dim: u8) -> (RaceVerdict, String) {
 /// Splits an expanded map into (atom, coefficient) pairs and an atom-free
 /// base; `None` when an atom occurs non-affinely (under `Div`/`Mod`/
 /// `Min`/`Max`, or multiplied by another atom).
-fn affine_split(m: &ArithExpr) -> Option<(Vec<(String, ArithExpr)>, ArithExpr)> {
+pub(crate) fn affine_split(m: &ArithExpr) -> Option<(Vec<(String, ArithExpr)>, ArithExpr)> {
     let mut pairs = Vec::new();
     let mut rest = m.clone();
     for v in m.free_vars() {

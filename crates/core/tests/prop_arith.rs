@@ -2,7 +2,7 @@
 //! never change the value of an expression, and algebraic identities must
 //! hold under every variable assignment.
 
-use lift::arith::ArithExpr;
+use lift::arith::{ArithExpr, RangeEnv, SymRange};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -19,6 +19,8 @@ enum Raw {
     Mul(Box<Raw>, Box<Raw>),
     Min(Box<Raw>, Box<Raw>),
     Max(Box<Raw>, Box<Raw>),
+    Div(Box<Raw>, Box<Raw>),
+    Mod(Box<Raw>, Box<Raw>),
 }
 
 impl Raw {
@@ -31,19 +33,38 @@ impl Raw {
             Raw::Mul(a, b) => a.build() * b.build(),
             Raw::Min(a, b) => ArithExpr::min(a.build(), b.build()),
             Raw::Max(a, b) => ArithExpr::max(a.build(), b.build()),
+            Raw::Div(a, b) => ArithExpr::div(a.build(), b.build()),
+            Raw::Mod(a, b) => ArithExpr::rem(a.build(), b.build()),
         }
     }
 
-    fn eval(&self, env: &[i64; 4]) -> i64 {
-        match self {
+    /// Ground-truth evaluation; `None` on division by zero (the builders
+    /// fold `x / x → 1` assuming a guarded divisor, so zero-divisor cases
+    /// are simply skipped rather than compared).
+    fn eval(&self, env: &[i64; 4]) -> Option<i64> {
+        Some(match self {
             Raw::Cst(v) => *v,
             Raw::Var(i) => env[*i],
-            Raw::Add(a, b) => a.eval(env).wrapping_add(b.eval(env)),
-            Raw::Sub(a, b) => a.eval(env).wrapping_sub(b.eval(env)),
-            Raw::Mul(a, b) => a.eval(env).wrapping_mul(b.eval(env)),
-            Raw::Min(a, b) => a.eval(env).min(b.eval(env)),
-            Raw::Max(a, b) => a.eval(env).max(b.eval(env)),
-        }
+            Raw::Add(a, b) => a.eval(env)?.wrapping_add(b.eval(env)?),
+            Raw::Sub(a, b) => a.eval(env)?.wrapping_sub(b.eval(env)?),
+            Raw::Mul(a, b) => a.eval(env)?.wrapping_mul(b.eval(env)?),
+            Raw::Min(a, b) => a.eval(env)?.min(b.eval(env)?),
+            Raw::Max(a, b) => a.eval(env)?.max(b.eval(env)?),
+            Raw::Div(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(env)? / d
+            }
+            Raw::Mod(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(env)? % d
+            }
+        })
     }
 }
 
@@ -55,9 +76,17 @@ fn raw_strategy() -> impl Strategy<Value = Raw> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Sub(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Mul(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Min(a.into(), b.into())),
-            (inner.clone(), inner).prop_map(|(a, b)| Raw::Max(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Max(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Raw::Div(a.into(), b.into())),
+            (inner.clone(), inner).prop_map(|(a, b)| Raw::Mod(a.into(), b.into())),
         ]
     })
+}
+
+/// Closes a symbolic bound (no free variables expected once every
+/// variable carries a two-sided range) down to a concrete value.
+fn close(b: &ArithExpr) -> i64 {
+    b.eval_map(&BTreeMap::new()).unwrap_or_else(|e| panic!("open interval bound {b}: {e:?}"))
 }
 
 fn env_map(env: &[i64; 4]) -> BTreeMap<String, i64> {
@@ -69,7 +98,8 @@ proptest! {
     #[test]
     fn normalisation_preserves_value(raw in raw_strategy(), env in prop::array::uniform4(-50i64..50)) {
         let e = raw.build();
-        let expected = raw.eval(&env);
+        prop_assume!(raw.eval(&env).is_some()); // skip zero-divisor draws
+        let expected = raw.eval(&env).unwrap();
         prop_assert_eq!(e.eval_map(&env_map(&env)), Ok(expected));
     }
 
@@ -77,12 +107,12 @@ proptest! {
     #[test]
     fn subst_commutes_with_eval(raw in raw_strategy(), env in prop::array::uniform4(-50i64..50)) {
         let e = raw.build();
+        prop_assume!(raw.eval(&env).is_some()); // skip zero-divisor draws
         let mut partial = e.clone();
         for (i, v) in VARS.iter().enumerate() {
             partial = partial.subst(v, &ArithExpr::cst(env[i]));
         }
-        prop_assert!(partial.is_const(), "all vars substituted: {partial}");
-        prop_assert_eq!(partial.eval_map(&BTreeMap::new()), Ok(raw.eval(&env)));
+        prop_assert_eq!(partial.eval_map(&BTreeMap::new()), Ok(raw.eval(&env).unwrap()));
     }
 
     /// `x - x` always normalises to zero (the allocator relies on length
@@ -100,6 +130,7 @@ proptest! {
         let ab = a.build() + b.build();
         let ba = b.build() + a.build();
         let m = env_map(&env);
+        prop_assume!(a.eval(&env).is_some() && b.eval(&env).is_some()); // skip zero-divisor draws
         prop_assert_eq!(ab.eval_map(&m).unwrap(), ba.eval_map(&m).unwrap());
     }
 
@@ -113,7 +144,9 @@ proptest! {
             let i = VARS.iter().position(|x| *x == v).unwrap();
             m.insert(v, env[i]);
         }
-        prop_assert!(e.eval_map(&m).is_ok());
+        // With every free var bound, the only legitimate failure left is a
+        // zero divisor — never an unbound variable.
+        prop_assert!(!matches!(e.eval_map(&m), Err(lift::arith::ArithError::Unbound(_))));
     }
 
     /// Multiplying by a positive constant scales min/max monotonically —
@@ -122,5 +155,128 @@ proptest! {
     fn scaling_preserves_order(a in -30i64..30, b in -30i64..30, k in 1i64..5) {
         let min = ArithExpr::min(ArithExpr::cst(a), ArithExpr::cst(b)) * ArithExpr::cst(k);
         prop_assert_eq!(min.as_cst(), Some(a.min(b) * k));
+    }
+
+    /// Interval evaluation is *sound*: constrain every variable to a
+    /// concrete box, pick any point inside it, and the computed symbolic
+    /// range must contain the expression's value there. This is the
+    /// property the halo-width proof leans on, and it covers the cases
+    /// the old tests never reached: negative strides (`Mul` by a
+    /// negative constant flips the interval) and mixed-sign `Div`/`Mod`
+    /// (where the rules must widen to ±∞ rather than guess a sign).
+    #[test]
+    fn interval_eval_is_sound(
+        raw in raw_strategy(),
+        lo in prop::array::uniform4(-30i64..30),
+        w in prop::array::uniform4(0i64..12),
+        off in prop::array::uniform4(0i64..12),
+    ) {
+        let mut env = [0i64; 4];
+        let mut renv = RangeEnv::new();
+        for i in 0..4 {
+            env[i] = lo[i] + off[i] % (w[i] + 1);
+            renv.set_range(VARS[i], SymRange::new(ArithExpr::cst(lo[i]), ArithExpr::cst(lo[i] + w[i])));
+        }
+        prop_assume!(raw.eval(&env).is_some()); // skip zero-divisor draws
+        let truth = raw.eval(&env).unwrap();
+        let r = renv.range_of(&raw.build());
+        if let Some(b) = &r.lo {
+            prop_assert!(close(b) <= truth, "lower bound {b} above value {truth} at {env:?}");
+        }
+        if let Some(b) = &r.hi {
+            prop_assert!(truth <= close(b), "upper bound {b} below value {truth} at {env:?}");
+        }
+    }
+
+    /// A negative constant stride flips the interval *exactly*: for
+    /// `x ∈ [lo, hi]` and `k < 0`, `x·k ∈ [hi·k, lo·k]` with both
+    /// endpoints tight (the footprint analysis depends on tightness, not
+    /// just soundness, to prove one-plane halos for `-stride` offsets).
+    #[test]
+    fn negative_stride_flips_interval_exactly(lo in -40i64..40, w in 0i64..20, k in -6i64..0) {
+        let hi = lo + w;
+        let mut renv = RangeEnv::new();
+        renv.set_range("a", SymRange::new(ArithExpr::cst(lo), ArithExpr::cst(hi)));
+        let r = renv.range_of(&(ArithExpr::var("a") * ArithExpr::cst(k)));
+        prop_assert_eq!(r.lo.as_ref().map(close), Some(hi * k), "flipped lower endpoint");
+        prop_assert_eq!(r.hi.as_ref().map(close), Some(lo * k), "flipped upper endpoint");
+    }
+
+    /// Mixed-sign truncating `Div`/`Mod` stay sound for every concrete
+    /// dividend in the box and every non-zero constant divisor — the
+    /// quotient rounds toward zero and the remainder takes the sign of
+    /// the dividend, neither of which the nonneg-only fast path models,
+    /// so any future refinement of the widening rules is pinned here.
+    #[test]
+    fn mixed_sign_div_mod_ranges_stay_sound(
+        lo in -40i64..40,
+        w in 0i64..20,
+        off in 0i64..20,
+        d in prop_oneof![-8i64..0, 1i64..8],
+    ) {
+        let val = lo + off % (w + 1);
+        let mut renv = RangeEnv::new();
+        renv.set_range("a", SymRange::new(ArithExpr::cst(lo), ArithExpr::cst(lo + w)));
+        let probes = [
+            (ArithExpr::div(ArithExpr::var("a"), ArithExpr::cst(d)), val / d),
+            (ArithExpr::rem(ArithExpr::var("a"), ArithExpr::cst(d)), val % d),
+        ];
+        for (e, truth) in probes {
+            let r = renv.range_of(&e);
+            if let Some(b) = &r.lo {
+                prop_assert!(close(b) <= truth, "lower bound {b} above {val}⊘{d}");
+            }
+            if let Some(b) = &r.hi {
+                prop_assert!(truth <= close(b), "upper bound {b} below {val}⊘{d}");
+            }
+        }
+    }
+}
+
+/// Pinned regressions for the interval rules — deterministic versions of
+/// the shrunk counterexamples the properties above are guarding against.
+mod pinned {
+    use super::*;
+
+    /// `a ∈ [0, 9] ⇒ a·(−1) ∈ [−9, 0]` — the smallest negative stride.
+    #[test]
+    fn unit_negative_stride_flips() {
+        let mut renv = RangeEnv::new();
+        renv.set_range("a", SymRange::new(ArithExpr::cst(0), ArithExpr::cst(9)));
+        let r = renv.range_of(&(ArithExpr::var("a") * ArithExpr::cst(-1)));
+        assert_eq!(r.lo.as_ref().map(close), Some(-9));
+        assert_eq!(r.hi.as_ref().map(close), Some(0));
+    }
+
+    /// Constant folding uses *truncating* division (`−7 / 2 = −3`, not
+    /// the floor `−4`) and the remainder keeps the dividend's sign
+    /// (`−7 % 2 = −1`) — matching the kernel ISA's semantics.
+    #[test]
+    fn mixed_sign_constant_folds_truncate_toward_zero() {
+        assert_eq!(ArithExpr::div(ArithExpr::cst(-7), ArithExpr::cst(2)).as_cst(), Some(-3));
+        assert_eq!(ArithExpr::rem(ArithExpr::cst(-7), ArithExpr::cst(2)).as_cst(), Some(-1));
+        assert_eq!(ArithExpr::div(ArithExpr::cst(7), ArithExpr::cst(-2)).as_cst(), Some(-3));
+        assert_eq!(ArithExpr::rem(ArithExpr::cst(7), ArithExpr::cst(-2)).as_cst(), Some(1));
+    }
+
+    /// A possibly-negative dividend must *widen*: claiming `[0, hi]` for
+    /// `a / 2` with `a ∈ [−5, 5]` would silently shrink a halo. The rule
+    /// is allowed to get smarter later, but never to cut out `−2`.
+    #[test]
+    fn mixed_sign_div_widens_not_guesses() {
+        let mut renv = RangeEnv::new();
+        renv.set_range("a", SymRange::new(ArithExpr::cst(-5), ArithExpr::cst(5)));
+        for e in [
+            ArithExpr::div(ArithExpr::var("a"), ArithExpr::cst(2)),
+            ArithExpr::rem(ArithExpr::var("a"), ArithExpr::cst(2)),
+        ] {
+            let r = renv.range_of(&e);
+            if let Some(b) = &r.lo {
+                assert!(close(b) <= -1, "lower bound of {e} excludes negative results");
+            }
+            if let Some(b) = &r.hi {
+                assert!(close(b) >= 1, "upper bound of {e} excludes positive results");
+            }
+        }
     }
 }

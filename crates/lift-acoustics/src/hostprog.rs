@@ -19,7 +19,7 @@ use lift::arith::ArithExpr;
 use lift::host::{self, BufRange, HostCmd, HostExpr, HostProgram, KernelDef, LaunchArg};
 use lift::lower::LowerError;
 use lift::types::{ScalarKind, Type};
-use room_acoustics::shard_sim::boundary_cuts;
+use room_acoustics::shard_sim::{boundary_cuts, checked_boundary_cuts};
 use room_acoustics::sim::SimSetup;
 use room_acoustics::vgpu_sim::Precision;
 use vgpu::{BufData, Device, ExecMode, HostEnv, SlabPartition};
@@ -198,6 +198,30 @@ fn local_bidx_name(d: usize) -> String {
     format!("boundaries_h@d{d}")
 }
 
+/// Proves the gid-shifted slab volume kernel's z-reach fits the `halo`
+/// planes the sharding transform allocates and exchanges, auditing it
+/// under the volume program's launch contract
+/// ([`programs::launch_assumptions`]) restated for slab placement
+/// (`gid_offsets = [0, 0, 1]`).
+fn slab_halo_proof(
+    lk: &lift::lower::LoweredKernel,
+    halo: (usize, usize),
+) -> Result<(usize, usize), LowerError> {
+    let p = programs::volume_program();
+    let mut asm = programs::launch_assumptions(&p, lk);
+    asm.gid_offsets = vec![0, 0, 1];
+    room_acoustics::contracts::check_slab_halo(&lk.kernel, &asm, halo).map_err(LowerError)
+}
+
+/// Proves the boundary kernel's z-reach on the grid buffers (a pure
+/// per-node gather proves `(0, 0)`), used to validate the boundary-list
+/// split at the partition's cut planes.
+fn boundary_halo_proof(lk: &lift::lower::LoweredKernel) -> Result<(usize, usize), LowerError> {
+    let p = programs::fimm_program();
+    let asm = programs::launch_assumptions(&p, lk);
+    room_acoustics::contracts::grid_halo(&lk.kernel, &asm).map_err(LowerError)
+}
+
 fn plane_expr() -> ArithExpr {
     ArithExpr::var("Nx") * ArithExpr::var("Ny")
 }
@@ -234,7 +258,6 @@ pub fn fimm_step_sharded_host_program(
     let mut prog = fimm_step_host_program(real)?;
     let ndev = part.device_count();
     let plane = setup.dims().nx * setup.dims().ny;
-    let bcuts = boundary_cuts(part, plane, &setup.room.boundary_indices);
     // The slab volume kernel: the lowered volume kernel with every
     // get_global_id(2) shifted by +1. Its `Nz` size argument is re-bound to
     // the local plane count (owned + 2), after which the shifted bounds and
@@ -249,6 +272,21 @@ pub fn fimm_step_sharded_host_program(
         .expect("volume launch in step program");
     let mut slab_lk = prog.kernels[volume_idx].clone();
     slab_lk.kernel = slab_lk.kernel.shift_gid(2, 1, "_slab");
+    // The transform allocates one halo plane per side and exchanges one
+    // seam plane per step — license that width from the kernel's proven
+    // access footprint instead of assuming it (a wider stencil would
+    // silently read stale or foreign data).
+    slab_halo_proof(&slab_lk, (1, 1))?;
+    let boundary_reach = prog
+        .kernels
+        .iter()
+        .find(|lk| lk.kernel.work_dim == 1)
+        .map(boundary_halo_proof)
+        .transpose()?
+        .unwrap_or((0, 0));
+    let bcuts =
+        checked_boundary_cuts(part, plane, &setup.room.boundary_indices, boundary_reach, (1, 1))
+            .map_err(LowerError)?;
     let slab_idx = prog.kernels.len();
     prog.kernels.push(slab_lk);
 

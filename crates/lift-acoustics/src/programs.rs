@@ -136,6 +136,50 @@ impl Program {
     }
 }
 
+/// Derives the contract a generated kernel is launched under from its
+/// lowering: the launch global size, one `≥ 1` bound per size argument,
+/// buffer lengths from the source program's parameter types (inputs) and
+/// the lowered output type, and the boundary gather-table invariants
+/// ([`room_acoustics::contracts::boundary_table_facts`]) layered on top.
+///
+/// The verify suite audits every generated kernel under exactly this
+/// contract, and [`crate::hostprog`]'s sharding transform consults the
+/// same one for its shard-time halo proofs — one definition, both
+/// consumers.
+pub fn launch_assumptions(p: &Program, lowered: &LoweredKernel) -> lift::verify::Assumptions {
+    use lift::lower::ArgSpec;
+    use lift::verify::{Assumptions, BufferFacts};
+    let mut asm = Assumptions {
+        global_size: lowered.global_size.iter().cloned().map(Some).collect(),
+        ..Assumptions::default()
+    };
+    for (param, spec) in lowered.kernel.params.iter().zip(&lowered.args) {
+        match spec {
+            ArgSpec::Size(n) => asm.size_bounds.push((n.clone(), 1)),
+            ArgSpec::Input(pid, pname) if param.is_buffer => {
+                // Ids are fresh per `Program` construction, so a lowering
+                // taken from an earlier instance (e.g. one embedded in a
+                // compiled host program) matches by parameter name.
+                let ty = p
+                    .params
+                    .iter()
+                    .find(|d| d.id == *pid)
+                    .or_else(|| p.params.iter().find(|d| d.name == *pname))
+                    .and_then(|d| d.ty.clone());
+                if let Some(ty) = ty {
+                    asm.buffers.insert(param.name.clone(), BufferFacts::sized(ty.scalar_count()));
+                }
+            }
+            ArgSpec::Output(_, ty) => {
+                asm.buffers.insert(param.name.clone(), BufferFacts::sized(ty.scalar_count()));
+            }
+            _ => {}
+        }
+    }
+    room_acoustics::contracts::boundary_table_facts(&mut asm);
+    asm
+}
+
 /// Listing 2 kernel 1 in LIFT: the volume pass.
 ///
 /// `map3(m → volUpdate(m), zip3(prev, slide3(pad3(curr)), nbrs))`, output

@@ -130,9 +130,9 @@ impl LiftSim {
             LiftBoundary::FiMm => compile(&device, &programs::fimm_program()),
             LiftBoundary::FdMm => compile(&device, &programs::fdmm_program()),
         };
-        let prev = device.create_buffer(real, n);
-        let curr = device.create_buffer(real, n);
-        let next = device.create_buffer(real, n);
+        let prev = device.create_buffer_zeroed(real, n);
+        let curr = device.create_buffer_zeroed(real, n);
+        let next = device.create_buffer_zeroed(real, n);
         let nbrs = device.upload(vgpu::BufData::from(setup.room.nbrs.clone()));
         let bidx = device.upload(vgpu::BufData::from(setup.room.boundary_indices.clone()));
         let bnbrs = device.upload(vgpu::BufData::from(setup.room.boundary_nbrs()));
@@ -148,9 +148,9 @@ impl LiftSim {
                     d: device.upload(precision.buf(&fa.d)),
                     di: device.upload(precision.buf(&fa.di)),
                     f: device.upload(precision.buf(&fa.f)),
-                    g1: device.create_buffer(real, state),
-                    v1: device.create_buffer(real, state),
-                    v2: device.create_buffer(real, state),
+                    g1: device.create_buffer_zeroed(real, state),
+                    v1: device.create_buffer_zeroed(real, state),
+                    v2: device.create_buffer_zeroed(real, state),
                 })
             }
             LiftBoundary::FiMm => None,
@@ -356,9 +356,9 @@ impl FiSingleLift {
         let p = programs::fi_single_program();
         let lowered = p.lower(real).expect("fi program lowers");
         let prepared = device.compile(&lowered.kernel).expect("fi kernel prepares");
-        let prev = device.create_buffer(real, n);
-        let curr = device.create_buffer(real, n);
-        let next = device.create_buffer(real, n);
+        let prev = device.create_buffer_zeroed(real, n);
+        let curr = device.create_buffer_zeroed(real, n);
+        let next = device.create_buffer_zeroed(real, n);
         let nbrs = device.upload(vgpu::BufData::from(setup.room.nbrs.clone()));
         FiSingleLift {
             device,

@@ -9,6 +9,8 @@
 
 use crate::SuiteEntry;
 use lift::arith::ArithExpr;
+use lift::host::{HostCmd, HostProgram, LaunchArg};
+use lift::lower::{ArgSpec, LoweredKernel};
 use lift::prelude::*;
 use lift::scalar::BinOp;
 use lift::verify::{Assumptions, BufferFacts};
@@ -70,15 +72,141 @@ pub fn oob_assumptions() -> Assumptions {
     asm
 }
 
-/// Both fixtures as suite entries (F32-resolved, marked `fixture`).
+/// A slab-placed 5-point z stencil (`curr[idx ± 2·Nx·Ny]`) whose shard
+/// placement (`gid_offsets = [0, 0, 1]`, i.e. one halo plane per side)
+/// cannot cover its proven two-plane reach. Bounds and races are clean —
+/// the seeded defect is exactly the halo shortfall the footprint pass
+/// must flag.
+pub fn stale_halo_kernel() -> Kernel {
+    let plane = KExpr::var("Nx") * KExpr::var("Ny");
+    // The slab-placed z coordinate, as `Kernel::shift_gid(2, 1)` writes it.
+    let z = KExpr::GlobalId(2) + KExpr::int(1);
+    let idx =
+        z.clone() * plane.clone() + KExpr::GlobalId(1) * KExpr::var("Nx") + KExpr::GlobalId(0);
+    let at = |off: KExpr| KExpr::load(MemRef::Param(1), off);
+    Kernel {
+        name: "fixture_stale_halo".into(),
+        params: vec![
+            KernelParam::global_buf("next", ScalarKind::Real),
+            KernelParam::global_buf("curr", ScalarKind::Real),
+            KernelParam::scalar("Nx", ScalarKind::I32),
+            KernelParam::scalar("Ny", ScalarKind::I32),
+            KernelParam::scalar("Nz", ScalarKind::I32),
+        ],
+        body: vec![
+            KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(0), KExpr::var("Nx"))),
+            KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(1), KExpr::var("Ny"))),
+            KStmt::return_if(KExpr::bin(BinOp::Lt, z.clone(), KExpr::int(2))),
+            KStmt::return_if(KExpr::bin(BinOp::Gt, z, KExpr::var("Nz") - KExpr::int(3))),
+            KStmt::Store {
+                mem: MemRef::Param(0),
+                idx: idx.clone(),
+                value: at(idx.clone() - (plane.clone() + plane.clone()))
+                    + at(idx + (plane.clone() + plane)),
+            },
+        ],
+        work_dim: 3,
+    }
+}
+
+/// The slab contract [`stale_halo_kernel`] is audited under: local grid
+/// of `Nz` planes, one-plane halo placement.
+pub fn stale_halo_assumptions() -> Assumptions {
+    let n3 = ArithExpr::var("Nx") * ArithExpr::var("Ny") * ArithExpr::var("Nz");
+    let mut asm = Assumptions { global_size: vec![None; 3], ..Assumptions::default() };
+    for d in ["Nx", "Ny", "Nz"] {
+        asm.size_bounds.push((d.into(), 1));
+    }
+    asm.buffers.insert("next".into(), BufferFacts::sized(n3.clone()));
+    asm.buffers.insert("curr".into(), BufferFacts::sized(n3));
+    // Grid geometry for the footprint pass (strides 1, Nx, Nx·Ny) and the
+    // slab placement the halo gate compares the proven reach against.
+    asm.interior_dims = vec![ArithExpr::var("Nx"), ArithExpr::var("Ny"), ArithExpr::var("Nz")];
+    asm.gid_offsets = vec![0, 0, 1];
+    asm
+}
+
+/// Copies `src` into `out` — clean in isolation; the defect lives in
+/// [`uninit_host_program`], which launches it without ever initializing
+/// `src`.
+pub fn uninit_read_kernel() -> Kernel {
+    Kernel {
+        name: "fixture_uninit_read".into(),
+        params: vec![
+            KernelParam::global_buf("out", ScalarKind::Real),
+            KernelParam::global_buf("src", ScalarKind::Real),
+            KernelParam::scalar("N", ScalarKind::I32),
+        ],
+        body: vec![
+            KStmt::return_if(KExpr::bin(BinOp::Ge, KExpr::GlobalId(0), KExpr::var("N"))),
+            KStmt::Store {
+                mem: MemRef::Param(0),
+                idx: KExpr::GlobalId(0),
+                value: KExpr::load(MemRef::Param(1), KExpr::GlobalId(0)),
+            },
+        ],
+        work_dim: 1,
+    }
+}
+
+/// A host program that allocates `src` and launches
+/// [`uninit_read_kernel`] without any initializing upload: the
+/// read-before-write pass (`lift::footprint::check_host_init`) must flag
+/// the launch's read of `src`.
+pub fn uninit_host_program() -> HostProgram {
+    let ty = Type::array(Type::real(), "N");
+    let lowered = LoweredKernel {
+        kernel: uninit_read_kernel().resolve_real(ScalarKind::F32),
+        args: vec![
+            ArgSpec::Output("out".into(), ty.clone()),
+            ArgSpec::Input(lift::ir::ParamId(0), "src".into()),
+            ArgSpec::Size("N".into()),
+        ],
+        global_size: vec![ArithExpr::var("N")],
+        local_size: None,
+    };
+    HostProgram {
+        kernels: vec![lowered],
+        cmds: vec![
+            HostCmd::Alloc { dev: "src".into(), ty: ty.clone(), device: 0 },
+            HostCmd::Alloc { dev: "out".into(), ty: ty.clone(), device: 0 },
+            HostCmd::Launch {
+                kernel: 0,
+                args: vec![
+                    LaunchArg::Buf("out".into()),
+                    LaunchArg::Buf("src".into()),
+                    LaunchArg::SizeVar("N".into()),
+                ],
+                global_size: vec![ArithExpr::var("N")],
+                device: 0,
+            },
+            HostCmd::CopyOut {
+                dev: "out".into(),
+                host: "result".into(),
+                ty,
+                device: 0,
+                src: None,
+                dst_off: None,
+                host_len: None,
+            },
+        ],
+        result: "result".into(),
+    }
+}
+
+/// All fixtures as suite entries (F32-resolved, marked `fixture`).
 pub fn entries() -> Vec<SuiteEntry> {
-    [(racy_kernel(), racy_assumptions()), (oob_kernel(), oob_assumptions())]
-        .into_iter()
-        .map(|(k, assumptions)| SuiteEntry {
-            kernel: k.resolve_real(ScalarKind::F32),
-            precision: ScalarKind::F32,
-            assumptions,
-            fixture: true,
-        })
-        .collect()
+    [
+        (racy_kernel(), racy_assumptions()),
+        (oob_kernel(), oob_assumptions()),
+        (stale_halo_kernel(), stale_halo_assumptions()),
+    ]
+    .into_iter()
+    .map(|(k, assumptions)| SuiteEntry {
+        kernel: k.resolve_real(ScalarKind::F32),
+        precision: ScalarKind::F32,
+        assumptions,
+        fixture: true,
+    })
+    .collect()
 }

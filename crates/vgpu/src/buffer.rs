@@ -169,6 +169,10 @@ pub(crate) enum BufPtr {
 /// launch. See the module docs for the safety contract.
 pub struct SharedBuf {
     data: UnsafeCell<BufData>,
+    /// Shadow memory, present only under `VGPU_SANITIZE=shadow`. `Shadow`
+    /// is internally synchronized (atomics + mutex), so it sits outside the
+    /// `UnsafeCell` contract.
+    shadow: Option<crate::sanitize::Shadow>,
 }
 
 // SAFETY: concurrent access is restricted by the launch contract — work-items
@@ -178,9 +182,24 @@ unsafe impl Sync for SharedBuf {}
 unsafe impl Send for SharedBuf {}
 
 impl SharedBuf {
-    /// Wraps buffer data.
+    /// Wraps buffer data, with no shadow memory.
     pub fn new(data: BufData) -> Self {
-        SharedBuf { data: UnsafeCell::new(data) }
+        SharedBuf { data: UnsafeCell::new(data), shadow: None }
+    }
+
+    /// Wraps buffer data with a shadow (allocated only when the sanitizer
+    /// is enabled). `initialized` states whether the data already holds
+    /// meaningful values (uploads, zero-initialized allocations) or is raw
+    /// device memory whose reads should be flagged.
+    pub(crate) fn with_shadow(data: BufData, initialized: bool) -> Self {
+        let shadow = crate::sanitize::shadow_on()
+            .then(|| crate::sanitize::Shadow::new(data.len(), initialized));
+        SharedBuf { data: UnsafeCell::new(data), shadow }
+    }
+
+    /// The buffer's shadow memory, when the sanitizer allocated one.
+    pub(crate) fn shadow(&self) -> Option<&crate::sanitize::Shadow> {
+        self.shadow.as_ref()
     }
 
     /// Element count (safe: the length never changes during a launch).

@@ -1979,6 +1979,9 @@ pub(crate) struct TapeCtx<'a> {
     /// Per-opcode time tally (`VGPU_PROFILE=op` only). `None` selects the
     /// unprofiled interpreter instantiation — the hot loop is unchanged.
     pub prof: Option<&'a mut OpProf>,
+    /// Kernel identity for shadow-sanitizer findings (`None` when the
+    /// sanitizer is off — the per-access cost is then one shadow test).
+    pub san: Option<crate::sanitize::SanCtx<'a>>,
 }
 
 /// Closes a pending per-op attribution: charges `pending`'s opcode with the
@@ -2191,6 +2194,18 @@ fn exec_scalar<const BOUNDED: bool, const PROF: bool>(
                     "load out of bounds: param {buf}[{i}] (len {})",
                     b.len()
                 );
+                if let Some(sh) = b.shadow() {
+                    if let Some(kind) = sh.classify_load(i as usize) {
+                        crate::sanitize::report_load_fault(
+                            kind,
+                            t.san.as_ref(),
+                            buf as usize,
+                            site,
+                            i as u64,
+                            "tape",
+                        );
+                    }
+                }
                 // SAFETY: launch contract — no concurrent writer of this
                 // element (same contract as the tree-walker).
                 wr(regs, dst, unsafe { b.get_bits(i as usize) });
@@ -2212,6 +2227,9 @@ fn exec_scalar<const BOUNDED: bool, const PROF: bool>(
                     "store out of bounds: param {buf}[{i}] (len {})",
                     b.len()
                 );
+                if let Some(sh) = b.shadow() {
+                    sh.note_store(i as usize);
+                }
                 // SAFETY: launch contract — element disjointness across
                 // work-items (verified by race-check mode).
                 unsafe { b.set(i as usize, bits_value(vk, rg(regs, val))) };
@@ -2552,6 +2570,9 @@ pub(crate) struct WarpCtx<'a> {
     /// Per-opcode time tally (`VGPU_PROFILE=op` only); `None` selects the
     /// unprofiled warp-interpreter instantiation.
     pub prof: Option<&'a mut OpProf>,
+    /// Kernel identity for shadow-sanitizer findings (`None` when the
+    /// sanitizer is off).
+    pub san: Option<crate::sanitize::SanCtx<'a>>,
 }
 
 /// Executes one phase of a compiled tape for a whole warp at once: `nact`
@@ -2924,6 +2945,46 @@ fn scatter_lanes(b: &SharedBuf, vk: K, idx: &[i64; WARP], mask: u32, vregs: &[u6
     }
 }
 
+/// Shadow-sanitizer check for a warp gather: classifies every active lane's
+/// element and reports findings with the warp's kernel context. One shadow
+/// test and branch when the sanitizer is off.
+#[inline(always)]
+fn shadow_gather(
+    b: &SharedBuf,
+    idx: &[i64; WARP],
+    mask: u32,
+    san: &Option<crate::sanitize::SanCtx<'_>>,
+    buf: usize,
+    site: u32,
+    engine: &'static str,
+) {
+    if let Some(sh) = b.shadow() {
+        for_mask!(mask, l, {
+            if let Some(kind) = sh.classify_load(idx[l] as usize) {
+                crate::sanitize::report_load_fault(
+                    kind,
+                    san.as_ref(),
+                    buf,
+                    site,
+                    idx[l] as u64,
+                    engine,
+                );
+            }
+        });
+    }
+}
+
+/// Shadow-sanitizer update for a warp scatter: marks every active lane's
+/// element initialized.
+#[inline(always)]
+fn shadow_scatter(b: &SharedBuf, idx: &[i64; WARP], mask: u32) {
+    if let Some(sh) = b.shadow() {
+        for_mask!(mask, l, {
+            sh.note_store(idx[l] as usize);
+        });
+    }
+}
+
 /// Executes one superinstruction over the active lanes of `mask`. Counter
 /// bumps and arithmetic are bit-identical to the op sequence the fused op
 /// replaced, minus the register writes of fused-away single-use
@@ -3053,6 +3114,7 @@ fn exec_fop(
                     );
                 });
             }
+            shadow_gather(b, &idx, mask, &w.san, buf as usize, site, "compiled");
             let mut vals = [0u64; WARP];
             gather_lanes(b, &idx, mask, &mut vals);
             match acc {
@@ -3123,6 +3185,7 @@ fn exec_fop(
                     );
                 });
             }
+            shadow_scatter(b, &idx, mask);
             scatter_lanes(b, vk, &idx, mask, vregs, val);
         }
     }
@@ -3281,6 +3344,7 @@ fn exec_base_dense(
                     );
                 });
             }
+            shadow_gather(b, &ixs, mask, &w.san, buf as usize, site, "vector");
             let mut vals = [0u64; WARP];
             gather_lanes(b, &ixs, mask, &mut vals);
             for_mask!(mask, l, {
@@ -3308,6 +3372,7 @@ fn exec_base_dense(
                     );
                 });
             }
+            shadow_scatter(b, &ixs, mask);
             scatter_lanes(b, vk, &ixs, mask, vregs, val);
         }
         Op::LdP { dst, arr, idx } => {
@@ -3553,6 +3618,21 @@ impl WarpExec<'_, '_> {
                         self.w.counters.bytes_loaded += eb * n;
                     }
                     let push_trace = self.w.trace_on && !constant;
+                    if let Some(sh) = b.shadow() {
+                        for_lanes!(mask, l, {
+                            let i = i64v(vg(vregs, idx, l));
+                            if let Some(kind) = sh.classify_load(i as usize) {
+                                crate::sanitize::report_load_fault(
+                                    kind,
+                                    self.w.san.as_ref(),
+                                    buf as usize,
+                                    site,
+                                    i as u64,
+                                    "vector",
+                                );
+                            }
+                        });
+                    }
                     // SAFETY (both loops): launch contract — no concurrent
                     // writer of this element (same contract as the scalar
                     // interpreters).
@@ -3591,6 +3671,11 @@ impl WarpExec<'_, '_> {
                     let n = mask.count_ones() as u64;
                     self.w.counters.stores_global += n;
                     self.w.counters.bytes_stored += eb * n;
+                    if let Some(sh) = b.shadow() {
+                        for_lanes!(mask, l, {
+                            sh.note_store(i64v(vg(vregs, idx, l)) as usize);
+                        });
+                    }
                     // SAFETY (both loops): launch contract — element
                     // disjointness across work-items (verified by
                     // race-check mode).
@@ -3758,6 +3843,7 @@ impl WarpExec<'_, '_> {
                 group: (w.items[l] / WARP as u64) as usize,
                 lsize: 1,
                 prof: w.prof.as_deref_mut(),
+                san: w.san,
             };
             let lane_run = if t.prof.is_some() {
                 exec_scalar::<true, true>(

@@ -256,9 +256,24 @@ impl Device {
         self.plans.len()
     }
 
-    /// Creates a zero-filled buffer.
+    /// Creates a zero-filled buffer whose *contents are not promised*: like
+    /// `clCreateBuffer`, the storage happens to be zeroed but reading it
+    /// before writing it is a bug. Under `VGPU_SANITIZE=shadow` such reads
+    /// are reported as uninit reads; code that relies on the zero fill must
+    /// use [`Device::create_buffer_zeroed`] instead.
     pub fn create_buffer(&mut self, kind: ScalarKind, len: usize) -> BufId {
-        self.buffers.push(SharedBuf::new(BufData::zeros(kind, len)));
+        self.buffers.push(SharedBuf::with_shadow(BufData::zeros(kind, len), false));
+        let id = BufId(self.buffers.len() - 1);
+        self.note_alloc(id, byte_len(len, kind.byte_size()));
+        id
+    }
+
+    /// Creates a buffer whose zero fill is part of the program's contract
+    /// (a `clEnqueueFillBuffer` after the allocation): reads of the zeros
+    /// are legitimate and the sanitizer treats every element as
+    /// initialized. Accounting is identical to [`Device::create_buffer`].
+    pub fn create_buffer_zeroed(&mut self, kind: ScalarKind, len: usize) -> BufId {
+        self.buffers.push(SharedBuf::with_shadow(BufData::zeros(kind, len), true));
         let id = BufId(self.buffers.len() - 1);
         self.note_alloc(id, byte_len(len, kind.byte_size()));
         id
@@ -269,7 +284,7 @@ impl Device {
     pub fn upload(&mut self, data: BufData) -> BufId {
         let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
         let bytes = byte_len(data.len(), data.elem_bytes());
-        self.buffers.push(SharedBuf::new(data));
+        self.buffers.push(SharedBuf::with_shadow(data, true));
         let id = BufId(self.buffers.len() - 1);
         self.note_alloc(id, bytes);
         self.note_transfer(TransferDir::ToGpu, id, bytes, t0);
@@ -282,7 +297,11 @@ impl Device {
         assert_eq!(data.len(), self.buffers[id.0].len(), "buffer size mismatch");
         let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
         let bytes = byte_len(data.len(), data.elem_bytes());
+        let len = data.len();
         *self.buffers[id.0].data_mut() = data;
+        if let Some(sh) = self.buffers[id.0].shadow() {
+            sh.mark_init(0, len);
+        }
         self.note_transfer(TransferDir::ToGpu, id, bytes, t0);
     }
 
@@ -305,6 +324,9 @@ impl Device {
         let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
         let bytes = byte_len(data.len(), data.elem_bytes());
         self.buffers[id.0].data_mut().copy_from(off, &data);
+        if let Some(sh) = self.buffers[id.0].shadow() {
+            sh.mark_init(off, data.len());
+        }
         self.note_transfer(TransferDir::ToGpu, id, bytes, t0);
     }
 
@@ -324,11 +346,36 @@ impl Device {
     /// `vgpu.halo.{bytes,copies}` (the source side is read unaccounted via
     /// [`Device::peek_region`]); never touches `vgpu.xfer.*`.
     pub fn write_halo_region(&mut self, id: BufId, off: usize, data: BufData) {
+        self.write_halo_region_tagged(id, off, data, None);
+    }
+
+    /// [`Device::write_halo_region`] with sanitizer provenance: `prov` is
+    /// the source buffer's version clock ([`Device::halo_provenance`] on
+    /// the sending device), letting the shadow sanitizer flag later reads
+    /// of this region as *stale* once the source mutates without a fresh
+    /// exchange. `None` marks the region plain-initialized (untracked).
+    pub fn write_halo_region_tagged(
+        &mut self,
+        id: BufId,
+        off: usize,
+        data: BufData,
+        prov: Option<crate::sanitize::HaloProvenance>,
+    ) {
         assert!(off + data.len() <= self.buffers[id.0].len(), "halo write out of range");
         let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
         let bytes = byte_len(data.len(), data.elem_bytes());
         self.buffers[id.0].data_mut().copy_from(off, &data);
+        if let Some(sh) = self.buffers[id.0].shadow() {
+            sh.mark_halo(off, data.len(), prov);
+        }
         self.note_transfer(TransferDir::DevToDev, id, bytes, t0);
+    }
+
+    /// The sanitizer version clock of a buffer, to tag halo copies *from*
+    /// it (see [`Device::write_halo_region_tagged`]). `None` when the
+    /// sanitizer is off.
+    pub fn halo_provenance(&self, id: BufId) -> Option<crate::sanitize::HaloProvenance> {
+        self.buffers[id.0].shadow().map(|sh| sh.provenance())
     }
 
     /// Creates a buffer from host data that is a *replica* of an upload
@@ -339,7 +386,7 @@ impl Device {
     pub fn upload_replica(&mut self, data: BufData) -> BufId {
         let t0 = if telemetry::enabled() { Some(telemetry::now_us()) } else { None };
         let bytes = byte_len(data.len(), data.elem_bytes());
-        self.buffers.push(SharedBuf::new(data));
+        self.buffers.push(SharedBuf::with_shadow(data, true));
         let id = BufId(self.buffers.len() - 1);
         self.note_alloc(id, bytes);
         self.note_transfer(TransferDir::Replicate, id, bytes, t0);
@@ -650,7 +697,8 @@ mod tests {
     #[test]
     fn modeled_launch_records_time() {
         let mut dev = Device::gtx780();
-        let x = dev.create_buffer(ScalarKind::F64, 1024);
+        // zeroed: the kernel reads x in place, so its contents are load-bearing
+        let x = dev.create_buffer_zeroed(ScalarKind::F64, 1024);
         let prep = dev.compile(&double_kernel(ScalarKind::F64)).unwrap();
         dev.launch(
             &prep,

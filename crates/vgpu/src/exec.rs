@@ -778,6 +778,22 @@ impl<'a> Exec<'a> {
                                 }
                             }
                         }
+                        if let Some(sh) = buf.shadow() {
+                            if let Some(kind) = sh.classify_load(i as usize) {
+                                let san = crate::sanitize::SanCtx {
+                                    kernel: &self.prep.name,
+                                    params: &self.prep.params,
+                                };
+                                crate::sanitize::report_load_fault(
+                                    kind,
+                                    Some(&san),
+                                    *p,
+                                    *site,
+                                    i as u64,
+                                    "tree",
+                                );
+                            }
+                        }
                         // SAFETY: launch contract — no concurrent writer of
                         // this element.
                         unsafe { buf.get(i as usize) }
@@ -900,6 +916,9 @@ impl<'a> Exec<'a> {
                                 if st.race_on {
                                     st.writes.push((*p as u32, i as u64, st.item, *site));
                                 }
+                            }
+                            if let Some(sh) = buf.shadow() {
+                                sh.note_store(i as usize);
                             }
                             // SAFETY: launch contract — element disjointness
                             // across work-items (verified by race-check mode).
@@ -1671,6 +1690,51 @@ fn run_differential(
     race_check: bool,
     transaction_size: u64,
 ) -> Result<LaunchStats, ExecError> {
+    // The differential engine doubles as the sanitizer gate: under
+    // `VGPU_SANITIZE=shadow` any *new* shadow finding on this kernel
+    // (the count is per-kernel, so concurrent launches of other kernels
+    // cannot trip it) turns the launch into a hard error — the CI
+    // `diff`+`shadow` leg fails on the first stale or uninit read.
+    let findings_before = crate::sanitize::findings_for(&prep.name);
+    let stats = run_differential_legs(
+        prep,
+        bufs,
+        init_slots,
+        gsize,
+        total,
+        lsize,
+        mode,
+        race_check,
+        transaction_size,
+    )?;
+    let new = crate::sanitize::findings_for(&prep.name) - findings_before;
+    if new > 0 {
+        let detail: Vec<String> = crate::sanitize::findings()
+            .into_iter()
+            .filter(|f| f.kernel == prep.name)
+            .map(|f| f.to_string())
+            .collect();
+        return err(format!(
+            "shadow sanitizer flagged {new} finding(s) during differential launch of `{}`: {}",
+            prep.name,
+            detail.join("; ")
+        ));
+    }
+    Ok(stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_differential_legs(
+    prep: &Prepared,
+    bufs: &[Option<&SharedBuf>],
+    init_slots: &[(usize, Value)],
+    gsize: [usize; 3],
+    total: u64,
+    lsize: Option<usize>,
+    mode: ExecMode,
+    race_check: bool,
+    transaction_size: u64,
+) -> Result<LaunchStats, ExecError> {
     let usable = tape_usable(prep, bufs);
     let snaps: Vec<Option<BufData>> = bufs.iter().map(|b| b.map(|b| b.data().clone())).collect();
     let tree = run_launch(
@@ -2051,6 +2115,10 @@ fn run_flat_tape(
                         group,
                         lsize: 1,
                         prof: prof.as_deref_mut(),
+                        san: Some(crate::sanitize::SanCtx {
+                            kernel: &prep.name,
+                            params: &prep.params,
+                        }),
                     };
                     bytecode::exec_phase(tape, 0, &mut regs, &mut privs, &mut no_locals, &mut t);
                     if trace_on {
@@ -2219,6 +2287,7 @@ fn run_flat_vector(
                     gids: &gids,
                     gsize,
                     prof: prof.as_deref_mut(),
+                    san: Some(crate::sanitize::SanCtx { kernel: &prep.name, params: &prep.params }),
                 };
                 if bytecode::exec_phase_warp(tape, 0, nact, &mut vregs, &mut lane_privs, &mut wc) {
                     divergent += 1;
@@ -2370,6 +2439,7 @@ fn run_flat_compiled(
                     gids: &gids,
                     gsize,
                     prof: prof.as_deref_mut(),
+                    san: Some(crate::sanitize::SanCtx { kernel: &prep.name, params: &prep.params }),
                 };
                 if bytecode::exec_fused_warp(
                     fused,
@@ -2485,6 +2555,10 @@ fn run_grouped_tape(
                             // granularity only; the flat runners carry the
                             // per-op tallies.
                             prof: None,
+                            san: Some(crate::sanitize::SanCtx {
+                                kernel: &prep.name,
+                                params: &prep.params,
+                            }),
                         };
                         if bytecode::exec_phase(
                             tape,

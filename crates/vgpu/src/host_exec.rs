@@ -315,7 +315,8 @@ pub fn run_host_program_on(
                 let data = devices[sd].peek_region(sid, so, n);
                 transfers.halo_bytes += (data.len() * data.elem_bytes()) as u64;
                 transfers.halo_copies += 1;
-                devices[dd].write_halo_region(did, do_, data);
+                let prov = devices[sd].halo_provenance(sid);
+                devices[dd].write_halo_region_tagged(did, do_, data, prov);
             }
         }
     }

@@ -64,6 +64,7 @@ pub mod host_exec;
 pub mod perfmodel;
 pub mod profile;
 pub mod profiler;
+pub mod sanitize;
 pub mod shard;
 pub mod telemetry;
 pub mod verify;
@@ -79,6 +80,7 @@ pub use host_exec::{run_host_program, run_host_program_on, HostEnv, HostRun, Tra
 pub use perfmodel::{modeled_sharded_step_s, modeled_time_s, updates_per_second, ModelInput};
 pub use profile::DeviceProfile;
 pub use profiler::{KernelProfileSnapshot, ProfileMode, ResidualReport};
+pub use sanitize::{FaultKind, Finding, HaloProvenance};
 pub use shard::{device_count_from_env, halo_exchange, HaloTotals, SlabPartition};
 pub use telemetry::{TraceMode, TrackId};
 pub use verify::{verify_prepared, TapeFinding, TapePass, TapeReport};

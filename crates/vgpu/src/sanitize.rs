@@ -1,0 +1,346 @@
+//! Shadow-memory sanitizer: the dynamic half of the access-footprint story.
+//!
+//! The static analysis ([`lift::footprint`]) *proves* per-site halo widths
+//! and host-program initialization order. This module *observes* them: under
+//! `VGPU_SANITIZE=shadow` every device buffer carries one shadow byte per
+//! element tracking whether that element is **uninitialized**, was
+//! **initialized** by an upload/store, or is a **halo mirror** of a region
+//! owned by another buffer. Every engine's gather checks the shadow and
+//! every scatter updates it, so
+//!
+//! * a load of a never-written element is reported as an *uninit read*
+//!   (the dynamic witness of the host read-before-write pass), and
+//! * a load of a halo mirror whose source buffer has been written since the
+//!   last exchange is reported as a *stale-halo read* (the dynamic witness
+//!   of the proven halo widths: a sharded schedule that exchanges too little
+//!   or too late trips it on the exact seam element).
+//!
+//! Staleness is tracked with per-buffer version clocks: each mutation bumps
+//! the owner's [`Shadow::version`]; a tagged halo write
+//! ([`crate::Device::write_halo_region_tagged`]) records the source's clock
+//! in a [`Mirror`], and a seam load compares the clock against that record.
+//!
+//! Findings are deduplicated per (kernel, site, kind, buffer) into a
+//! process-wide registry ([`findings`], [`take_findings`]) and counted under
+//! `vgpu.sanitize.*` in the telemetry registry. The differential engine
+//! turns any finding on its own kernel into a launch error, which is the CI
+//! gate: a `VGPU_ENGINE=diff` + `VGPU_SANITIZE=shadow` leg fails loudly on
+//! the first stale or uninit read anywhere in the suite.
+//!
+//! With `VGPU_SANITIZE=off` (the default) no shadow is allocated and every
+//! hook is one `Option` test on buffer metadata — the `telemetry_overhead`
+//! bench holds that path to ≤2% of the unsanitized runtime.
+
+use crate::telemetry;
+use lift::kast::KernelParam;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Shadow state: element has never been written on this device.
+const UNINIT: u8 = 0;
+/// Shadow state: element was written by an upload, region write or store.
+const INIT: u8 = 1;
+/// Shadow state: element mirrors a halo region owned by another buffer.
+const HALO: u8 = 2;
+
+static FORCE_SHADOW: AtomicBool = AtomicBool::new(false);
+
+/// Forces shadow mode on for the rest of the process, regardless of
+/// `VGPU_SANITIZE`. In-process escape hatch for tests and harnesses (the
+/// environment is read per call, but mutating it from a threaded test is
+/// unsound; this is the safe override).
+pub fn force_shadow() {
+    FORCE_SHADOW.store(true, Ordering::SeqCst);
+}
+
+/// True when the shadow-memory sanitizer is enabled (`VGPU_SANITIZE=shadow`
+/// or [`force_shadow`]). Consulted at buffer-creation time: buffers made
+/// while this is false carry no shadow and cost one pointer test per access.
+pub fn shadow_on() -> bool {
+    if FORCE_SHADOW.load(Ordering::Relaxed) {
+        return true;
+    }
+    matches!(std::env::var("VGPU_SANITIZE").as_deref(), Ok("shadow") | Ok("SHADOW"))
+}
+
+/// One halo mirror: `len` elements at `off` copied from a source buffer
+/// whose version clock read `seen` at copy time.
+struct Mirror {
+    off: usize,
+    len: usize,
+    src: Arc<AtomicU64>,
+    seen: u64,
+}
+
+/// Capability to tag a halo write with its source's version clock. Obtained
+/// from the *source* buffer ([`crate::Device::halo_provenance`]) and handed
+/// to [`crate::Device::write_halo_region_tagged`] on the destination.
+pub struct HaloProvenance {
+    pub(crate) src: Arc<AtomicU64>,
+    pub(crate) seen: u64,
+}
+
+/// Per-buffer shadow memory: one state byte per element, a version clock
+/// bumped on every mutation, and the halo mirrors currently live in the
+/// buffer. All methods are `&self` and thread-safe — the interpreter hooks
+/// run on rayon workers.
+pub(crate) struct Shadow {
+    states: Box<[AtomicU8]>,
+    version: Arc<AtomicU64>,
+    mirrors: Mutex<Vec<Mirror>>,
+}
+
+/// What a shadow check found wrong with one load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The element was never written on this device.
+    UninitRead,
+    /// The element mirrors a halo region whose source buffer has been
+    /// written since the copy — the mirror no longer matches the owner.
+    StaleHaloRead,
+}
+
+impl FaultKind {
+    fn label(self) -> &'static str {
+        match self {
+            FaultKind::UninitRead => "uninit-read",
+            FaultKind::StaleHaloRead => "stale-halo-read",
+        }
+    }
+}
+
+impl Shadow {
+    pub(crate) fn new(len: usize, initialized: bool) -> Shadow {
+        let fill = if initialized { INIT } else { UNINIT };
+        let states = (0..len).map(|_| AtomicU8::new(fill)).collect();
+        telemetry::registry().counter("vgpu.sanitize.shadowed_buffers").inc();
+        Shadow { states, version: Arc::new(AtomicU64::new(0)), mirrors: Mutex::new(Vec::new()) }
+    }
+
+    fn bump(&self) {
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks `[off, off+len)` initialized (upload, region write). Any halo
+    /// mirror the region overwrites is dissolved back into owned data.
+    pub(crate) fn mark_init(&self, off: usize, len: usize) {
+        for s in &self.states[off..(off + len).min(self.states.len())] {
+            s.store(INIT, Ordering::Relaxed);
+        }
+        self.mirrors.lock().retain(|m| m.off + m.len <= off || off + len <= m.off);
+        self.bump();
+    }
+
+    /// Marks `[off, off+len)` as a halo mirror of the source behind `prov`
+    /// (or as plain initialized data when the copy carries no provenance).
+    pub(crate) fn mark_halo(&self, off: usize, len: usize, prov: Option<HaloProvenance>) {
+        let Some(prov) = prov else {
+            return self.mark_init(off, len);
+        };
+        for s in &self.states[off..(off + len).min(self.states.len())] {
+            s.store(HALO, Ordering::Relaxed);
+        }
+        let mut mirrors = self.mirrors.lock();
+        // Re-exchanging the same seam replaces the record rather than
+        // growing the list a step at a time.
+        if let Some(m) = mirrors.iter_mut().find(|m| m.off == off && m.len == len) {
+            m.src = prov.src;
+            m.seen = prov.seen;
+        } else {
+            mirrors.push(Mirror { off, len, src: prov.src, seen: prov.seen });
+        }
+        // Deliberately no version bump: a halo write lands in halo planes,
+        // which are never the *source* of another buffer's mirror, so it
+        // cannot invalidate anything. Bumping here would mark sibling
+        // mirrors recorded earlier in the same exchange round as stale.
+    }
+
+    /// This buffer's version clock, sampled now — tag for halo copies
+    /// *from* this buffer.
+    pub(crate) fn provenance(&self) -> HaloProvenance {
+        HaloProvenance { src: self.version.clone(), seen: self.version.load(Ordering::Relaxed) }
+    }
+
+    /// Records one kernel store: the element is now owned, initialized data.
+    #[inline]
+    pub(crate) fn note_store(&self, i: usize) {
+        if let Some(s) = self.states.get(i) {
+            s.store(INIT, Ordering::Relaxed);
+        }
+        self.bump();
+    }
+
+    /// Classifies one kernel load. `None` means the element is clean.
+    pub(crate) fn classify_load(&self, i: usize) -> Option<FaultKind> {
+        match self.states.get(i)?.load(Ordering::Relaxed) {
+            INIT => None,
+            HALO => {
+                let mirrors = self.mirrors.lock();
+                let stale = mirrors
+                    .iter()
+                    .find(|m| m.off <= i && i < m.off + m.len)
+                    .is_some_and(|m| m.src.load(Ordering::Relaxed) != m.seen);
+                stale.then_some(FaultKind::StaleHaloRead)
+            }
+            _ => Some(FaultKind::UninitRead),
+        }
+    }
+}
+
+/// Kernel context threaded into the interpreter hot loops so a finding can
+/// name the kernel, site and buffer it fired on.
+#[derive(Clone, Copy)]
+pub(crate) struct SanCtx<'a> {
+    pub(crate) kernel: &'a str,
+    pub(crate) params: &'a [KernelParam],
+}
+
+/// One deduplicated sanitizer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// What kind of bad read this was.
+    pub kind: FaultKind,
+    /// Kernel the load belongs to.
+    pub kernel: String,
+    /// Stable load-site id within the kernel (matches the static verifier's
+    /// site numbering for tree-engine findings).
+    pub site: u32,
+    /// Name of the buffer parameter that was read.
+    pub buffer: String,
+    /// Flat element index of the first offending read observed.
+    pub element: u64,
+    /// Engine that observed it (`tree`, `tape`, `vector`, `compiled`).
+    pub engine: &'static str,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} in `{}` site {}: buffer `{}` element {} ({} engine)",
+            self.kind.label(),
+            self.kernel,
+            self.site,
+            self.buffer,
+            self.element,
+            self.engine
+        )
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    findings: Vec<Finding>,
+    seen: std::collections::HashSet<(String, u32, FaultKind, String)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static R: OnceLock<Mutex<Registry>> = OnceLock::new();
+    R.get_or_init(Mutex::default)
+}
+
+fn report(f: Finding) {
+    let ctr = match f.kind {
+        FaultKind::UninitRead => "vgpu.sanitize.uninit_reads",
+        FaultKind::StaleHaloRead => "vgpu.sanitize.stale_halo_reads",
+    };
+    telemetry::registry().counter(ctr).inc();
+    let mut reg = registry().lock();
+    if reg.seen.insert((f.kernel.clone(), f.site, f.kind, f.buffer.clone())) {
+        reg.findings.push(f);
+    }
+}
+
+/// Snapshot of all findings so far (deduplicated, process-wide).
+pub fn findings() -> Vec<Finding> {
+    registry().lock().findings.clone()
+}
+
+/// Drains the finding registry, returning everything recorded so far.
+pub fn take_findings() -> Vec<Finding> {
+    let mut reg = registry().lock();
+    reg.seen.clear();
+    std::mem::take(&mut reg.findings)
+}
+
+/// Number of findings recorded so far for `kernel`. The differential engine
+/// samples this before/after a launch to fail the launch on its own
+/// findings without racing concurrently-running kernels.
+pub fn findings_for(kernel: &str) -> usize {
+    registry().lock().findings.iter().filter(|f| f.kernel == kernel).count()
+}
+
+/// Interpreter load hook: classifies the read and reports a finding with
+/// kernel/site provenance. Call only when the buffer has a shadow.
+#[inline(never)]
+pub(crate) fn report_load_fault(
+    kind: FaultKind,
+    san: Option<&SanCtx<'_>>,
+    param: usize,
+    site: u32,
+    element: u64,
+    engine: &'static str,
+) {
+    let (kernel, buffer) = match san {
+        Some(s) => (
+            s.kernel.to_string(),
+            s.params.get(param).map(|p| p.name.clone()).unwrap_or_else(|| format!("arg{param}")),
+        ),
+        None => ("<unknown-kernel>".to_string(), format!("arg{param}")),
+    };
+    report(Finding { kind, kernel, site, buffer, element, engine });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_tracks_uninit_then_init() {
+        let sh = Shadow::new(4, false);
+        assert_eq!(sh.classify_load(2), Some(FaultKind::UninitRead));
+        sh.note_store(2);
+        assert_eq!(sh.classify_load(2), None);
+        // Out-of-range indices are someone else's (bounds checker's) problem.
+        assert_eq!(sh.classify_load(99), None);
+    }
+
+    #[test]
+    fn halo_mirror_goes_stale_when_source_moves() {
+        let owner = Shadow::new(8, true);
+        let mirror = Shadow::new(8, true);
+        mirror.mark_halo(0, 2, Some(owner.provenance()));
+        assert_eq!(mirror.classify_load(0), None, "fresh mirror is clean");
+        owner.note_store(5); // owner mutated after the exchange
+        assert_eq!(mirror.classify_load(1), Some(FaultKind::StaleHaloRead));
+        // Re-exchange refreshes the mirror in place.
+        mirror.mark_halo(0, 2, Some(owner.provenance()));
+        assert_eq!(mirror.classify_load(0), None);
+        // A plain write over the seam dissolves the mirror entirely.
+        owner.note_store(5);
+        mirror.mark_init(0, 2);
+        assert_eq!(mirror.classify_load(0), None);
+    }
+
+    #[test]
+    fn findings_dedupe_by_site() {
+        report(Finding {
+            kind: FaultKind::UninitRead,
+            kernel: "san_test_dedupe".into(),
+            site: 7,
+            buffer: "a".into(),
+            element: 3,
+            engine: "tree",
+        });
+        report(Finding {
+            kind: FaultKind::UninitRead,
+            kernel: "san_test_dedupe".into(),
+            site: 7,
+            buffer: "a".into(),
+            element: 4,
+            engine: "tree",
+        });
+        assert_eq!(findings_for("san_test_dedupe"), 1);
+    }
+}

@@ -139,8 +139,18 @@ pub fn halo_exchange(devices: &mut [Device], bufs: &[BufId], part: &SlabPartitio
         // plane 1; its bottom halo is 0.
         let top_owned: BufData = devices[d].peek_region(bufs[d], part.owned(d) * plane, plane);
         let bottom_owned: BufData = devices[d + 1].peek_region(bufs[d + 1], plane, plane);
-        devices[d + 1].write_halo_region(bufs[d + 1], 0, top_owned);
-        devices[d].write_halo_region(bufs[d], (part.owned(d) + 1) * plane, bottom_owned);
+        // Tag each received plane with the sender's sanitizer version
+        // clock, so a later step that reads the seam without a fresh
+        // exchange is reported as a stale-halo read.
+        let down_prov = devices[d].halo_provenance(bufs[d]);
+        let up_prov = devices[d + 1].halo_provenance(bufs[d + 1]);
+        devices[d + 1].write_halo_region_tagged(bufs[d + 1], 0, top_owned, down_prov);
+        devices[d].write_halo_region_tagged(
+            bufs[d],
+            (part.owned(d) + 1) * plane,
+            bottom_owned,
+            up_prov,
+        );
     }
 }
 
